@@ -1,0 +1,43 @@
+//! Criterion micro-bench behind Figure 7: filtering time of the four
+//! candidate-generation methods on the Yeast stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::filter::{run_filter, FilterKind};
+use sm_match::{DataContext, QueryContext};
+
+fn bench_filters(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 16,
+            density: Density::Dense,
+            count: 4,
+        },
+        7,
+    );
+    let mut group = c.benchmark_group("fig07_filtering");
+    group.sample_size(20);
+    for kind in [
+        FilterKind::GraphQl,
+        FilterKind::Cfl,
+        FilterKind::Ceci,
+        FilterKind::DpIso,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let qc = QueryContext::new(q);
+                    std::hint::black_box(run_filter(kind, &qc, &gc));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-bench behind Figure 8: pruning-power vs cost of each
+//! filter, including the STEADY fixpoint, on the Yeast stand-in.
+//!
+//! (Figure 8 itself reports candidate *counts*; this bench pins the time
+//! each filter pays for its pruning, the trade-off Section 5.1 discusses.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::filter::{run_filter, FilterKind};
+use sm_match::{DataContext, QueryContext};
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 16,
+            density: Density::Sparse,
+            count: 4,
+        },
+        8,
+    );
+    let mut group = c.benchmark_group("fig08_candidates");
+    group.sample_size(20);
+    for kind in [
+        FilterKind::Ldf,
+        FilterKind::Nlf,
+        FilterKind::GraphQl,
+        FilterKind::Cfl,
+        FilterKind::Ceci,
+        FilterKind::DpIso,
+        FilterKind::Steady,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let qc = QueryContext::new(q);
+                    std::hint::black_box(run_filter(kind, &qc, &gc));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_generation);
+criterion_main!(benches);

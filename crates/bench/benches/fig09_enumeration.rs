@@ -1,0 +1,48 @@
+//! Criterion micro-bench behind Figure 9: each local-candidate method on
+//! the same workload (GraphQL candidates, GraphQL order, Yeast stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::{DataContext, FilterKind, LcMethod, MatchConfig, OrderKind, Pipeline};
+
+fn bench_lc_methods(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 4,
+        },
+        9,
+    );
+    let cfg = MatchConfig::default();
+    let mut group = c.benchmark_group("fig09_enumeration");
+    group.sample_size(15);
+    for method in [
+        LcMethod::Direct,
+        LcMethod::CandidateScan,
+        LcMethod::TreeIndex,
+        LcMethod::Intersect,
+    ] {
+        let pipeline = Pipeline::new(
+            method.name(),
+            FilterKind::GraphQl,
+            OrderKind::GraphQl,
+            method,
+        );
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(pipeline.run(q, &gc, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lc_methods);
+criterion_main!(benches);

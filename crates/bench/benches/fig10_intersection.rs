@@ -1,0 +1,53 @@
+//! Criterion micro-bench behind Figure 10: raw set-intersection kernels on
+//! dense vs sparse sorted sets (the regime that decides Hybrid vs QFilter).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_intersect::{intersect_buf, BsrSet, IntersectKind};
+
+fn dense_sets() -> (Vec<u32>, Vec<u32>) {
+    // consecutive runs: BSR blocks are nearly full
+    let a: Vec<u32> = (0..8000u32).filter(|x| x % 4 != 3).collect();
+    let b: Vec<u32> = (0..8000u32).filter(|x| x % 3 != 2).collect();
+    (a, b)
+}
+
+fn sparse_sets() -> (Vec<u32>, Vec<u32>) {
+    // far-apart elements: one bit per BSR block
+    let a: Vec<u32> = (0..3000u32).map(|x| x * 97).collect();
+    let b: Vec<u32> = (0..3000u32).map(|x| x * 101).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_intersection");
+    for (regime, (a, b)) in [("dense", dense_sets()), ("sparse", sparse_sets())] {
+        for kind in [
+            IntersectKind::Merge,
+            IntersectKind::Galloping,
+            IntersectKind::Hybrid,
+        ] {
+            group.bench_function(format!("{}/{}", regime, kind.name()), |bch| {
+                let mut out = Vec::with_capacity(a.len());
+                bch.iter(|| {
+                    out.clear();
+                    intersect_buf(kind, &a, &b, &mut out);
+                    std::hint::black_box(out.len())
+                })
+            });
+        }
+        // QFilter-style with precomputed encodings (how the engine uses it).
+        let ba = BsrSet::from_sorted(&a);
+        let bb = BsrSet::from_sorted(&b);
+        group.bench_function(format!("{regime}/QFilter"), |bch| {
+            let mut out = BsrSet::default();
+            bch.iter(|| {
+                ba.intersect_into(&bb, &mut out);
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-bench behind Figure 11: full query runs under each
+//! ordering method with the optimized engine, Yeast stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::{Algorithm, DataContext, MatchConfig};
+
+fn bench_orderings(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 4,
+        },
+        11,
+    );
+    let cfg = MatchConfig::default();
+    let mut group = c.benchmark_group("fig11_ordering");
+    group.sample_size(15);
+    for alg in Algorithm::all() {
+        let pipeline = alg.optimized();
+        group.bench_function(pipeline.name.clone(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(pipeline.run(q, &gc, &cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

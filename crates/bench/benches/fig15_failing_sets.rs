@@ -1,0 +1,42 @@
+//! Criterion micro-bench behind Figure 15: DP-iso with and without
+//! failing-set pruning, on small vs large queries (the crossover the
+//! paper reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::{Algorithm, DataContext, MatchConfig};
+
+fn bench_failing_sets(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let pipeline = Algorithm::DpIso.optimized();
+    let mut group = c.benchmark_group("fig15_failing_sets");
+    group.sample_size(15);
+    for size in [8usize, 16] {
+        let queries = generate_query_set(
+            &ds.graph,
+            QuerySetSpec {
+                num_vertices: size,
+                density: Density::Dense,
+                count: 3,
+            },
+            15,
+        );
+        for fs in [false, true] {
+            let cfg = MatchConfig::default().with_failing_sets(fs);
+            let label = format!("Q{size}D/{}", if fs { "w-fs" } else { "wo-fs" });
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(pipeline.run(q, &gc, &cfg));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failing_sets);
+criterion_main!(benches);

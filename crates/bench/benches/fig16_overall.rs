@@ -1,0 +1,57 @@
+//! Criterion micro-bench behind Figure 16: end-to-end query time of the
+//! optimized GQLfs/RIfs vs the original compositions and Glasgow, Yeast
+//! stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_datasets::Dataset;
+use sm_glasgow::{glasgow_match, GlasgowConfig};
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_match::{Algorithm, DataContext, MatchConfig};
+
+fn bench_overall(c: &mut Criterion) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 3,
+        },
+        16,
+    );
+    let mut group = c.benchmark_group("fig16_overall");
+    group.sample_size(15);
+
+    let fs = MatchConfig::default().with_failing_sets(true);
+    let plain = MatchConfig::default();
+    let competitors = [
+        ("GQLfs", Algorithm::GraphQl.optimized(), &fs),
+        ("RIfs", Algorithm::Ri.optimized(), &fs),
+        ("O-CECI", Algorithm::Ceci.original(), &plain),
+        ("O-DP", Algorithm::DpIso.original(), &plain),
+        ("O-RI", Algorithm::Ri.original(), &plain),
+        ("O-2PP", Algorithm::Vf2pp.original(), &plain),
+    ];
+    for (name, pipeline, cfg) in competitors {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(pipeline.run(q, &gc, cfg));
+                }
+            })
+        });
+    }
+    let glw_cfg = GlasgowConfig::default();
+    group.bench_function("GLW", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(glasgow_match(q, &ds.graph, &glw_cfg).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overall);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! A tiny dependency-free argument parser for the `experiments` binary.
+//!
+//! ```text
+//! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
+//!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
+//! ```
+
+use std::time::Duration;
+
+/// Parsed harness options with laptop-friendly defaults.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Subcommand (e.g. `fig7`, `table5`, `all`).
+    pub command: String,
+    /// Dataset abbreviations to run on (`None` = each experiment's
+    /// default).
+    pub datasets: Option<Vec<String>>,
+    /// Queries per query set (paper: 200; default here: 20).
+    pub queries: usize,
+    /// Per-query kill limit (paper: 5 min; default here: 1 s).
+    pub time_limit: Duration,
+    /// Random-order samples for the spectrum experiments (paper: 1000).
+    pub orders: usize,
+    /// Worker threads for query-set evaluation.
+    pub threads: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            command: "all".to_string(),
+            datasets: None,
+            queries: 20,
+            time_limit: Duration::from_millis(1000),
+            orders: 100,
+            threads: 1,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parse from an argument iterator (excluding argv[0]). Returns an
+    /// error string for unknown/malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = HarnessOptions::default();
+        let mut it = args.into_iter();
+        let mut saw_command = false;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--datasets" => {
+                    let v = it.next().ok_or("--datasets needs a value")?;
+                    opts.datasets = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                "--queries" => {
+                    opts.queries = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--queries needs an integer")?;
+                }
+                "--time-limit-ms" => {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--time-limit-ms needs an integer")?;
+                    opts.time_limit = Duration::from_millis(ms);
+                }
+                "--orders" => {
+                    opts.orders = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--orders needs an integer")?;
+                }
+                "--threads" => {
+                    opts.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t: &usize| t >= 1)
+                        .ok_or("--threads needs a positive integer")?;
+                }
+                "--full" => {
+                    // Paper-scale settings (slow!).
+                    opts.queries = 200;
+                    opts.time_limit = Duration::from_secs(300);
+                    opts.orders = 1000;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                cmd if !saw_command => {
+                    opts.command = cmd.to_string();
+                    saw_command = true;
+                }
+                extra => return Err(format!("unexpected argument {extra}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<HarnessOptions, String> {
+        HarnessOptions::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.command, "all");
+        assert_eq!(o.queries, 20);
+        assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn full_parse() {
+        let o = parse(&[
+            "fig7",
+            "--datasets",
+            "ye,hu",
+            "--queries",
+            "50",
+            "--time-limit-ms",
+            "2000",
+            "--orders",
+            "500",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "fig7");
+        assert_eq!(o.datasets.as_deref(), Some(&["ye".to_string(), "hu".to_string()][..]));
+        assert_eq!(o.queries, 50);
+        assert_eq!(o.time_limit, Duration::from_secs(2));
+        assert_eq!(o.orders, 500);
+        assert_eq!(o.threads, 4);
+    }
+
+    #[test]
+    fn full_preset() {
+        let o = parse(&["table5", "--full"]).unwrap();
+        assert_eq!(o.queries, 200);
+        assert_eq!(o.time_limit, Duration::from_secs(300));
+        assert_eq!(o.orders, 1000);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--queries"]).is_err());
+        assert!(parse(&["--queries", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["fig7", "extra"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The experiment driver: one subcommand per table/figure of the paper.
+//!
+//! ```text
+//! experiments <cmd> [--datasets ye,hu,...] [--queries N]
+//!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
+//!
+//! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
+//!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel | all
+//! ```
+//!
+//! Defaults are laptop-friendly (20 queries/set, 1 s kill limit, 100
+//! spectrum orders); `--full` switches to the paper's scale (200 queries,
+//! 5 minutes, 1000 orders).
+
+use sm_bench::args::HarnessOptions;
+use sm_bench::experiments;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--full]");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# subgraph-matching experiments: cmd={} queries/set={} time-limit={:?} threads={}",
+        opts.command, opts.queries, opts.time_limit, opts.threads
+    );
+    match opts.command.as_str() {
+        "table3" => experiments::table3::run(&opts),
+        "fig7" => experiments::fig07::run(&opts),
+        "fig8" => experiments::fig08::run(&opts),
+        "fig9" => experiments::fig09::run(&opts),
+        "fig10" => experiments::fig10::run(&opts),
+        "fig11" => experiments::fig11::run(&opts),
+        "fig12" => experiments::fig12::run(&opts),
+        "fig13" => experiments::fig13::run(&opts),
+        "fig14" => experiments::fig14::run(&opts),
+        "table5" => experiments::table5::run(&opts),
+        "table6" => experiments::table6::run(&opts),
+        "fig15" => experiments::fig15::run(&opts),
+        "fig16" => experiments::fig16::run(&opts),
+        "fig17" => experiments::fig17::run(&opts),
+        "fig18" => experiments::fig18::run(&opts),
+        "ablation" => experiments::ablation::run(&opts),
+        "parallel" => experiments::parallel::run(&opts),
+        "all" => experiments::run_all(&opts),
+        other => {
+            eprintln!("unknown subcommand '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

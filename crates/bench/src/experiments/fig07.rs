@@ -1,0 +1,114 @@
+//! Figure 7: preprocessing (filtering) time of GQL, CFL, CECI and DP-iso.
+//!
+//! (a) across datasets on their default query sets; (b) varying `|V(q)|`
+//! on Youtube; (c) dense vs sparse on Youtube.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{
+    datasets_for, default_query_sets, dense_sweep, load, query_set, sparse_sweep, ALL_DATASETS,
+};
+use crate::table::{ms, TextTable};
+use sm_datasets::DatasetSpec;
+use sm_graph::Graph;
+use sm_match::filter::{run_filter, FilterKind};
+use sm_match::{DataContext, QueryContext};
+use std::time::Instant;
+
+/// The four filters Figure 7 compares.
+pub const FILTERS: [FilterKind; 4] = [
+    FilterKind::GraphQl,
+    FilterKind::Cfl,
+    FilterKind::Ceci,
+    FilterKind::DpIso,
+];
+
+/// Mean filtering time (ms) of `kind` over `queries`.
+pub fn avg_filter_ms(kind: FilterKind, queries: &[Graph], gc: &DataContext<'_>) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for q in queries {
+        let qc = QueryContext::new(q);
+        let t = Instant::now();
+        let _ = run_filter(kind, &qc, gc);
+        total += t.elapsed().as_secs_f64() * 1e3;
+    }
+    total / queries.len() as f64
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    println!("\n=== Figure 7(a): filtering time (ms) per dataset, default query sets ===");
+    let specs = datasets_for(opts, &ALL_DATASETS);
+    let mut t = TextTable::new(
+        std::iter::once("filter".to_string())
+            .chain(specs.iter().map(|d| d.abbrev.to_string()))
+            .collect(),
+    );
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for spec in &specs {
+        columns.push(dataset_column(spec, opts));
+    }
+    for (fi, f) in FILTERS.iter().enumerate() {
+        let mut row = vec![f.name().to_string()];
+        for col in &columns {
+            row.push(ms(col[fi]));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    // (b) and (c) on Youtube (or the first selected dataset).
+    let spec = specs
+        .iter()
+        .find(|d| d.abbrev == "yt")
+        .copied()
+        .unwrap_or(specs[0]);
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+
+    println!("\n=== Figure 7(b): filtering time (ms) on {}, dense sizes ===", spec.abbrev);
+    let sweep = dense_sweep(&spec, opts.queries);
+    let mut t = TextTable::new(
+        std::iter::once("filter".to_string())
+            .chain(sweep.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    let sweep_queries: Vec<Vec<Graph>> =
+        sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for f in FILTERS {
+        let mut row = vec![f.name().to_string()];
+        for qs in &sweep_queries {
+            row.push(ms(avg_filter_ms(f, qs, &gc)));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!("\n=== Figure 7(c): filtering time (ms) on {}, dense vs sparse ===", spec.abbrev);
+    let dense = query_set(&ds, dense_sweep(&spec, opts.queries).last().unwrap().1);
+    let sparse = query_set(&ds, sparse_sweep(&spec, opts.queries).last().unwrap().1);
+    let mut t = TextTable::new(vec!["filter", "dense", "sparse"]);
+    for f in FILTERS {
+        t.row(vec![
+            f.name().to_string(),
+            ms(avg_filter_ms(f, &dense, &gc)),
+            ms(avg_filter_ms(f, &sparse, &gc)),
+        ]);
+    }
+    t.print();
+}
+
+fn dataset_column(spec: &DatasetSpec, opts: &HarnessOptions) -> Vec<f64> {
+    let ds = load(spec);
+    let gc = DataContext::new(&ds.graph);
+    let mut queries = Vec::new();
+    for (_, s) in default_query_sets(spec, opts.queries) {
+        queries.extend(query_set(&ds, s));
+    }
+    FILTERS
+        .iter()
+        .map(|&f| avg_filter_ms(f, &queries, &gc))
+        .collect()
+}

@@ -1,0 +1,118 @@
+//! Figure 8: pruning power — average candidate count `Σ|C(u)|/|V(q)|` of
+//! each filter, against the LDF floor and the STEADY fixpoint baseline.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{
+    datasets_for, default_query_sets, dense_sweep, load, query_set, sparse_sweep, ALL_DATASETS,
+};
+use crate::table::TextTable;
+use sm_graph::Graph;
+use sm_match::filter::{run_filter, FilterKind};
+use sm_match::{DataContext, QueryContext};
+
+/// Figure 8's methods: LDF floor, the four filters, and the fixpoint.
+pub const METHODS: [FilterKind; 6] = [
+    FilterKind::Ldf,
+    FilterKind::GraphQl,
+    FilterKind::Cfl,
+    FilterKind::Ceci,
+    FilterKind::DpIso,
+    FilterKind::Steady,
+];
+
+/// Mean candidate count of `kind` over `queries` (queries with empty
+/// candidate sets contribute their average at the point of emptiness —
+/// matching the paper's "number of candidate vertices" metric).
+pub fn avg_candidates(kind: FilterKind, queries: &[Graph], gc: &DataContext<'_>) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for q in queries {
+        let qc = QueryContext::new(q);
+        if let Some(out) = run_filter(kind, &qc, gc) {
+            total += out.candidates.average();
+        }
+    }
+    total / queries.len() as f64
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    println!("\n=== Figure 8(a): avg candidate count per dataset, default query sets ===");
+    let specs = datasets_for(opts, &ALL_DATASETS);
+    let mut t = TextTable::new(
+        std::iter::once("method".to_string())
+            .chain(specs.iter().map(|d| d.abbrev.to_string()))
+            .collect(),
+    );
+    let mut columns = Vec::new();
+    for spec in &specs {
+        let ds = load(spec);
+        let gc = DataContext::new(&ds.graph);
+        let mut queries = Vec::new();
+        for (_, s) in default_query_sets(spec, opts.queries) {
+            queries.extend(query_set(&ds, s));
+        }
+        let col: Vec<f64> = METHODS
+            .iter()
+            .map(|&m| avg_candidates(m, &queries, &gc))
+            .collect();
+        columns.push(col);
+    }
+    for (mi, m) in METHODS.iter().enumerate() {
+        let mut row = vec![m.name().to_string()];
+        for col in &columns {
+            row.push(format!("{:.1}", col[mi]));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    let spec = specs
+        .iter()
+        .find(|d| d.abbrev == "yt")
+        .copied()
+        .unwrap_or(specs[0]);
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+
+    println!("\n=== Figure 8(b): avg candidates on {}, vary |V(q)| (dense) ===", spec.abbrev);
+    let mut sweep = vec![(
+        "Q4".to_string(),
+        sm_graph::gen::query::QuerySetSpec {
+            num_vertices: 4,
+            density: sm_graph::gen::query::Density::Any,
+            count: opts.queries,
+        },
+    )];
+    sweep.extend(dense_sweep(&spec, opts.queries));
+    let mut t = TextTable::new(
+        std::iter::once("method".to_string())
+            .chain(sweep.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    let sweep_queries: Vec<Vec<Graph>> =
+        sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for m in METHODS {
+        let mut row = vec![m.name().to_string()];
+        for qs in &sweep_queries {
+            row.push(format!("{:.1}", avg_candidates(m, qs, &gc)));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!("\n=== Figure 8(c): avg candidates on {}, dense vs sparse ===", spec.abbrev);
+    let dense = query_set(&ds, dense_sweep(&spec, opts.queries).last().unwrap().1);
+    let sparse = query_set(&ds, sparse_sweep(&spec, opts.queries).last().unwrap().1);
+    let mut t = TextTable::new(vec!["method", "dense", "sparse"]);
+    for m in METHODS {
+        t.row(vec![
+            m.name().to_string(),
+            format!("{:.1}", avg_candidates(m, &dense, &gc)),
+            format!("{:.1}", avg_candidates(m, &sparse, &gc)),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,97 @@
+//! Figure 9: speedup of the set-intersection local-candidate computation
+//! (Algorithm 5 + all-edge candidate index) over each algorithm's original
+//! enumeration, for QSI, GQL, CFL and VF2++.
+//!
+//! Per Section 5.2: QSI and 2PP keep their LDF candidates, GQL and CFL
+//! keep their own filters; 2PP's extra runtime rules are removed in the
+//! optimized variant.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{datasets_for, default_query_sets, load, query_set};
+use crate::harness::eval_query_set;
+use crate::table::{ratio, TextTable};
+use sm_match::{FilterKind, LcMethod, OrderKind, Pipeline};
+
+/// The (name, original, optimized) pipeline pairs of Figure 9.
+pub fn pairs() -> Vec<(&'static str, Pipeline, Pipeline)> {
+    let mut vf_orig = Pipeline::new(
+        "2PP-orig",
+        FilterKind::Ldf,
+        OrderKind::Vf2pp,
+        LcMethod::Direct,
+    );
+    vf_orig.vf2pp_rule = true;
+    vec![
+        (
+            "QSI",
+            Pipeline::new("QSI-orig", FilterKind::Ldf, OrderKind::QuickSi, LcMethod::Direct),
+            Pipeline::new("QSI-opt", FilterKind::Ldf, OrderKind::QuickSi, LcMethod::Intersect),
+        ),
+        (
+            "GQL",
+            Pipeline::new(
+                "GQL-orig",
+                FilterKind::GraphQl,
+                OrderKind::GraphQl,
+                LcMethod::CandidateScan,
+            ),
+            Pipeline::new(
+                "GQL-opt",
+                FilterKind::GraphQl,
+                OrderKind::GraphQl,
+                LcMethod::Intersect,
+            ),
+        ),
+        (
+            "CFL",
+            Pipeline::new("CFL-orig", FilterKind::Cfl, OrderKind::Cfl, LcMethod::TreeIndex),
+            Pipeline::new("CFL-opt", FilterKind::Cfl, OrderKind::Cfl, LcMethod::Intersect),
+        ),
+        (
+            "2PP",
+            vf_orig,
+            Pipeline::new("2PP-opt", FilterKind::Ldf, OrderKind::Vf2pp, LcMethod::Intersect),
+        ),
+    ]
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    println!("\n=== Figure 9: enumeration speedup of intersection-based LC (orig/opt) ===");
+    let specs = datasets_for(opts, &["ye", "hu", "yt", "eu"]);
+    let cfg = crate::experiments::measure_config(opts);
+    let mut t = TextTable::new(
+        std::iter::once("algorithm".to_string())
+            .chain(specs.iter().map(|d| d.abbrev.to_string()))
+            .collect(),
+    );
+    let prs = pairs();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for spec in &specs {
+        let ds = load(spec);
+        let gc = sm_match::DataContext::new(&ds.graph);
+        let mut queries = Vec::new();
+        for (_, s) in default_query_sets(spec, opts.queries) {
+            queries.extend(query_set(&ds, s));
+        }
+        let col = prs
+            .iter()
+            .map(|(_, orig, opt)| {
+                let a = eval_query_set(orig, &queries, &gc, &cfg, opts.threads);
+                let b = eval_query_set(opt, &queries, &gc, &cfg, opts.threads);
+                let bo = b.avg_enum_ms().max(1e-6);
+                a.avg_enum_ms() / bo
+            })
+            .collect();
+        cols.push(col);
+    }
+    for (pi, (name, _, _)) in prs.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for col in &cols {
+            row.push(ratio(col[pi]));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("(values > 1 mean the Algorithm-5 optimization is faster)");
+}

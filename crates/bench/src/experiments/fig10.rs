@@ -1,0 +1,83 @@
+//! Figure 10: set-intersection kernels — the Hybrid policy vs the
+//! QFilter-style block-bitmap layout — inside the optimized GQL engine.
+//!
+//! The paper finds QFilter ahead on the dense graphs (`eu`, `hu`) and
+//! behind on sparse ones, where the compact layout's conversion overhead
+//! dominates.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{
+    datasets_for, default_query_sets, dense_sweep, load, query_set, measure_config,
+};
+use crate::harness::eval_query_set;
+use crate::table::{ms, TextTable};
+use sm_intersect::IntersectKind;
+use sm_match::{Algorithm, DataContext};
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    let kinds = [IntersectKind::Hybrid, IntersectKind::Bsr];
+    println!("\n=== Figure 10(a): enumeration time (ms) of optimized GQL, Hybrid vs QFilter ===");
+    let specs = datasets_for(opts, &["eu", "hu", "yt", "db"]);
+    let pipeline = Algorithm::GraphQl.optimized();
+    let mut t = TextTable::new(
+        std::iter::once("method".to_string())
+            .chain(specs.iter().map(|d| d.abbrev.to_string()))
+            .collect(),
+    );
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for spec in &specs {
+        let ds = load(spec);
+        let gc = DataContext::new(&ds.graph);
+        let mut queries = Vec::new();
+        for (_, s) in default_query_sets(spec, opts.queries) {
+            queries.extend(query_set(&ds, s));
+        }
+        let col = kinds
+            .iter()
+            .map(|&k| {
+                let mut cfg = measure_config(opts);
+                cfg.intersect = k;
+                eval_query_set(&pipeline, &queries, &gc, &cfg, opts.threads).avg_enum_ms()
+            })
+            .collect();
+        cols.push(col);
+    }
+    for (ki, k) in kinds.iter().enumerate() {
+        let mut row = vec![k.name().to_string()];
+        for col in &cols {
+            row.push(ms(col[ki]));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    let spec = specs
+        .iter()
+        .find(|d| d.abbrev == "yt")
+        .copied()
+        .unwrap_or(specs[0]);
+    println!(
+        "\n=== Figure 10(b): enumeration time (ms) on {}, dense sizes ===",
+        spec.abbrev
+    );
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+    let sweep = dense_sweep(&spec, opts.queries);
+    let mut t = TextTable::new(
+        std::iter::once("method".to_string())
+            .chain(sweep.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    let sweep_queries: Vec<_> = sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for k in kinds {
+        let mut row = vec![k.name().to_string()];
+        for qs in &sweep_queries {
+            let mut cfg = measure_config(opts);
+            cfg.intersect = k;
+            row.push(ms(eval_query_set(&pipeline, qs, &gc, &cfg, opts.threads).avg_enum_ms()));
+        }
+        t.row(row);
+    }
+    t.print();
+}

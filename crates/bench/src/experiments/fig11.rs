@@ -1,0 +1,101 @@
+//! Figure 11: enumeration time of the seven ordering methods under the
+//! Section-5.3 controls: every engine uses intersection-based local
+//! candidates; QSI, RI and 2PP borrow GraphQL's candidate sets; failing
+//! sets are disabled.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{
+    datasets_for, default_query_sets, dense_sweep, load, measure_config, query_set, sparse_sweep,
+    ALL_DATASETS,
+};
+use crate::harness::eval_query_set;
+use crate::table::{ms, TextTable};
+use sm_match::{Algorithm, DataContext, Pipeline};
+
+/// The measured pipelines: exactly [`Algorithm::optimized`] for the seven
+/// framework algorithms (which encodes the section's candidate-set
+/// borrowing).
+pub fn ordering_pipelines() -> Vec<Pipeline> {
+    Algorithm::all().iter().map(|a| a.optimized()).collect()
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    let pipelines = ordering_pipelines();
+    let cfg = measure_config(opts); // failing sets off by default
+
+    println!("\n=== Figure 11(a): enumeration time (ms) per dataset (ordering methods) ===");
+    let specs = datasets_for(opts, &ALL_DATASETS);
+    let mut t = TextTable::new(
+        std::iter::once("order".to_string())
+            .chain(specs.iter().map(|d| d.abbrev.to_string()))
+            .collect(),
+    );
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for spec in &specs {
+        let ds = load(spec);
+        let gc = DataContext::new(&ds.graph);
+        let mut queries = Vec::new();
+        for (_, s) in default_query_sets(spec, opts.queries) {
+            queries.extend(query_set(&ds, s));
+        }
+        cols.push(
+            pipelines
+                .iter()
+                .map(|p| eval_query_set(p, &queries, &gc, &cfg, opts.threads).avg_enum_ms())
+                .collect(),
+        );
+    }
+    for (pi, p) in pipelines.iter().enumerate() {
+        let mut row = vec![p.name.clone()];
+        for col in &cols {
+            row.push(ms(col[pi]));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    let spec = specs
+        .iter()
+        .find(|d| d.abbrev == "yt")
+        .copied()
+        .unwrap_or(specs[0]);
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+
+    println!(
+        "\n=== Figure 11(b): enumeration time (ms) on {}, vary |V(q)| (dense) ===",
+        spec.abbrev
+    );
+    let sweep = dense_sweep(&spec, opts.queries);
+    let mut t = TextTable::new(
+        std::iter::once("order".to_string())
+            .chain(sweep.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    let sweep_queries: Vec<_> = sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for p in &pipelines {
+        let mut row = vec![p.name.clone()];
+        for qs in &sweep_queries {
+            row.push(ms(eval_query_set(p, qs, &gc, &cfg, opts.threads).avg_enum_ms()));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!(
+        "\n=== Figure 11(c): enumeration time (ms) on {}, dense vs sparse ===",
+        spec.abbrev
+    );
+    let dense = query_set(&ds, dense_sweep(&spec, opts.queries).last().unwrap().1);
+    let sparse = query_set(&ds, sparse_sweep(&spec, opts.queries).last().unwrap().1);
+    let mut t = TextTable::new(vec!["order", "dense", "sparse"]);
+    for p in &pipelines {
+        t.row(vec![
+            p.name.clone(),
+            ms(eval_query_set(p, &dense, &gc, &cfg, opts.threads).avg_enum_ms()),
+            ms(eval_query_set(p, &sparse, &gc, &cfg, opts.threads).avg_enum_ms()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,46 @@
+//! Figure 12: standard deviation of the enumeration time on Youtube —
+//! the paper's evidence that per-query times within a set vary wildly.
+
+use crate::args::HarnessOptions;
+use crate::experiments::fig11::ordering_pipelines;
+use crate::experiments::{datasets_for, default_query_sets, load, measure_config, query_set};
+use crate::harness::eval_query_set;
+use crate::table::{ms, TextTable};
+use sm_match::DataContext;
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    let specs = datasets_for(opts, &["yt"]);
+    let spec = specs[0];
+    println!(
+        "\n=== Figure 12: enumeration time SD (ms) on {} (ordering methods) ===",
+        spec.abbrev
+    );
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+    let cfg = measure_config(opts);
+    let sets = default_query_sets(&spec, opts.queries);
+    let mut t = TextTable::new(
+        std::iter::once("order".to_string())
+            .chain(sets.iter().map(|(n, _)| format!("{n} mean")))
+            .chain(sets.iter().map(|(n, _)| format!("{n} SD")))
+            .collect(),
+    );
+    let set_queries: Vec<_> = sets.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for p in ordering_pipelines() {
+        let summaries: Vec<_> = set_queries
+            .iter()
+            .map(|qs| eval_query_set(&p, qs, &gc, &cfg, opts.threads))
+            .collect();
+        let mut row = vec![p.name.clone()];
+        for s in &summaries {
+            row.push(ms(s.avg_enum_ms()));
+        }
+        for s in &summaries {
+            row.push(ms(s.sd_enum_ms()));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("(large SD = per-query times within a set vary greatly, as in the paper)");
+}

@@ -1,0 +1,80 @@
+//! Figure 15: effect of failing-set pruning.
+//!
+//! (a) DP-iso with and without failing sets as `|V(q)|` grows — the paper
+//! shows w/fs *losing* on the small queries and winning by an order of
+//! magnitude on large ones. (b) the speedup w/fs brings to every
+//! algorithm on Youtube's default sets.
+
+use crate::args::HarnessOptions;
+use crate::experiments::fig11::ordering_pipelines;
+use crate::experiments::{
+    datasets_for, default_query_sets, dense_sweep, load, measure_config, query_set,
+};
+use crate::harness::eval_query_set;
+use crate::table::{ms, ratio, TextTable};
+use sm_graph::gen::query::{Density, QuerySetSpec};
+use sm_match::{Algorithm, DataContext};
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    let specs = datasets_for(opts, &["yt"]);
+    let spec = specs[0];
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+    let cfg = measure_config(opts);
+    let cfg_fs = {
+        let mut c = cfg.clone();
+        c.failing_sets = true;
+        c
+    };
+
+    println!(
+        "\n=== Figure 15(a): DP-iso enumeration time (ms) wo/fs vs w/fs on {}, vary |V(q)| ===",
+        spec.abbrev
+    );
+    let dp = Algorithm::DpIso.optimized();
+    let mut sweep = vec![(
+        "Q4".to_string(),
+        QuerySetSpec {
+            num_vertices: 4,
+            density: Density::Any,
+            count: opts.queries,
+        },
+    )];
+    sweep.extend(dense_sweep(&spec, opts.queries));
+    let mut t = TextTable::new(
+        std::iter::once("variant".to_string())
+            .chain(sweep.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    let sweep_queries: Vec<_> = sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    for (label, c) in [("wo/fs", &cfg), ("w/fs", &cfg_fs)] {
+        let mut row = vec![label.to_string()];
+        for qs in &sweep_queries {
+            row.push(ms(eval_query_set(&dp, qs, &gc, c, opts.threads).avg_enum_ms()));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!(
+        "\n=== Figure 15(b): failing-set speedup (wo/fs time / w/fs time) on {} default sets ===",
+        spec.abbrev
+    );
+    let mut queries = Vec::new();
+    for (_, s) in default_query_sets(&spec, opts.queries) {
+        queries.extend(query_set(&ds, s));
+    }
+    let mut t = TextTable::new(vec!["algorithm", "wo/fs ms", "w/fs ms", "speedup"]);
+    for p in ordering_pipelines() {
+        let wo = eval_query_set(&p, &queries, &gc, &cfg, opts.threads).avg_enum_ms();
+        let w = eval_query_set(&p, &queries, &gc, &cfg_fs, opts.threads).avg_enum_ms();
+        t.row(vec![
+            p.name.clone(),
+            ms(wo),
+            ms(w),
+            ratio(wo / w.max(1e-6)),
+        ]);
+    }
+    t.print();
+}

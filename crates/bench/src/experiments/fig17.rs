@@ -1,0 +1,105 @@
+//! Figure 17: scalability on synthetic RMAT graphs — vary average degree,
+//! label-set size, and vertex count around the paper's "sane default"
+//! (scaled from |V| = 1M, d = 16, |Σ| = 16 to laptop size).
+//!
+//! GQLfs and RIfs must find **all** results (no 10^5 cap); points where
+//! more than half the queries are unsolved are discarded, as in the paper.
+
+use crate::args::HarnessOptions;
+use crate::harness::eval_query_set;
+use crate::table::{ms, TextTable};
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_match::{Algorithm, DataContext, MatchConfig, Pipeline};
+
+/// Scaled baseline: |V| = 100k, d = 16, |Σ| = 16.
+pub const BASE_V: usize = 100_000;
+/// Baseline average degree.
+pub const BASE_D: f64 = 16.0;
+/// Baseline label count.
+pub const BASE_L: usize = 16;
+
+fn pipelines() -> Vec<(Pipeline, &'static str)> {
+    let mut gqlfs = Algorithm::GraphQl.optimized();
+    gqlfs.name = "GQLfs".into();
+    let mut rifs = Algorithm::Ri.optimized();
+    rifs.name = "RIfs".into();
+    vec![(gqlfs, "GQLfs"), (rifs, "RIfs")]
+}
+
+fn eval_point(
+    g: &sm_graph::Graph,
+    opts: &HarnessOptions,
+) -> Vec<PointRow> {
+    let gc = DataContext::new(g);
+    let set = QuerySetSpec {
+        num_vertices: 16,
+        density: Density::Dense,
+        count: opts.queries,
+    };
+    let queries = generate_query_set(g, set, 0xF17);
+    let mut cfg = MatchConfig::find_all().with_failing_sets(true);
+    cfg.time_limit = Some(opts.time_limit);
+    pipelines()
+        .into_iter()
+        .map(|(p, name)| {
+            let s = eval_query_set(&p, &queries, &gc, &cfg, opts.threads);
+            (
+                name.to_string(),
+                s.avg_prep_ms() + s.avg_enum_ms(),
+                s.unsolved(),
+                s.avg_matches_if_mostly_solved(),
+            )
+        })
+        .collect()
+}
+
+/// (algorithm name, avg time ms, unsolved count, avg results if mostly solved)
+type PointRow = (String, f64, usize, Option<f64>);
+
+fn print_sweep(label: &str, points: Vec<(String, Vec<PointRow>)>) {
+    println!("\n=== Figure 17 ({label}): Q16D on RMAT, find-all ===");
+    let mut t = TextTable::new(vec![
+        "point", "algorithm", "time ms", "unsolved", "avg results",
+    ]);
+    for (point, rows) in points {
+        for (name, time, unsolved, results) in rows {
+            t.row(vec![
+                point.clone(),
+                name,
+                ms(time),
+                unsolved.to_string(),
+                results.map_or("-".to_string(), |r| format!("{r:.0}")),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    // (a) vary degree
+    let mut pts = Vec::new();
+    for d in [8.0, 12.0, 16.0, 20.0] {
+        let g = rmat_graph(BASE_V, d, BASE_L, RmatParams::PAPER, 0x17A);
+        pts.push((format!("d={d}"), eval_point(&g, opts)));
+    }
+    print_sweep("vary d(G)", pts);
+
+    // (b) vary label count
+    let mut pts = Vec::new();
+    for l in [8usize, 12, 16, 20] {
+        let g = rmat_graph(BASE_V, BASE_D, l, RmatParams::PAPER, 0x17B);
+        pts.push((format!("|Sigma|={l}"), eval_point(&g, opts)));
+    }
+    print_sweep("vary |Sigma|", pts);
+
+    // (c) vary vertex count
+    let mut pts = Vec::new();
+    for v in [25_000usize, 50_000, 100_000, 200_000] {
+        let g = rmat_graph(v, BASE_D, BASE_L, RmatParams::PAPER, 0x17C);
+        pts.push((format!("|V|={}k", v / 1000), eval_point(&g, opts)));
+    }
+    print_sweep("vary |V(G)|", pts);
+    println!("(paper: sensitive to |Sigma| and d(G), much less to |V(G)|)");
+}

@@ -1,0 +1,84 @@
+//! Figure 18: scalability on the friendster stand-in — a single large
+//! RMAT graph (the original has 124M vertices / 1.8B edges; the stand-in
+//! keeps its density, d ≈ 29, at laptop scale) with the paper's two
+//! sweeps: fraction of edges kept (40/60/80/100 %) and label-set size
+//! (64/96/128/160).
+
+use crate::args::HarnessOptions;
+use crate::harness::eval_query_set;
+use crate::table::{ms, TextTable};
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_graph::gen::random::{assign_labels_uniform, sample_edges};
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_match::{Algorithm, DataContext, MatchConfig};
+
+/// Stand-in scale: 200k vertices at friendster's density.
+pub const FRIENDSTER_V: usize = 200_000;
+/// friendster's average degree `2·1.8B/124M ≈ 29`.
+pub const FRIENDSTER_D: f64 = 29.0;
+
+fn eval(g: &sm_graph::Graph, opts: &HarnessOptions) -> Vec<(String, f64, usize)> {
+    let gc = DataContext::new(g);
+    let set = QuerySetSpec {
+        num_vertices: 16,
+        density: Density::Dense,
+        count: opts.queries,
+    };
+    let queries = generate_query_set(g, set, 0xF18);
+    let mut cfg = MatchConfig::default().with_failing_sets(true);
+    cfg.time_limit = Some(opts.time_limit);
+    let mut gqlfs = Algorithm::GraphQl.optimized();
+    gqlfs.name = "GQLfs".into();
+    let mut rifs = Algorithm::Ri.optimized();
+    rifs.name = "RIfs".into();
+    [gqlfs, rifs]
+        .iter()
+        .map(|p| {
+            let s = eval_query_set(p, &queries, &gc, &cfg, opts.threads);
+            (p.name.clone(), s.avg_prep_ms() + s.avg_enum_ms(), s.unsolved())
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    println!(
+        "\n=== Figure 18: friendster stand-in ({FRIENDSTER_V} vertices, d≈{FRIENDSTER_D}) ==="
+    );
+    let base = rmat_graph(FRIENDSTER_V, FRIENDSTER_D, 64, RmatParams::PAPER, 0xF18);
+
+    println!("\n--- (a) vary density: fraction of edges kept ---");
+    let mut t = TextTable::new(vec!["edges kept", "algorithm", "time ms", "unsolved"]);
+    for share in [0.4, 0.6, 0.8, 1.0] {
+        let g = if share < 1.0 {
+            sample_edges(&base, share, 0x18A)
+        } else {
+            base.clone()
+        };
+        for (name, time, unsolved) in eval(&g, opts) {
+            t.row(vec![
+                format!("{:.0}%", share * 100.0),
+                name,
+                ms(time),
+                unsolved.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\n--- (b) vary |Sigma| ---");
+    let mut t = TextTable::new(vec!["|Sigma|", "algorithm", "time ms", "unsolved"]);
+    for labels in [64usize, 96, 128, 160] {
+        let g = assign_labels_uniform(&base, labels, 0x18B ^ labels as u64);
+        for (name, time, unsolved) in eval(&g, opts) {
+            t.row(vec![
+                labels.to_string(),
+                name,
+                ms(time),
+                unsolved.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("(paper: query time drops as density falls or |Sigma| rises)");
+}

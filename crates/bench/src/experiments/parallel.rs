@@ -1,0 +1,64 @@
+//! Intra-query parallel scaling — an extension experiment: the paper's
+//! Table 1 lists parallel variants (pRI, VF3P, parallel CECI/Glasgow) and
+//! Section 2.2 notes CECI "can run in parallel"; this measures the
+//! standard root-partition decomposition on our static engines.
+//!
+//! The workload is deliberately enumeration-heavy (few labels, find-all):
+//! root-partitioning only parallelizes the enumeration phase, so
+//! preprocessing-bound queries (most of the paper's default sets) show no
+//! scaling — which the table makes visible by reporting both phases.
+
+use crate::args::HarnessOptions;
+use crate::table::{ms, ratio, TextTable};
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_match::{Algorithm, DataContext, MatchConfig};
+
+/// Run the scaling experiment.
+pub fn run(opts: &HarnessOptions) {
+    // Few labels + moderate density = huge match counts per query.
+    let g = rmat_graph(50_000, 12.0, 4, RmatParams::PAPER, 0x9A7);
+    let gc = DataContext::new(&g);
+    let queries = generate_query_set(
+        &g,
+        QuerySetSpec {
+            num_vertices: 8,
+            density: Density::Dense,
+            count: opts.queries.min(5),
+        },
+        0x9A8,
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n=== Parallel scaling: {} dense 8-vertex queries on RMAT(50k, d=12, |Sigma|=4), cap 10^6 ({cores} core(s) available) ===",
+        queries.len()
+    );
+    if cores == 1 {
+        println!("note: single-core machine — expect no wall-clock speedup; counts stay exact");
+    }
+    let pipeline = Algorithm::GraphQl.optimized();
+    let cfg = MatchConfig {
+        max_matches: Some(1_000_000),
+        time_limit: Some(opts.time_limit.max(std::time::Duration::from_secs(5))),
+        ..Default::default()
+    };
+    let mut t = TextTable::new(vec!["threads", "prep ms", "enum ms", "enum speedup"]);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (mut prep, mut enumt) = (0.0f64, 0.0f64);
+        for q in &queries {
+            let out = pipeline.run_parallel(q, &gc, &cfg, threads);
+            prep += out.preprocessing_time().as_secs_f64() * 1e3;
+            enumt += out.enum_time.as_secs_f64() * 1e3;
+        }
+        let base_ms = *base.get_or_insert(enumt);
+        t.row(vec![
+            threads.to_string(),
+            ms(prep),
+            ms(enumt),
+            ratio(base_ms / enumt.max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("(root-partition parallelism speeds up enumeration only; preprocessing stays sequential)");
+}

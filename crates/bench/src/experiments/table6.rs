@@ -1,0 +1,74 @@
+//! Table 6: per-query speedup of the best sampled matching order over the
+//! orders GQL and RI generate, on Youtube's default sets.
+
+use crate::args::HarnessOptions;
+use crate::experiments::{datasets_for, default_query_sets, load, measure_config, query_set};
+use crate::table::TextTable;
+use sm_match::spectrum::{spectrum_analysis, speedup_over};
+use sm_match::{Algorithm, DataContext};
+use std::time::Duration;
+
+/// Run the experiment.
+pub fn run(opts: &HarnessOptions) {
+    let specs = datasets_for(opts, &["yt"]);
+    let spec = specs[0];
+    let ds = load(&spec);
+    let gc = DataContext::new(&ds.graph);
+    let cfg = measure_config(opts);
+    // Spectrum queries are expensive (orders × queries); trim the per-order
+    // budget and the query count at default scale.
+    let per_query = opts.queries.min(10);
+    let per_order_limit = opts.time_limit.min(Duration::from_millis(250));
+    println!(
+        "\n=== Table 6: speedup of best sampled order ({} orders/query, {} queries/set) on {} ===",
+        opts.orders, per_query, spec.abbrev
+    );
+    let mut t = TextTable::new(vec![
+        "algorithm", "set", "mean", "std", "max", ">10",
+    ]);
+    for (set_name, set) in default_query_sets(&spec, per_query) {
+        let queries = query_set(&ds, set);
+        for alg in [Algorithm::GraphQl, Algorithm::Ri] {
+            let pipeline = alg.optimized();
+            let mut speedups = Vec::new();
+            for (qi, q) in queries.iter().enumerate() {
+                let res =
+                    spectrum_analysis(q, &gc, opts.orders, per_order_limit, 0x7AB6 + qi as u64);
+                let Some(best) = res.best() else { continue };
+                let out = pipeline.run(q, &gc, &cfg);
+                let measured = if out.unsolved() {
+                    opts.time_limit
+                } else {
+                    out.enum_time
+                };
+                speedups.push(speedup_over(best.enum_time.unwrap(), measured));
+            }
+            if speedups.is_empty() {
+                t.row(vec![
+                    pipeline.name.clone(),
+                    set_name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            let n = speedups.len() as f64;
+            let mean = speedups.iter().sum::<f64>() / n;
+            let var = speedups.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+            let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+            let gt10 = speedups.iter().filter(|&&s| s > 10.0).count();
+            t.row(vec![
+                pipeline.name.clone(),
+                set_name.clone(),
+                format!("{mean:.1}"),
+                format!("{:.1}", var.sqrt()),
+                format!("{max:.1}"),
+                gt10.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("(speedup = algorithm's enumeration time / best sampled order's time)");
+}

@@ -1,0 +1,277 @@
+//! The auxiliary data structure `A` (paper notation): edges between
+//! candidate sets.
+//!
+//! For a directed query-vertex pair `(u, u')` with `e(u, u') ∈ E(q)` and a
+//! candidate `v ∈ C(u)`, `A[u→u'](v) = N(v) ∩ C(u')` — stored as sorted
+//! *positions into* `C(u')` so the enumeration engines can chain lookups
+//! without binary-searching data vertex ids back to candidate slots.
+//!
+//! Coverage is configurable, reproducing the structural difference the
+//! paper measures in Figure 9:
+//!
+//! * [`SpaceCoverage::TreeEdges`] — CFL's compressed path index keeps only
+//!   the BFS-tree edges (parent → child).
+//! * [`SpaceCoverage::AllEdges`] — CECI's compact embedding cluster index
+//!   and DP-iso's candidate space keep every query edge, in both
+//!   directions, enabling the set-intersection local-candidate computation
+//!   (Algorithm 5).
+//!
+//! When built with `with_bsr`, each adjacency slice is additionally
+//! encoded as a [`BsrSet`] so the QFilter-style engine (Figure 10) avoids
+//! per-lookup conversion.
+
+use crate::candidates::Candidates;
+use sm_graph::traversal::BfsTree;
+use sm_graph::{Graph, VertexId};
+use sm_intersect::BsrSet;
+
+/// Which query edges the space materializes.
+#[derive(Clone, Copy, Debug)]
+pub enum SpaceCoverage<'t> {
+    /// Only BFS-tree edges, parent → child (CFL).
+    TreeEdges(&'t BfsTree),
+    /// Every query edge, both directions (CECI / DP-iso).
+    AllEdges,
+}
+
+/// Adjacency between two candidate sets, CSR over positions.
+struct EdgeList {
+    offsets: Vec<u32>,
+    /// Positions into `C(target)`, sorted ascending per source candidate.
+    targets: Vec<u32>,
+    /// Optional BSR encoding of each slice.
+    bsr: Option<Vec<BsrSet>>,
+}
+
+/// The auxiliary structure `A`.
+pub struct CandidateSpace {
+    nq: usize,
+    /// `pair_slot[u * nq + u'] = index into lists`, `u32::MAX` if absent.
+    pair_slot: Vec<u32>,
+    lists: Vec<EdgeList>,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl CandidateSpace {
+    /// Build `A` for query `q` over `cand`, materializing the directed
+    /// pairs selected by `coverage`.
+    pub fn build(
+        q: &Graph,
+        g: &Graph,
+        cand: &Candidates,
+        coverage: SpaceCoverage<'_>,
+        with_bsr: bool,
+    ) -> Self {
+        let nq = q.num_vertices();
+        // Collect directed pairs (source → target) grouped by target so the
+        // position scatter array is filled once per target vertex.
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        match coverage {
+            SpaceCoverage::TreeEdges(tree) => {
+                for &u in &tree.order {
+                    let p = tree.parent[u as usize];
+                    if p != sm_graph::types::NO_VERTEX {
+                        pairs.push((p, u));
+                    }
+                }
+            }
+            SpaceCoverage::AllEdges => {
+                for (a, b) in q.edges() {
+                    pairs.push((a, b));
+                    pairs.push((b, a));
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|&(_, t)| t);
+
+        let mut pair_slot = vec![NO_SLOT; nq * nq];
+        let mut lists = Vec::with_capacity(pairs.len());
+        // Scatter: data vertex -> position+1 in C(target).
+        let mut pos_of: Vec<u32> = vec![0; g.num_vertices()];
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let target = pairs[i].1;
+            let ct = cand.get(target);
+            for (p, &v) in ct.iter().enumerate() {
+                pos_of[v as usize] = p as u32 + 1;
+            }
+            while i < pairs.len() && pairs[i].1 == target {
+                let source = pairs[i].0;
+                let cs = cand.get(source);
+                let mut offsets = Vec::with_capacity(cs.len() + 1);
+                let mut targets = Vec::new();
+                offsets.push(0u32);
+                for &v in cs {
+                    for &w in g.neighbors(v) {
+                        let p = pos_of[w as usize];
+                        if p != 0 {
+                            targets.push(p - 1);
+                        }
+                    }
+                    assert!(
+                        targets.len() <= u32::MAX as usize,
+                        "candidate space exceeds u32 offset range"
+                    );
+                    offsets.push(targets.len() as u32);
+                }
+                let bsr = with_bsr.then(|| {
+                    (0..cs.len())
+                        .map(|s| {
+                            BsrSet::from_sorted(
+                                &targets[offsets[s] as usize..offsets[s + 1] as usize],
+                            )
+                        })
+                        .collect()
+                });
+                pair_slot[source as usize * nq + target as usize] = lists.len() as u32;
+                lists.push(EdgeList {
+                    offsets,
+                    targets,
+                    bsr,
+                });
+                i += 1;
+            }
+            for &v in ct {
+                pos_of[v as usize] = 0;
+            }
+        }
+        CandidateSpace {
+            nq,
+            pair_slot,
+            lists,
+        }
+    }
+
+    /// Whether the directed pair `(from, to)` is materialized.
+    #[inline]
+    pub fn has_pair(&self, from: VertexId, to: VertexId) -> bool {
+        self.pair_slot[from as usize * self.nq + to as usize] != NO_SLOT
+    }
+
+    /// `A[from→to](v)` where `v = C(from)[pos]`: sorted positions into
+    /// `C(to)` of the candidates adjacent to `v`.
+    #[inline]
+    pub fn neighbors(&self, from: VertexId, pos: usize, to: VertexId) -> &[u32] {
+        let slot = self.pair_slot[from as usize * self.nq + to as usize];
+        debug_assert_ne!(slot, NO_SLOT, "pair ({from}→{to}) not materialized");
+        let list = &self.lists[slot as usize];
+        &list.targets[list.offsets[pos] as usize..list.offsets[pos + 1] as usize]
+    }
+
+    /// BSR view of [`CandidateSpace::neighbors`]; only available when built
+    /// with `with_bsr`.
+    #[inline]
+    pub fn bsr_neighbors(&self, from: VertexId, pos: usize, to: VertexId) -> Option<&BsrSet> {
+        let slot = self.pair_slot[from as usize * self.nq + to as usize];
+        debug_assert_ne!(slot, NO_SLOT);
+        self.lists[slot as usize].bsr.as_ref().map(|b| &b[pos])
+    }
+
+    /// Total memory footprint in bytes (the paper's auxiliary-structure
+    /// memory metric).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = self.pair_slot.len() * 4;
+        for l in &self.lists {
+            total += (l.offsets.len() + l.targets.len()) * 4;
+            if let Some(bsr) = &l.bsr {
+                total += bsr
+                    .iter()
+                    .map(|s| s.num_blocks() * 8 + std::mem::size_of::<BsrSet>())
+                    .sum::<usize>();
+            }
+        }
+        total
+    }
+
+    /// Total number of candidate-edge entries (for tests/metrics).
+    pub fn num_entries(&self) -> usize {
+        self.lists.iter().map(|l| l.targets.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::{DataContext, QueryContext};
+    use sm_graph::traversal::BfsTree;
+
+    fn setup() -> (sm_graph::Graph, sm_graph::Graph, Candidates) {
+        let q = paper_query();
+        let g = paper_data();
+        let (c, _) = {
+            let qc = QueryContext::new(&q);
+            let gc = DataContext::new(&g);
+            crate::filter::cfl::cfl_candidates(&qc, &gc)
+        };
+        (q, g, c)
+    }
+
+    #[test]
+    fn all_edges_coverage_has_both_directions() {
+        let (q, g, c) = setup();
+        let space = CandidateSpace::build(&q, &g, &c, SpaceCoverage::AllEdges, false);
+        for (a, b) in q.edges() {
+            assert!(space.has_pair(a, b));
+            assert!(space.has_pair(b, a));
+        }
+    }
+
+    #[test]
+    fn tree_coverage_has_only_parent_to_child() {
+        let (q, g, c) = setup();
+        let tree = BfsTree::build(&q, 0);
+        let space = CandidateSpace::build(&q, &g, &c, SpaceCoverage::TreeEdges(&tree), false);
+        for &u in &tree.order {
+            let p = tree.parent[u as usize];
+            if p != sm_graph::types::NO_VERTEX {
+                assert!(space.has_pair(p, u));
+                assert!(!space.has_pair(u, p));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_match_graph_adjacency() {
+        let (q, g, c) = setup();
+        let space = CandidateSpace::build(&q, &g, &c, SpaceCoverage::AllEdges, false);
+        for (a, b) in q.edges() {
+            for (pos, &v) in c.get(a).iter().enumerate() {
+                let via_space: Vec<u32> = space
+                    .neighbors(a, pos, b)
+                    .iter()
+                    .map(|&p| c.get(b)[p as usize])
+                    .collect();
+                let direct: Vec<u32> = c
+                    .get(b)
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.has_edge(v, w))
+                    .collect();
+                assert_eq!(via_space, direct, "pair ({a}→{b}) candidate {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bsr_views_agree_with_flat() {
+        let (q, g, c) = setup();
+        let space = CandidateSpace::build(&q, &g, &c, SpaceCoverage::AllEdges, true);
+        for (a, b) in q.edges() {
+            for pos in 0..c.get(a).len() {
+                let flat = space.neighbors(a, pos, b);
+                let bsr = space.bsr_neighbors(a, pos, b).unwrap();
+                assert_eq!(bsr.to_vec(), flat);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let (q, g, c) = setup();
+        let space = CandidateSpace::build(&q, &g, &c, SpaceCoverage::AllEdges, false);
+        assert!(space.memory_bytes() > 0);
+        assert!(space.num_entries() > 0);
+    }
+}

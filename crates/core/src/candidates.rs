@@ -1,0 +1,116 @@
+//! Candidate vertex sets `C(u)`.
+
+use sm_graph::{Graph, VertexId};
+
+/// One sorted candidate set per query vertex (paper notation `C(u)`).
+///
+/// Completeness (Definition 2.2 of the paper) is the correctness contract
+/// every filter must uphold: if `(u, v)` appears in any match then
+/// `v ∈ C(u)`. The integration tests check this against the brute-force
+/// reference matcher.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidates {
+    sets: Vec<Vec<VertexId>>,
+}
+
+impl Candidates {
+    /// Wrap per-vertex candidate sets. Each set must be sorted ascending.
+    pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
+        debug_assert!(sets
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        Candidates { sets }
+    }
+
+    /// Candidate set of query vertex `u`.
+    #[inline]
+    pub fn get(&self, u: VertexId) -> &[VertexId] {
+        &self.sets[u as usize]
+    }
+
+    /// Mutable access for in-place refinement by filters.
+    #[inline]
+    pub fn get_mut(&mut self, u: VertexId) -> &mut Vec<VertexId> {
+        &mut self.sets[u as usize]
+    }
+
+    /// Number of query vertices covered.
+    #[inline]
+    pub fn num_query_vertices(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether some candidate set is empty (no match can exist).
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(|s| s.is_empty())
+    }
+
+    /// Total candidate count `Σ_u |C(u)|`.
+    pub fn total(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// The paper's Figure 8 metric: `Σ_u |C(u)| / |V(q)|`.
+    pub fn average(&self) -> f64 {
+        if self.sets.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.sets.len() as f64
+        }
+    }
+
+    /// Memory footprint of the candidate arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.total() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Position of data vertex `v` within `C(u)`, if present.
+    #[inline]
+    pub fn position(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        self.sets[u as usize].binary_search(&v).ok()
+    }
+
+    /// Debug validation: every candidate satisfies the label/degree
+    /// constraint (a cheap necessary condition for completeness-preserving
+    /// filters, used in tests).
+    pub fn respects_ldf(&self, q: &Graph, g: &Graph) -> bool {
+        self.sets.iter().enumerate().all(|(u, set)| {
+            let u = u as VertexId;
+            set.iter()
+                .all(|&v| g.label(v) == q.label(u) && g.degree(v) >= q.degree(u))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn metrics() {
+        let c = Candidates::new(vec![vec![0, 2], vec![1], vec![]]);
+        assert_eq!(c.total(), 3);
+        assert!((c.average() - 1.0).abs() < 1e-12);
+        assert!(c.any_empty());
+        assert_eq!(c.memory_bytes(), 12);
+        assert_eq!(c.num_query_vertices(), 3);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let c = Candidates::new(vec![vec![3, 7, 9]]);
+        assert_eq!(c.position(0, 7), Some(1));
+        assert_eq!(c.position(0, 4), None);
+    }
+
+    #[test]
+    fn ldf_validation() {
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let g = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let good = Candidates::new(vec![vec![0, 2], vec![1]]);
+        assert!(good.respects_ldf(&q, &g));
+        let bad = Candidates::new(vec![vec![1], vec![1]]); // wrong label for u0
+        assert!(!bad.respects_ldf(&q, &g));
+    }
+}

@@ -1,0 +1,434 @@
+//! DP-iso's adaptive matching order (Han et al., SIGMOD 2019; Section 3.2
+//! of the study).
+//!
+//! The BFS order `δ` turns the query into a DAG (parents = δ-earlier
+//! neighbors). A vertex becomes *extendable* once all its DAG parents are
+//! mapped; its local candidates are then fixed (every constraint comes
+//! from the parents), so `LC(u, M)` is computed immediately and cached.
+//! Among extendable vertices the engine picks the one minimizing the
+//! estimated remaining work `Σ_{v ∈ LC} W[u][v]`, where the weight array
+//! `W` estimates, bottom-up over the DAG, how many tree-like path
+//! embeddings hang below each candidate (leaves weigh 1; inner vertices
+//! take the minimum over children of the candidate-edge-summed child
+//! weights). Degree-one query vertices are deprioritized, per DP-iso's
+//! core/forest decomposition.
+
+use crate::candidate_space::CandidateSpace;
+use crate::candidates::Candidates;
+use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
+use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
+use sm_graph::traversal::BfsTree;
+use sm_graph::types::NO_VERTEX;
+use sm_graph::{Graph, VertexId};
+use sm_intersect::intersect_buf;
+use std::time::Instant;
+
+/// Inputs for the adaptive engine. The candidate space must cover **all**
+/// query edges in both directions.
+pub struct AdaptiveInput<'a> {
+    /// Query graph.
+    pub q: &'a Graph,
+    /// Data graph.
+    pub g: &'a Graph,
+    /// Candidate sets.
+    pub candidates: &'a Candidates,
+    /// All-edges candidate space.
+    pub space: &'a CandidateSpace,
+    /// The BFS tree fixing `δ` (from DP-iso's filter).
+    pub tree: &'a BfsTree,
+    /// Run configuration (`intersect` kind and `failing_sets` honored;
+    /// `vf2pp_rule` must be off).
+    pub config: &'a MatchConfig,
+}
+
+/// The weight array `W[u][pos]` over candidate positions.
+pub fn weight_array(input: &AdaptiveInput<'_>) -> Vec<Vec<f64>> {
+    let q = input.q;
+    let n = q.num_vertices();
+    let rank = &input.tree.rank;
+    let mut w: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for &u in input.tree.order.iter().rev() {
+        let children: Vec<VertexId> = q
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&c| rank[c as usize] > rank[u as usize])
+            .collect();
+        let len = input.candidates.get(u).len();
+        let mut wu = vec![1.0f64; len];
+        if !children.is_empty() {
+            for (pos, w_pos) in wu.iter_mut().enumerate() {
+                let mut best = f64::INFINITY;
+                for &c in &children {
+                    let sum: f64 = input
+                        .space
+                        .neighbors(u, pos, c)
+                        .iter()
+                        .map(|&p| w[c as usize][p as usize])
+                        .sum();
+                    best = best.min(sum);
+                }
+                *w_pos = best;
+            }
+        }
+        w[u as usize] = wu;
+    }
+    w
+}
+
+/// Run the adaptive enumeration.
+pub fn enumerate_adaptive<S: MatchSink>(input: &AdaptiveInput<'_>, sink: &mut S) -> EnumStats {
+    assert!(
+        !input.config.vf2pp_rule,
+        "adaptive engine does not support the VF2++ rule"
+    );
+    let started = Instant::now();
+    let weights = weight_array(input);
+    let mut eng = AdaptiveEngine::new(input, weights, sink, started);
+    // Root is extendable from the start with its full candidate set.
+    let root = input.tree.root;
+    eng.lc_cache[root as usize] =
+        (0..input.candidates.get(root).len() as u32).collect();
+    eng.extendable.push(root);
+    if input.config.failing_sets {
+        eng.recurse_fs(0);
+    } else {
+        eng.recurse(0);
+    }
+    EnumStats {
+        matches: eng.matches,
+        recursions: eng.recursions,
+        elapsed: started.elapsed(),
+        outcome: eng.stopped.unwrap_or(Outcome::Complete),
+    }
+}
+
+struct AdaptiveEngine<'a, S: MatchSink> {
+    inp: &'a AdaptiveInput<'a>,
+    weights: Vec<Vec<f64>>,
+    /// DAG parents (δ-earlier neighbors) per query vertex.
+    parents: Vec<Vec<VertexId>>,
+    /// DAG children per query vertex.
+    children: Vec<Vec<VertexId>>,
+    mapped_parents: Vec<u32>,
+    m: Vec<VertexId>,
+    mpos: Vec<u32>,
+    visited_by: Vec<VertexId>,
+    /// Cached `LC(u, M)` (positions into `C(u)`), valid while `u` is
+    /// extendable.
+    lc_cache: Vec<Vec<u32>>,
+    extendable: Vec<VertexId>,
+    tmp: Vec<u32>,
+    matches: u64,
+    recursions: u64,
+    cap: u64,
+    deadline: Option<Instant>,
+    stopped: Option<Outcome>,
+    sink: &'a mut S,
+}
+
+impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
+    fn new(
+        inp: &'a AdaptiveInput<'a>,
+        weights: Vec<Vec<f64>>,
+        sink: &'a mut S,
+        started: Instant,
+    ) -> Self {
+        let q = inp.q;
+        let n = q.num_vertices();
+        let rank = &inp.tree.rank;
+        let mut parents = vec![Vec::new(); n];
+        let mut children = vec![Vec::new(); n];
+        for u in q.vertices() {
+            for &u2 in q.neighbors(u) {
+                if rank[u2 as usize] < rank[u as usize] {
+                    parents[u as usize].push(u2);
+                } else {
+                    children[u as usize].push(u2);
+                }
+            }
+        }
+        AdaptiveEngine {
+            inp,
+            weights,
+            parents,
+            children,
+            mapped_parents: vec![0; n],
+            m: vec![NO_VERTEX; n],
+            mpos: vec![0; n],
+            visited_by: vec![NO_VERTEX; inp.g.num_vertices()],
+            lc_cache: vec![Vec::new(); n],
+            extendable: Vec::with_capacity(n),
+            tmp: Vec::new(),
+            matches: 0,
+            recursions: 0,
+            cap: inp.config.max_matches.unwrap_or(u64::MAX),
+            deadline: inp.config.time_limit.map(|d| started + d),
+            stopped: None,
+            sink,
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        self.recursions += 1;
+        if self.recursions & 0x3FF == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.stopped = Some(Outcome::TimedOut);
+                }
+            }
+        }
+    }
+
+    /// Pick the extendable vertex with minimum estimated work; degree-one
+    /// vertices only when nothing else is available. Returns its index in
+    /// `extendable`.
+    fn select(&self) -> usize {
+        let q = self.inp.q;
+        let mut best_idx = 0usize;
+        let mut best_key = (true, f64::INFINITY, u32::MAX);
+        for (i, &u) in self.extendable.iter().enumerate() {
+            let deg1 = q.degree(u) <= 1;
+            let w: f64 = self.lc_cache[u as usize]
+                .iter()
+                .map(|&p| self.weights[u as usize][p as usize])
+                .sum();
+            let key = (deg1, w, u);
+            if (key.0, key.1, key.2) < best_key {
+                best_key = key;
+                best_idx = i;
+            }
+        }
+        best_idx
+    }
+
+    /// Compute `LC(c, M)` for newly extendable `c` into its cache.
+    fn fill_lc(&mut self, c: VertexId) {
+        let space = self.inp.space;
+        let parents = &self.parents[c as usize];
+        let mut lists: Vec<&[u32]> = parents
+            .iter()
+            .map(|&p| space.neighbors(p, self.mpos[p as usize] as usize, c))
+            .collect();
+        lists.sort_by_key(|l| l.len());
+        let mut buf = std::mem::take(&mut self.lc_cache[c as usize]);
+        buf.clear();
+        if lists.is_empty() {
+            buf.extend(0..self.inp.candidates.get(c).len() as u32);
+        } else if lists.len() == 1 {
+            buf.extend_from_slice(lists[0]);
+        } else {
+            let kind = self.inp.config.intersect;
+            let mut tmp = std::mem::take(&mut self.tmp);
+            intersect_buf(kind, lists[0], lists[1], &mut buf);
+            for l in &lists[2..] {
+                if buf.is_empty() {
+                    break;
+                }
+                tmp.clear();
+                intersect_buf(kind, &buf, l, &mut tmp);
+                std::mem::swap(&mut buf, &mut tmp);
+            }
+            self.tmp = tmp;
+        }
+        self.lc_cache[c as usize] = buf;
+    }
+
+    /// Map `u → (v, pos)`: update DAG counters and extendables. Returns the
+    /// list of children that became extendable (to undo later).
+    fn apply(&mut self, u: VertexId, v: VertexId, pos: u32) -> Vec<VertexId> {
+        self.m[u as usize] = v;
+        self.mpos[u as usize] = pos;
+        self.visited_by[v as usize] = u;
+        let children = self.children[u as usize].clone();
+        let mut activated = Vec::new();
+        for c in children {
+            self.mapped_parents[c as usize] += 1;
+            if self.mapped_parents[c as usize] as usize == self.parents[c as usize].len() {
+                self.fill_lc(c);
+                self.extendable.push(c);
+                activated.push(c);
+            }
+        }
+        activated
+    }
+
+    fn undo(&mut self, u: VertexId, v: VertexId, activated: &[VertexId]) {
+        for &c in activated {
+            let i = self
+                .extendable
+                .iter()
+                .rposition(|&x| x == c)
+                .expect("activated vertex is extendable");
+            self.extendable.swap_remove(i);
+        }
+        for &c in &self.children[u as usize] {
+            self.mapped_parents[c as usize] -= 1;
+        }
+        self.visited_by[v as usize] = NO_VERTEX;
+        self.m[u as usize] = NO_VERTEX;
+    }
+
+    fn recurse(&mut self, depth: usize) {
+        self.tick();
+        if self.stopped.is_some() {
+            return;
+        }
+        let n = self.inp.q.num_vertices();
+        let idx = self.select();
+        let u = self.extendable.swap_remove(idx);
+        let lc = std::mem::take(&mut self.lc_cache[u as usize]);
+        for &pos in &lc {
+            let v = self.inp.candidates.get(u)[pos as usize];
+            if self.visited_by[v as usize] != NO_VERTEX {
+                continue;
+            }
+            let activated = self.apply(u, v, pos);
+            if depth + 1 == n {
+                self.matches += 1;
+                self.sink.on_match(&self.m);
+                if self.matches >= self.cap {
+                    self.stopped = Some(Outcome::CapReached);
+                }
+            } else {
+                self.recurse(depth + 1);
+            }
+            self.undo(u, v, &activated);
+            if self.stopped.is_some() {
+                break;
+            }
+        }
+        self.lc_cache[u as usize] = lc;
+        self.extendable.push(u);
+    }
+
+    fn recurse_fs(&mut self, depth: usize) -> u64 {
+        self.tick();
+        if self.stopped.is_some() {
+            return FULL;
+        }
+        let n = self.inp.q.num_vertices();
+        let idx = self.select();
+        let u = self.extendable.swap_remove(idx);
+        let lc = std::mem::take(&mut self.lc_cache[u as usize]);
+        let mut acc = 0u64;
+        let mut early: Option<u64> = None;
+        // See engine::recurse_fs: a match below any sibling forces FULL
+        // even when a later sibling licenses skipping the rest.
+        let mut found_below = false;
+        for &pos in &lc {
+            let v = self.inp.candidates.get(u)[pos as usize];
+            let owner = self.visited_by[v as usize];
+            let child_fs = if owner != NO_VERTEX {
+                conflict_class(u, owner)
+            } else {
+                let activated = self.apply(u, v, pos);
+                let fs = if depth + 1 == n {
+                    self.matches += 1;
+                    self.sink.on_match(&self.m);
+                    if self.matches >= self.cap {
+                        self.stopped = Some(Outcome::CapReached);
+                    }
+                    FULL
+                } else {
+                    self.recurse_fs(depth + 1)
+                };
+                self.undo(u, v, &activated);
+                fs
+            };
+            if child_fs == FULL {
+                found_below = true;
+            }
+            if self.stopped.is_some() {
+                acc = FULL;
+                break;
+            }
+            if prunes_siblings(child_fs, u) {
+                early = Some(child_fs);
+                break;
+            }
+            acc |= child_fs;
+        }
+        let empty_lc = lc.is_empty();
+        self.lc_cache[u as usize] = lc;
+        self.extendable.push(u);
+        if let Some(fs) = early {
+            return if found_below { FULL } else { fs };
+        }
+        if empty_lc {
+            return emptyset_class(u, &self.parents[u as usize]);
+        }
+        // Union rule: include u and the LC determiners (DAG parents) — see
+        // engine::recurse_fs for why omitting them is unsound.
+        acc | emptyset_class(u, &self.parents[u as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate_space::SpaceCoverage;
+    use crate::enumerate::CollectSink;
+    use crate::fixtures::{paper_data, paper_match, paper_query};
+    use crate::{DataContext, QueryContext};
+
+    fn run(failing_sets: bool) -> (u64, Vec<Vec<VertexId>>) {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let (cand, tree) = crate::filter::dpiso::dpiso_candidates(&qc, &gc, 3);
+        let space = CandidateSpace::build(&q, &g, &cand, SpaceCoverage::AllEdges, false);
+        let config = MatchConfig {
+            failing_sets,
+            ..Default::default()
+        };
+        let input = AdaptiveInput {
+            q: &q,
+            g: &g,
+            candidates: &cand,
+            space: &space,
+            tree: &tree,
+            config: &config,
+        };
+        let mut sink = CollectSink::default();
+        let stats = enumerate_adaptive(&input, &mut sink);
+        (stats.matches, sink.matches)
+    }
+
+    #[test]
+    fn finds_the_unique_match() {
+        for fs in [false, true] {
+            let (n, ms) = run(fs);
+            assert_eq!(n, 1, "fs={fs}");
+            assert_eq!(ms, vec![paper_match()], "fs={fs}");
+        }
+    }
+
+    #[test]
+    fn weight_array_leaf_is_one() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let (cand, tree) = crate::filter::dpiso::dpiso_candidates(&qc, &gc, 3);
+        let space = CandidateSpace::build(&q, &g, &cand, SpaceCoverage::AllEdges, false);
+        let config = MatchConfig::default();
+        let input = AdaptiveInput {
+            q: &q,
+            g: &g,
+            candidates: &cand,
+            space: &space,
+            tree: &tree,
+            config: &config,
+        };
+        let w = weight_array(&input);
+        // The δ-last vertex has no DAG children: all weights are 1.
+        let last = *tree.order.last().unwrap();
+        assert!(w[last as usize].iter().all(|&x| x == 1.0));
+        // The root's weights are finite and >= 1 on a satisfiable query.
+        let root = tree.root;
+        assert!(w[root as usize].iter().all(|&x| x.is_finite() && x >= 0.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Enumeration methods (Section 3.3 of the paper): the recursive
+//! backtracking of Algorithm 1, parameterized by how local candidates
+//! `LC(u, M)` are computed.
+//!
+//! | Method | Paper algorithm | Cost (α backward neighbors, β edge test) |
+//! |---|---|---|
+//! | [`LcMethod::Direct`] | Alg. 2 (QuickSI / RI) | `O(d_G · (α−1) · β)` |
+//! | [`LcMethod::CandidateScan`] | Alg. 3 (GraphQL) | `O(\|C(u)\| · α · β)` |
+//! | [`LcMethod::TreeIndex`] | Alg. 4 (CFL) | `O(\|A(parent)\| · (α−1) · β)` |
+//! | [`LcMethod::Intersect`] | Alg. 5 (CECI / DP-iso) | `O(min \|A\| · (α−1))` |
+//!
+//! [`failing_sets`] implements DP-iso's failing-set pruning, portable
+//! across all methods (the study's Section 5.4 evaluates exactly that);
+//! [`adaptive`] implements DP-iso's runtime vertex selection.
+
+pub mod adaptive;
+pub mod engine;
+pub mod failing_sets;
+pub mod parallel;
+
+use sm_graph::VertexId;
+use sm_intersect::IntersectKind;
+use std::time::Duration;
+
+/// The paper's default output cap: queries stop after 10^5 matches.
+pub const DEFAULT_MATCH_CAP: u64 = 100_000;
+
+/// How `LC(u, M)` is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LcMethod {
+    /// Loop over `N(M[u.p])` with LDF + edge checks (Algorithm 2).
+    Direct,
+    /// Loop over the whole `C(u)` with edge checks (Algorithm 3).
+    CandidateScan,
+    /// Read the tree-edge list from `A`, verify non-tree backward edges
+    /// against `G` (Algorithm 4).
+    TreeIndex,
+    /// Intersect the `A` lists of all backward neighbors (Algorithm 5).
+    Intersect,
+}
+
+impl LcMethod {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LcMethod::Direct => "Direct",
+            LcMethod::CandidateScan => "CandidateScan",
+            LcMethod::TreeIndex => "TreeIndex",
+            LcMethod::Intersect => "Intersect",
+        }
+    }
+
+    /// Whether this method requires a prebuilt [`crate::CandidateSpace`].
+    pub fn needs_space(self) -> bool {
+        matches!(self, LcMethod::TreeIndex | LcMethod::Intersect)
+    }
+}
+
+/// Runtime knobs of an enumeration run.
+#[derive(Clone, Debug)]
+pub struct MatchConfig {
+    /// Stop after this many matches (paper default: 10^5). `None` = all.
+    pub max_matches: Option<u64>,
+    /// Kill the enumeration after this long (paper: 5 minutes).
+    pub time_limit: Option<Duration>,
+    /// Enable DP-iso's failing-set pruning.
+    pub failing_sets: bool,
+    /// Set-intersection kernel for [`LcMethod::Intersect`].
+    pub intersect: IntersectKind,
+    /// Enable VF2++'s extra runtime label-frequency filter (only
+    /// meaningful with [`LcMethod::Direct`]).
+    pub vf2pp_rule: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            max_matches: Some(DEFAULT_MATCH_CAP),
+            time_limit: None,
+            failing_sets: false,
+            intersect: IntersectKind::Hybrid,
+            vf2pp_rule: false,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Find **all** matches, no cap, no time limit.
+    pub fn find_all() -> Self {
+        MatchConfig {
+            max_matches: None,
+            time_limit: None,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style: set the time limit.
+    pub fn with_time_limit(mut self, d: Duration) -> Self {
+        self.time_limit = Some(d);
+        self
+    }
+
+    /// Builder-style: toggle failing sets.
+    pub fn with_failing_sets(mut self, on: bool) -> Self {
+        self.failing_sets = on;
+        self
+    }
+}
+
+/// Why an enumeration run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Search space exhausted: the match count is exact.
+    Complete,
+    /// Stopped at `max_matches`.
+    CapReached,
+    /// Killed by the time limit — an *unsolved* query in paper terms.
+    TimedOut,
+}
+
+/// Counters of one enumeration run.
+#[derive(Clone, Debug)]
+pub struct EnumStats {
+    /// Matches emitted.
+    pub matches: u64,
+    /// Recursive `Enumerate` invocations (search-tree nodes).
+    pub recursions: u64,
+    /// Wall-clock time of the enumeration phase.
+    pub elapsed: Duration,
+    /// Why the run ended.
+    pub outcome: Outcome,
+}
+
+impl EnumStats {
+    /// Paper terminology: a query killed by the time limit.
+    pub fn unsolved(&self) -> bool {
+        self.outcome == Outcome::TimedOut
+    }
+}
+
+/// Receives each match as it is found. The mapping slice is indexed by
+/// query vertex id: `m[u] = v`.
+pub trait MatchSink {
+    /// Called once per match.
+    fn on_match(&mut self, m: &[VertexId]);
+}
+
+/// Count-only sink (the paper's measurement mode).
+#[derive(Default)]
+pub struct CountSink;
+
+impl MatchSink for CountSink {
+    #[inline]
+    fn on_match(&mut self, _m: &[VertexId]) {}
+}
+
+/// Collects every match (examples / small queries).
+#[derive(Default)]
+pub struct CollectSink {
+    /// The collected matches, each indexed by query vertex id.
+    pub matches: Vec<Vec<VertexId>>,
+}
+
+impl MatchSink for CollectSink {
+    fn on_match(&mut self, m: &[VertexId]) {
+        self.matches.push(m.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = MatchConfig::default();
+        assert_eq!(c.max_matches, Some(DEFAULT_MATCH_CAP));
+        assert!(!c.failing_sets);
+        let all = MatchConfig::find_all();
+        assert_eq!(all.max_matches, None);
+    }
+
+    #[test]
+    fn method_properties() {
+        assert!(LcMethod::Intersect.needs_space());
+        assert!(LcMethod::TreeIndex.needs_space());
+        assert!(!LcMethod::Direct.needs_space());
+        assert!(!LcMethod::CandidateScan.needs_space());
+        assert_eq!(LcMethod::Direct.name(), "Direct");
+    }
+
+    #[test]
+    fn collect_sink_gathers() {
+        let mut s = CollectSink::default();
+        s.on_match(&[1, 2]);
+        s.on_match(&[3, 4]);
+        assert_eq!(s.matches, vec![vec![1, 2], vec![3, 4]]);
+    }
+}

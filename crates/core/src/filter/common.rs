@@ -1,0 +1,117 @@
+//! Shared filter building blocks.
+
+use crate::candidates::Candidates;
+use crate::context::{DataContext, QueryContext};
+use sm_graph::{NlfIndex, VertexId};
+use sm_intersect::intersect_nonempty;
+
+/// Label-and-degree test for a single `(u, v)` pair.
+#[inline]
+pub fn ldf_pass(q: &QueryContext<'_>, g: &DataContext<'_>, u: VertexId, v: VertexId) -> bool {
+    g.graph.label(v) == q.graph.label(u) && g.graph.degree(v) >= q.graph.degree(u)
+}
+
+/// NLF dominance test for a single `(u, v)` pair (assumes labels equal).
+#[inline]
+pub fn nlf_pass(q: &QueryContext<'_>, g: &DataContext<'_>, u: VertexId, v: VertexId) -> bool {
+    NlfIndex::dominates(g.nlf.entry(v), q.nlf.entry(u))
+}
+
+/// One LDF candidate set: vertices of `G` with `L(v) = L(u)` and
+/// `d(v) >= d(u)`, produced in sorted order from the label index.
+pub fn ldf_set(q: &QueryContext<'_>, g: &DataContext<'_>, u: VertexId) -> Vec<VertexId> {
+    let du = q.graph.degree(u);
+    g.graph
+        .vertices_with_label(q.graph.label(u))
+        .iter()
+        .copied()
+        .filter(|&v| g.graph.degree(v) >= du)
+        .collect()
+}
+
+/// One LDF+NLF candidate set.
+pub fn ldf_nlf_set(q: &QueryContext<'_>, g: &DataContext<'_>, u: VertexId) -> Vec<VertexId> {
+    let du = q.graph.degree(u);
+    g.graph
+        .vertices_with_label(q.graph.label(u))
+        .iter()
+        .copied()
+        .filter(|&v| g.graph.degree(v) >= du && nlf_pass(q, g, u, v))
+        .collect()
+}
+
+/// Filtering Rule 3.1 for one candidate: `v` survives w.r.t. neighbor `u'`
+/// iff `N(v) ∩ C(u') ≠ ∅`.
+#[inline]
+pub fn rule31_pass(g: &DataContext<'_>, v: VertexId, c_other: &[VertexId]) -> bool {
+    intersect_nonempty(g.graph.neighbors(v), c_other)
+}
+
+/// Prune `C(u)` in place, keeping candidates with a neighbor in every
+/// `C(u')` for `u'` in `others`. Returns whether anything was removed.
+pub fn prune_by_rule31(
+    g: &DataContext<'_>,
+    cand: &mut Candidates,
+    u: VertexId,
+    others: &[VertexId],
+) -> bool {
+    if others.is_empty() {
+        return false;
+    }
+    // Split borrow: take the set out, filter against the rest, put back.
+    let mut set = std::mem::take(cand.get_mut(u));
+    let before = set.len();
+    set.retain(|&v| {
+        others
+            .iter()
+            .all(|&u2| rule31_pass(g, v, cand.get(u2)))
+    });
+    let changed = set.len() != before;
+    *cand.get_mut(u) = set;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataContext, QueryContext};
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn ldf_set_respects_label_and_degree() {
+        // query u: label 0, degree 2; data: v0 lbl0 d1, v1 lbl0 d2, v2 lbl1 d2
+        let q = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let g = graph_from_edges(&[0, 0, 1, 1, 1], &[(0, 2), (1, 2), (1, 3), (2, 4)]);
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        assert_eq!(ldf_set(&qc, &gc, 0), vec![1]);
+    }
+
+    #[test]
+    fn nlf_tightens_ldf() {
+        // query u0 (label 0) needs two label-1 neighbors
+        let q = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        // v0: two label-1 nbrs; v1: one label-1 + one label-2 nbr
+        let g = graph_from_edges(
+            &[0, 0, 1, 1, 1, 2],
+            &[(0, 2), (0, 3), (1, 4), (1, 5)],
+        );
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        assert_eq!(ldf_set(&qc, &gc, 0), vec![0, 1]);
+        assert_eq!(ldf_nlf_set(&qc, &gc, 0), vec![0]);
+    }
+
+    #[test]
+    fn rule31_pruning() {
+        let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        let gc = DataContext::new(&g);
+        let mut cand = crate::Candidates::new(vec![vec![0, 1, 2, 3], vec![1]]);
+        let changed = prune_by_rule31(&gc, &mut cand, 0, &[1]);
+        assert!(changed);
+        // only v0 has a neighbor in C(u1) = {1}
+        assert_eq!(cand.get(0), &[0]);
+        // empty `others` is a no-op
+        assert!(!prune_by_rule31(&gc, &mut cand, 0, &[]));
+    }
+}

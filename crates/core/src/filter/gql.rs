@@ -1,0 +1,201 @@
+//! GraphQL's filtering (He & Singh, SIGMOD 2008), as described in
+//! Section 3.1.1 of the study.
+//!
+//! Two steps:
+//!
+//! 1. **Local pruning** — the profile of `u` (sorted labels of `u` and its
+//!    neighbors within distance `r`) must be a sub-multiset of the profile
+//!    of `v`. With the paper's default `r = 1` this is LDF plus
+//!    neighbor-label multiset containment (i.e. the NLF dominance test).
+//! 2. **Global refinement** — the pseudo subgraph isomorphism test: for
+//!    `v ∈ C(u)`, build the bipartite graph between `N(u)` and `N(v)` with
+//!    an edge `(u', v')` iff `v' ∈ C(u')`, and demand a *semi-perfect*
+//!    matching (all of `N(u)` matched). Repeated `k` times (default 1).
+//!
+//! The semi-perfect matching is what distinguishes GraphQL's Observation
+//! 3.2 from the weaker Observation 3.1 used by CFL/CECI/DP-iso: it
+//! additionally enforces that the neighbor candidates can be chosen
+//! *distinctly*, which matters when candidate sets overlap (few labels).
+
+use crate::candidates::Candidates;
+use crate::context::{DataContext, QueryContext};
+use crate::filter::common::ldf_nlf_set;
+use crate::util::{max_bipartite_matching, Bitmap};
+use sm_graph::VertexId;
+
+/// Tunables of the GraphQL filter.
+#[derive(Clone, Copy, Debug)]
+pub struct GqlParams {
+    /// Number of global-refinement sweeps (paper default: 1).
+    pub refinement_rounds: usize,
+}
+
+impl Default for GqlParams {
+    fn default() -> Self {
+        GqlParams {
+            refinement_rounds: 1,
+        }
+    }
+}
+
+/// GraphQL candidate sets: local pruning then `k` rounds of global
+/// refinement.
+pub fn gql_candidates(
+    q: &QueryContext<'_>,
+    g: &DataContext<'_>,
+    params: GqlParams,
+) -> Candidates {
+    let nq = q.num_vertices();
+    // Local pruning with r = 1 profiles.
+    let mut cand = Candidates::new(
+        (0..nq as VertexId)
+            .map(|u| ldf_nlf_set(q, g, u))
+            .collect(),
+    );
+    if cand.any_empty() {
+        return cand;
+    }
+    // Global refinement: membership bitmaps per query vertex, kept in sync
+    // as sets shrink.
+    let n = g.graph.num_vertices();
+    let mut bitmaps: Vec<Bitmap> = (0..nq)
+        .map(|u| {
+            let mut b = Bitmap::new(n);
+            b.set_all(cand.get(u as VertexId));
+            b
+        })
+        .collect();
+    let mut adj_scratch: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..params.refinement_rounds {
+        let mut changed = false;
+        for u in 0..nq as VertexId {
+            let mut set = std::mem::take(cand.get_mut(u));
+            let before = set.len();
+            set.retain(|&v| {
+                let ok = semi_perfect_matching_exists(q, g, &bitmaps, u, v, &mut adj_scratch);
+                if !ok {
+                    bitmaps[u as usize].unset(v);
+                }
+                ok
+            });
+            changed |= set.len() != before;
+            *cand.get_mut(u) = set;
+            if cand.get(u).is_empty() {
+                return cand;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cand
+}
+
+/// Whether the bipartite graph between `N(u)` and `N(v)` (edges: `(u', v')`
+/// with `v' ∈ C(u')`) admits a matching covering all of `N(u)`.
+fn semi_perfect_matching_exists(
+    q: &QueryContext<'_>,
+    g: &DataContext<'_>,
+    bitmaps: &[Bitmap],
+    u: VertexId,
+    v: VertexId,
+    adj: &mut Vec<Vec<u32>>,
+) -> bool {
+    let qn = q.graph.neighbors(u);
+    let gn = g.graph.neighbors(v);
+    if gn.len() < qn.len() {
+        return false;
+    }
+    // Reuse the caller's row buffers: this routine runs |C(u)|·|V(q)|·k
+    // times per query, so per-call allocations dominate the filter cost.
+    if adj.len() < qn.len() {
+        adj.resize_with(qn.len(), Vec::new);
+    }
+    for (li, &u2) in qn.iter().enumerate() {
+        let row = &mut adj[li];
+        row.clear();
+        let bm = &bitmaps[u2 as usize];
+        for (j, &v2) in gn.iter().enumerate() {
+            if bm.get(v2) {
+                row.push(j as u32);
+            }
+        }
+        if row.is_empty() {
+            return false;
+        }
+    }
+    max_bipartite_matching(gn.len(), &adj[..qn.len()]) == qn.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_match, paper_query};
+    use crate::{DataContext, QueryContext};
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn completeness_on_fixture() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let c = gql_candidates(&qc, &gc, GqlParams::default());
+        for (u, &v) in paper_match().iter().enumerate() {
+            assert!(c.get(u as u32).contains(&v), "u{u} lost v{v}");
+        }
+    }
+
+    #[test]
+    fn global_refinement_prunes_example_3_1() {
+        // Example 3.1 of the paper: v1 in C(u2) is removed because the
+        // bipartite graph between N(u2) and N(v1) has no semi-perfect
+        // matching. In our fixture: C(u2) after refinement excludes v1
+        // (v1's only D-neighbor options are missing) and v3.
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let c = gql_candidates(&qc, &gc, GqlParams::default());
+        // u2 is the C-labeled query vertex adjacent to u0, u1, u3.
+        assert!(c.get(2).contains(&5));
+        assert!(!c.get(2).contains(&1), "v1 should be pruned: {:?}", c.get(2));
+    }
+
+    #[test]
+    fn semi_perfect_matching_distinctness() {
+        // Hall violation that only Observation 3.2's condition (2) catches:
+        // u0 has two same-labeled neighbors u1, u2 that must map to
+        // *distinct* data vertices, but v0 offers only one qualifying
+        // neighbor (w1). Rule 3.1 keeps v0 (both S_{u'} are non-empty);
+        // GraphQL's semi-perfect matching prunes it.
+        //
+        // q: u0(l0)-u1(l1)-u3(l2), u0-u2(l1)-u4(l2)
+        let q = graph_from_edges(&[0, 1, 1, 2, 2], &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        // G: v0(l0)-w1(l1)-x(l2), v0-w2(l1). w2 is a leaf, so only w1 is a
+        // candidate for u1 and for u2.
+        let g = graph_from_edges(&[0, 1, 1, 2], &[(0, 1), (0, 2), (1, 3)]);
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let c = gql_candidates(&qc, &gc, GqlParams::default());
+        assert!(c.get(0).is_empty(), "v0 should be pruned: {:?}", c.get(0));
+        // sanity: the STEADY (Rule 3.1 fixpoint) baseline keeps v0
+        let steady = crate::filter::steady::steady_candidates(&qc, &gc);
+        assert!(steady.get(0).contains(&0));
+    }
+
+    #[test]
+    fn more_rounds_never_add_candidates() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let c1 = gql_candidates(&qc, &gc, GqlParams { refinement_rounds: 1 });
+        let c4 = gql_candidates(&qc, &gc, GqlParams { refinement_rounds: 4 });
+        for u in q.vertices() {
+            for &v in c4.get(u) {
+                assert!(c1.get(u).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Label-and-degree filtering (LDF) — the baseline every algorithm uses:
+//! `C(u) = {v ∈ V(G) | L(v) = L(u) ∧ d(v) ≥ d(u)}`.
+
+use crate::candidates::Candidates;
+use crate::context::{DataContext, QueryContext};
+use crate::filter::common::ldf_set;
+
+/// LDF candidate sets for every query vertex.
+pub fn ldf_candidates(q: &QueryContext<'_>, g: &DataContext<'_>) -> Candidates {
+    let sets = (0..q.num_vertices() as u32)
+        .map(|u| ldf_set(q, g, u))
+        .collect();
+    Candidates::new(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataContext, QueryContext};
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn paper_figure1_ldf() {
+        // Figure 1: q = u0(A)-u1(B)-u2(C)-u3(D) with edges as in the paper.
+        let q = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        // G from Figure 1(b): v0(A); v1,v3,v5(C); v2,v4,v6(B); v7..v9(A);
+        // v10..v12(D)
+        let g = graph_from_edges(
+            &[0, 2, 1, 2, 1, 2, 1, 0, 0, 0, 3, 3, 3],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (4, 5),
+                (5, 6),
+                (1, 9),
+                (2, 7),
+                (3, 10),
+                (4, 10),
+                (4, 12),
+                (5, 12),
+                (5, 11),
+                (6, 8),
+                (10, 11),
+                (11, 12),
+            ],
+        );
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let c = ldf_candidates(&qc, &gc);
+        // u0 has degree 2 and label A: only v0 qualifies (v7, v8, v9 have
+        // degree 1).
+        assert_eq!(c.get(0), &[0]);
+        // u3 (label D, degree 2): v10, v11, v12 all have degree >= 2
+        assert_eq!(c.get(3), &[10, 11, 12]);
+        assert!(c.respects_ldf(&q, &g));
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared fixtures modelled on the paper's running example (Figure 1).
+//!
+//! Used by unit tests, integration tests, doc examples and the quickstart;
+//! public so downstream crates can reuse them.
+
+use sm_graph::builder::graph_from_edges;
+use sm_graph::Graph;
+
+/// Label constants for readability: A=0, B=1, C=2, D=3.
+pub const A: u32 = 0;
+/// Label B.
+pub const B: u32 = 1;
+/// Label C.
+pub const C: u32 = 2;
+/// Label D.
+pub const D: u32 = 3;
+
+/// The query of Figure 1(a): `u0(A)` adjacent to `u1(B)` and `u2(C)`;
+/// triangle `u0-u1-u2`; `u3(D)` adjacent to `u1` and `u2`.
+pub fn paper_query() -> Graph {
+    graph_from_edges(&[A, B, C, D], &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+}
+
+/// A data graph in the spirit of Figure 1(b): 13 vertices, one hub `v0(A)`
+/// connected to alternating B/C vertices, pendant A vertices, and a D
+/// triangle at the bottom. Exactly one match of [`paper_query`] exists:
+/// `{(u0,v0), (u1,v4), (u2,v5), (u3,v12)}`.
+pub fn paper_data() -> Graph {
+    graph_from_edges(
+        &[A, C, B, C, B, C, B, A, A, A, D, D, D],
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 2),
+            (4, 5),
+            (5, 6),
+            (1, 9),
+            (2, 7),
+            (3, 10),
+            (4, 10),
+            (4, 12),
+            (5, 12),
+            (5, 11),
+            (6, 8),
+            (10, 11),
+            (11, 12),
+        ],
+    )
+}
+
+/// The unique match of [`paper_query`] in [`paper_data`], as the mapping
+/// `M[u] = v` indexed by query vertex.
+pub fn paper_match() -> Vec<u32> {
+    vec![0, 4, 5, 12]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shapes() {
+        let q = paper_query();
+        assert_eq!(q.num_vertices(), 4);
+        assert_eq!(q.num_edges(), 5);
+        let g = paper_data();
+        assert_eq!(g.num_vertices(), 13);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn declared_match_is_valid() {
+        let q = paper_query();
+        let g = paper_data();
+        let m = paper_match();
+        for u in q.vertices() {
+            assert_eq!(q.label(u), g.label(m[u as usize]));
+        }
+        for (u, u2) in q.edges() {
+            assert!(g.has_edge(m[u as usize], m[u2 as usize]));
+        }
+    }
+}

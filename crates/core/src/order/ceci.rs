@@ -1,0 +1,78 @@
+//! CECI's ordering: the BFS traversal order of `q` rooted at
+//! `argmin |C(u)| / d(u)`.
+
+use crate::order::OrderInput;
+use sm_graph::traversal::BfsTree;
+use sm_graph::VertexId;
+
+/// CECI's matching order.
+pub fn ceci_order(input: &OrderInput<'_>) -> Vec<VertexId> {
+    // Reuse the filter's BFS tree when available (its root was selected by
+    // the same rule); otherwise compute one.
+    if let Some(tree) = input.bfs_tree {
+        return tree.order.clone();
+    }
+    bfs_delta_order(input)
+}
+
+/// The BFS order `δ` from the `argmin |C(u)|/d(u)` root — also the static
+/// spine of DP-iso's adaptive ordering.
+pub fn bfs_delta_order(input: &OrderInput<'_>) -> Vec<VertexId> {
+    if let Some(tree) = input.bfs_tree {
+        return tree.order.clone();
+    }
+    let q = input.q.graph;
+    let root = q
+        .vertices()
+        .map(|u| {
+            let score = input.candidates.get(u).len() as f64 / q.degree(u).max(1) as f64;
+            (score, u)
+        })
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+        .map(|(_, u)| u)
+        .expect("non-empty query");
+    BfsTree::build(q, root).order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::order::{is_connected_order, OrderInput};
+    use crate::{DataContext, QueryContext};
+
+    #[test]
+    fn bfs_order_is_connected() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::nlf::nlf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        let order = ceci_order(&input);
+        assert!(is_connected_order(&q, &order));
+    }
+
+    #[test]
+    fn reuses_filter_tree() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let (cand, tree) = crate::filter::ceci::ceci_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: Some(&tree),
+            space: None,
+        };
+        assert_eq!(ceci_order(&input), tree.order);
+    }
+}

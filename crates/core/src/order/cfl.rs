@@ -1,0 +1,205 @@
+//! CFL's path-based ordering (Bi et al., SIGMOD 2016).
+//!
+//! The BFS tree's root-to-leaf paths are ranked by the estimated number of
+//! path embeddings `c(P)` in the auxiliary structure, computed by dynamic
+//! programming over candidate adjacency. The first path minimizes
+//! `c(P) / |NT(P)|` (favoring paths touching many non-tree edges); each
+//! following path minimizes `c(P^u) / |C(u)|` where `u` is its connection
+//! vertex to the current order.
+//!
+//! Section 5.3 of the study attributes CFL's unsolved queries to exactly
+//! this design: edges *between* paths get low priority in the estimates.
+
+use crate::order::OrderInput;
+use sm_graph::traversal::BfsTree;
+use sm_graph::VertexId;
+use std::collections::HashMap;
+
+/// Compute CFL's matching order.
+pub fn cfl_order(input: &OrderInput<'_>) -> Vec<VertexId> {
+    let q = input.q.graph;
+    let n = q.num_vertices();
+    if n == 1 {
+        return vec![0];
+    }
+    // Reuse the filter's tree; fall back to CFL's root rule.
+    let owned_tree;
+    let tree: &BfsTree = match input.bfs_tree {
+        Some(t) => t,
+        None => {
+            let root = crate::filter::cfl::select_cfl_root(input.q, input.g);
+            owned_tree = BfsTree::build(q, root);
+            &owned_tree
+        }
+    };
+    let paths = tree.root_to_leaf_paths();
+    let non_tree: Vec<(VertexId, VertexId)> = tree.non_tree_edges(q);
+
+    // Per-path suffix embedding estimates via DP over candidate adjacency.
+    let path_sums: Vec<Vec<f64>> = paths
+        .iter()
+        .map(|p| suffix_embedding_counts(input, p))
+        .collect();
+
+    let nt_count = |p: &[VertexId]| -> usize {
+        non_tree
+            .iter()
+            .filter(|&&(a, b)| p.contains(&a) || p.contains(&b))
+            .count()
+    };
+
+    let mut remaining: Vec<usize> = (0..paths.len()).collect();
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+
+    // First path: min c(P) / |NT(P)|.
+    let first = remaining
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let sa = path_sums[a][0] / nt_count(&paths[a]).max(1) as f64;
+            let sb = path_sums[b][0] / nt_count(&paths[b]).max(1) as f64;
+            sa.partial_cmp(&sb).unwrap().then(paths[a].cmp(&paths[b]))
+        })
+        .expect("tree has at least one path");
+    for &u in &paths[first] {
+        if !in_order[u as usize] {
+            in_order[u as usize] = true;
+            order.push(u);
+        }
+    }
+    remaining.retain(|&i| i != first);
+
+    // Remaining paths: min c(P^u) / |C(u)| at the connection vertex u.
+    while !remaining.is_empty() {
+        let (pick, _) = remaining
+            .iter()
+            .copied()
+            .map(|i| {
+                let p = &paths[i];
+                // Connection vertex: deepest vertex of P already ordered
+                // (paths share the root, so this always exists).
+                let j = p
+                    .iter()
+                    .rposition(|&u| in_order[u as usize])
+                    .expect("paths share the root");
+                let u = p[j];
+                let score =
+                    path_sums[i][j] / input.candidates.get(u).len().max(1) as f64;
+                (i, score)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(paths[a.0].cmp(&paths[b.0])))
+            .expect("non-empty remaining");
+        for &u in &paths[pick] {
+            if !in_order[u as usize] {
+                in_order[u as usize] = true;
+                order.push(u);
+            }
+        }
+        remaining.retain(|&i| i != pick);
+    }
+    order
+}
+
+/// `sums[j] = Σ_{v ∈ C(p_j)} W_j(v)` where `W_j(v)` counts embeddings of
+/// the path suffix `p_j..` starting at `v`, following candidate adjacency.
+fn suffix_embedding_counts(input: &OrderInput<'_>, path: &[VertexId]) -> Vec<f64> {
+    let g = input.g.graph;
+    let c = input.candidates;
+    let k = path.len();
+    let mut sums = vec![0.0; k];
+    // weights for level j+1, keyed by data vertex
+    let mut next: HashMap<VertexId, f64> = HashMap::new();
+    for (j, &u) in path.iter().enumerate().rev() {
+        let mut cur: HashMap<VertexId, f64> = HashMap::with_capacity(c.get(u).len());
+        if j + 1 == k {
+            for &v in c.get(u) {
+                cur.insert(v, 1.0);
+            }
+        } else {
+            for &v in c.get(u) {
+                let mut w = 0.0;
+                for &nb in g.neighbors(v) {
+                    if let Some(&wn) = next.get(&nb) {
+                        w += wn;
+                    }
+                }
+                if w > 0.0 {
+                    cur.insert(v, w);
+                }
+            }
+        }
+        sums[j] = cur.values().sum();
+        next = cur;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::order::{is_connected_order, OrderInput};
+    use crate::{DataContext, QueryContext};
+
+    #[test]
+    fn order_is_connected() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let (cand, tree) = crate::filter::cfl::cfl_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: Some(&tree),
+            space: None,
+        };
+        let order = cfl_order(&input);
+        assert!(is_connected_order(&q, &order), "{order:?}");
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn suffix_counts_on_path_query() {
+        // Query path u0-u1; candidates u0:{v0}, u1:{v4, v6}? Use fixture
+        // candidates: count embeddings of an A-B path.
+        let q = sm_graph::builder::graph_from_edges(&[0, 1], &[(0, 1)]);
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        let sums = suffix_embedding_counts(&input, &[0, 1]);
+        // C(u0) = {v0} (only A vertex with degree >= 1 adjacent to B... LDF
+        // keeps all A vertices with degree >= 1); each contributes its
+        // B-neighbor count. Just sanity: leaf level counts candidates.
+        assert_eq!(sums[1], cand.get(1).len() as f64);
+        assert!(sums[0] >= 1.0);
+    }
+
+    #[test]
+    fn works_without_prebuilt_tree() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::nlf::nlf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        let order = cfl_order(&input);
+        assert!(is_connected_order(&q, &order));
+    }
+}

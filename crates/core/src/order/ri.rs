@@ -1,0 +1,123 @@
+//! RI's structure-only ordering (Bonnici et al., BMC Bioinformatics 2013).
+//!
+//! RI never looks at the data graph: start at the max-degree query vertex,
+//! then repeatedly take the frontier vertex with the most backward
+//! neighbors — which is exactly what front-loads non-tree edges, the
+//! property Section 5.3 credits for RI's strength on sparse data graphs.
+//! Ties break by RI's two secondary scores, then by vertex id.
+
+use crate::order::OrderInput;
+use sm_graph::VertexId;
+
+/// Compute RI's matching order.
+pub fn ri_order(input: &OrderInput<'_>) -> Vec<VertexId> {
+    let q = input.q.graph;
+    let n = q.num_vertices();
+    let start = q
+        .vertices()
+        .max_by_key(|&u| (q.degree(u), std::cmp::Reverse(u)))
+        .expect("non-empty query");
+    let mut order = vec![start];
+    let mut in_order = vec![false; n];
+    in_order[start as usize] = true;
+
+    while order.len() < n {
+        let mut best: Option<(usize, usize, usize, std::cmp::Reverse<VertexId>)> = None;
+        let mut best_u = None;
+        for u in q.vertices() {
+            if in_order[u as usize] {
+                continue;
+            }
+            // candidate pool: frontier N(φ) − φ
+            let backward = q
+                .neighbors(u)
+                .iter()
+                .filter(|&&u2| in_order[u2 as usize])
+                .count();
+            if backward == 0 {
+                continue;
+            }
+            // Tie-break 1: |{u' ∈ φ adjacent to u with a neighbor outside φ}|
+            let score2 = q
+                .neighbors(u)
+                .iter()
+                .filter(|&&u2| {
+                    in_order[u2 as usize]
+                        && q.neighbors(u2)
+                            .iter()
+                            .any(|&u3| !in_order[u3 as usize] && u3 != u)
+                })
+                .count();
+            // Tie-break 2: |{u' ∈ N(u) − φ with no neighbor in φ}|
+            let score3 = q
+                .neighbors(u)
+                .iter()
+                .filter(|&&u2| {
+                    !in_order[u2 as usize]
+                        && !q.neighbors(u2).iter().any(|&u3| in_order[u3 as usize])
+                })
+                .count();
+            let key = (backward, score2, score3, std::cmp::Reverse(u));
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+                best_u = Some(u);
+            }
+        }
+        let next = best_u.expect("query is connected");
+        in_order[next as usize] = true;
+        order.push(next);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::order::{backward_neighbors, is_connected_order, OrderInput};
+    use crate::{DataContext, QueryContext};
+    use sm_graph::builder::graph_from_edges;
+
+    fn order_of(q: &sm_graph::Graph) -> Vec<VertexId> {
+        let g = paper_data();
+        let qc = QueryContext::new(q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        ri_order(&input)
+    }
+
+    #[test]
+    fn starts_with_max_degree() {
+        let q = paper_query();
+        let order = order_of(&q);
+        assert!(is_connected_order(&q, &order));
+        assert_eq!(q.degree(order[0]), 3);
+    }
+
+    #[test]
+    fn prefers_many_backward_neighbors() {
+        let q = paper_query();
+        let order = order_of(&q);
+        // Third and fourth vertices should each have 2+ backward neighbors
+        // (RI front-loads the dense part).
+        let b = backward_neighbors(&q, &order);
+        assert!(b[order[2] as usize].len() >= 2, "order {order:?}");
+        assert!(b[order[3] as usize].len() >= 2, "order {order:?}");
+    }
+
+    #[test]
+    fn star_query_order() {
+        // star: center 0 with 3 leaves — center first, leaves after.
+        let q = graph_from_edges(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        let order = order_of(&q);
+        assert_eq!(order[0], 0);
+        assert!(is_connected_order(&q, &order));
+    }
+}

@@ -1,0 +1,104 @@
+//! VF2++'s ordering (Jüttner & Madarasi, Discrete Applied Mathematics
+//! 2018): root at the query vertex whose label is rarest in `G` (largest
+//! degree on ties), then a BFS tree processed depth by depth; within a
+//! depth, repeatedly take the vertex with the most already-ordered
+//! neighbors, breaking ties by larger degree, then rarer label.
+
+use crate::order::OrderInput;
+use sm_graph::traversal::BfsTree;
+use sm_graph::VertexId;
+
+/// Compute VF2++'s matching order.
+pub fn vf2pp_order(input: &OrderInput<'_>) -> Vec<VertexId> {
+    let q = input.q.graph;
+    let g = input.g.graph;
+    let n = q.num_vertices();
+    let root = q
+        .vertices()
+        .min_by_key(|&u| {
+            (
+                g.label_frequency(q.label(u)),
+                std::cmp::Reverse(q.degree(u)),
+                u,
+            )
+        })
+        .expect("non-empty query");
+    let tree = BfsTree::build(q, root);
+    let mut order = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+    for depth in 0..=tree.max_depth() {
+        let mut level = tree.vertices_at_depth(depth);
+        while !level.is_empty() {
+            let (idx, _) = level
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &u)| {
+                    let backward = q
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&u2| in_order[u2 as usize])
+                        .count();
+                    (
+                        backward,
+                        q.degree(u),
+                        std::cmp::Reverse(g.label_frequency(q.label(u))),
+                        std::cmp::Reverse(u),
+                    )
+                })
+                .expect("non-empty level");
+            let u = level.swap_remove(idx);
+            in_order[u as usize] = true;
+            order.push(u);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::order::{is_connected_order, OrderInput};
+    use crate::{DataContext, QueryContext};
+
+    #[test]
+    fn order_is_connected_and_level_wise() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        let order = vf2pp_order(&input);
+        assert!(is_connected_order(&q, &order));
+    }
+
+    #[test]
+    fn root_has_rarest_label() {
+        let q = paper_query();
+        let g = paper_data();
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
+        let input = OrderInput {
+            q: &qc,
+            g: &gc,
+            candidates: &cand,
+            bfs_tree: None,
+            space: None,
+        };
+        let order = vf2pp_order(&input);
+        let min_freq = q
+            .vertices()
+            .map(|u| g.label_frequency(q.label(u)))
+            .min()
+            .unwrap();
+        assert_eq!(g.label_frequency(q.label(order[0])), min_freq);
+    }
+}

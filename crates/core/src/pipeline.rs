@@ -1,0 +1,548 @@
+//! [`Pipeline`]: one concrete composition of Algorithm 1 — a filter, an
+//! ordering, an enumeration method — runnable against a query, with the
+//! per-phase timings the paper reports (preprocessing vs enumeration).
+
+use crate::candidate_space::{CandidateSpace, SpaceCoverage};
+use crate::candidates::Candidates;
+use crate::context::{DataContext, QueryContext};
+use crate::enumerate::adaptive::{enumerate_adaptive, AdaptiveInput};
+use crate::enumerate::engine::{derive_parents, enumerate, EngineInput};
+use crate::enumerate::parallel::enumerate_parallel;
+use crate::enumerate::{
+    CountSink, EnumStats, LcMethod, MatchConfig, MatchSink, Outcome,
+};
+use crate::filter::{run_filter, FilterKind};
+use crate::order::{run_order, OrderInput, OrderKind};
+use sm_graph::traversal::BfsTree;
+use sm_graph::types::NO_VERTEX;
+use sm_graph::{Graph, VertexId};
+use sm_intersect::IntersectKind;
+use std::time::{Duration, Instant};
+
+/// A full matching configuration: which filter, which ordering, which
+/// local-candidate method.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Display name (e.g. `"GQLfs"` in Figure 16).
+    pub name: String,
+    /// Filtering method.
+    pub filter: FilterKind,
+    /// Ordering method ([`OrderKind::Adaptive`] switches to the adaptive
+    /// engine).
+    pub order: OrderKind,
+    /// Local-candidate computation (ignored by the adaptive engine, which
+    /// always intersects).
+    pub method: LcMethod,
+    /// Force VF2++'s extra runtime rule (original VF2++ composition).
+    pub vf2pp_rule: bool,
+}
+
+/// Result of one pipeline run, carrying the paper's metrics.
+#[derive(Clone, Debug)]
+pub struct MatchOutput {
+    /// Matches found (exact when `outcome == Complete`).
+    pub matches: u64,
+    /// Search-tree nodes visited.
+    pub recursions: u64,
+    /// Why the run ended.
+    pub outcome: Outcome,
+    /// Time in the filtering step.
+    pub filter_time: Duration,
+    /// Time building the auxiliary structure.
+    pub build_time: Duration,
+    /// Time computing the matching order.
+    pub order_time: Duration,
+    /// Time enumerating.
+    pub enum_time: Duration,
+    /// Average candidate count `Σ|C(u)| / |V(q)|` (Figure 8 metric).
+    pub candidate_avg: f64,
+    /// Bytes held by the candidate sets.
+    pub candidate_memory: usize,
+    /// Bytes held by the auxiliary structure.
+    pub space_memory: usize,
+}
+
+impl MatchOutput {
+    /// The paper's "preprocessing time": filtering + building `A` +
+    /// ordering.
+    pub fn preprocessing_time(&self) -> Duration {
+        self.filter_time + self.build_time + self.order_time
+    }
+
+    /// Total query time.
+    pub fn total_time(&self) -> Duration {
+        self.preprocessing_time() + self.enum_time
+    }
+
+    /// Paper terminology: killed by the time limit.
+    pub fn unsolved(&self) -> bool {
+        self.outcome == Outcome::TimedOut
+    }
+
+    fn empty(filter_time: Duration) -> Self {
+        MatchOutput {
+            matches: 0,
+            recursions: 0,
+            outcome: Outcome::Complete,
+            filter_time,
+            build_time: Duration::ZERO,
+            order_time: Duration::ZERO,
+            enum_time: Duration::ZERO,
+            candidate_avg: 0.0,
+            candidate_memory: 0,
+            space_memory: 0,
+        }
+    }
+
+    fn from_stats(prep: &Prepared, stats: EnumStats) -> Self {
+        MatchOutput {
+            matches: stats.matches,
+            recursions: stats.recursions,
+            outcome: stats.outcome,
+            filter_time: prep.filter_time,
+            build_time: prep.build_time,
+            order_time: prep.order_time,
+            enum_time: stats.elapsed,
+            candidate_avg: prep.candidates.average(),
+            candidate_memory: prep.candidates.memory_bytes(),
+            space_memory: prep.space.as_ref().map_or(0, |s| s.memory_bytes()),
+        }
+    }
+}
+
+/// The preprocessing product of a pipeline: candidates, matching order,
+/// pivot parents and the auxiliary structure, with per-phase timings.
+/// Reusable across enumeration variants (sequential, parallel, different
+/// sinks) without redoing the filtering.
+pub struct Prepared {
+    /// Candidate sets from the filter.
+    pub candidates: Candidates,
+    /// Matching order `φ` (the BFS order `δ` when the ordering is
+    /// adaptive).
+    pub order: Vec<VertexId>,
+    /// Pivot parents per query vertex.
+    pub parents: Vec<VertexId>,
+    /// Auxiliary structure, when the enumeration method needs one.
+    pub space: Option<CandidateSpace>,
+    /// BFS tree from the filter (tree-based filters only).
+    pub tree: Option<BfsTree>,
+    /// Effective configuration (pipeline flags folded in).
+    pub config: MatchConfig,
+    /// Whether the adaptive engine will run.
+    pub adaptive: bool,
+    filter_time: Duration,
+    order_time: Duration,
+    build_time: Duration,
+}
+
+impl Pipeline {
+    /// Create a pipeline with an explicit name.
+    pub fn new(
+        name: impl Into<String>,
+        filter: FilterKind,
+        order: OrderKind,
+        method: LcMethod,
+    ) -> Self {
+        Pipeline {
+            name: name.into(),
+            filter,
+            order,
+            method,
+            vf2pp_rule: false,
+        }
+    }
+
+    /// Run the preprocessing phases (filter → order → auxiliary
+    /// structure). Returns `Err(filter_time)` when some candidate set is
+    /// empty — the query has no match.
+    pub fn prepare(
+        &self,
+        q: &Graph,
+        g: &DataContext<'_>,
+        config: &MatchConfig,
+    ) -> Result<Prepared, Duration> {
+        let qc = QueryContext::new(q);
+        let mut config = config.clone();
+        if self.vf2pp_rule {
+            config.vf2pp_rule = true;
+        }
+
+        // Phase 1: filtering.
+        let t0 = Instant::now();
+        let filtered = run_filter(self.filter, &qc, g);
+        let filter_time = t0.elapsed();
+        let Some(out) = filtered else {
+            return Err(filter_time);
+        };
+        let candidates = out.candidates;
+        let tree = out.bfs_tree;
+        let adaptive = matches!(self.order, OrderKind::Adaptive);
+
+        // Phase 2: ordering (before building A so TreeIndex can check
+        // order/tree compatibility; the paper folds both into
+        // "preprocessing" anyway).
+        let t1 = Instant::now();
+        let order = run_order(
+            &self.order,
+            &OrderInput {
+                q: &qc,
+                g,
+                candidates: &candidates,
+                bfs_tree: tree.as_ref(),
+                space: None,
+            },
+        );
+        let order_time = t1.elapsed();
+        debug_assert!(
+            crate::order::is_connected_order(q, &order)
+                || matches!(self.order, OrderKind::Fixed(_))
+        );
+
+        // Phase 3: auxiliary structure.
+        let t2 = Instant::now();
+        let with_bsr = config.intersect == IntersectKind::Bsr
+            && (adaptive || self.method == LcMethod::Intersect);
+        let parents = derive_parents(q, &order, tree.as_ref());
+        let space: Option<CandidateSpace> = if adaptive || self.method == LcMethod::Intersect {
+            Some(CandidateSpace::build(
+                q,
+                g.graph,
+                &candidates,
+                SpaceCoverage::AllEdges,
+                with_bsr,
+            ))
+        } else {
+            match self.method {
+                LcMethod::Direct | LcMethod::CandidateScan => None,
+                LcMethod::TreeIndex => {
+                    // Tree coverage is only usable when every pivot parent
+                    // is the tree parent; otherwise fall back to all edges.
+                    let tree_ok = tree.as_ref().is_some_and(|t| {
+                        order.iter().skip(1).all(|&u| {
+                            parents[u as usize] != NO_VERTEX
+                                && t.parent[u as usize] == parents[u as usize]
+                        })
+                    });
+                    let coverage = if tree_ok {
+                        SpaceCoverage::TreeEdges(tree.as_ref().unwrap())
+                    } else {
+                        SpaceCoverage::AllEdges
+                    };
+                    Some(CandidateSpace::build(
+                        q,
+                        g.graph,
+                        &candidates,
+                        coverage,
+                        with_bsr,
+                    ))
+                }
+                LcMethod::Intersect => unreachable!("handled above"),
+            }
+        };
+        let build_time = t2.elapsed();
+
+        Ok(Prepared {
+            candidates,
+            order,
+            parents,
+            space,
+            tree,
+            config,
+            adaptive,
+            filter_time,
+            order_time,
+            build_time,
+        })
+    }
+
+    /// Run against a query, counting matches.
+    pub fn run(&self, q: &Graph, g: &DataContext<'_>, config: &MatchConfig) -> MatchOutput {
+        let mut sink = CountSink;
+        self.run_with_sink(q, g, config, &mut sink)
+    }
+
+    /// Run against a query, streaming matches into `sink`.
+    pub fn run_with_sink<S: MatchSink>(
+        &self,
+        q: &Graph,
+        g: &DataContext<'_>,
+        config: &MatchConfig,
+        sink: &mut S,
+    ) -> MatchOutput {
+        let prep = match self.prepare(q, g, config) {
+            Ok(p) => p,
+            Err(filter_time) => return MatchOutput::empty(filter_time),
+        };
+        let stats: EnumStats = if prep.adaptive {
+            let owned_tree;
+            let tree: &BfsTree = match prep.tree.as_ref() {
+                Some(t) => t,
+                None => {
+                    let qc = QueryContext::new(q);
+                    let root = crate::filter::dpiso::select_dpiso_root(&qc, g);
+                    owned_tree = BfsTree::build(q, root);
+                    &owned_tree
+                }
+            };
+            enumerate_adaptive(
+                &AdaptiveInput {
+                    q,
+                    g: g.graph,
+                    candidates: &prep.candidates,
+                    space: prep.space.as_ref().expect("adaptive space"),
+                    tree,
+                    config: &prep.config,
+                },
+                sink,
+            )
+        } else {
+            enumerate(
+                &EngineInput {
+                    q,
+                    g: g.graph,
+                    candidates: &prep.candidates,
+                    space: prep.space.as_ref(),
+                    order: &prep.order,
+                    parent: &prep.parents,
+                    method: self.method,
+                    config: &prep.config,
+                    root_subset: None,
+                    shared: None,
+                },
+                sink,
+            )
+        };
+        MatchOutput::from_stats(&prep, stats)
+    }
+
+    /// Run with intra-query parallelism: the root candidates are
+    /// partitioned across `threads` worker engines (see
+    /// [`crate::enumerate::parallel`]). Matches are counted, not
+    /// collected.
+    ///
+    /// Adaptive-ordering pipelines fall back to the sequential engine —
+    /// DP-iso's runtime vertex selection is inherently sequential per
+    /// subtree and the paper only parallelizes the static engines.
+    pub fn run_parallel(
+        &self,
+        q: &Graph,
+        g: &DataContext<'_>,
+        config: &MatchConfig,
+        threads: usize,
+    ) -> MatchOutput {
+        if matches!(self.order, OrderKind::Adaptive) || threads <= 1 {
+            return self.run(q, g, config);
+        }
+        let prep = match self.prepare(q, g, config) {
+            Ok(p) => p,
+            Err(filter_time) => return MatchOutput::empty(filter_time),
+        };
+        let input = EngineInput {
+            q,
+            g: g.graph,
+            candidates: &prep.candidates,
+            space: prep.space.as_ref(),
+            order: &prep.order,
+            parent: &prep.parents,
+            method: self.method,
+            config: &prep.config,
+            root_subset: None,
+            shared: None,
+        };
+        let (stats, _sinks) = enumerate_parallel::<CountSink>(&input, threads);
+        MatchOutput::from_stats(&prep, stats)
+    }
+}
+
+/// An EXPLAIN-style report of the preprocessing decisions a pipeline made
+/// for one query: per-vertex candidate counts, the matching order with
+/// backward-neighbor counts, and the auxiliary structure's shape.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Filter that produced the candidates.
+    pub filter: &'static str,
+    /// Ordering method.
+    pub order_method: &'static str,
+    /// Local-candidate method.
+    pub lc_method: &'static str,
+    /// The matching order `φ`.
+    pub order: Vec<VertexId>,
+    /// `|C(u)|` per query vertex (indexed by vertex id).
+    pub candidate_sizes: Vec<usize>,
+    /// `|N^φ_+(u)|` per order position.
+    pub backward_counts: Vec<usize>,
+    /// Auxiliary structure bytes (0 when the method needs none).
+    pub space_memory: usize,
+    /// Preprocessing time.
+    pub preprocessing: Duration,
+}
+
+impl std::fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan {} (filter {}, order {}, enumeration {})",
+            self.pipeline, self.filter, self.order_method, self.lc_method
+        )?;
+        writeln!(f, "  preprocessing: {:?}", self.preprocessing)?;
+        writeln!(f, "  aux structure: {} bytes", self.space_memory)?;
+        for (i, &u) in self.order.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:>3}. u{:<3} |C| = {:<6} backward = {}",
+                i + 1,
+                u,
+                self.candidate_sizes[u as usize],
+                self.backward_counts[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Pipeline {
+    /// Run only the preprocessing and report the plan (an `EXPLAIN` for
+    /// subgraph queries). Returns `None` when a candidate set is empty —
+    /// the query is trivially unsatisfiable.
+    pub fn explain(
+        &self,
+        q: &Graph,
+        g: &DataContext<'_>,
+        config: &MatchConfig,
+    ) -> Option<PlanReport> {
+        let prep = self.prepare(q, g, config).ok()?;
+        let backward = crate::order::backward_neighbors(q, &prep.order);
+        Some(PlanReport {
+            pipeline: self.name.clone(),
+            filter: self.filter.name(),
+            order_method: self.order.name(),
+            lc_method: if prep.adaptive {
+                "Adaptive+Intersect"
+            } else {
+                self.method.name()
+            },
+            backward_counts: prep
+                .order
+                .iter()
+                .map(|&u| backward[u as usize].len())
+                .collect(),
+            candidate_sizes: (0..q.num_vertices() as VertexId)
+                .map(|u| prep.candidates.get(u).len())
+                .collect(),
+            order: prep.order,
+            space_memory: prep.space.as_ref().map_or(0, |s| s.memory_bytes()),
+            preprocessing: prep.filter_time + prep.order_time + prep.build_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+    use crate::reference::brute_force_count;
+
+    #[test]
+    fn pipeline_matches_brute_force_on_fixture() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let want = brute_force_count(&q, &g, None);
+        let p = Pipeline::new(
+            "test",
+            FilterKind::GraphQl,
+            OrderKind::GraphQl,
+            LcMethod::Intersect,
+        );
+        let out = p.run(&q, &gc, &MatchConfig::default());
+        assert_eq!(out.matches, want);
+        assert_eq!(out.outcome, Outcome::Complete);
+        assert!(out.candidate_avg > 0.0);
+    }
+
+    #[test]
+    fn no_match_short_circuits() {
+        let q = sm_graph::builder::graph_from_edges(&[9, 9], &[(0, 1)]);
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = Pipeline::new("t", FilterKind::Ldf, OrderKind::Ri, LcMethod::Direct);
+        let out = p.run(&q, &gc, &MatchConfig::default());
+        assert_eq!(out.matches, 0);
+        assert_eq!(out.enum_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = Pipeline::new("t", FilterKind::Cfl, OrderKind::Cfl, LcMethod::TreeIndex);
+        let out = p.run(&q, &gc, &MatchConfig::default());
+        assert_eq!(out.matches, 1);
+        assert_eq!(out.total_time(), out.preprocessing_time() + out.enum_time);
+        assert!(out.space_memory > 0);
+    }
+
+    #[test]
+    fn prepare_reusable_and_parallel_agrees() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = Pipeline::new(
+            "t",
+            FilterKind::GraphQl,
+            OrderKind::GraphQl,
+            LcMethod::Intersect,
+        );
+        let cfg = MatchConfig::default();
+        let seq = p.run(&q, &gc, &cfg);
+        for threads in [1, 2, 4] {
+            let par = p.run_parallel(&q, &gc, &cfg, threads);
+            assert_eq!(par.matches, seq.matches, "{threads} threads");
+        }
+        // adaptive pipelines fall back cleanly
+        let dp = crate::Algorithm::DpIso.optimized();
+        let a = dp.run_parallel(&q, &gc, &cfg, 4);
+        assert_eq!(a.matches, seq.matches);
+    }
+
+    #[test]
+    fn explain_reports_the_plan() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = crate::Algorithm::GraphQl.optimized();
+        let report = p.explain(&q, &gc, &MatchConfig::default()).unwrap();
+        assert_eq!(report.order.len(), 4);
+        assert_eq!(report.candidate_sizes.len(), 4);
+        assert_eq!(report.backward_counts[0], 0);
+        assert!(report.backward_counts[1..].iter().all(|&b| b >= 1));
+        assert!(report.space_memory > 0);
+        let text = format!("{report}");
+        assert!(text.contains("plan GQL"));
+        assert!(text.contains("|C| ="));
+        // unsatisfiable query -> None
+        let bad = sm_graph::builder::graph_from_edges(&[9, 9], &[(0, 1)]);
+        assert!(p.explain(&bad, &gc, &MatchConfig::default()).is_none());
+    }
+
+    #[test]
+    fn prepare_exposes_phases() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = Pipeline::new(
+            "t",
+            FilterKind::Cfl,
+            OrderKind::Cfl,
+            LcMethod::Intersect,
+        );
+        let prep = p.prepare(&q, &gc, &MatchConfig::default()).unwrap();
+        assert_eq!(prep.order.len(), 4);
+        assert!(prep.space.is_some());
+        assert!(prep.tree.is_some());
+        assert!(!prep.adaptive);
+    }
+}

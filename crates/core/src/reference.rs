@@ -1,0 +1,198 @@
+//! A deliberately simple brute-force matcher used as ground truth in
+//! tests. It shares no code with the engines: plain recursive extension
+//! over a fixed natural order with direct label/degree/adjacency checks.
+
+use sm_graph::types::NO_VERTEX;
+use sm_graph::{Graph, VertexId};
+
+/// Count all subgraph isomorphisms from `q` to `g`, optionally capped.
+/// Exponential; intended for graphs with at most a few hundred vertices.
+pub fn brute_force_count(q: &Graph, g: &Graph, cap: Option<u64>) -> u64 {
+    let mut out = Vec::new();
+    brute_force_inner(q, g, cap, false, &mut out)
+}
+
+/// Collect all matches (each indexed by query vertex id).
+pub fn brute_force_matches(q: &Graph, g: &Graph, cap: Option<u64>) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    brute_force_inner(q, g, cap, true, &mut out);
+    out
+}
+
+fn brute_force_inner(
+    q: &Graph,
+    g: &Graph,
+    cap: Option<u64>,
+    collect: bool,
+    out: &mut Vec<Vec<VertexId>>,
+) -> u64 {
+    let n = q.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    // Order query vertices connectedly (DFS from 0) so adjacency checks
+    // bind early; for disconnected queries fall back to natural order.
+    let order = connected_order_or_natural(q);
+    let mut m = vec![NO_VERTEX; n];
+    let mut used = vec![false; g.num_vertices()];
+    let mut count = 0u64;
+    extend(q, g, &order, 0, &mut m, &mut used, &mut count, cap, collect, out);
+    count
+}
+
+fn connected_order_or_natural(q: &Graph) -> Vec<VertexId> {
+    let n = q.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack = vec![0 as VertexId];
+    while let Some(u) = stack.pop() {
+        if seen[u as usize] {
+            continue;
+        }
+        seen[u as usize] = true;
+        order.push(u);
+        for &u2 in q.neighbors(u) {
+            if !seen[u2 as usize] {
+                stack.push(u2);
+            }
+        }
+    }
+    for u in 0..n as VertexId {
+        if !seen[u as usize] {
+            order.push(u);
+        }
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    q: &Graph,
+    g: &Graph,
+    order: &[VertexId],
+    depth: usize,
+    m: &mut [VertexId],
+    used: &mut [bool],
+    count: &mut u64,
+    cap: Option<u64>,
+    collect: bool,
+    out: &mut Vec<Vec<VertexId>>,
+) -> bool {
+    if depth == order.len() {
+        *count += 1;
+        if collect {
+            out.push(m.to_vec());
+        }
+        return cap.is_some_and(|c| *count >= c);
+    }
+    let u = order[depth];
+    'cand: for v in g.vertices() {
+        if used[v as usize] || g.label(v) != q.label(u) || g.degree(v) < q.degree(u) {
+            continue;
+        }
+        for &u2 in q.neighbors(u) {
+            let v2 = m[u2 as usize];
+            if v2 != NO_VERTEX && !g.has_edge(v, v2) {
+                continue 'cand;
+            }
+        }
+        m[u as usize] = v;
+        used[v as usize] = true;
+        let stop = extend(q, g, order, depth + 1, m, used, count, cap, collect, out);
+        used[v as usize] = false;
+        m[u as usize] = NO_VERTEX;
+        if stop {
+            return true;
+        }
+    }
+    false
+}
+
+/// Validate one mapping as a subgraph isomorphism per Definition 2.1:
+/// label-preserving, edge-preserving and injective. `m` is indexed by
+/// query vertex id.
+///
+/// ```
+/// use sm_match::fixtures::{paper_data, paper_match, paper_query};
+/// use sm_match::reference::is_valid_match;
+/// assert!(is_valid_match(&paper_query(), &paper_data(), &paper_match()));
+/// assert!(!is_valid_match(&paper_query(), &paper_data(), &[0, 0, 0, 0]));
+/// ```
+pub fn is_valid_match(q: &Graph, g: &Graph, m: &[VertexId]) -> bool {
+    if m.len() != q.num_vertices() {
+        return false;
+    }
+    // injective
+    let mut seen = std::collections::HashSet::with_capacity(m.len());
+    for &v in m {
+        if v as usize >= g.num_vertices() || !seen.insert(v) {
+            return false;
+        }
+    }
+    // label- and edge-preserving
+    q.vertices().all(|u| q.label(u) == g.label(m[u as usize]))
+        && q.edges().all(|(a, b)| g.has_edge(m[a as usize], m[b as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_match, paper_query};
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn fixture_has_exactly_one_match() {
+        let q = paper_query();
+        let g = paper_data();
+        assert_eq!(brute_force_count(&q, &g, None), 1);
+        assert_eq!(brute_force_matches(&q, &g, None), vec![paper_match()]);
+    }
+
+    #[test]
+    fn triangle_in_k4_has_24_matches() {
+        // Unlabeled triangle in K4: 4 choose 3 * 3! = 24 ordered embeddings.
+        let tri = graph_from_edges(&[0; 3], &[(0, 1), (1, 2), (0, 2)]);
+        let k4 = graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(brute_force_count(&tri, &k4, None), 24);
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let edge = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let g = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2), (1, 2)]);
+        // A-B edges from v0: to v1 and v2 → 2 matches
+        assert_eq!(brute_force_count(&edge, &g, None), 2);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let edge = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let k4 = graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(brute_force_count(&edge, &k4, Some(5)), 5);
+        assert_eq!(brute_force_count(&edge, &k4, None), 12);
+    }
+
+    #[test]
+    fn match_validation() {
+        let q = paper_query();
+        let g = paper_data();
+        assert!(is_valid_match(&q, &g, &paper_match()));
+        // wrong length
+        assert!(!is_valid_match(&q, &g, &[0, 4, 5]));
+        // non-injective
+        assert!(!is_valid_match(&q, &g, &[0, 4, 4, 12]));
+        // label mismatch
+        assert!(!is_valid_match(&q, &g, &[1, 4, 5, 12]));
+        // out of range
+        assert!(!is_valid_match(&q, &g, &[0, 4, 5, 99]));
+        // missing edge
+        assert!(!is_valid_match(&q, &g, &[0, 2, 5, 12]));
+    }
+
+    #[test]
+    fn no_match_when_label_absent() {
+        let q = graph_from_edges(&[9, 9], &[(0, 1)]);
+        let g = graph_from_edges(&[0, 0], &[(0, 1)]);
+        assert_eq!(brute_force_count(&q, &g, None), 0);
+    }
+}

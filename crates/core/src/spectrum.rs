@@ -1,0 +1,120 @@
+//! Spectrum analysis (Section 5.3 of the paper): sample many random
+//! matching orders for a query, run each under a small time budget, and
+//! compare the heuristic orderings against the sampled distribution.
+
+use crate::context::DataContext;
+use crate::enumerate::{LcMethod, MatchConfig};
+use crate::filter::FilterKind;
+use crate::order::OrderKind;
+use crate::pipeline::Pipeline;
+use rand::SeedableRng;
+use sm_graph::Graph;
+use std::time::Duration;
+
+/// One sampled order's result.
+#[derive(Clone, Debug)]
+pub struct SpectrumPoint {
+    /// The matching order evaluated.
+    pub order: Vec<u32>,
+    /// Enumeration time, `None` if the per-order budget was exceeded.
+    pub enum_time: Option<Duration>,
+    /// Matches found within the budget.
+    pub matches: u64,
+}
+
+/// Result of a spectrum run for one query.
+#[derive(Clone, Debug)]
+pub struct SpectrumResult {
+    /// All sampled points (completed and timed-out).
+    pub points: Vec<SpectrumPoint>,
+}
+
+impl SpectrumResult {
+    /// Fastest completed order, if any completed.
+    pub fn best(&self) -> Option<&SpectrumPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.enum_time.is_some())
+            .min_by_key(|p| p.enum_time.unwrap())
+    }
+
+    /// Number of orders that completed within the budget.
+    pub fn completed(&self) -> usize {
+        self.points.iter().filter(|p| p.enum_time.is_some()).count()
+    }
+}
+
+/// Evaluate `num_orders` random connected orders of `q` with the study's
+/// measurement engine (GraphQL candidates + intersection-based local
+/// candidates), each under `per_order_limit`. Deterministic for a `seed`.
+pub fn spectrum_analysis(
+    q: &Graph,
+    g: &DataContext<'_>,
+    num_orders: usize,
+    per_order_limit: Duration,
+    seed: u64,
+) -> SpectrumResult {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let orders = crate::order::random::sample_orders(q, num_orders, &mut rng);
+    let mut points = Vec::with_capacity(orders.len());
+    for order in orders {
+        let pipeline = Pipeline::new(
+            "spectrum",
+            FilterKind::GraphQl,
+            OrderKind::Fixed(order.clone()),
+            LcMethod::Intersect,
+        );
+        let config = MatchConfig::default().with_time_limit(per_order_limit);
+        let out = pipeline.run(q, g, &config);
+        points.push(SpectrumPoint {
+            order,
+            enum_time: (!out.unsolved()).then_some(out.enum_time),
+            matches: out.matches,
+        });
+    }
+    SpectrumResult { points }
+}
+
+/// Speedup of the best sampled order over a measured enumeration time
+/// (Table 6 metric). Saturates when the baseline is instantaneous.
+pub fn speedup_over(best: Duration, measured: Duration) -> f64 {
+    let b = best.as_secs_f64().max(1e-9);
+    measured.as_secs_f64() / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_data, paper_query};
+
+    #[test]
+    fn spectrum_on_fixture() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let res = spectrum_analysis(&q, &gc, 20, Duration::from_secs(5), 1);
+        assert_eq!(res.points.len(), 20);
+        assert_eq!(res.completed(), 20); // tiny query: all complete
+        // every order finds the single match
+        assert!(res.points.iter().all(|p| p.matches == 1));
+        assert!(res.best().is_some());
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup_over(Duration::from_millis(10), Duration::from_millis(100)) - 10.0).abs() < 1e-9);
+        assert!(speedup_over(Duration::ZERO, Duration::from_secs(1)) > 1e6);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let a = spectrum_analysis(&q, &gc, 5, Duration::from_secs(5), 9);
+        let b = spectrum_analysis(&q, &gc, 5, Duration::from_secs(5), 9);
+        let oa: Vec<_> = a.points.iter().map(|p| p.order.clone()).collect();
+        let ob: Vec<_> = b.points.iter().map(|p| p.order.clone()).collect();
+        assert_eq!(oa, ob);
+    }
+}

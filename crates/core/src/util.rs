@@ -1,0 +1,146 @@
+//! Small utilities shared by the filters and engines.
+
+use sm_graph::VertexId;
+
+/// A plain dense bitmap over data vertices.
+///
+/// Filters use these as transient membership sets for `C(u)` during
+/// refinement; the engines use one as the `visited` set. Words are `u64`;
+/// `clear_list` gives O(touched) reset so one bitmap can be reused across
+/// query vertices without an O(n) clear each time.
+#[derive(Clone, Debug)]
+pub struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap able to hold `n` bits.
+    pub fn new(n: usize) -> Self {
+        Bitmap {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: VertexId) {
+        self.words[i as usize >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn unset(&mut self, i: VertexId) {
+        self.words[i as usize >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: VertexId) -> bool {
+        self.words[i as usize >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Set every bit in `list`.
+    pub fn set_all(&mut self, list: &[VertexId]) {
+        for &i in list {
+            self.set(i);
+        }
+    }
+
+    /// Clear every bit in `list` (O(|list|) reset for reuse).
+    pub fn clear_list(&mut self, list: &[VertexId]) {
+        for &i in list {
+            self.unset(i);
+        }
+    }
+
+    /// Clear the whole bitmap.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Maximum bipartite matching by augmenting paths (Kuhn's algorithm),
+/// sized for GraphQL's pseudo-isomorphism test where the left side is
+/// `N(u)` (≤ query degree, tiny) and the right side is `N(v)`.
+///
+/// `adj[l]` lists the right vertices reachable from left vertex `l`.
+/// Returns the size of a maximum matching.
+pub fn max_bipartite_matching(num_right: usize, adj: &[Vec<u32>]) -> usize {
+    let mut match_right: Vec<i32> = vec![-1; num_right];
+    let mut matched = 0usize;
+    let mut seen = vec![false; num_right];
+    for l in 0..adj.len() {
+        seen.fill(false);
+        if augment(l, adj, &mut match_right, &mut seen) {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+fn augment(l: usize, adj: &[Vec<u32>], match_right: &mut [i32], seen: &mut [bool]) -> bool {
+    for &r in &adj[l] {
+        let r = r as usize;
+        if !seen[r] {
+            seen[r] = true;
+            if match_right[r] < 0
+                || augment(match_right[r] as usize, adj, match_right, seen)
+            {
+                match_right[r] = l as i32;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_ops() {
+        let mut b = Bitmap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        b.unset(64);
+        assert!(!b.get(64));
+        b.set_all(&[3, 5]);
+        assert!(b.get(3) && b.get(5));
+        b.clear_list(&[0, 3, 5, 129]);
+        assert!(!b.get(0) && !b.get(3) && !b.get(5) && !b.get(129));
+        b.set(7);
+        b.clear();
+        assert!(!b.get(7));
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        // 3x3, perfect matching exists
+        let adj = vec![vec![0, 1], vec![1, 2], vec![0]];
+        assert_eq!(max_bipartite_matching(3, &adj), 3);
+    }
+
+    #[test]
+    fn deficient_matching() {
+        // two lefts compete for one right
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(max_bipartite_matching(1, &adj), 1);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // l0-{r0}, l1-{r0,r1}: greedy l0→r0 forces l1 to augment to r1
+        let adj = vec![vec![0], vec![0, 1]];
+        assert_eq!(max_bipartite_matching(2, &adj), 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert_eq!(max_bipartite_matching(0, &[]), 0);
+        assert_eq!(max_bipartite_matching(3, &[vec![], vec![]]), 0);
+    }
+}

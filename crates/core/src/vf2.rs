@@ -1,0 +1,266 @@
+//! Classic VF2 (Cordella, Foggia, Sansone, Vento; TPAMI 2004) — the
+//! state-space baseline VF2++ improves on (paper Table 1).
+//!
+//! VF2 keeps no candidate structures: a state is the partial mapping plus
+//! the *terminal sets* (unmapped vertices adjacent to the mapped region on
+//! each side). Candidate pairs couple the smallest terminal query vertex
+//! with every terminal data vertex, and feasibility combines the edge
+//! consistency rule with counting lookaheads.
+//!
+//! The paper's problem is subgraph **monomorphism** (edge-preserving, not
+//! induced), so the classic induced-isomorphism lookaheads are relaxed to
+//! the sound monomorphism forms: every unmapped neighbor of `u` must find
+//! a distinct unmapped neighbor of `v`, i.e.
+//! `|N(u) ∩ T_q| ≤ |N(v) ∩ unmapped|` and
+//! `|N(u) ∩ unmapped| ≤ |N(v) ∩ unmapped|`.
+
+use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
+use sm_graph::types::NO_VERTEX;
+use sm_graph::{Graph, VertexId};
+use std::time::Instant;
+
+/// Run classic VF2, streaming matches into `sink`.
+///
+/// ```
+/// use sm_graph::builder::graph_from_edges;
+/// use sm_match::enumerate::{CountSink, MatchConfig};
+///
+/// let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+/// let g = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]);
+/// let mut sink = CountSink;
+/// let stats = sm_match::vf2::vf2_match(&q, &g, &MatchConfig::find_all(), &mut sink);
+/// assert_eq!(stats.matches, 2);
+/// ```
+pub fn vf2_match<S: MatchSink>(
+    q: &Graph,
+    g: &Graph,
+    config: &MatchConfig,
+    sink: &mut S,
+) -> EnumStats {
+    let started = Instant::now();
+    let mut st = Vf2State {
+        q,
+        g,
+        m: vec![NO_VERTEX; q.num_vertices()],
+        g_used: vec![false; g.num_vertices()],
+        q_depth: vec![0u32; q.num_vertices()],
+        g_depth: vec![0u32; g.num_vertices()],
+        matches: 0,
+        recursions: 0,
+        cap: config.max_matches.unwrap_or(u64::MAX),
+        deadline: config.time_limit.map(|d| started + d),
+        stopped: None,
+        sink,
+    };
+    st.recurse(0);
+    EnumStats {
+        matches: st.matches,
+        recursions: st.recursions,
+        elapsed: started.elapsed(),
+        outcome: st.stopped.unwrap_or(Outcome::Complete),
+    }
+}
+
+struct Vf2State<'a, S: MatchSink> {
+    q: &'a Graph,
+    g: &'a Graph,
+    m: Vec<VertexId>,
+    g_used: Vec<bool>,
+    /// Depth (1-based) at which a query vertex entered the terminal set;
+    /// 0 = not terminal. Mapped vertices also keep their entry depth.
+    q_depth: Vec<u32>,
+    g_depth: Vec<u32>,
+    matches: u64,
+    recursions: u64,
+    cap: u64,
+    deadline: Option<Instant>,
+    stopped: Option<Outcome>,
+    sink: &'a mut S,
+}
+
+impl<S: MatchSink> Vf2State<'_, S> {
+    fn recurse(&mut self, depth: usize) {
+        self.recursions += 1;
+        if self.recursions & 0x3FF == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.stopped = Some(Outcome::TimedOut);
+                }
+            }
+        }
+        if self.stopped.is_some() {
+            return;
+        }
+        let nq = self.q.num_vertices();
+        if depth == nq {
+            self.matches += 1;
+            self.sink.on_match(&self.m);
+            if self.matches >= self.cap {
+                self.stopped = Some(Outcome::CapReached);
+            }
+            return;
+        }
+        // Candidate query vertex: smallest terminal vertex, else (first
+        // level / disconnected query) the smallest unmapped vertex.
+        let u = (0..nq as VertexId)
+            .filter(|&u| self.m[u as usize] == NO_VERTEX && self.q_depth[u as usize] > 0)
+            .min()
+            .or_else(|| {
+                (0..nq as VertexId).find(|&u| self.m[u as usize] == NO_VERTEX)
+            })
+            .expect("depth < nq implies an unmapped vertex");
+        let from_terminal = self.q_depth[u as usize] > 0;
+
+        // Candidate data vertices: terminal data vertices when u is
+        // terminal, all unused otherwise. (Iterating the label bucket
+        // would be an optimization VF2 itself does not have.)
+        let n = self.g.num_vertices() as VertexId;
+        for v in 0..n {
+            if self.stopped.is_some() {
+                return;
+            }
+            if self.g_used[v as usize] {
+                continue;
+            }
+            if from_terminal && self.g_depth[v as usize] == 0 {
+                continue;
+            }
+            if self.feasible(u, v) {
+                let snapshot = self.apply(depth as u32 + 1, u, v);
+                self.recurse(depth + 1);
+                self.undo(u, v, snapshot);
+            }
+        }
+    }
+
+    /// VF2 feasibility: labels, edge consistency with the mapped region,
+    /// and the monomorphism-sound counting lookaheads.
+    fn feasible(&self, u: VertexId, v: VertexId) -> bool {
+        if self.q.label(u) != self.g.label(v) || self.g.degree(v) < self.q.degree(u) {
+            return false;
+        }
+        // R_cons: every mapped neighbor of u must map to a neighbor of v.
+        for &u2 in self.q.neighbors(u) {
+            let v2 = self.m[u2 as usize];
+            if v2 != NO_VERTEX && !self.g.has_edge(v, v2) {
+                return false;
+            }
+        }
+        // Lookaheads over the unmapped neighborhoods.
+        let mut q_term = 0usize;
+        let mut q_unmapped = 0usize;
+        for &u2 in self.q.neighbors(u) {
+            if self.m[u2 as usize] == NO_VERTEX {
+                q_unmapped += 1;
+                if self.q_depth[u2 as usize] > 0 {
+                    q_term += 1;
+                }
+            }
+        }
+        let mut g_unmapped = 0usize;
+        for &v2 in self.g.neighbors(v) {
+            if !self.g_used[v2 as usize] {
+                g_unmapped += 1;
+            }
+        }
+        q_term <= g_unmapped && q_unmapped <= g_unmapped
+    }
+
+    /// Apply `(u, v)` and grow the terminal sets; returns the lists of
+    /// vertices whose terminal-entry this level created.
+    fn apply(&mut self, level: u32, u: VertexId, v: VertexId) -> (Vec<VertexId>, Vec<VertexId>) {
+        self.m[u as usize] = v;
+        self.g_used[v as usize] = true;
+        let mut q_new = Vec::new();
+        if self.q_depth[u as usize] == 0 {
+            self.q_depth[u as usize] = level;
+            q_new.push(u);
+        }
+        for &u2 in self.q.neighbors(u) {
+            if self.q_depth[u2 as usize] == 0 {
+                self.q_depth[u2 as usize] = level;
+                q_new.push(u2);
+            }
+        }
+        let mut g_new = Vec::new();
+        if self.g_depth[v as usize] == 0 {
+            self.g_depth[v as usize] = level;
+            g_new.push(v);
+        }
+        for &v2 in self.g.neighbors(v) {
+            if self.g_depth[v2 as usize] == 0 {
+                self.g_depth[v2 as usize] = level;
+                g_new.push(v2);
+            }
+        }
+        (q_new, g_new)
+    }
+
+    fn undo(&mut self, u: VertexId, v: VertexId, snapshot: (Vec<VertexId>, Vec<VertexId>)) {
+        for u2 in snapshot.0 {
+            self.q_depth[u2 as usize] = 0;
+        }
+        for v2 in snapshot.1 {
+            self.g_depth[v2 as usize] = 0;
+        }
+        self.m[u as usize] = NO_VERTEX;
+        self.g_used[v as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{CollectSink, CountSink};
+    use crate::fixtures::{paper_data, paper_match, paper_query};
+    use crate::reference::brute_force_count;
+    use sm_graph::builder::graph_from_edges;
+
+    fn count(q: &Graph, g: &Graph) -> u64 {
+        let mut sink = CountSink;
+        vf2_match(q, g, &MatchConfig::find_all(), &mut sink).matches
+    }
+
+    #[test]
+    fn fixture_match() {
+        let q = paper_query();
+        let g = paper_data();
+        let mut sink = CollectSink::default();
+        let stats = vf2_match(&q, &g, &MatchConfig::find_all(), &mut sink);
+        assert_eq!(stats.matches, 1);
+        assert_eq!(sink.matches, vec![paper_match()]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_cliques_and_paths() {
+        let tri = graph_from_edges(&[0; 3], &[(0, 1), (1, 2), (0, 2)]);
+        let k4 = graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count(&tri, &k4), brute_force_count(&tri, &k4, None));
+        let p3 = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let g = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count(&p3, &g), brute_force_count(&p3, &g, None));
+    }
+
+    #[test]
+    fn monomorphism_not_induced() {
+        // Path query inside a triangle: induced iso would reject (extra
+        // edge), monomorphism accepts.
+        let p3 = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let tri = graph_from_edges(&[0; 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count(&p3, &tri), 6);
+    }
+
+    #[test]
+    fn cap_and_limits() {
+        let edge = graph_from_edges(&[0, 0], &[(0, 1)]);
+        let k4 = graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let cfg = MatchConfig {
+            max_matches: Some(3),
+            ..Default::default()
+        };
+        let mut sink = CountSink;
+        let stats = vf2_match(&edge, &k4, &cfg, &mut sink);
+        assert_eq!(stats.matches, 3);
+        assert_eq!(stats.outcome, Outcome::CapReached);
+    }
+}

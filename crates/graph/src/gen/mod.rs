@@ -1,0 +1,18 @@
+//! Workload generators.
+//!
+//! * [`rmat`] — the R-MAT recursive-matrix power-law generator used for the
+//!   paper's synthetic datasets (Section 4, parameters a=0.45, b=0.22,
+//!   c=0.22, d=0.11).
+//! * [`random`] — Erdős–Rényi graphs and label assignment strategies
+//!   (uniform and skewed, the latter modelling WordNet's ">80 % one label"
+//!   distribution).
+//! * [`query`] — random-walk extraction of connected query graphs with
+//!   dense/sparse density control (the paper's `Q_iD` / `Q_iS` sets).
+
+pub mod query;
+pub mod random;
+pub mod rmat;
+
+pub use query::{extract_query, generate_query_set, QuerySetSpec};
+pub use random::{assign_labels_skewed, assign_labels_uniform, erdos_renyi};
+pub use rmat::{rmat_graph, RmatParams};

@@ -1,0 +1,264 @@
+//! Reader/writer for the `.graph` text format of the paper's dataset
+//! release (RapidsAtHKUST/SubgraphMatching):
+//!
+//! ```text
+//! t <num_vertices> <num_edges>
+//! v <id> <label> <degree>
+//! ...
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! The degree column is redundant (recomputable) and is validated but not
+//! trusted. Comment lines beginning with `#` or `%` are skipped.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::{Label, VertexId};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing the `.graph` format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based line number.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// Header counts disagree with the body.
+    CountMismatch {
+        /// Count declared in the `t` header.
+        expected: usize,
+        /// Count actually present in the body.
+        found: usize,
+        /// `"vertex"` or `"edge"`.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::CountMismatch {
+                expected,
+                found,
+                what,
+            } => write!(f, "{what} count mismatch: header says {expected}, found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse a graph from any reader in the `.graph` text format.
+///
+/// ```
+/// let text = "t 2 1\nv 0 5 1\nv 1 6 1\ne 0 1\n";
+/// let g = sm_graph::io::read_graph(text.as_bytes()).unwrap();
+/// assert_eq!(g.num_vertices(), 2);
+/// assert!(g.has_edge(0, 1));
+/// ```
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut expected_vertices = 0usize;
+    let mut expected_edges = 0usize;
+    let mut seen_vertices = 0usize;
+    let mut seen_edges = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        let malformed = |msg: &str| ParseError::Malformed {
+            line: lineno,
+            msg: msg.to_string(),
+        };
+        match tag {
+            "t" => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad vertex count in header"))?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad edge count in header"))?;
+                expected_vertices = n;
+                expected_edges = m;
+                builder = Some(GraphBuilder::with_capacity(n, m));
+            }
+            "v" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| malformed("'v' line before 't' header"))?;
+                let id: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad vertex id"))?;
+                let label: Label = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad vertex label"))?;
+                // optional degree column ignored
+                if id as usize != seen_vertices {
+                    return Err(malformed(&format!(
+                        "vertex ids must be dense and ascending; expected {seen_vertices}, got {id}"
+                    )));
+                }
+                b.add_vertex(label);
+                seen_vertices += 1;
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| malformed("'e' line before 't' header"))?;
+                let u: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad edge endpoint"))?;
+                let v: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed("bad edge endpoint"))?;
+                b.add_edge(u, v);
+                seen_edges += 1;
+            }
+            other => {
+                return Err(malformed(&format!("unknown line tag '{other}'")));
+            }
+        }
+    }
+    if seen_vertices != expected_vertices {
+        return Err(ParseError::CountMismatch {
+            expected: expected_vertices,
+            found: seen_vertices,
+            what: "vertex",
+        });
+    }
+    if seen_edges != expected_edges {
+        return Err(ParseError::CountMismatch {
+            expected: expected_edges,
+            found: seen_edges,
+            what: "edge",
+        });
+    }
+    Ok(builder.unwrap_or_default().build())
+}
+
+/// Serialize `g` in the `.graph` text format.
+pub fn write_graph<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "t {} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        writeln!(w, "v {} {} {}", v, g.label(v), g.degree(v))?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Load a graph from a file path.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_graph(file)
+}
+
+/// Save a graph to a file path.
+pub fn save_graph<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_graph(g, &mut w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn round_trip() {
+        let g = graph_from_edges(&[0, 1, 2, 3], &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g2.label(v), g.label(v));
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# comment\n\nt 2 1\nv 0 5 1\nv 1 6 1\n% another\ne 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.label(0), 5);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let text = "t 2 2\nv 0 0 0\nv 1 0 0\ne 0 1\n";
+        match read_graph(text.as_bytes()) {
+            Err(ParseError::CountMismatch { what: "edge", .. }) => {}
+            other => panic!("expected edge count mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_dense_vertex_ids_rejected() {
+        let text = "t 2 0\nv 0 0 0\nv 5 0 0\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = "t 1 0\nv 0 0 0\nx 1 2\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = graph_from_edges(&[1, 1], &[(0, 1)]);
+        let dir = std::env::temp_dir().join("sm_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.graph");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.num_edges(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_graph("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Loader for plain edge-list files (the SNAP / KONECT style most public
+//! graph datasets ship in): one `u v` pair per line, `#` or `%` comments,
+//! arbitrary (possibly sparse) vertex ids.
+//!
+//! Vertex ids are compacted to `0..n` in first-appearance order. The
+//! format carries no labels; callers label the result with
+//! [`crate::gen::random::assign_labels_uniform`] /
+//! [`crate::gen::random::assign_labels_zipf`], exactly how the paper
+//! labels its unlabeled datasets.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::io::ParseError;
+use crate::types::VertexId;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Parse an edge list from any reader. All vertices get label 0.
+///
+/// ```
+/// let text = "# snap-style comment\n101 102\n102 103\n";
+/// let g = sm_graph::io_edgelist::read_edge_list(text.as_bytes()).unwrap();
+/// assert_eq!(g.num_vertices(), 3); // ids compacted
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, VertexId> = HashMap::new();
+    let mut builder = GraphBuilder::new();
+    let mut intern = |raw: u64, b: &mut GraphBuilder| -> VertexId {
+        *ids.entry(raw).or_insert_with(|| b.add_vertex(0))
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let parse = |s: Option<&str>| -> Result<u64, ParseError> {
+            s.and_then(|x| x.parse().ok()).ok_or(ParseError::Malformed {
+                line: lineno,
+                msg: "expected two integer vertex ids".to_string(),
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        // extra columns (weights, timestamps) are ignored
+        let ui = intern(u, &mut builder);
+        let vi = intern(v, &mut builder);
+        builder.add_edge(ui, vi);
+    }
+    Ok(builder.build())
+}
+
+/// Load an edge-list file from disk.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let text = "# a comment\n1 2\n2 3\n1 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn sparse_ids_are_compacted() {
+        let text = "1000000 42\n42 7\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicates_self_loops_and_extra_columns() {
+        let text = "1 2 0.5\n2 1 0.7\n1 1\n% weighted konect style\n2 3 1.0 1234567\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2); // 1-2 deduped, self loop dropped
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "1 2\nnot numbers\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn labels_default_to_zero_for_relabeling() {
+        let text = "1 2\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert!(g.vertices().all(|v| g.label(v) == 0));
+        let labeled = crate::gen::random::assign_labels_zipf(&g, 4, 1.0, 1);
+        assert_eq!(labeled.num_edges(), g.num_edges());
+    }
+}

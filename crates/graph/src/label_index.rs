@@ -1,0 +1,146 @@
+//! Label → vertex index and label-pair edge statistics.
+
+use crate::graph::Graph;
+use crate::types::{Label, VertexId};
+
+/// Maps each label to the sorted list of vertices carrying it.
+///
+/// Backing storage is a CSR over labels so lookups are two array reads; the
+/// LDF filter iterates `vertices_with_label(L(u))` instead of scanning all
+/// of `V(G)`.
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    offsets: Vec<usize>,
+    vertices: Vec<VertexId>,
+    num_labels: usize,
+}
+
+impl LabelIndex {
+    /// Build the index from a per-vertex label array.
+    pub fn build(labels: &[Label]) -> Self {
+        let max_label = labels.iter().copied().max().map_or(0, |l| l as usize + 1);
+        let mut counts = vec![0usize; max_label];
+        for &l in labels {
+            counts[l as usize] += 1;
+        }
+        let num_labels = counts.iter().filter(|&&c| c > 0).count();
+        let mut offsets = vec![0usize; max_label + 1];
+        for l in 0..max_label {
+            offsets[l + 1] = offsets[l] + counts[l];
+        }
+        let mut vertices = vec![0 as VertexId; labels.len()];
+        let mut cursor = offsets[..max_label].to_vec();
+        for (v, &l) in labels.iter().enumerate() {
+            vertices[cursor[l as usize]] = v as VertexId;
+            cursor[l as usize] += 1;
+        }
+        // Vertices enter in increasing id order, so each bucket is sorted.
+        LabelIndex {
+            offsets,
+            vertices,
+            num_labels,
+        }
+    }
+
+    /// Number of distinct labels that occur at least once.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Sorted vertices carrying label `l` (empty slice if unused).
+    #[inline]
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        let l = l as usize;
+        if l + 1 >= self.offsets.len() {
+            &[]
+        } else {
+            &self.vertices[self.offsets[l]..self.offsets[l + 1]]
+        }
+    }
+
+    /// Number of vertices carrying label `l`.
+    #[inline]
+    pub fn frequency(&self, l: Label) -> usize {
+        self.vertices_with_label(l).len()
+    }
+}
+
+/// Counts, for every unordered label pair `(la, lb)`, the number of edges in
+/// `G` whose endpoints carry those labels — the edge weights `w(e)` in
+/// QuickSI's infrequent-edge-first ordering.
+#[derive(Clone, Debug)]
+pub struct LabelPairEdgeCounts {
+    counts: std::collections::HashMap<(Label, Label), u64>,
+}
+
+impl LabelPairEdgeCounts {
+    /// Scan all edges of `g` once. `O(|E|)`.
+    pub fn build(g: &Graph) -> Self {
+        let mut counts = std::collections::HashMap::new();
+        for (u, v) in g.edges() {
+            let key = Self::key(g.label(u), g.label(v));
+            *counts.entry(key).or_insert(0u64) += 1;
+        }
+        LabelPairEdgeCounts { counts }
+    }
+
+    #[inline]
+    fn key(a: Label, b: Label) -> (Label, Label) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of edges in the indexed graph between labels `a` and `b`.
+    #[inline]
+    pub fn count(&self, a: Label, b: Label) -> u64 {
+        self.counts.get(&Self::key(a, b)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn index_buckets() {
+        let idx = LabelIndex::build(&[2, 0, 2, 1, 2]);
+        assert_eq!(idx.num_labels(), 3);
+        assert_eq!(idx.vertices_with_label(2), &[0, 2, 4]);
+        assert_eq!(idx.vertices_with_label(0), &[1]);
+        assert_eq!(idx.frequency(1), 1);
+        assert_eq!(idx.frequency(5), 0);
+        assert!(idx.vertices_with_label(100).is_empty());
+    }
+
+    #[test]
+    fn empty_labels() {
+        let idx = LabelIndex::build(&[]);
+        assert_eq!(idx.num_labels(), 0);
+        assert!(idx.vertices_with_label(0).is_empty());
+    }
+
+    #[test]
+    fn unused_label_gap() {
+        // label 1 never occurs
+        let idx = LabelIndex::build(&[0, 2]);
+        assert_eq!(idx.num_labels(), 2);
+        assert!(idx.vertices_with_label(1).is_empty());
+    }
+
+    #[test]
+    fn label_pair_counts() {
+        // A-B, A-B, B-B
+        let g = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (2, 3), (1, 3)]);
+        let c = LabelPairEdgeCounts::build(&g);
+        assert_eq!(c.count(0, 1), 2);
+        assert_eq!(c.count(1, 0), 2);
+        assert_eq!(c.count(1, 1), 1);
+        assert_eq!(c.count(0, 0), 0);
+        assert_eq!(c.count(4, 4), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Neighbor-label-frequency (NLF) index.
+
+use crate::graph::Graph;
+use crate::types::{Label, VertexId};
+
+/// For every vertex `v`, the multiset of labels of `N(v)` as sorted
+/// `(label, count)` pairs, stored in one CSR-like arena.
+///
+/// This is the structure behind the NLF filter of CFL/CECI/DP-iso: a data
+/// vertex `v` can match query vertex `u` only if for every label `l` in
+/// `L(N(u))`, `|N(u, l)| <= |N(v, l)|`. Because both sides are sorted by
+/// label, the dominance check is a linear merge.
+#[derive(Clone, Debug)]
+pub struct NlfIndex {
+    offsets: Vec<usize>,
+    entries: Vec<(Label, u32)>,
+}
+
+impl NlfIndex {
+    /// Build the index for every vertex of `g`. `O(|E|)` amortized (labels
+    /// of a sorted adjacency list are counted with a scratch map).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut entries = Vec::new();
+        let mut scratch: Vec<(Label, u32)> = Vec::new();
+        for v in 0..n as VertexId {
+            scratch.clear();
+            for &w in g.neighbors(v) {
+                scratch.push((g.label(w), 1));
+            }
+            scratch.sort_unstable_by_key(|&(l, _)| l);
+            // run-length encode
+            let mut i = 0;
+            while i < scratch.len() {
+                let l = scratch[i].0;
+                let mut c = 0u32;
+                while i < scratch.len() && scratch[i].0 == l {
+                    c += 1;
+                    i += 1;
+                }
+                entries.push((l, c));
+            }
+            offsets.push(entries.len());
+        }
+        NlfIndex { offsets, entries }
+    }
+
+    /// Sorted `(label, count)` pairs for `v`'s neighborhood.
+    #[inline]
+    pub fn entry(&self, v: VertexId) -> &[(Label, u32)] {
+        let v = v as usize;
+        &self.entries[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Count of neighbors of `v` labeled `l`.
+    #[inline]
+    pub fn count(&self, v: VertexId, l: Label) -> u32 {
+        let e = self.entry(v);
+        match e.binary_search_by_key(&l, |&(ll, _)| ll) {
+            Ok(i) => e[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// NLF dominance test: does `v_entry` (data side) dominate `u_entry`
+    /// (query side)? Both must be sorted by label.
+    ///
+    /// Returns true iff for every `(l, c)` in `u_entry` there is `(l, c')`
+    /// in `v_entry` with `c' >= c`.
+    pub fn dominates(v_entry: &[(Label, u32)], u_entry: &[(Label, u32)]) -> bool {
+        let mut i = 0; // over v_entry
+        for &(l, c) in u_entry {
+            while i < v_entry.len() && v_entry[i].0 < l {
+                i += 1;
+            }
+            if i >= v_entry.len() || v_entry[i].0 != l || v_entry[i].1 < c {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convenience: does data vertex `v` (in this index) NLF-dominate query
+    /// vertex `u` (in `q_nlf`)?
+    #[inline]
+    pub fn check(&self, v: VertexId, q_nlf: &NlfIndex, u: VertexId) -> bool {
+        Self::dominates(self.entry(v), q_nlf.entry(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn entries_are_run_length_encoded() {
+        // star: center 0 (label 9) with leaves labeled 1,1,2
+        let g = graph_from_edges(&[9, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]);
+        let nlf = g.build_nlf();
+        assert_eq!(nlf.entry(0), &[(1, 2), (2, 1)]);
+        assert_eq!(nlf.entry(1), &[(9, 1)]);
+        assert_eq!(nlf.count(0, 1), 2);
+        assert_eq!(nlf.count(0, 9), 0);
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(NlfIndex::dominates(&[(1, 2), (2, 1)], &[(1, 1)]));
+        assert!(NlfIndex::dominates(&[(1, 2), (2, 1)], &[(1, 2), (2, 1)]));
+        assert!(!NlfIndex::dominates(&[(1, 2)], &[(1, 3)]));
+        assert!(!NlfIndex::dominates(&[(1, 2)], &[(2, 1)]));
+        assert!(NlfIndex::dominates(&[(1, 2)], &[]));
+        assert!(!NlfIndex::dominates(&[], &[(0, 1)]));
+    }
+
+    #[test]
+    fn cross_graph_check() {
+        // query: edge A-B; data: path A-B-A
+        let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let g = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let qn = q.build_nlf();
+        let gn = g.build_nlf();
+        // data v0 (label A, nbr B) dominates query u0 (label A, nbr B)
+        assert!(gn.check(0, &qn, 0));
+        // data v1 has neighbors {A,A}; query u1 needs one A neighbor
+        assert!(gn.check(1, &qn, 1));
+        // data v0 does not dominate u1 (u1 needs an A-labeled neighbor)
+        assert!(!gn.check(0, &qn, 1));
+    }
+
+    #[test]
+    fn isolated_vertex_entry_is_empty() {
+        let g = graph_from_edges(&[0, 0], &[]);
+        let nlf = g.build_nlf();
+        assert!(nlf.entry(0).is_empty());
+        assert_eq!(nlf.count(0, 0), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fundamental identifier types shared across the workspace.
+
+/// Identifier of a vertex within a [`crate::Graph`].
+///
+/// Vertices are dense indices in `0..n`; `u32` keeps adjacency arrays
+/// compact (the paper's largest stand-in graphs have well under 2^32
+/// vertices) and halves cache traffic versus `usize` on 64-bit targets.
+pub type VertexId = u32;
+
+/// Vertex label drawn from the label alphabet Σ.
+pub type Label = u32;
+
+/// Sentinel for "no vertex", used in parent arrays and partial matches.
+pub const NO_VERTEX: VertexId = VertexId::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_is_max() {
+        assert_eq!(NO_VERTEX, u32::MAX);
+    }
+}

@@ -1,0 +1,114 @@
+//! Structural properties of the CSR graph and its I/O on arbitrary edge
+//! lists.
+
+use proptest::prelude::*;
+use sm_graph::builder::graph_from_edges;
+use sm_graph::io::{read_graph, write_graph};
+
+fn arb_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let labels = prop::collection::vec(0u32..5, n..=n);
+        let edges = prop::collection::vec(
+            (0u32..n as u32, 0u32..n as u32),
+            0..(n * 3),
+        );
+        (labels, edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants((labels, edges) in arb_graph()) {
+        let g = graph_from_edges(&labels, &edges);
+        // degree sum = 2|E|
+        let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+        // adjacency sorted, no self loops, no duplicates
+        for v in g.vertices() {
+            let n = g.neighbors(v);
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!n.contains(&v));
+            // symmetry
+            for &w in n {
+                prop_assert!(g.neighbors(w).contains(&v));
+                prop_assert!(g.has_edge(v, w));
+                prop_assert!(g.has_edge(w, v));
+            }
+        }
+        // edges() iterates each undirected edge exactly once
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.num_edges());
+        prop_assert!(listed.iter().all(|&(u, v)| u < v));
+        // label index covers every vertex exactly once
+        let mut covered = 0;
+        for l in 0..6u32 {
+            let vs = g.vertices_with_label(l);
+            prop_assert!(vs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(vs.iter().all(|&v| g.label(v) == l));
+            covered += vs.len();
+        }
+        prop_assert_eq!(covered, g.num_vertices());
+    }
+
+    #[test]
+    fn io_round_trip((labels, edges) in arb_graph()) {
+        let g = graph_from_edges(&labels, &edges);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            prop_assert_eq!(g2.label(v), g.label(v));
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn core_numbers_are_consistent((labels, edges) in arb_graph()) {
+        use sm_graph::core_decomposition::core_numbers;
+        let g = graph_from_edges(&labels, &edges);
+        let core = core_numbers(&g);
+        // core number bounded by degree
+        for v in g.vertices() {
+            prop_assert!(core[v as usize] as usize <= g.degree(v));
+        }
+        // every vertex in the k-core has >= k neighbors inside the k-core
+        let maxc = core.iter().copied().max().unwrap_or(0);
+        for k in 1..=maxc {
+            for v in g.vertices() {
+                if core[v as usize] >= k {
+                    let inside = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| core[w as usize] >= k)
+                        .count();
+                    prop_assert!(
+                        inside >= k as usize,
+                        "v{} in {}-core has only {} in-core neighbors",
+                        v, k, inside
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tree_covers_component((labels, edges) in arb_graph()) {
+        use sm_graph::traversal::BfsTree;
+        let g = graph_from_edges(&labels, &edges);
+        let t = BfsTree::build(&g, 0);
+        // order contains unique vertices, root first
+        prop_assert_eq!(t.order[0], 0);
+        let set: std::collections::HashSet<_> = t.order.iter().collect();
+        prop_assert_eq!(set.len(), t.order.len());
+        // parent depth relation
+        for &v in &t.order {
+            let p = t.parent[v as usize];
+            if p != sm_graph::types::NO_VERTEX {
+                prop_assert_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
+                prop_assert!(g.has_edge(p, v));
+            }
+        }
+    }
+}

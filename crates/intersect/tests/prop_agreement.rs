@@ -1,0 +1,59 @@
+//! Property tests: every intersection kernel computes the same set as a
+//! HashSet-based oracle, on arbitrary inputs.
+
+use proptest::prelude::*;
+use sm_intersect::{intersect_buf, intersect_count, BsrSet, IntersectKind};
+use std::collections::BTreeSet;
+
+fn sorted_unique(xs: Vec<u32>) -> Vec<u32> {
+    let set: BTreeSet<u32> = xs.into_iter().collect();
+    set.into_iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn kernels_match_oracle(a in prop::collection::vec(0u32..2000, 0..300),
+                            b in prop::collection::vec(0u32..2000, 0..300)) {
+        let a = sorted_unique(a);
+        let b = sorted_unique(b);
+        let oracle: Vec<u32> = {
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            a.iter().copied().filter(|x| sb.contains(x)).collect()
+        };
+        for kind in [IntersectKind::Merge, IntersectKind::Galloping,
+                     IntersectKind::Hybrid, IntersectKind::Bsr] {
+            let mut out = Vec::new();
+            intersect_buf(kind, &a, &b, &mut out);
+            prop_assert_eq!(&out, &oracle, "kind {:?}", kind);
+        }
+        prop_assert_eq!(intersect_count(&a, &b), oracle.len());
+    }
+
+    #[test]
+    fn kernels_match_on_skewed_sizes(a in prop::collection::vec(0u32..100_000, 0..8),
+                                     b in prop::collection::vec(0u32..100_000, 500..600)) {
+        let a = sorted_unique(a);
+        let b = sorted_unique(b);
+        let oracle: Vec<u32> = {
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            a.iter().copied().filter(|x| sb.contains(x)).collect()
+        };
+        for kind in [IntersectKind::Merge, IntersectKind::Galloping,
+                     IntersectKind::Hybrid, IntersectKind::Bsr] {
+            let mut out = Vec::new();
+            intersect_buf(kind, &a, &b, &mut out);
+            prop_assert_eq!(&out, &oracle, "kind {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn bsr_round_trip(xs in prop::collection::vec(any::<u32>(), 0..400)) {
+        let xs = sorted_unique(xs);
+        let s = BsrSet::from_sorted(&xs);
+        prop_assert_eq!(s.to_vec(), xs.clone());
+        prop_assert_eq!(s.len(), xs.len());
+        for &x in &xs {
+            prop_assert!(s.contains(x));
+        }
+    }
+}

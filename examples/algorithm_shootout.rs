@@ -1,0 +1,102 @@
+//! Algorithm shootout: all eight competitors (the seven framework
+//! algorithms plus the Glasgow CP solver) on one dataset and query set —
+//! a miniature of the paper's Figure 16.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout [dataset] [query_size]
+//! ```
+//!
+//! `dataset` defaults to `ye`; `query_size` to 12.
+
+use std::time::Duration;
+use subgraph_matching::datasets::Dataset;
+use subgraph_matching::glasgow::{glasgow_match, GlasgowConfig, GlasgowError};
+use subgraph_matching::graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use subgraph_matching::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dataset = args.next().unwrap_or_else(|| "ye".to_string());
+    let qsize: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    let ds = Dataset::load(&dataset).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{dataset}' (try ye, hu, hp, wn, up, yt, db, eu)");
+        std::process::exit(2);
+    });
+    println!("dataset {} ({}): {}", ds.spec.abbrev, ds.spec.name, ds.stats);
+    let ctx = DataContext::new(&ds.graph);
+
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: qsize,
+            density: Density::Dense,
+            count: 10,
+        },
+        42,
+    );
+    println!("queries: {} dense {qsize}-vertex patterns\n", queries.len());
+
+    let config = MatchConfig::default().with_time_limit(Duration::from_secs(2));
+    let fs_config = config.clone().with_failing_sets(true);
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "algorithm", "avg total (us)", "avg matches", "unsolved"
+    );
+    for alg in Algorithm::all() {
+        let pipeline = alg.optimized();
+        report(&pipeline.name, &queries, |q| {
+            let out = pipeline.run(q, &ctx, &fs_config);
+            (out.total_time(), out.matches, out.unsolved())
+        });
+    }
+    // Glasgow, outside the framework.
+    let glw = GlasgowConfig {
+        time_limit: Some(Duration::from_secs(2)),
+        ..Default::default()
+    };
+    match glasgow_match(&queries[0], &ds.graph, &glw) {
+        Err(GlasgowError::OutOfMemory { required, budget }) => {
+            println!(
+                "{:<10} out of memory (needs {} MiB, budget {} MiB)",
+                "GLW",
+                required >> 20,
+                budget >> 20
+            );
+        }
+        Ok(_) => {
+            report("GLW", &queries, |q| {
+                let s = glasgow_match(q, &ds.graph, &glw).expect("checked above");
+                (s.elapsed, s.matches, s.timed_out)
+            });
+        }
+    }
+}
+
+fn report(
+    name: &str,
+    queries: &[subgraph_matching::graph::Graph],
+    mut run: impl FnMut(&subgraph_matching::graph::Graph) -> (Duration, u64, bool),
+) {
+    let mut time = Duration::ZERO;
+    let mut matches = 0u64;
+    let mut unsolved = 0usize;
+    for q in queries {
+        let (t, m, u) = run(q);
+        time += t;
+        matches += m;
+        unsolved += u as usize;
+    }
+    let n = queries.len().max(1) as u32;
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        name,
+        (time / n).as_micros(),
+        matches / n as u64,
+        unsolved
+    );
+}

@@ -1,0 +1,75 @@
+//! Fraud-ring detection in a transaction network — the social/financial
+//! graph workload the paper's introduction cites (labeled pattern queries
+//! over large sparse graphs).
+//!
+//! Builds a synthetic account graph (RMAT, power-law) whose labels model
+//! account types — 0: person, 1: merchant, 2: mule, 3: shell company —
+//! and hunts for suspicious structures: a "cycle ring" of mules and a
+//! "fan-in" shell pattern. Shows failing-set pruning paying off on the
+//! larger pattern, as in the paper's Figure 15.
+//!
+//! ```sh
+//! cargo run --release --example fraud_rings
+//! ```
+
+use subgraph_matching::graph::builder::graph_from_edges;
+use subgraph_matching::graph::gen::rmat::{rmat_graph, RmatParams};
+use subgraph_matching::prelude::*;
+
+fn main() {
+    // 50k accounts, average 12 relationships, 10 account types (4 shown).
+    let g = rmat_graph(50_000, 12.0, 10, RmatParams::PAPER, 2024);
+    println!("transaction network: {}", GraphStats::of(&g));
+    let ctx = DataContext::new(&g);
+
+    // Pattern 1: a mule ring — person -> mule -> mule -> mule -> back.
+    let ring = graph_from_edges(&[0, 2, 2, 2], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    // Pattern 2: fan-in through a shell company: three mules feeding one
+    // shell that pays out to a merchant; the mules also transact among
+    // themselves and the merchant reaches back to one of the persons —
+    // a rare, cyclic 8-vertex structure with many dead-end partial
+    // embeddings (where failing-set pruning earns its keep).
+    let shell = graph_from_edges(
+        &[3, 2, 2, 2, 1, 0, 0, 0],
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 5),
+            (2, 6),
+            (3, 7),
+            (1, 2),
+            (2, 3),
+            (4, 5),
+        ],
+    );
+
+    let config = MatchConfig::find_all();
+    let config_fs = MatchConfig::find_all().with_failing_sets(true);
+
+    for (name, pattern) in [("mule ring (4 vertices)", &ring), ("shell fan-in (8 vertices)", &shell)] {
+        let base = Algorithm::GraphQl.optimized().run(pattern, &ctx, &config);
+        let fs = Algorithm::GraphQl.optimized().run(pattern, &ctx, &config_fs);
+        assert_eq!(base.matches, fs.matches);
+        println!(
+            "\n{name}: {} suspicious instance(s)",
+            base.matches
+        );
+        println!(
+            "  GQL          : {:?} ({} search nodes)",
+            base.total_time(),
+            base.recursions
+        );
+        println!(
+            "  GQL + failing sets: {:?} ({} search nodes)",
+            fs.total_time(),
+            fs.recursions
+        );
+    }
+    println!(
+        "\n(on easy patterns the filters leave little to prune; run \
+         `experiments fig15` for the paper's Figure 15 crossover, where \
+         failing sets win by orders of magnitude on 24-32 vertex queries)"
+    );
+}

@@ -1,0 +1,106 @@
+//! Matching-order spectrum explorer — the paper's Section 5.3 analysis as
+//! an interactive tool. Samples random matching orders for one query,
+//! shows the distribution of enumeration times, and places each ordering
+//! heuristic inside it.
+//!
+//! ```sh
+//! cargo run --release --example order_spectrum [dataset] [query_size] [orders]
+//! ```
+
+use std::time::Duration;
+use subgraph_matching::datasets::Dataset;
+use subgraph_matching::graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use subgraph_matching::matching::spectrum::spectrum_analysis;
+use subgraph_matching::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dataset = args.next().unwrap_or_else(|| "ye".to_string());
+    let qsize: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let orders: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let ds = Dataset::load(&dataset).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{dataset}'");
+        std::process::exit(2);
+    });
+    println!("dataset {}: {}", ds.spec.abbrev, ds.stats);
+    let ctx = DataContext::new(&ds.graph);
+    let q = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: qsize,
+            density: Density::Dense,
+            count: 1,
+        },
+        7,
+    )
+    .into_iter()
+    .next()
+    .unwrap_or_else(|| {
+        eprintln!("could not extract a dense {qsize}-vertex query");
+        std::process::exit(1);
+    });
+    println!("query: {}", GraphStats::of(&q));
+
+    // Sample the spectrum.
+    let res = spectrum_analysis(&q, &ctx, orders, Duration::from_secs(1), 99);
+    let mut times: Vec<f64> = res
+        .points
+        .iter()
+        .filter_map(|p| p.enum_time.map(|d| d.as_secs_f64() * 1e3))
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "\nspectrum of {} random connected orders ({} completed within 1s):",
+        orders,
+        times.len()
+    );
+    if !times.is_empty() {
+        let pick = |p: f64| times[((times.len() - 1) as f64 * p) as usize];
+        println!(
+            "  min {:.3} ms | p25 {:.3} | median {:.3} | p75 {:.3} | max {:.3}",
+            times[0],
+            pick(0.25),
+            pick(0.5),
+            pick(0.75),
+            times[times.len() - 1]
+        );
+        // poor-man's histogram over log-spaced buckets
+        let lo = times[0].max(1e-4);
+        let hi = times[times.len() - 1].max(lo * 1.0001);
+        let buckets = 10usize;
+        let mut hist = vec![0usize; buckets];
+        for &t in &times {
+            let frac = ((t.max(lo)).ln() - lo.ln()) / (hi.ln() - lo.ln());
+            hist[((frac * (buckets - 1) as f64).round() as usize).min(buckets - 1)] += 1;
+        }
+        println!("  log-time histogram:");
+        for (i, &c) in hist.iter().enumerate() {
+            let left = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / buckets as f64).exp();
+            println!("    {:>9.3} ms | {}", left, "#".repeat(c));
+        }
+    }
+
+    // Where do the heuristics land?
+    println!("\nheuristic orders inside the spectrum:");
+    let cfg = MatchConfig::default().with_time_limit(Duration::from_secs(1));
+    for alg in Algorithm::all() {
+        let out = alg.optimized().run(&q, &ctx, &cfg);
+        let label = if out.unsolved() {
+            ">1000 (unsolved)".to_string()
+        } else {
+            format!("{:.3}", out.enum_time.as_secs_f64() * 1e3)
+        };
+        let beaten = times
+            .iter()
+            .filter(|&&t| t < out.enum_time.as_secs_f64() * 1e3)
+            .count();
+        println!(
+            "  {:<5} {:>16} ms   (beaten by {}/{} random orders)",
+            alg.abbrev(),
+            label,
+            beaten,
+            times.len()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! `smatch` — command-line subgraph matcher.
+//!
+//! ```text
+//! smatch --query q.graph --data g.graph [options]
+//!
+//!   --algorithm NAME   qsi | gql | cfl | ceci | dp | ri | 2pp   (default: gql)
+//!                      glasgow | vf2 | ullmann   (out-of-framework baselines)
+//!   --original         run the algorithm's original composition
+//!                      (default: the study's optimized variant)
+//!   --failing-sets     enable failing-set pruning
+//!   --explain          print the query plan (candidates, order) first
+//!   --limit N          stop after N matches (default 100000; 0 = all)
+//!   --time-limit-ms N  kill the query after N ms
+//!   --print N          print the first N matches
+//! ```
+//!
+//! Graphs use the `.graph` text format of the paper's dataset release:
+//! `t |V| |E|`, then `v <id> <label> <degree>` lines, then `e <u> <v>`.
+
+use std::process::exit;
+use std::time::Duration;
+use subgraph_matching::glasgow::{glasgow_match, GlasgowConfig};
+use subgraph_matching::graph::io::load_graph;
+use subgraph_matching::matching::enumerate::CollectSink;
+use subgraph_matching::matching::{ullmann, vf2};
+use subgraph_matching::prelude::*;
+
+struct Options {
+    query: String,
+    data: String,
+    algorithm: String,
+    original: bool,
+    failing_sets: bool,
+    explain: bool,
+    limit: Option<u64>,
+    time_limit: Option<Duration>,
+    print: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smatch --query q.graph --data g.graph \
+         [--algorithm qsi|gql|cfl|ceci|dp|ri|2pp|glasgow|vf2|ullmann] \
+         [--original] [--failing-sets] [--limit N] [--time-limit-ms N] [--print N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        query: String::new(),
+        data: String::new(),
+        algorithm: "gql".into(),
+        original: false,
+        failing_sets: false,
+        explain: false,
+        limit: Some(100_000),
+        time_limit: None,
+        print: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--query" => opts.query = next("--query"),
+            "--data" => opts.data = next("--data"),
+            "--algorithm" => opts.algorithm = next("--algorithm").to_lowercase(),
+            "--original" => opts.original = true,
+            "--explain" => opts.explain = true,
+            "--failing-sets" => opts.failing_sets = true,
+            "--limit" => {
+                let n: u64 = next("--limit").parse().unwrap_or_else(|_| usage());
+                opts.limit = (n > 0).then_some(n);
+            }
+            "--time-limit-ms" => {
+                let n: u64 = next("--time-limit-ms").parse().unwrap_or_else(|_| usage());
+                opts.time_limit = Some(Duration::from_millis(n));
+            }
+            "--print" => opts.print = next("--print").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if opts.query.is_empty() || opts.data.is_empty() {
+        usage();
+    }
+    // Validate the algorithm name before paying for graph loading.
+    const KNOWN: [&str; 11] = [
+        "qsi", "gql", "cfl", "ceci", "dp", "ri", "2pp", "vf2pp", "glasgow", "vf2", "ullmann",
+    ];
+    if !KNOWN.contains(&opts.algorithm.as_str()) {
+        eprintln!("unknown algorithm '{}'", opts.algorithm);
+        usage();
+    }
+    opts
+}
+
+fn load(path: &str, what: &str) -> Graph {
+    load_graph(path).unwrap_or_else(|e| {
+        eprintln!("failed to load {what} graph '{path}': {e}");
+        exit(1);
+    })
+}
+
+fn print_matches(matches: &[Vec<VertexId>], n: usize) {
+    for m in matches.iter().take(n) {
+        let pairs: Vec<String> = m
+            .iter()
+            .enumerate()
+            .map(|(u, v)| format!("u{u}->v{v}"))
+            .collect();
+        println!("  {}", pairs.join(" "));
+    }
+    if matches.len() > n && n > 0 {
+        println!("  ... ({} more)", matches.len() - n);
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let q = load(&opts.query, "query");
+    let g = load(&opts.data, "data");
+    println!("query: {}", GraphStats::of(&q));
+    println!("data:  {}", GraphStats::of(&g));
+
+    let mut cfg = MatchConfig {
+        max_matches: opts.limit,
+        time_limit: opts.time_limit,
+        failing_sets: opts.failing_sets,
+        ..Default::default()
+    };
+
+    match opts.algorithm.as_str() {
+        "glasgow" => {
+            let gcfg = GlasgowConfig {
+                max_matches: opts.limit,
+                time_limit: opts.time_limit,
+                ..Default::default()
+            };
+            match glasgow_match(&q, &g, &gcfg) {
+                Ok(stats) => {
+                    println!(
+                        "glasgow: {} match(es) in {:?} ({} nodes){}",
+                        stats.matches,
+                        stats.elapsed,
+                        stats.nodes,
+                        if stats.timed_out { " [timed out]" } else { "" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("glasgow: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "vf2" | "ullmann" => {
+            let mut sink = CollectSink::default();
+            let stats = if opts.algorithm == "vf2" {
+                vf2::vf2_match(&q, &g, &cfg, &mut sink)
+            } else {
+                ullmann::ullmann_match(&q, &g, &cfg, &mut sink)
+            };
+            println!(
+                "{}: {} match(es) in {:?} ({} nodes, outcome {:?})",
+                opts.algorithm, stats.matches, stats.elapsed, stats.recursions, stats.outcome
+            );
+            print_matches(&sink.matches, opts.print);
+        }
+        name => {
+            let alg = match name {
+                "qsi" => Algorithm::QuickSi,
+                "gql" => Algorithm::GraphQl,
+                "cfl" => Algorithm::Cfl,
+                "ceci" => Algorithm::Ceci,
+                "dp" => Algorithm::DpIso,
+                "ri" => Algorithm::Ri,
+                "2pp" | "vf2pp" => Algorithm::Vf2pp,
+                other => {
+                    eprintln!("unknown algorithm '{other}'");
+                    usage()
+                }
+            };
+            let pipeline = if opts.original {
+                // The original VF2++ composition cannot combine its extra
+                // rule with failing sets.
+                if opts.failing_sets && alg == Algorithm::Vf2pp {
+                    cfg.failing_sets = false;
+                    eprintln!("note: disabling failing sets for original 2PP (incompatible)");
+                }
+                alg.original()
+            } else {
+                alg.optimized()
+            };
+            let ctx = DataContext::new(&g);
+            if opts.explain {
+                match pipeline.explain(&q, &ctx, &cfg) {
+                    Some(report) => print!("{report}"),
+                    None => println!("plan: query is unsatisfiable (empty candidate set)"),
+                }
+            }
+            let mut sink = CollectSink::default();
+            let out = pipeline.run_with_sink(&q, &ctx, &cfg, &mut sink);
+            println!(
+                "{}: {} match(es) in {:?} (preprocessing {:?}, enumeration {:?}, {} nodes, outcome {:?})",
+                pipeline.name,
+                out.matches,
+                out.total_time(),
+                out.preprocessing_time(),
+                out.enum_time,
+                out.recursions,
+                out.outcome
+            );
+            print_matches(&sink.matches, opts.print);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-crate agreement: every framework algorithm (original and
+//! optimized, with and without failing sets) and the Glasgow CP solver
+//! report the same match counts on real workload queries drawn from the
+//! Yeast stand-in.
+
+use subgraph_matching::datasets::Dataset;
+use subgraph_matching::glasgow::{glasgow_match, GlasgowConfig};
+use subgraph_matching::graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use subgraph_matching::prelude::*;
+
+fn workload(sizes: &[usize]) -> (Dataset, Vec<Graph>) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let mut queries = Vec::new();
+    for &size in sizes {
+        queries.extend(generate_query_set(
+            &ds.graph,
+            QuerySetSpec {
+                num_vertices: size,
+                density: Density::Any,
+                count: 4,
+            },
+            0xC0FFEE + size as u64,
+        ));
+    }
+    (ds, queries)
+}
+
+#[test]
+fn all_framework_algorithms_agree() {
+    let (ds, queries) = workload(&[4, 6, 8]);
+    let ctx = DataContext::new(&ds.graph);
+    let cfg = MatchConfig::default();
+    let cfg_fs = MatchConfig::default().with_failing_sets(true);
+    assert!(!queries.is_empty());
+    for (qi, q) in queries.iter().enumerate() {
+        let reference = Algorithm::GraphQl.optimized().run(q, &ctx, &cfg).matches;
+        for alg in Algorithm::all() {
+            let orig = alg.original().run(q, &ctx, &cfg).matches;
+            assert_eq!(orig, reference, "O-{} on query {qi}", alg.abbrev());
+            let opt = alg.optimized().run(q, &ctx, &cfg).matches;
+            assert_eq!(opt, reference, "{} on query {qi}", alg.abbrev());
+            let fs = alg.optimized().run(q, &ctx, &cfg_fs).matches;
+            assert_eq!(fs, reference, "{}fs on query {qi}", alg.abbrev());
+        }
+    }
+}
+
+#[test]
+fn glasgow_agrees_with_framework() {
+    let (ds, queries) = workload(&[4, 6]);
+    let ctx = DataContext::new(&ds.graph);
+    let cfg = MatchConfig::default();
+    let glw = GlasgowConfig::default();
+    for (qi, q) in queries.iter().enumerate() {
+        let want = Algorithm::DpIso.optimized().run(q, &ctx, &cfg).matches;
+        let got = glasgow_match(q, &ds.graph, &glw)
+            .expect("yeast fits the budget")
+            .matches;
+        assert_eq!(got, want, "glasgow vs framework on query {qi}");
+    }
+}
+
+#[test]
+fn intersection_kernels_agree_end_to_end() {
+    use subgraph_matching::intersect::IntersectKind;
+    let (ds, queries) = workload(&[6, 8]);
+    let ctx = DataContext::new(&ds.graph);
+    for (qi, q) in queries.iter().enumerate() {
+        let mut counts = Vec::new();
+        for kind in [
+            IntersectKind::Merge,
+            IntersectKind::Galloping,
+            IntersectKind::Hybrid,
+            IntersectKind::Bsr,
+        ] {
+            let cfg = MatchConfig {
+                intersect: kind,
+                ..Default::default()
+            };
+            counts.push(Algorithm::Ceci.optimized().run(q, &ctx, &cfg).matches);
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "query {qi}: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let (ds, queries) = workload(&[8]);
+    let ctx = DataContext::new(&ds.graph);
+    let cfg = MatchConfig::default();
+    for q in &queries {
+        let a = Algorithm::Cfl.optimized().run(q, &ctx, &cfg);
+        let b = Algorithm::Cfl.optimized().run(q, &ctx, &cfg);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.recursions, b.recursions);
+    }
+}

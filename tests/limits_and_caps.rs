@@ -1,0 +1,100 @@
+//! Measurement-protocol invariants: the 10^5 match cap, time limits, and
+//! the paper's unsolved-query semantics.
+
+use std::time::Duration;
+use subgraph_matching::datasets::Dataset;
+use subgraph_matching::graph::builder::graph_from_edges;
+use subgraph_matching::graph::gen::rmat::{rmat_graph, RmatParams};
+use subgraph_matching::prelude::*;
+
+#[test]
+fn match_cap_is_respected_exactly() {
+    // An unlabeled edge query on a dense-ish graph has a huge match count.
+    let g = rmat_graph(2000, 20.0, 1, RmatParams::PAPER, 5);
+    let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+    let ctx = DataContext::new(&g);
+    for cap in [1u64, 100, 10_000] {
+        let cfg = MatchConfig {
+            max_matches: Some(cap),
+            ..Default::default()
+        };
+        let out = Algorithm::GraphQl.optimized().run(&q, &ctx, &cfg);
+        assert_eq!(out.matches, cap);
+        assert_eq!(out.outcome, Outcome::CapReached);
+    }
+}
+
+#[test]
+fn time_limit_kills_pathological_queries() {
+    // A 12-vertex unlabeled clique-ish query on a single-label graph
+    // explodes; a tiny limit must stop it and report TimedOut.
+    let g = rmat_graph(20_000, 16.0, 1, RmatParams::PAPER, 9);
+    // dense query: 10 vertices, all consecutive pairs + chords
+    let mut edges = Vec::new();
+    for i in 0..10u32 {
+        for j in (i + 1)..10u32 {
+            if (i + j) % 2 == 0 || j == i + 1 {
+                edges.push((i, j));
+            }
+        }
+    }
+    let q = graph_from_edges(&[0; 10], &edges);
+    let ctx = DataContext::new(&g);
+    let mut cfg = MatchConfig::find_all();
+    cfg.time_limit = Some(Duration::from_millis(50));
+    let out = Algorithm::Ri.optimized().run(&q, &ctx, &cfg);
+    assert!(
+        out.unsolved() || out.outcome == Outcome::Complete,
+        "must either finish or time out cleanly"
+    );
+    if out.unsolved() {
+        // The kill must be prompt (well under 10x the limit).
+        assert!(out.enum_time < Duration::from_millis(500), "{:?}", out.enum_time);
+    }
+}
+
+#[test]
+fn complete_outcome_counts_are_exact() {
+    let ds = Dataset::load("ye").unwrap();
+    let ctx = DataContext::new(&ds.graph);
+    let q = graph_from_edges(&[0, 1], &[(0, 1)]);
+    let out = Algorithm::QuickSi.optimized().run(&q, &ctx, &MatchConfig::find_all());
+    assert_eq!(out.outcome, Outcome::Complete);
+    // Count A-B edges directly.
+    let want = ds
+        .graph
+        .edges()
+        .filter(|&(u, v)| {
+            let (a, b) = (ds.graph.label(u), ds.graph.label(v));
+            (a == 0 && b == 1) || (a == 1 && b == 0)
+        })
+        .count() as u64;
+    assert_eq!(out.matches, want);
+}
+
+#[test]
+fn failing_sets_never_change_complete_counts() {
+    let ds = Dataset::load("hp").unwrap();
+    let ctx = DataContext::new(&ds.graph);
+    use subgraph_matching::graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 10,
+            density: Density::Any,
+            count: 6,
+        },
+        3,
+    );
+    for q in &queries {
+        let plain = Algorithm::DpIso.optimized().run(q, &ctx, &MatchConfig::find_all());
+        let fs = Algorithm::DpIso.optimized().run(
+            q,
+            &ctx,
+            &MatchConfig::find_all().with_failing_sets(true),
+        );
+        assert_eq!(plain.matches, fs.matches);
+        // Pruning may only shrink the search tree.
+        assert!(fs.recursions <= plain.recursions);
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's Section 6 recommendation, end to end: correct on real
+//! workloads and configured per the data graph's density.
+
+use subgraph_matching::datasets::Dataset;
+use subgraph_matching::graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use subgraph_matching::matching::algorithm::recommended;
+use subgraph_matching::prelude::*;
+
+#[test]
+fn recommended_is_correct_on_sparse_and_dense_datasets() {
+    for ab in ["ye", "hu"] {
+        let ds = Dataset::load(ab).unwrap();
+        let ctx = DataContext::new(&ds.graph);
+        let queries = generate_query_set(
+            &ds.graph,
+            QuerySetSpec {
+                num_vertices: 8,
+                density: Density::Any,
+                count: 5,
+            },
+            0x6EC,
+        );
+        for q in &queries {
+            let (pipeline, config) = recommended(&ds.stats, q.num_vertices());
+            let rec = pipeline.run(q, &ctx, &config);
+            let reference = Algorithm::DpIso
+                .optimized()
+                .run(q, &ctx, &MatchConfig::default());
+            assert_eq!(rec.matches, reference.matches, "{ab}");
+        }
+    }
+}
+
+#[test]
+fn recommended_switches_ordering_on_density() {
+    let sparse = Dataset::load("yt").unwrap(); // d = 5.3
+    let dense = Dataset::load("hu").unwrap(); // d = 36.9
+    let (p_sparse, _) = recommended(&sparse.stats, 8);
+    let (p_dense, c_dense) = recommended(&dense.stats, 8);
+    assert_eq!(p_sparse.order, OrderKind::Ri);
+    assert_eq!(p_dense.order, OrderKind::GraphQl);
+    // very dense -> QFilter intersection
+    assert_eq!(
+        c_dense.intersect,
+        subgraph_matching::intersect::IntersectKind::Bsr
+    );
+}
+
+#[test]
+fn recommended_gates_failing_sets_on_query_size() {
+    let ds = Dataset::load("ye").unwrap();
+    let (_, small) = recommended(&ds.stats, 8);
+    let (_, large) = recommended(&ds.stats, 32);
+    assert!(!small.failing_sets);
+    assert!(large.failing_sets);
+}
