@@ -6,7 +6,12 @@
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel | all
+//!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
+//!      | bench-fig15 | bench-fig16 | bench-all
 //! ```
+//!
+//! The `bench-*` subcommands are the timer-based micro-benchmarks that
+//! replaced the former Criterion benches (min/median/mean per case).
 //!
 //! Defaults are laptop-friendly (20 queries/set, 1 s kill limit, 100
 //! spectrum orders); `--full` switches to the paper's scale (200 queries,
@@ -47,6 +52,14 @@ fn main() {
         "ablation" => experiments::ablation::run(&opts),
         "parallel" => experiments::parallel::run(&opts),
         "all" => experiments::run_all(&opts),
+        "bench-fig7" => sm_bench::micro::bench_fig07(&opts),
+        "bench-fig8" => sm_bench::micro::bench_fig08(&opts),
+        "bench-fig9" => sm_bench::micro::bench_fig09(&opts),
+        "bench-fig10" => sm_bench::micro::bench_fig10(&opts),
+        "bench-fig11" => sm_bench::micro::bench_fig11(&opts),
+        "bench-fig15" => sm_bench::micro::bench_fig15(&opts),
+        "bench-fig16" => sm_bench::micro::bench_fig16(&opts),
+        "bench-all" => sm_bench::micro::run_all(&opts),
         other => {
             eprintln!("unknown subcommand '{other}'");
             std::process::exit(2);

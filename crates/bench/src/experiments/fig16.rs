@@ -85,6 +85,7 @@ fn glasgow_cell(queries: &[sm_graph::Graph], g: &sm_graph::Graph, opts: &Harness
         max_matches: Some(100_000),
         time_limit: Some(opts.time_limit),
         memory_budget_bytes: SCALED_GLASGOW_BUDGET,
+        ..Default::default()
     };
     let mut total = 0.0;
     for q in queries {

@@ -1,22 +1,30 @@
 //! Intra-query parallel scaling — an extension experiment: the paper's
 //! Table 1 lists parallel variants (pRI, VF3P, parallel CECI/Glasgow) and
-//! Section 2.2 notes CECI "can run in parallel"; this measures the
-//! standard root-partition decomposition on our static engines.
+//! Section 2.2 notes CECI "can run in parallel"; this compares the two
+//! root-distribution strategies on our static engines:
 //!
-//! The workload is deliberately enumeration-heavy (few labels, find-all):
-//! root-partitioning only parallelizes the enumeration phase, so
-//! preprocessing-bound queries (most of the paper's default sets) show no
-//! scaling — which the table makes visible by reporting both phases.
+//! * `static` — classic fixed round-robin root partition (no rebalancing),
+//! * `morsel` — morsel-driven work stealing ([`sm_runtime::pool`]).
+//!
+//! The workload is deliberately enumeration-heavy *and skewed* (RMAT
+//! hubs, few labels, find-all): under static partition the worker that
+//! owns the hub roots serializes the run, which is exactly where work
+//! stealing pays. Per-worker morsel/steal counters make the balancing
+//! visible even on machines where wall-clock speedup is impossible
+//! (single core).
 
 use crate::args::HarnessOptions;
 use crate::table::{ms, ratio, TextTable};
 use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
 use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_match::enumerate::parallel::ParallelStrategy;
 use sm_match::{Algorithm, DataContext, MatchConfig};
 
 /// Run the scaling experiment.
 pub fn run(opts: &HarnessOptions) {
-    // Few labels + moderate density = huge match counts per query.
+    // Few labels + moderate density = huge match counts per query; RMAT's
+    // power-law degree skew concentrates the enumeration work under a few
+    // hub roots.
     let g = rmat_graph(50_000, 12.0, 4, RmatParams::PAPER, 0x9A7);
     let gc = DataContext::new(&g);
     let queries = generate_query_set(
@@ -34,7 +42,7 @@ pub fn run(opts: &HarnessOptions) {
         queries.len()
     );
     if cores == 1 {
-        println!("note: single-core machine — expect no wall-clock speedup; counts stay exact");
+        println!("note: single-core machine — expect no wall-clock speedup; counts stay exact and steal counters still show the balancing");
     }
     let pipeline = Algorithm::GraphQl.optimized();
     let cfg = MatchConfig {
@@ -42,23 +50,66 @@ pub fn run(opts: &HarnessOptions) {
         time_limit: Some(opts.time_limit.max(std::time::Duration::from_secs(5))),
         ..Default::default()
     };
-    let mut t = TextTable::new(vec!["threads", "prep ms", "enum ms", "enum speedup"]);
+    let mut t = TextTable::new(vec![
+        "threads",
+        "strategy",
+        "prep ms",
+        "enum ms",
+        "enum speedup",
+        "matches",
+        "pool",
+        "per-worker",
+    ]);
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
-        let (mut prep, mut enumt) = (0.0f64, 0.0f64);
-        for q in &queries {
-            let out = pipeline.run_parallel(q, &gc, &cfg, threads);
-            prep += out.preprocessing_time().as_secs_f64() * 1e3;
-            enumt += out.enum_time.as_secs_f64() * 1e3;
+        for strategy in [ParallelStrategy::Static, ParallelStrategy::Morsel] {
+            let (mut prep, mut enumt, mut matches) = (0.0f64, 0.0f64, 0u64);
+            let mut pool = sm_runtime::WorkerMetrics::default();
+            let mut per_worker = String::new();
+            for q in &queries {
+                let out = pipeline.run_parallel_with(q, &gc, &cfg, threads, strategy);
+                prep += out.preprocessing_time().as_secs_f64() * 1e3;
+                enumt += out.enum_time.as_secs_f64() * 1e3;
+                matches += out.matches;
+                if let Some(m) = &out.parallel {
+                    for w in &m.workers {
+                        pool.merge(w);
+                    }
+                    per_worker = m.per_worker(); // last query: representative
+                }
+            }
+            // 1-thread runs are sequential under either label; print once.
+            if threads == 1 && strategy == ParallelStrategy::Morsel {
+                continue;
+            }
+            let base_ms = *base.get_or_insert(enumt);
+            let name = match strategy {
+                ParallelStrategy::Static => "static",
+                ParallelStrategy::Morsel => "morsel",
+            };
+            let pool_cell = if pool.morsels == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "m={} s={} busy={:.0}%",
+                    pool.morsels,
+                    pool.steals,
+                    100.0 * pool.busy.as_secs_f64()
+                        / (pool.busy + pool.idle).as_secs_f64().max(1e-12)
+                )
+            };
+            t.row(vec![
+                threads.to_string(),
+                if threads == 1 { "seq".to_string() } else { name.to_string() },
+                ms(prep),
+                ms(enumt),
+                ratio(base_ms / enumt.max(1e-9)),
+                matches.to_string(),
+                pool_cell,
+                if per_worker.is_empty() { "-".to_string() } else { per_worker },
+            ]);
         }
-        let base_ms = *base.get_or_insert(enumt);
-        t.row(vec![
-            threads.to_string(),
-            ms(prep),
-            ms(enumt),
-            ratio(base_ms / enumt.max(1e-9)),
-        ]);
     }
     t.print();
-    println!("(root-partition parallelism speeds up enumeration only; preprocessing stays sequential)");
+    println!("(root distribution parallelizes enumeration only; preprocessing stays sequential. m=morsels executed, s=stolen)");
 }

@@ -153,23 +153,21 @@ pub fn eval_query_set(
         return SetSummary { results };
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<QueryResult>> = vec![None; queries.len()];
-    {
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(queries.len()) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let r =
-                        QueryResult::from_output(&pipeline.run(&queries[i], g, config), limit);
-                    slots_mutex.lock().unwrap()[i] = Some(r);
-                });
+    let per_worker = sm_runtime::pool::scoped_map(threads.min(queries.len()), |_wid| {
+        let mut mine = Vec::new();
+        loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= queries.len() {
+                break;
             }
-        })
-        .expect("worker panicked");
+            let r = QueryResult::from_output(&pipeline.run(&queries[i], g, config), limit);
+            mine.push((i, r));
+        }
+        mine
+    });
+    let mut slots: Vec<Option<QueryResult>> = vec![None; queries.len()];
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
     }
     SetSummary {
         results: slots.into_iter().map(|r| r.expect("all slots filled")).collect(),

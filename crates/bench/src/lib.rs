@@ -1,12 +1,13 @@
-//! Shared harness utilities for the experiment binary and the Criterion
-//! benches: query-set evaluation, aggregation, and table printing in the
-//! shape the paper reports.
+//! Shared harness utilities for the experiment binary: query-set
+//! evaluation, aggregation, timer-based micro-benchmarks, and table
+//! printing in the shape the paper reports.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod experiments;
 pub mod harness;
+pub mod micro;
 pub mod table;
 
 pub use args::HarnessOptions;

@@ -1,0 +1,314 @@
+//! Timer-based micro-benchmarks (`experiments bench-<fig>`), replacing
+//! the former Criterion benches one-for-one. Each case is warmed up once
+//! and then sampled on [`std::time::Instant`]; the table reports min /
+//! median / mean wall-clock per iteration. Criterion's statistical
+//! machinery is overkill here — the reproduction target is relative
+//! ordering between methods, which min/median capture — and dropping it
+//! keeps the build free of external crates.
+
+use crate::args::HarnessOptions;
+use crate::table::{ms, TextTable};
+use sm_datasets::Dataset;
+use sm_glasgow::{glasgow_match, GlasgowConfig};
+use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
+use sm_intersect::{intersect_buf, BsrSet, IntersectKind};
+use sm_match::filter::{run_filter, FilterKind};
+use sm_match::{Algorithm, DataContext, LcMethod, MatchConfig, OrderKind, Pipeline, QueryContext};
+use std::time::Instant;
+
+/// Default samples per case (Criterion used 15–20 for these groups).
+const SAMPLES: usize = 10;
+
+/// A running micro-benchmark table: one row per [`MicroBench::case`].
+pub struct MicroBench {
+    samples: usize,
+    table: TextTable,
+}
+
+impl MicroBench {
+    /// Start a benchmark group; `title` is printed as a heading.
+    pub fn new(title: &str) -> Self {
+        println!("\n## {title}");
+        MicroBench {
+            samples: SAMPLES,
+            table: TextTable::new(vec!["case", "min ms", "median ms", "mean ms", "samples"]),
+        }
+    }
+
+    /// Time `f` (one warmup iteration, then `samples` measured ones) and
+    /// append a row.
+    pub fn case(&mut self, label: &str, mut f: impl FnMut()) {
+        f(); // warmup: touch caches, fault in lazily-loaded data
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.table.row(vec![
+            label.to_string(),
+            ms(min),
+            ms(median),
+            ms(mean),
+            self.samples.to_string(),
+        ]);
+    }
+
+    /// Print the accumulated table.
+    pub fn finish(self) {
+        self.table.print();
+    }
+}
+
+/// Figure 7: filtering time of the four candidate-generation methods.
+pub fn bench_fig07(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 16,
+            density: Density::Dense,
+            count: 4,
+        },
+        7,
+    );
+    let mut b = MicroBench::new("bench-fig7: filtering (ye, Q16D)");
+    for kind in [
+        FilterKind::GraphQl,
+        FilterKind::Cfl,
+        FilterKind::Ceci,
+        FilterKind::DpIso,
+    ] {
+        b.case(kind.name(), || {
+            for q in &queries {
+                let qc = QueryContext::new(q);
+                std::hint::black_box(run_filter(kind, &qc, &gc));
+            }
+        });
+    }
+    b.finish();
+}
+
+/// Figure 8: pruning-power vs cost of every filter, incl. the STEADY
+/// fixpoint. (Figure 8 itself reports candidate *counts*; this pins the
+/// time each filter pays for its pruning.)
+pub fn bench_fig08(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 16,
+            density: Density::Sparse,
+            count: 4,
+        },
+        8,
+    );
+    let mut b = MicroBench::new("bench-fig8: candidate generation (ye, Q16S)");
+    for kind in [
+        FilterKind::Ldf,
+        FilterKind::Nlf,
+        FilterKind::GraphQl,
+        FilterKind::Cfl,
+        FilterKind::Ceci,
+        FilterKind::DpIso,
+        FilterKind::Steady,
+    ] {
+        b.case(kind.name(), || {
+            for q in &queries {
+                let qc = QueryContext::new(q);
+                std::hint::black_box(run_filter(kind, &qc, &gc));
+            }
+        });
+    }
+    b.finish();
+}
+
+/// Figure 9: the four local-candidate methods on one workload.
+pub fn bench_fig09(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 4,
+        },
+        9,
+    );
+    let cfg = MatchConfig::default();
+    let mut b = MicroBench::new("bench-fig9: enumeration methods (ye, Q12D)");
+    for method in [
+        LcMethod::Direct,
+        LcMethod::CandidateScan,
+        LcMethod::TreeIndex,
+        LcMethod::Intersect,
+    ] {
+        let pipeline = Pipeline::new(
+            method.name(),
+            FilterKind::GraphQl,
+            OrderKind::GraphQl,
+            method,
+        );
+        b.case(method.name(), || {
+            for q in &queries {
+                std::hint::black_box(pipeline.run(q, &gc, &cfg));
+            }
+        });
+    }
+    b.finish();
+}
+
+/// Figure 10: raw set-intersection kernels, dense vs sparse regimes.
+pub fn bench_fig10(_opts: &HarnessOptions) {
+    // consecutive runs: BSR blocks are nearly full
+    let dense = (
+        (0..8000u32).filter(|x| x % 4 != 3).collect::<Vec<u32>>(),
+        (0..8000u32).filter(|x| x % 3 != 2).collect::<Vec<u32>>(),
+    );
+    // far-apart elements: one bit per BSR block
+    let sparse = (
+        (0..3000u32).map(|x| x * 97).collect::<Vec<u32>>(),
+        (0..3000u32).map(|x| x * 101).collect::<Vec<u32>>(),
+    );
+    let mut bench = MicroBench::new("bench-fig10: intersection kernels");
+    for (regime, (a, b)) in [("dense", dense), ("sparse", sparse)] {
+        for kind in [
+            IntersectKind::Merge,
+            IntersectKind::Galloping,
+            IntersectKind::Hybrid,
+        ] {
+            let mut out = Vec::with_capacity(a.len());
+            bench.case(&format!("{}/{}", regime, kind.name()), || {
+                out.clear();
+                intersect_buf(kind, &a, &b, &mut out);
+                std::hint::black_box(out.len());
+            });
+        }
+        // QFilter-style with precomputed encodings (how the engine uses it).
+        let ba = BsrSet::from_sorted(&a);
+        let bb = BsrSet::from_sorted(&b);
+        let mut out = BsrSet::default();
+        bench.case(&format!("{regime}/QFilter"), || {
+            ba.intersect_into(&bb, &mut out);
+            std::hint::black_box(out.len());
+        });
+    }
+    bench.finish();
+}
+
+/// Figure 11: full query runs under each algorithm's ordering.
+pub fn bench_fig11(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 4,
+        },
+        11,
+    );
+    let cfg = MatchConfig::default();
+    let mut b = MicroBench::new("bench-fig11: ordering methods (ye, Q12D)");
+    for alg in Algorithm::all() {
+        let pipeline = alg.optimized();
+        let name = pipeline.name.clone();
+        b.case(&name, || {
+            for q in &queries {
+                std::hint::black_box(pipeline.run(q, &gc, &cfg));
+            }
+        });
+    }
+    b.finish();
+}
+
+/// Figure 15: DP-iso with/without failing-set pruning, small vs large
+/// queries (the crossover the paper reports).
+pub fn bench_fig15(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let pipeline = Algorithm::DpIso.optimized();
+    let mut b = MicroBench::new("bench-fig15: failing sets (ye)");
+    for size in [8usize, 16] {
+        let queries = generate_query_set(
+            &ds.graph,
+            QuerySetSpec {
+                num_vertices: size,
+                density: Density::Dense,
+                count: 3,
+            },
+            15,
+        );
+        for fs in [false, true] {
+            let cfg = MatchConfig::default().with_failing_sets(fs);
+            let label = format!("Q{size}D/{}", if fs { "w-fs" } else { "wo-fs" });
+            b.case(&label, || {
+                for q in &queries {
+                    std::hint::black_box(pipeline.run(q, &gc, &cfg));
+                }
+            });
+        }
+    }
+    b.finish();
+}
+
+/// Figure 16: end-to-end time of the optimized compositions vs the
+/// originals and Glasgow.
+pub fn bench_fig16(_opts: &HarnessOptions) {
+    let ds = Dataset::load("ye").expect("yeast stand-in");
+    let gc = DataContext::new(&ds.graph);
+    let queries = generate_query_set(
+        &ds.graph,
+        QuerySetSpec {
+            num_vertices: 12,
+            density: Density::Dense,
+            count: 3,
+        },
+        16,
+    );
+    let mut b = MicroBench::new("bench-fig16: overall comparison (ye, Q12D)");
+    let fs = MatchConfig::default().with_failing_sets(true);
+    let plain = MatchConfig::default();
+    let competitors = [
+        ("GQLfs", Algorithm::GraphQl.optimized(), &fs),
+        ("RIfs", Algorithm::Ri.optimized(), &fs),
+        ("O-CECI", Algorithm::Ceci.original(), &plain),
+        ("O-DP", Algorithm::DpIso.original(), &plain),
+        ("O-RI", Algorithm::Ri.original(), &plain),
+        ("O-2PP", Algorithm::Vf2pp.original(), &plain),
+    ];
+    for (name, pipeline, cfg) in competitors {
+        b.case(name, || {
+            for q in &queries {
+                std::hint::black_box(pipeline.run(q, &gc, cfg));
+            }
+        });
+    }
+    let glw_cfg = GlasgowConfig::default();
+    b.case("GLW", || {
+        for q in &queries {
+            std::hint::black_box(glasgow_match(q, &ds.graph, &glw_cfg).unwrap());
+        }
+    });
+    b.finish();
+}
+
+/// Run every micro-benchmark (`bench-all`).
+pub fn run_all(opts: &HarnessOptions) {
+    bench_fig07(opts);
+    bench_fig08(opts);
+    bench_fig09(opts);
+    bench_fig10(opts);
+    bench_fig11(opts);
+    bench_fig15(opts);
+    bench_fig16(opts);
+}

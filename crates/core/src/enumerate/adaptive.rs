@@ -21,6 +21,7 @@ use sm_graph::traversal::BfsTree;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
 use sm_intersect::intersect_buf;
+use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
 /// Inputs for the adaptive engine. The candidate space must cover **all**
@@ -100,6 +101,7 @@ pub fn enumerate_adaptive<S: MatchSink>(input: &AdaptiveInput<'_>, sink: &mut S)
         recursions: eng.recursions,
         elapsed: started.elapsed(),
         outcome: eng.stopped.unwrap_or(Outcome::Complete),
+        parallel: None,
     }
 }
 
@@ -122,7 +124,7 @@ struct AdaptiveEngine<'a, S: MatchSink> {
     matches: u64,
     recursions: u64,
     cap: u64,
-    deadline: Option<Instant>,
+    cancel: CancelToken,
     stopped: Option<Outcome>,
     sink: &'a mut S,
 }
@@ -163,7 +165,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
             matches: 0,
             recursions: 0,
             cap: inp.config.max_matches.unwrap_or(u64::MAX),
-            deadline: inp.config.time_limit.map(|d| started + d),
+            cancel: inp.config.run_token(started),
             stopped: None,
             sink,
         }
@@ -173,10 +175,11 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
     fn tick(&mut self) {
         self.recursions += 1;
         if self.recursions & 0x3FF == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.stopped = Some(Outcome::TimedOut);
-                }
+            if let Some(reason) = self.cancel.poll() {
+                self.stopped = Some(match reason {
+                    CancelReason::Deadline => Outcome::TimedOut,
+                    CancelReason::Stopped => Outcome::CapReached,
+                });
             }
         }
     }

@@ -8,6 +8,7 @@ use crate::enumerate::{EnumStats, LcMethod, MatchConfig, MatchSink, Outcome};
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, Label, VertexId};
 use sm_intersect::{intersect_buf, BsrSet, IntersectKind};
+use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
 /// Everything the engine needs for one run.
@@ -42,14 +43,28 @@ pub struct EngineInput<'a> {
 }
 
 /// Shared state coordinating the worker engines of a parallel run: a
-/// global match counter (so the 10^5 cap applies to the *sum*) and a stop
-/// flag every worker polls.
+/// global match counter (so the 10^5 cap applies to the *sum*) and one
+/// [`CancelToken`] every worker polls. Any worker hitting the cap (or a
+/// deadline expiring on any worker) cancels the token, and the reason
+/// distinguishes cap from timeout when outcomes are merged.
 #[derive(Default)]
 pub struct SharedControl {
-    /// Set when the global cap is hit or a worker times out.
-    pub stop: std::sync::atomic::AtomicBool,
+    /// Cancellation shared by every worker of the run.
+    pub cancel: CancelToken,
     /// Total matches across workers.
     pub matches: std::sync::atomic::AtomicU64,
+}
+
+impl SharedControl {
+    /// Shared state for a run of `config` that started at `started`:
+    /// carries the config's deadline (and caller token, when attached) so
+    /// every worker observes the same cancellation.
+    pub fn for_run(config: &MatchConfig, started: Instant) -> Self {
+        SharedControl {
+            cancel: config.run_token(started),
+            matches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 /// Derive per-vertex pivot parents from an order: the earliest-matched
@@ -118,12 +133,13 @@ pub fn enumerate<S: MatchSink>(input: &EngineInput<'_>, sink: &mut S) -> EnumSta
         recursions: eng.recursions,
         elapsed: started.elapsed(),
         outcome,
+        parallel: None,
     }
 }
 
 use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
 
-/// Timeout is polled every this many recursions.
+/// Cancellation is polled every this many recursions.
 const TIME_CHECK_MASK: u64 = 0x3FF;
 
 struct Engine<'a, S: MatchSink> {
@@ -142,7 +158,7 @@ struct Engine<'a, S: MatchSink> {
     matches: u64,
     recursions: u64,
     cap: u64,
-    deadline: Option<Instant>,
+    cancel: CancelToken,
     stopped: Option<Outcome>,
     sink: &'a mut S,
 }
@@ -171,7 +187,12 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             matches: 0,
             recursions: 0,
             cap: inp.config.max_matches.unwrap_or(u64::MAX),
-            deadline: inp.config.time_limit.map(|d| started + d),
+            // Workers of a parallel run share the run's token; a solo run
+            // derives one from the config (deadline + caller token).
+            cancel: match inp.shared {
+                Some(sh) => sh.cancel.clone(),
+                None => inp.config.run_token(started),
+            },
             stopped: None,
             sink,
         }
@@ -181,18 +202,11 @@ impl<'a, S: MatchSink> Engine<'a, S> {
     fn tick(&mut self) {
         self.recursions += 1;
         if self.recursions & TIME_CHECK_MASK == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.stopped = Some(Outcome::TimedOut);
-                    if let Some(sh) = self.inp.shared {
-                        sh.stop.store(true, std::sync::atomic::Ordering::Relaxed);
-                    }
-                }
-            }
-            if let Some(sh) = self.inp.shared {
-                if sh.stop.load(std::sync::atomic::Ordering::Relaxed) && self.stopped.is_none() {
-                    self.stopped = Some(Outcome::CapReached);
-                }
+            if let Some(reason) = self.cancel.poll() {
+                self.stopped = Some(match reason {
+                    CancelReason::Deadline => Outcome::TimedOut,
+                    CancelReason::Stopped => Outcome::CapReached,
+                });
             }
         }
     }
@@ -208,7 +222,7 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                     + 1;
                 if total >= self.cap {
-                    sh.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                    sh.cancel.cancel(CancelReason::Stopped);
                     self.stopped = Some(Outcome::CapReached);
                 }
             }

@@ -20,7 +20,8 @@ pub mod parallel;
 
 use sm_graph::VertexId;
 use sm_intersect::IntersectKind;
-use std::time::Duration;
+use sm_runtime::{CancelToken, PoolMetrics};
+use std::time::{Duration, Instant};
 
 /// The paper's default output cap: queries stop after 10^5 matches.
 pub const DEFAULT_MATCH_CAP: u64 = 100_000;
@@ -70,6 +71,11 @@ pub struct MatchConfig {
     /// Enable VF2++'s extra runtime label-frequency filter (only
     /// meaningful with [`LcMethod::Direct`]).
     pub vf2pp_rule: bool,
+    /// Caller-side cancellation: when set, the engines poll this token
+    /// (in addition to `time_limit`) and stop with
+    /// [`Outcome::CapReached`] when it is cancelled. `None` = only the
+    /// config's own limits apply.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for MatchConfig {
@@ -80,6 +86,7 @@ impl Default for MatchConfig {
             failing_sets: false,
             intersect: IntersectKind::Hybrid,
             vf2pp_rule: false,
+            cancel: None,
         }
     }
 }
@@ -105,6 +112,24 @@ impl MatchConfig {
         self.failing_sets = on;
         self
     }
+
+    /// Builder-style: attach a caller-side cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The run-scoped [`CancelToken`] for an enumeration starting at
+    /// `started`: the config's deadline, chained under the caller's token
+    /// when one is attached (so cancelling the run never cancels the
+    /// caller's token, but the caller's cancellation reaches the run).
+    pub fn run_token(&self, started: Instant) -> CancelToken {
+        let deadline = self.time_limit.map(|d| started + d);
+        match &self.cancel {
+            Some(outer) => outer.child(deadline),
+            None => CancelToken::with_deadline(deadline),
+        }
+    }
 }
 
 /// Why an enumeration run ended.
@@ -129,6 +154,9 @@ pub struct EnumStats {
     pub elapsed: Duration,
     /// Why the run ended.
     pub outcome: Outcome,
+    /// Per-worker morsel/steal/busy counters of a parallel run
+    /// (`None` for sequential runs).
+    pub parallel: Option<PoolMetrics>,
 }
 
 impl EnumStats {

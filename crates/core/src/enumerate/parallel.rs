@@ -1,31 +1,64 @@
 //! Intra-query parallel enumeration.
 //!
 //! The paper notes that CECI (and Glasgow) have parallel variants that
-//! split the search across workers; this module provides the standard
-//! embarrassingly-parallel decomposition for the static-order engine: the
-//! depth-0 local candidates are partitioned round-robin across `threads`
-//! worker engines, each exploring its own subtree set with private state.
-//! A [`SharedControl`] makes the match cap global (the 10^5 cap applies to
-//! the *sum*) and propagates stops.
+//! split the search across workers. The subtree below one depth-0
+//! candidate of a power-law data graph can be orders of magnitude larger
+//! than another's, so how the roots are split matters:
+//!
+//! * [`ParallelStrategy::Morsel`] (the default) deals the depth-0 entries
+//!   into small contiguous morsels on per-worker queues
+//!   ([`sm_runtime::pool`]); idle workers pull their own queue and steal
+//!   from the busiest one, so a hub-rooted subtree ends up shared instead
+//!   of serializing the run.
+//! * [`ParallelStrategy::Static`] is the classic fixed round-robin
+//!   partition (one chunk per worker, no rebalancing), kept as the
+//!   baseline the experiment tables compare against.
+//!
+//! Both strategies share a [`SharedControl`]: the match cap applies to the
+//! *sum* across workers, and one worker's deadline/cap cancels everyone
+//! through the run's [`sm_runtime::CancelToken`].
 //!
 //! Matches are streamed into per-worker sinks (each worker gets
 //! `S::default()`); the caller merges them if it needs the embeddings.
 //! Counts and search-tree sizes are summed; the reported elapsed time is
-//! the wall-clock of the whole region.
+//! the wall-clock of the whole region, and [`EnumStats::parallel`] carries
+//! the per-worker morsel/steal/busy counters.
 
 use crate::enumerate::engine::{enumerate, EngineInput, SharedControl};
 use crate::enumerate::{EnumStats, LcMethod, MatchSink, Outcome};
+use sm_runtime::pool::{deal_morsels, scoped_map, MorselQueue};
+use sm_runtime::{CancelReason, PoolMetrics, WorkerMetrics};
 use std::time::Instant;
 
-/// Run the static-order engine across `threads` workers. Returns the
-/// merged stats and each worker's sink.
+/// How the depth-0 candidates are distributed across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelStrategy {
+    /// Morsel-driven work stealing (default): dynamic balancing for
+    /// skewed subtree sizes.
+    Morsel,
+    /// Static round-robin partition: no rebalancing once the run starts.
+    Static,
+}
+
+/// Run the static-order engine across `threads` workers with the default
+/// [`ParallelStrategy::Morsel`] distribution. Returns the merged stats
+/// and each worker's sink.
+pub fn enumerate_parallel<S: MatchSink + Default + Send>(
+    input: &EngineInput<'_>,
+    threads: usize,
+) -> (EnumStats, Vec<S>) {
+    enumerate_parallel_with(input, threads, ParallelStrategy::Morsel)
+}
+
+/// [`enumerate_parallel`] with an explicit distribution strategy.
 ///
 /// The partition is over the depth-0 candidate entries (positions for the
 /// space-backed methods, data vertex ids otherwise) — exactly what a
 /// sequential run would iterate at the root.
-pub fn enumerate_parallel<S: MatchSink + Default + Send>(
+pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
     input: &EngineInput<'_>,
     threads: usize,
+    strategy: ParallelStrategy,
 ) -> (EnumStats, Vec<S>) {
     assert!(threads >= 1);
     assert!(
@@ -46,56 +79,30 @@ pub fn enumerate_parallel<S: MatchSink + Default + Send>(
         let stats = enumerate(input, &mut sink);
         return (stats, vec![sink]);
     }
-    // Round-robin chunks balance the skewed subtree sizes of power-law
-    // graphs better than contiguous ranges.
-    let mut chunks: Vec<Vec<u32>> = vec![Vec::new(); threads];
-    for (i, &e) in entries.iter().enumerate() {
-        chunks[i % threads].push(e);
-    }
-    let shared = SharedControl::default();
-    let results: Vec<(EnumStats, S)> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let shared = &shared;
-                scope.spawn(move |_| {
-                    let worker_input = EngineInput {
-                        q: input.q,
-                        g: input.g,
-                        candidates: input.candidates,
-                        space: input.space,
-                        order: input.order,
-                        parent: input.parent,
-                        method: input.method,
-                        config: input.config,
-                        root_subset: Some(chunk),
-                        shared: Some(shared),
-                    };
-                    let mut sink = S::default();
-                    let stats = enumerate(&worker_input, &mut sink);
-                    (stats, sink)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    let shared = SharedControl::for_run(input.config, started);
+    let per_worker: Vec<(WorkerStats<S>, WorkerMetrics)> = match strategy {
+        ParallelStrategy::Morsel => run_morsel(input, &entries, threads, &shared),
+        ParallelStrategy::Static => run_static(input, &entries, threads, &shared),
+    };
 
     let mut matches = 0u64;
     let mut recursions = 0u64;
     let mut outcome = Outcome::Complete;
-    let mut sinks = Vec::with_capacity(results.len());
-    for (stats, sink) in results {
-        matches += stats.matches;
-        recursions += stats.recursions;
-        match stats.outcome {
-            Outcome::TimedOut => outcome = Outcome::TimedOut,
-            Outcome::CapReached if outcome == Outcome::Complete => {
-                outcome = Outcome::CapReached;
-            }
-            _ => {}
-        }
-        sinks.push(sink);
+    let mut sinks = Vec::with_capacity(per_worker.len());
+    let mut metrics = PoolMetrics::default();
+    for (w, m) in per_worker {
+        matches += w.matches;
+        recursions += w.recursions;
+        merge_outcome(&mut outcome, w.outcome);
+        sinks.push(w.sink);
+        metrics.workers.push(m);
+    }
+    // The run token records why the run stopped, even for workers that
+    // never got to observe it themselves.
+    match shared.cancel.cancelled() {
+        Some(CancelReason::Deadline) => outcome = Outcome::TimedOut,
+        Some(CancelReason::Stopped) => merge_outcome(&mut outcome, Outcome::CapReached),
+        None => {}
     }
     // The global counter may have raced slightly past the cap; report the
     // true emitted count (sinks saw exactly `matches` embeddings).
@@ -105,9 +112,109 @@ pub fn enumerate_parallel<S: MatchSink + Default + Send>(
             recursions,
             elapsed: started.elapsed(),
             outcome,
+            parallel: Some(metrics),
         },
         sinks,
     )
+}
+
+/// TimedOut dominates CapReached dominates Complete.
+fn merge_outcome(acc: &mut Outcome, o: Outcome) {
+    match o {
+        Outcome::TimedOut => *acc = Outcome::TimedOut,
+        Outcome::CapReached if *acc == Outcome::Complete => *acc = Outcome::CapReached,
+        _ => {}
+    }
+}
+
+struct WorkerStats<S> {
+    sink: S,
+    matches: u64,
+    recursions: u64,
+    outcome: Outcome,
+}
+
+impl<S: Default> Default for WorkerStats<S> {
+    fn default() -> Self {
+        WorkerStats {
+            sink: S::default(),
+            matches: 0,
+            recursions: 0,
+            outcome: Outcome::Complete,
+        }
+    }
+}
+
+/// One engine run over a subset of the depth-0 entries, accumulated into
+/// the worker's state. Returns `false` once the run is cancelled.
+fn run_subset<S: MatchSink>(
+    input: &EngineInput<'_>,
+    subset: &[u32],
+    shared: &SharedControl,
+    w: &mut WorkerStats<S>,
+) -> bool {
+    let worker_input = EngineInput {
+        q: input.q,
+        g: input.g,
+        candidates: input.candidates,
+        space: input.space,
+        order: input.order,
+        parent: input.parent,
+        method: input.method,
+        config: input.config,
+        root_subset: Some(subset),
+        shared: Some(shared),
+    };
+    let stats = enumerate(&worker_input, &mut w.sink);
+    w.matches += stats.matches;
+    w.recursions += stats.recursions;
+    merge_outcome(&mut w.outcome, stats.outcome);
+    stats.outcome == Outcome::Complete
+}
+
+fn run_morsel<S: MatchSink + Default + Send>(
+    input: &EngineInput<'_>,
+    entries: &[u32],
+    threads: usize,
+    shared: &SharedControl,
+) -> Vec<(WorkerStats<S>, WorkerMetrics)> {
+    let queue = MorselQueue::new(deal_morsels(entries.len(), threads));
+    queue.run(
+        |_wid| WorkerStats::default(),
+        |_wid, w, morsel| {
+            if shared.cancel.cancelled().is_some() {
+                return false;
+            }
+            run_subset(input, &entries[morsel], shared, w)
+        },
+    )
+}
+
+fn run_static<S: MatchSink + Default + Send>(
+    input: &EngineInput<'_>,
+    entries: &[u32],
+    threads: usize,
+    shared: &SharedControl,
+) -> Vec<(WorkerStats<S>, WorkerMetrics)> {
+    // Round-robin chunks balance the skewed subtree sizes of power-law
+    // graphs better than contiguous ranges, but cannot rebalance at
+    // runtime — that is the point of comparison with the morsel pool.
+    let mut chunks: Vec<Vec<u32>> = vec![Vec::new(); threads];
+    for (i, &e) in entries.iter().enumerate() {
+        chunks[i % threads].push(e);
+    }
+    scoped_map(threads, |wid| {
+        let busy = Instant::now();
+        let mut w = WorkerStats::default();
+        run_subset(input, &chunks[wid], shared, &mut w);
+        let metrics = WorkerMetrics {
+            morsels: 1,
+            steals: 0,
+            busy: busy.elapsed(),
+            idle: std::time::Duration::ZERO,
+        };
+        (w, metrics)
+    })
 }
 
 #[cfg(test)]
@@ -148,10 +255,18 @@ mod tests {
         };
         let mut seq_sink = CountSink;
         let seq = enumerate(&input, &mut seq_sink);
-        for threads in [1usize, 2, 4, 7] {
-            let (par, _sinks) = enumerate_parallel::<CountSink>(&input, threads);
-            assert_eq!(par.matches, seq.matches, "{threads} threads");
-            assert_eq!(par.outcome, Outcome::Complete);
+        for strategy in [ParallelStrategy::Morsel, ParallelStrategy::Static] {
+            for threads in [1usize, 2, 4, 7] {
+                let (par, _sinks) =
+                    enumerate_parallel_with::<CountSink>(&input, threads, strategy);
+                assert_eq!(par.matches, seq.matches, "{strategy:?} {threads} threads");
+                assert_eq!(par.outcome, Outcome::Complete);
+                if threads > 1 {
+                    let m = par.parallel.expect("parallel metrics missing");
+                    assert_eq!(m.workers.len(), threads);
+                    assert!(m.total_morsels() > 0);
+                }
+            }
         }
     }
 
@@ -208,10 +323,48 @@ mod tests {
             root_subset: None,
             shared: None,
         };
+        for strategy in [ParallelStrategy::Morsel, ParallelStrategy::Static] {
+            let (stats, _sinks) =
+                enumerate_parallel_with::<CountSink>(&input, 4, strategy);
+            assert_eq!(stats.outcome, Outcome::CapReached, "{strategy:?}");
+            // workers race a little past the cap; the overshoot is bounded
+            // by roughly one match per worker
+            assert!(
+                stats.matches >= 500 && stats.matches < 500 + 8,
+                "{strategy:?} {}",
+                stats.matches
+            );
+        }
+    }
+
+    #[test]
+    fn caller_token_cancels_parallel_run() {
+        let g = rmat_graph(3000, 16.0, 1, RmatParams::PAPER, 5);
+        let q = sm_graph::builder::graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let qc = QueryContext::new(&q);
+        let gc = DataContext::new(&g);
+        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
+        let order = vec![1u32, 0, 2];
+        let parents = derive_parents(&q, &order, None);
+        let token = sm_runtime::CancelToken::new();
+        token.cancel(CancelReason::Stopped); // cancelled before the run
+        let cfg = MatchConfig::find_all().with_cancel(token.clone());
+        let input = EngineInput {
+            q: &q,
+            g: &g,
+            candidates: &cand,
+            space: None,
+            order: &order,
+            parent: &parents,
+            method: crate::enumerate::LcMethod::Direct,
+            config: &cfg,
+            root_subset: None,
+            shared: None,
+        };
         let (stats, _sinks) = enumerate_parallel::<CountSink>(&input, 4);
         assert_eq!(stats.outcome, Outcome::CapReached);
-        // workers race a little past the cap; the overshoot is bounded by
-        // roughly one match per worker
-        assert!(stats.matches >= 500 && stats.matches < 500 + 8, "{}", stats.matches);
+        // pre-cancelled: engines stop at their first poll; the caller's
+        // own token must stay cancelled but un-mutated by the run
+        assert_eq!(token.cancelled(), Some(CancelReason::Stopped));
     }
 }

@@ -2,14 +2,14 @@
 //! sample many orders, run each with a small time budget, and compare the
 //! best against the orders the heuristics produce.
 
-use rand::Rng;
 use sm_graph::{Graph, VertexId};
+use sm_runtime::rng::Rng64;
 
 /// Sample a uniformly random *connected* matching order: a random start
 /// vertex, then repeatedly a random frontier vertex. Connectedness keeps
 /// the comparison fair — a disconnected prefix forces a Cartesian product
 /// no ordering method would emit.
-pub fn random_connected_order(q: &Graph, rng: &mut impl Rng) -> Vec<VertexId> {
+pub fn random_connected_order(q: &Graph, rng: &mut Rng64) -> Vec<VertexId> {
     let n = q.num_vertices();
     assert!(n >= 1);
     let start = rng.gen_range(0..n) as VertexId;
@@ -43,7 +43,7 @@ pub fn random_connected_order(q: &Graph, rng: &mut impl Rng) -> Vec<VertexId> {
 /// Sample `count` distinct-ish random connected orders (duplicates are
 /// possible for tiny queries, matching the paper's straightforward
 /// sampling).
-pub fn sample_orders(q: &Graph, count: usize, rng: &mut impl Rng) -> Vec<Vec<VertexId>> {
+pub fn sample_orders(q: &Graph, count: usize, rng: &mut Rng64) -> Vec<Vec<VertexId>> {
     (0..count).map(|_| random_connected_order(q, rng)).collect()
 }
 
@@ -52,12 +52,11 @@ mod tests {
     use super::*;
     use crate::fixtures::paper_query;
     use crate::order::is_connected_order;
-    use rand::SeedableRng;
 
     #[test]
     fn sampled_orders_are_connected_permutations() {
         let q = paper_query();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         for order in sample_orders(&q, 200, &mut rng) {
             assert!(is_connected_order(&q, &order), "{order:?}");
         }
@@ -66,7 +65,7 @@ mod tests {
     #[test]
     fn covers_multiple_orders() {
         let q = paper_query();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let orders = sample_orders(&q, 100, &mut rng);
         let distinct: std::collections::HashSet<_> = orders.into_iter().collect();
         assert!(distinct.len() > 3);

@@ -7,7 +7,7 @@ use crate::candidates::Candidates;
 use crate::context::{DataContext, QueryContext};
 use crate::enumerate::adaptive::{enumerate_adaptive, AdaptiveInput};
 use crate::enumerate::engine::{derive_parents, enumerate, EngineInput};
-use crate::enumerate::parallel::enumerate_parallel;
+use crate::enumerate::parallel::{enumerate_parallel_with, ParallelStrategy};
 use crate::enumerate::{
     CountSink, EnumStats, LcMethod, MatchConfig, MatchSink, Outcome,
 };
@@ -60,6 +60,8 @@ pub struct MatchOutput {
     pub candidate_memory: usize,
     /// Bytes held by the auxiliary structure.
     pub space_memory: usize,
+    /// Per-worker morsel/steal/busy counters (parallel runs only).
+    pub parallel: Option<sm_runtime::PoolMetrics>,
 }
 
 impl MatchOutput {
@@ -91,6 +93,7 @@ impl MatchOutput {
             candidate_avg: 0.0,
             candidate_memory: 0,
             space_memory: 0,
+            parallel: None,
         }
     }
 
@@ -106,6 +109,7 @@ impl MatchOutput {
             candidate_avg: prep.candidates.average(),
             candidate_memory: prep.candidates.memory_bytes(),
             space_memory: prep.space.as_ref().map_or(0, |s| s.memory_bytes()),
+            parallel: stats.parallel,
         }
     }
 }
@@ -315,20 +319,32 @@ impl Pipeline {
         MatchOutput::from_stats(&prep, stats)
     }
 
-    /// Run with intra-query parallelism: the root candidates are
-    /// partitioned across `threads` worker engines (see
-    /// [`crate::enumerate::parallel`]). Matches are counted, not
-    /// collected.
-    ///
-    /// Adaptive-ordering pipelines fall back to the sequential engine —
-    /// DP-iso's runtime vertex selection is inherently sequential per
-    /// subtree and the paper only parallelizes the static engines.
+    /// Run with intra-query parallelism using the default morsel
+    /// work-stealing distribution (see [`crate::enumerate::parallel`]).
+    /// Matches are counted, not collected.
     pub fn run_parallel(
         &self,
         q: &Graph,
         g: &DataContext<'_>,
         config: &MatchConfig,
         threads: usize,
+    ) -> MatchOutput {
+        self.run_parallel_with(q, g, config, threads, ParallelStrategy::Morsel)
+    }
+
+    /// [`Pipeline::run_parallel`] with an explicit root-distribution
+    /// strategy.
+    ///
+    /// Adaptive-ordering pipelines fall back to the sequential engine —
+    /// DP-iso's runtime vertex selection is inherently sequential per
+    /// subtree and the paper only parallelizes the static engines.
+    pub fn run_parallel_with(
+        &self,
+        q: &Graph,
+        g: &DataContext<'_>,
+        config: &MatchConfig,
+        threads: usize,
+        strategy: ParallelStrategy,
     ) -> MatchOutput {
         if matches!(self.order, OrderKind::Adaptive) || threads <= 1 {
             return self.run(q, g, config);
@@ -349,7 +365,7 @@ impl Pipeline {
             root_subset: None,
             shared: None,
         };
-        let (stats, _sinks) = enumerate_parallel::<CountSink>(&input, threads);
+        let (stats, _sinks) = enumerate_parallel_with::<CountSink>(&input, threads, strategy);
         MatchOutput::from_stats(&prep, stats)
     }
 }

@@ -7,8 +7,8 @@ use crate::enumerate::{LcMethod, MatchConfig};
 use crate::filter::FilterKind;
 use crate::order::OrderKind;
 use crate::pipeline::Pipeline;
-use rand::SeedableRng;
 use sm_graph::Graph;
+use sm_runtime::rng::Rng64;
 use std::time::Duration;
 
 /// One sampled order's result.
@@ -54,7 +54,7 @@ pub fn spectrum_analysis(
     per_order_limit: Duration,
     seed: u64,
 ) -> SpectrumResult {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let orders = crate::order::random::sample_orders(q, num_orders, &mut rng);
     let mut points = Vec::with_capacity(orders.len());
     for order in orders {

@@ -11,6 +11,7 @@ use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
 use crate::util::Bitmap;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
+use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
 /// Run Ullmann's algorithm, streaming matches into `sink`.
@@ -53,7 +54,7 @@ pub fn ullmann_match<S: MatchSink>(
         matches: 0,
         recursions: 0,
         cap: config.max_matches.unwrap_or(u64::MAX),
-        deadline: config.time_limit.map(|d| started + d),
+        cancel: config.run_token(started),
         stopped: None,
         sink,
     };
@@ -65,6 +66,7 @@ pub fn ullmann_match<S: MatchSink>(
         recursions: st.recursions,
         elapsed: started.elapsed(),
         outcome: st.stopped.unwrap_or(Outcome::Complete),
+        parallel: None,
     }
 }
 
@@ -76,7 +78,7 @@ struct UllmannState<'a, S: MatchSink> {
     matches: u64,
     recursions: u64,
     cap: u64,
-    deadline: Option<Instant>,
+    cancel: CancelToken,
     stopped: Option<Outcome>,
     sink: &'a mut S,
 }
@@ -120,10 +122,11 @@ impl<S: MatchSink> UllmannState<'_, S> {
     fn recurse(&mut self, depth: usize, matrix: &[Bitmap]) {
         self.recursions += 1;
         if self.recursions & 0xFF == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.stopped = Some(Outcome::TimedOut);
-                }
+            if let Some(reason) = self.cancel.poll() {
+                self.stopped = Some(match reason {
+                    CancelReason::Deadline => Outcome::TimedOut,
+                    CancelReason::Stopped => Outcome::CapReached,
+                });
             }
         }
         if self.stopped.is_some() {

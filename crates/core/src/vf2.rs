@@ -17,6 +17,7 @@
 use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
+use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
 /// Run classic VF2, streaming matches into `sink`.
@@ -48,7 +49,7 @@ pub fn vf2_match<S: MatchSink>(
         matches: 0,
         recursions: 0,
         cap: config.max_matches.unwrap_or(u64::MAX),
-        deadline: config.time_limit.map(|d| started + d),
+        cancel: config.run_token(started),
         stopped: None,
         sink,
     };
@@ -58,6 +59,7 @@ pub fn vf2_match<S: MatchSink>(
         recursions: st.recursions,
         elapsed: started.elapsed(),
         outcome: st.stopped.unwrap_or(Outcome::Complete),
+        parallel: None,
     }
 }
 
@@ -73,7 +75,7 @@ struct Vf2State<'a, S: MatchSink> {
     matches: u64,
     recursions: u64,
     cap: u64,
-    deadline: Option<Instant>,
+    cancel: CancelToken,
     stopped: Option<Outcome>,
     sink: &'a mut S,
 }
@@ -82,10 +84,11 @@ impl<S: MatchSink> Vf2State<'_, S> {
     fn recurse(&mut self, depth: usize) {
         self.recursions += 1;
         if self.recursions & 0x3FF == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.stopped = Some(Outcome::TimedOut);
-                }
+            if let Some(reason) = self.cancel.poll() {
+                self.stopped = Some(match reason {
+                    CancelReason::Deadline => Outcome::TimedOut,
+                    CancelReason::Stopped => Outcome::CapReached,
+                });
             }
         }
         if self.stopped.is_some() {

@@ -24,7 +24,7 @@ fn pruning_shrinks_search_trees_on_hard_workloads() {
             density: Density::Sparse,
             count: 8,
         },
-        0xFEED,
+        0xBEEF,
     );
     assert!(!queries.is_empty());
     // Cap high enough that failure regions dominate (matches are rare at

@@ -2,17 +2,22 @@
 //! filter × ordering × enumeration finds exactly the matches the
 //! brute-force reference finds, on arbitrary random graphs and queries.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use sm_graph::gen::query::{extract_query, Density};
 use sm_graph::gen::random::erdos_renyi;
 use sm_match::reference::brute_force_count;
 use sm_match::{Algorithm, DataContext, MatchConfig};
+use sm_runtime::check::Check;
+use sm_runtime::rng::Rng64;
+use sm_runtime::{ensure, ensure_eq};
 
 /// Generate a (data graph, query) pair from seeds.
-fn workload(data_seed: u64, query_seed: u64, qsize: usize) -> Option<(sm_graph::Graph, sm_graph::Graph)> {
+fn workload(
+    data_seed: u64,
+    query_seed: u64,
+    qsize: usize,
+) -> Option<(sm_graph::Graph, sm_graph::Graph)> {
     let g = erdos_renyi(60, 150, 3, data_seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+    let mut rng = Rng64::seed_from_u64(query_seed);
     for _ in 0..30 {
         if let Some(q) = extract_query(&g, qsize, Density::Any, &mut rng) {
             return Some((g, q));
@@ -21,74 +26,107 @@ fn workload(data_seed: u64, query_seed: u64, qsize: usize) -> Option<(sm_graph::
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Seeds and query size for one random workload. Query size ramps with
+/// the harness size parameter so shrinking retries smaller queries.
+fn arb_workload(rng: &mut Rng64, size: u32) -> (u64, u64, usize) {
+    let qsize = 3 + (size as usize * 4 / 100).min(3); // 3..=6
+    (rng.gen_range(0..5000u64), rng.gen_range(0..5000u64), qsize)
+}
 
-    #[test]
-    fn all_algorithms_agree_with_brute_force(
-        data_seed in 0u64..5000,
-        query_seed in 0u64..5000,
-        qsize in 3usize..7,
-    ) {
-        let Some((g, q)) = workload(data_seed, query_seed, qsize) else {
-            return Ok(());
-        };
-        let want = brute_force_count(&q, &g, None);
-        let gc = DataContext::new(&g);
-        let cfg = MatchConfig::find_all();
-        let cfg_fs = MatchConfig::find_all().with_failing_sets(true);
-        for alg in Algorithm::all() {
-            let o = alg.original().run(&q, &gc, &cfg);
-            prop_assert_eq!(o.matches, want, "O-{} on seeds ({}, {})",
-                            alg.abbrev(), data_seed, query_seed);
-            let p = alg.optimized().run(&q, &gc, &cfg);
-            prop_assert_eq!(p.matches, want, "{} on seeds ({}, {})",
-                            alg.abbrev(), data_seed, query_seed);
-            let f = alg.optimized().run(&q, &gc, &cfg_fs);
-            prop_assert_eq!(f.matches, want, "{}fs on seeds ({}, {})",
-                            alg.abbrev(), data_seed, query_seed);
-        }
-        // the historical state-space baselines
-        let mut sink = sm_match::enumerate::CountSink;
-        let vf2 = sm_match::vf2::vf2_match(&q, &g, &cfg, &mut sink);
-        prop_assert_eq!(vf2.matches, want, "VF2 on seeds ({}, {})", data_seed, query_seed);
-        let ull = sm_match::ullmann::ullmann_match(&q, &g, &cfg, &mut sink);
-        prop_assert_eq!(ull.matches, want, "Ullmann on seeds ({}, {})", data_seed, query_seed);
-    }
-
-    #[test]
-    fn filters_preserve_completeness(
-        data_seed in 0u64..5000,
-        query_seed in 0u64..5000,
-        qsize in 3usize..7,
-    ) {
-        use sm_match::filter::{run_filter, FilterKind};
-        use sm_match::reference::brute_force_matches;
-        use sm_match::QueryContext;
-
-        let Some((g, q)) = workload(data_seed, query_seed, qsize) else {
-            return Ok(());
-        };
-        let matches = brute_force_matches(&q, &g, None);
-        let gc = DataContext::new(&g);
-        let qc = QueryContext::new(&q);
-        for kind in FilterKind::all() {
-            let out = run_filter(kind, &qc, &gc);
-            if matches.is_empty() {
-                continue; // empty candidate sets are fine with no matches
+#[test]
+fn all_algorithms_agree_with_brute_force() {
+    Check::new("all_algorithms_agree_with_brute_force")
+        .cases(24)
+        .run(arb_workload, |&(data_seed, query_seed, qsize)| {
+            let Some((g, q)) = workload(data_seed, query_seed, qsize) else {
+                return Ok(());
+            };
+            let want = brute_force_count(&q, &g, None);
+            let gc = DataContext::new(&g);
+            let cfg = MatchConfig::find_all();
+            let cfg_fs = MatchConfig::find_all().with_failing_sets(true);
+            for alg in Algorithm::all() {
+                let o = alg.original().run(&q, &gc, &cfg);
+                ensure_eq!(
+                    o.matches,
+                    want,
+                    "O-{} on seeds ({}, {})",
+                    alg.abbrev(),
+                    data_seed,
+                    query_seed
+                );
+                let p = alg.optimized().run(&q, &gc, &cfg);
+                ensure_eq!(
+                    p.matches,
+                    want,
+                    "{} on seeds ({}, {})",
+                    alg.abbrev(),
+                    data_seed,
+                    query_seed
+                );
+                let f = alg.optimized().run(&q, &gc, &cfg_fs);
+                ensure_eq!(
+                    f.matches,
+                    want,
+                    "{}fs on seeds ({}, {})",
+                    alg.abbrev(),
+                    data_seed,
+                    query_seed
+                );
             }
-            let out = out.unwrap_or_else(|| panic!(
-                "{} produced empty candidates but {} matches exist (seeds {}, {})",
-                kind.name(), matches.len(), data_seed, query_seed));
-            for m in &matches {
-                for (u, &v) in m.iter().enumerate() {
-                    prop_assert!(
-                        out.candidates.get(u as u32).contains(&v),
-                        "{} dropped ({}, {}) from a real match (seeds {}, {})",
-                        kind.name(), u, v, data_seed, query_seed
-                    );
+            // the historical state-space baselines
+            let mut sink = sm_match::enumerate::CountSink;
+            let vf2 = sm_match::vf2::vf2_match(&q, &g, &cfg, &mut sink);
+            ensure_eq!(vf2.matches, want, "VF2 on seeds ({}, {})", data_seed, query_seed);
+            let ull = sm_match::ullmann::ullmann_match(&q, &g, &cfg, &mut sink);
+            ensure_eq!(ull.matches, want, "Ullmann on seeds ({}, {})", data_seed, query_seed);
+            Ok(())
+        });
+}
+
+#[test]
+fn filters_preserve_completeness() {
+    use sm_match::filter::{run_filter, FilterKind};
+    use sm_match::reference::brute_force_matches;
+    use sm_match::QueryContext;
+
+    Check::new("filters_preserve_completeness")
+        .cases(24)
+        .run(arb_workload, |&(data_seed, query_seed, qsize)| {
+            let Some((g, q)) = workload(data_seed, query_seed, qsize) else {
+                return Ok(());
+            };
+            let matches = brute_force_matches(&q, &g, None);
+            let gc = DataContext::new(&g);
+            let qc = QueryContext::new(&q);
+            for kind in FilterKind::all() {
+                let out = run_filter(kind, &qc, &gc);
+                if matches.is_empty() {
+                    continue; // empty candidate sets are fine with no matches
+                }
+                let Some(out) = out else {
+                    return Err(format!(
+                        "{} produced empty candidates but {} matches exist (seeds {}, {})",
+                        kind.name(),
+                        matches.len(),
+                        data_seed,
+                        query_seed
+                    ));
+                };
+                for m in &matches {
+                    for (u, &v) in m.iter().enumerate() {
+                        ensure!(
+                            out.candidates.get(u as u32).contains(&v),
+                            "{} dropped ({}, {}) from a real match (seeds {}, {})",
+                            kind.name(),
+                            u,
+                            v,
+                            data_seed,
+                            query_seed
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        });
 }

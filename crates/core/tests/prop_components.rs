@@ -2,8 +2,6 @@
 //! candidate-space faithfulness, engine equivalence (same match *sets*,
 //! not just counts), and parallel/sequential agreement.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use sm_graph::gen::query::{extract_query, Density};
 use sm_graph::gen::random::erdos_renyi;
 use sm_match::candidate_space::{CandidateSpace, SpaceCoverage};
@@ -13,98 +11,195 @@ use sm_match::enumerate::{CollectSink, CountSink, LcMethod, MatchConfig};
 use sm_match::filter::{run_filter, FilterKind};
 use sm_match::order::{is_connected_order, run_order, OrderInput, OrderKind};
 use sm_match::{DataContext, QueryContext};
+use sm_runtime::check::Check;
+use sm_runtime::rng::Rng64;
+use sm_runtime::{ensure, ensure_eq};
 
 fn workload(ds: u64, qs: u64, size: usize) -> Option<(sm_graph::Graph, sm_graph::Graph)> {
     let g = erdos_renyi(80, 240, 3, ds);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(qs);
+    let mut rng = Rng64::seed_from_u64(qs);
     (0..30)
         .find_map(|_| extract_query(&g, size, Density::Any, &mut rng))
         .map(|q| (g, q))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+/// Seeds plus a query size in `3..=3 + spread`, ramping with the harness
+/// size parameter so shrinking retries smaller queries.
+fn arb_seeds(rng: &mut Rng64, size: u32, spread: usize) -> (u64, u64, usize) {
+    let qsize = 3 + (size as usize * spread / 100).min(spread);
+    (rng.gen_range(0..3000u64), rng.gen_range(0..3000u64), qsize)
+}
 
-    #[test]
-    fn every_ordering_is_a_connected_permutation(
-        ds in 0u64..3000, qs in 0u64..3000, size in 3usize..9,
-    ) {
-        let Some((g, q)) = workload(ds, qs, size) else { return Ok(()); };
-        let gc = DataContext::new(&g);
-        let qc = QueryContext::new(&q);
-        let Some(f) = run_filter(FilterKind::Nlf, &qc, &gc) else { return Ok(()); };
-        let input = OrderInput {
-            q: &qc,
-            g: &gc,
-            candidates: &f.candidates,
-            bfs_tree: None,
-            space: None,
-        };
-        for kind in OrderKind::all_static() {
-            let order = run_order(&kind, &input);
-            prop_assert!(
-                is_connected_order(&q, &order),
-                "{} gave {order:?} on seeds ({ds}, {qs})", kind.name()
-            );
-        }
-    }
+#[test]
+fn every_ordering_is_a_connected_permutation() {
+    Check::new("every_ordering_is_a_connected_permutation")
+        .cases(20)
+        .run(
+            |rng, size| arb_seeds(rng, size, 5),
+            |&(ds, qs, size)| {
+                let Some((g, q)) = workload(ds, qs, size) else {
+                    return Ok(());
+                };
+                let gc = DataContext::new(&g);
+                let qc = QueryContext::new(&q);
+                let Some(f) = run_filter(FilterKind::Nlf, &qc, &gc) else {
+                    return Ok(());
+                };
+                let input = OrderInput {
+                    q: &qc,
+                    g: &gc,
+                    candidates: &f.candidates,
+                    bfs_tree: None,
+                    space: None,
+                };
+                for kind in OrderKind::all_static() {
+                    let order = run_order(&kind, &input);
+                    ensure!(
+                        is_connected_order(&q, &order),
+                        "{} gave {order:?} on seeds ({ds}, {qs})",
+                        kind.name()
+                    );
+                }
+                Ok(())
+            },
+        );
+}
 
-    #[test]
-    fn candidate_space_is_faithful(
-        ds in 0u64..3000, qs in 0u64..3000, size in 3usize..8,
-    ) {
-        let Some((g, q)) = workload(ds, qs, size) else { return Ok(()); };
-        let gc = DataContext::new(&g);
-        let qc = QueryContext::new(&q);
-        let Some(f) = run_filter(FilterKind::GraphQl, &qc, &gc) else { return Ok(()); };
-        let c = &f.candidates;
-        let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, true);
-        for (a, b) in q.edges() {
-            for (pos, &v) in c.get(a).iter().enumerate() {
-                let via: Vec<u32> = space
-                    .neighbors(a, pos, b)
-                    .iter()
-                    .map(|&p| c.get(b)[p as usize])
-                    .collect();
-                let direct: Vec<u32> = c
-                    .get(b)
-                    .iter()
-                    .copied()
-                    .filter(|&w| g.has_edge(v, w))
-                    .collect();
-                prop_assert_eq!(&via, &direct);
-                // BSR view agrees with the flat view
-                let bsr = space.bsr_neighbors(a, pos, b).unwrap();
-                prop_assert_eq!(bsr.to_vec(), space.neighbors(a, pos, b));
-            }
-        }
-    }
-
-    #[test]
-    fn engines_produce_identical_match_sets(
-        ds in 0u64..3000, qs in 0u64..3000, size in 3usize..7,
-    ) {
-        let Some((g, q)) = workload(ds, qs, size) else { return Ok(()); };
-        let gc = DataContext::new(&g);
-        let qc = QueryContext::new(&q);
-        let Some(f) = run_filter(FilterKind::Ldf, &qc, &gc) else { return Ok(()); };
-        let c = &f.candidates;
-        let order: Vec<u32> = {
-            let input = OrderInput {
-                q: &qc, g: &gc, candidates: c, bfs_tree: None, space: None,
+#[test]
+fn candidate_space_is_faithful() {
+    Check::new("candidate_space_is_faithful").cases(20).run(
+        |rng, size| arb_seeds(rng, size, 4),
+        |&(ds, qs, size)| {
+            let Some((g, q)) = workload(ds, qs, size) else {
+                return Ok(());
             };
-            run_order(&OrderKind::GraphQl, &input)
-        };
-        let parents = derive_parents(&q, &order, None);
-        let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
-        let cfg = MatchConfig::find_all();
-        let mut reference: Option<Vec<Vec<u32>>> = None;
-        for method in [
-            LcMethod::Direct,
-            LcMethod::CandidateScan,
-            LcMethod::TreeIndex,
-            LcMethod::Intersect,
-        ] {
+            let gc = DataContext::new(&g);
+            let qc = QueryContext::new(&q);
+            let Some(f) = run_filter(FilterKind::GraphQl, &qc, &gc) else {
+                return Ok(());
+            };
+            let c = &f.candidates;
+            let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, true);
+            for (a, b) in q.edges() {
+                for (pos, &v) in c.get(a).iter().enumerate() {
+                    let via: Vec<u32> = space
+                        .neighbors(a, pos, b)
+                        .iter()
+                        .map(|&p| c.get(b)[p as usize])
+                        .collect();
+                    let direct: Vec<u32> = c
+                        .get(b)
+                        .iter()
+                        .copied()
+                        .filter(|&w| g.has_edge(v, w))
+                        .collect();
+                    ensure_eq!(&via, &direct, "space vs direct on seeds ({ds}, {qs})");
+                    // BSR view agrees with the flat view
+                    let bsr = space.bsr_neighbors(a, pos, b).unwrap();
+                    ensure_eq!(
+                        bsr.to_vec(),
+                        space.neighbors(a, pos, b),
+                        "bsr vs flat on seeds ({ds}, {qs})"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn engines_produce_identical_match_sets() {
+    Check::new("engines_produce_identical_match_sets").cases(20).run(
+        |rng, size| arb_seeds(rng, size, 3),
+        |&(ds, qs, size)| {
+            let Some((g, q)) = workload(ds, qs, size) else {
+                return Ok(());
+            };
+            let gc = DataContext::new(&g);
+            let qc = QueryContext::new(&q);
+            let Some(f) = run_filter(FilterKind::Ldf, &qc, &gc) else {
+                return Ok(());
+            };
+            let c = &f.candidates;
+            let order: Vec<u32> = {
+                let input = OrderInput {
+                    q: &qc,
+                    g: &gc,
+                    candidates: c,
+                    bfs_tree: None,
+                    space: None,
+                };
+                run_order(&OrderKind::GraphQl, &input)
+            };
+            let parents = derive_parents(&q, &order, None);
+            let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
+            let cfg = MatchConfig::find_all();
+            let mut reference: Option<Vec<Vec<u32>>> = None;
+            for method in [
+                LcMethod::Direct,
+                LcMethod::CandidateScan,
+                LcMethod::TreeIndex,
+                LcMethod::Intersect,
+            ] {
+                let input = EngineInput {
+                    q: &q,
+                    g: &g,
+                    candidates: c,
+                    space: Some(&space),
+                    order: &order,
+                    parent: &parents,
+                    method,
+                    config: &cfg,
+                    root_subset: None,
+                    shared: None,
+                };
+                let mut sink = CollectSink::default();
+                enumerate(&input, &mut sink);
+                let mut ms = sink.matches;
+                ms.sort();
+                match &reference {
+                    None => reference = Some(ms),
+                    Some(r) => {
+                        ensure_eq!(&ms, r, "{:?} on seeds ({}, {})", method, ds, qs);
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_equals_sequential() {
+    Check::new("parallel_equals_sequential").cases(20).run(
+        |rng, size| {
+            let (ds, qs, qsize) = arb_seeds(rng, size, 3);
+            (ds, qs, qsize, rng.gen_range(2usize..5))
+        },
+        |&(ds, qs, size, threads)| {
+            let Some((g, q)) = workload(ds, qs, size) else {
+                return Ok(());
+            };
+            let gc = DataContext::new(&g);
+            let qc = QueryContext::new(&q);
+            let Some(f) = run_filter(FilterKind::Nlf, &qc, &gc) else {
+                return Ok(());
+            };
+            let c = &f.candidates;
+            let order: Vec<u32> = {
+                let input = OrderInput {
+                    q: &qc,
+                    g: &gc,
+                    candidates: c,
+                    bfs_tree: None,
+                    space: None,
+                };
+                run_order(&OrderKind::Ri, &input)
+            };
+            let parents = derive_parents(&q, &order, None);
+            let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
+            let cfg = MatchConfig::find_all();
             let input = EngineInput {
                 q: &q,
                 g: &g,
@@ -112,54 +207,23 @@ proptest! {
                 space: Some(&space),
                 order: &order,
                 parent: &parents,
-                method,
+                method: LcMethod::Intersect,
                 config: &cfg,
                 root_subset: None,
                 shared: None,
             };
-            let mut sink = CollectSink::default();
-            enumerate(&input, &mut sink);
-            let mut ms = sink.matches;
-            ms.sort();
-            match &reference {
-                None => reference = Some(ms),
-                Some(r) => prop_assert_eq!(&ms, r, "{:?} on seeds ({}, {})", method, ds, qs),
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_equals_sequential(
-        ds in 0u64..3000, qs in 0u64..3000, size in 3usize..7, threads in 2usize..5,
-    ) {
-        let Some((g, q)) = workload(ds, qs, size) else { return Ok(()); };
-        let gc = DataContext::new(&g);
-        let qc = QueryContext::new(&q);
-        let Some(f) = run_filter(FilterKind::Nlf, &qc, &gc) else { return Ok(()); };
-        let c = &f.candidates;
-        let order: Vec<u32> = {
-            let input = OrderInput { q: &qc, g: &gc, candidates: c, bfs_tree: None, space: None };
-            run_order(&OrderKind::Ri, &input)
-        };
-        let parents = derive_parents(&q, &order, None);
-        let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
-        let cfg = MatchConfig::find_all();
-        let input = EngineInput {
-            q: &q,
-            g: &g,
-            candidates: c,
-            space: Some(&space),
-            order: &order,
-            parent: &parents,
-            method: LcMethod::Intersect,
-            config: &cfg,
-            root_subset: None,
-            shared: None,
-        };
-        let mut seq = CountSink;
-        let seq_stats = enumerate(&input, &mut seq);
-        let (par_stats, _) = enumerate_parallel::<CountSink>(&input, threads);
-        prop_assert_eq!(par_stats.matches, seq_stats.matches,
-                        "threads={} seeds ({}, {})", threads, ds, qs);
-    }
+            let mut seq = CountSink;
+            let seq_stats = enumerate(&input, &mut seq);
+            let (par_stats, _) = enumerate_parallel::<CountSink>(&input, threads);
+            ensure_eq!(
+                par_stats.matches,
+                seq_stats.matches,
+                "threads={} seeds ({}, {})",
+                threads,
+                ds,
+                qs
+            );
+            Ok(())
+        },
+    );
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use sm_graph::{Graph, VertexId};
+use sm_runtime::{CancelReason, CancelToken};
 use std::time::{Duration, Instant};
 
 /// Configuration of a Glasgow run.
@@ -38,6 +39,10 @@ pub struct GlasgowConfig {
     /// Refuse to run if the estimated footprint exceeds this (default 2 GiB,
     /// mirroring "runs out of memory on other datasets").
     pub memory_budget_bytes: usize,
+    /// Caller-side cancellation: when set, the solver polls this token in
+    /// addition to `time_limit` and stops early (without marking the run
+    /// timed out) when it is cancelled.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for GlasgowConfig {
@@ -46,6 +51,7 @@ impl Default for GlasgowConfig {
             max_matches: Some(100_000),
             time_limit: None,
             memory_budget_bytes: 2 << 30,
+            cancel: None,
         }
     }
 }
@@ -169,7 +175,14 @@ pub fn glasgow_match(
         matches: 0,
         nodes: 0,
         cap: config.max_matches.unwrap_or(u64::MAX),
-        deadline: config.time_limit.map(|d| started + d),
+        cancel: {
+            let deadline = config.time_limit.map(|d| started + d);
+            match &config.cancel {
+                Some(outer) => outer.child(deadline),
+                None => CancelToken::with_deadline(deadline),
+            }
+        },
+        halted: false,
         timed_out: false,
     };
     solver.arena[..nq * words].copy_from_slice(&root_domains);
@@ -209,7 +222,8 @@ struct Solver<'a> {
     matches: u64,
     nodes: u64,
     cap: u64,
-    deadline: Option<Instant>,
+    cancel: CancelToken,
+    halted: bool,
     timed_out: bool,
 }
 
@@ -224,16 +238,15 @@ impl Solver<'_> {
     }
 
     fn stopped(&self) -> bool {
-        self.timed_out || self.matches >= self.cap
+        self.halted || self.matches >= self.cap
     }
 
     fn search(&mut self, depth: usize) {
         self.nodes += 1;
         if self.nodes & 0x3FF == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.timed_out = true;
-                }
+            if let Some(reason) = self.cancel.poll() {
+                self.halted = true;
+                self.timed_out = reason == CancelReason::Deadline;
             }
         }
         if self.stopped() {

@@ -1,30 +1,36 @@
 //! Glasgow must agree with the framework's brute-force reference on random
 //! workloads.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use sm_glasgow::{glasgow_match, GlasgowConfig};
 use sm_graph::gen::query::{extract_query, Density};
 use sm_graph::gen::random::erdos_renyi;
 use sm_match::reference::brute_force_count;
+use sm_runtime::check::Check;
+use sm_runtime::ensure_eq;
+use sm_runtime::rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn glasgow_agrees_with_brute_force(
-        data_seed in 0u64..5000,
-        query_seed in 0u64..5000,
-        qsize in 3usize..7,
-    ) {
-        let g = erdos_renyi(50, 120, 3, data_seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
-        let Some(q) = (0..30).find_map(|_| extract_query(&g, qsize, Density::Any, &mut rng)) else {
-            return Ok(());
-        };
-        let want = brute_force_count(&q, &g, None);
-        let cfg = GlasgowConfig { max_matches: None, ..Default::default() };
-        let stats = glasgow_match(&q, &g, &cfg).expect("small graph fits budget");
-        prop_assert_eq!(stats.matches, want, "seeds ({}, {})", data_seed, query_seed);
-    }
+#[test]
+fn glasgow_agrees_with_brute_force() {
+    Check::new("glasgow_agrees_with_brute_force").cases(24).run(
+        |rng, size| {
+            let qsize = 3 + (size as usize * 3 / 100).min(3); // 3..=6
+            (rng.gen_range(0..5000u64), rng.gen_range(0..5000u64), qsize)
+        },
+        |&(data_seed, query_seed, qsize)| {
+            let g = erdos_renyi(50, 120, 3, data_seed);
+            let mut rng = Rng64::seed_from_u64(query_seed);
+            let Some(q) = (0..30).find_map(|_| extract_query(&g, qsize, Density::Any, &mut rng))
+            else {
+                return Ok(());
+            };
+            let want = brute_force_count(&q, &g, None);
+            let cfg = GlasgowConfig {
+                max_matches: None,
+                ..Default::default()
+            };
+            let stats = glasgow_match(&q, &g, &cfg).expect("small graph fits budget");
+            ensure_eq!(stats.matches, want, "seeds ({}, {})", data_seed, query_seed);
+            Ok(())
+        },
+    );
 }

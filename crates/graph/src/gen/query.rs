@@ -7,8 +7,7 @@
 
 use crate::graph::Graph;
 use crate::types::VertexId;
-use rand::Rng;
-use rand::SeedableRng;
+use sm_runtime::rng::Rng64;
 
 /// Density class of a query set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -69,7 +68,7 @@ pub fn extract_query(
     g: &Graph,
     size: usize,
     density: Density,
-    rng: &mut impl Rng,
+    rng: &mut Rng64,
 ) -> Option<Graph> {
     let n = g.num_vertices();
     if n < size || size == 0 {
@@ -92,7 +91,7 @@ pub fn extract_query(
 }
 
 /// Plain random walk with periodic restarts — the paper's extraction.
-fn random_walk(g: &Graph, size: usize, rng: &mut impl Rng) -> Option<Vec<VertexId>> {
+fn random_walk(g: &Graph, size: usize, rng: &mut Rng64) -> Option<Vec<VertexId>> {
     let n = g.num_vertices();
     let start = {
         let mut found = None;
@@ -141,7 +140,7 @@ fn random_walk(g: &Graph, size: usize, rng: &mut impl Rng) -> Option<Vec<VertexI
 /// one (real social/lexical graphs additionally have local clustering that
 /// makes walk extraction viable for the paper — this growth rule
 /// substitutes for that).
-fn grow_dense(g: &Graph, size: usize, rng: &mut impl Rng) -> Option<Vec<VertexId>> {
+fn grow_dense(g: &Graph, size: usize, rng: &mut Rng64) -> Option<Vec<VertexId>> {
     let n = g.num_vertices();
     // Degree-tournament start: dense neighborhoods sit around hubs.
     let start = {
@@ -193,7 +192,7 @@ fn grow_dense(g: &Graph, size: usize, rng: &mut impl Rng) -> Option<Vec<VertexId
 /// budget is exhausted (sparse sets on dense graphs can be genuinely hard
 /// to hit); the returned vector may then be shorter than requested.
 pub fn generate_query_set(g: &Graph, spec: QuerySetSpec, seed: u64) -> Vec<Graph> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut out = Vec::with_capacity(spec.count);
     let max_attempts = spec.count.max(1) * 400;
     let mut attempts = 0;
@@ -218,7 +217,7 @@ mod tests {
     #[test]
     fn extracted_queries_are_connected_induced() {
         let g = data_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let mut found = 0;
         for _ in 0..50 {
             if let Some(q) = extract_query(&g, 8, Density::Any, &mut rng) {
@@ -276,7 +275,7 @@ mod tests {
     #[test]
     fn impossible_size_returns_none() {
         let g = data_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = Rng64::seed_from_u64(0);
         assert!(extract_query(&g, 5000, Density::Any, &mut rng).is_none());
         assert!(extract_query(&g, 0, Density::Any, &mut rng).is_none());
     }
@@ -306,7 +305,7 @@ mod tests {
     #[test]
     fn labels_preserved_from_data_graph() {
         let g = data_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         if let Some(q) = extract_query(&g, 6, Density::Any, &mut rng) {
             assert!(q.vertices().all(|v| (q.label(v) as usize) < 4));
         }

@@ -3,15 +3,13 @@
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::types::Label;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use sm_runtime::rng::Rng64;
 
 /// G(n, m): a uniform random graph with `n` vertices and (approximately,
 /// after dedup) `m` edges, labels uniform over `0..num_labels`.
 pub fn erdos_renyi(n: usize, m: usize, num_labels: usize, seed: u64) -> Graph {
     assert!(num_labels >= 1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, m);
     for _ in 0..n {
         b.add_vertex(rng.gen_range(0..num_labels as Label));
@@ -33,7 +31,7 @@ pub fn erdos_renyi(n: usize, m: usize, num_labels: usize, seed: u64) -> Graph {
 /// (the relabeling the paper applies to unlabeled datasets).
 pub fn assign_labels_uniform(g: &Graph, num_labels: usize, seed: u64) -> Graph {
     assert!(num_labels >= 1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     relabel(g, |_| rng.gen_range(0..num_labels as Label))
 }
 
@@ -44,7 +42,7 @@ pub fn assign_labels_uniform(g: &Graph, num_labels: usize, seed: u64) -> Graph {
 /// selective.
 pub fn assign_labels_zipf(g: &Graph, num_labels: usize, s: f64, seed: u64) -> Graph {
     assert!(num_labels >= 1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // cumulative weights
     let mut cum = Vec::with_capacity(num_labels);
     let mut total = 0.0f64;
@@ -53,7 +51,7 @@ pub fn assign_labels_zipf(g: &Graph, num_labels: usize, s: f64, seed: u64) -> Gr
         cum.push(total);
     }
     relabel(g, |_| {
-        let x = rng.gen::<f64>() * total;
+        let x = rng.gen_f64() * total;
         cum.partition_point(|&c| c < x) as Label
     })
 }
@@ -69,9 +67,9 @@ pub fn assign_labels_skewed(
 ) -> Graph {
     assert!(num_labels >= 1);
     assert!((0.0..=1.0).contains(&dominant_share));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     relabel(g, |_| {
-        if num_labels == 1 || rng.gen::<f64>() < dominant_share {
+        if num_labels == 1 || rng.gen_f64() < dominant_share {
             0
         } else {
             rng.gen_range(1..num_labels as Label)
@@ -95,13 +93,13 @@ fn relabel(g: &Graph, mut f: impl FnMut(u32) -> Label) -> Graph {
 /// of edges).
 pub fn sample_edges(g: &Graph, share: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&share));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
     for v in g.vertices() {
         b.add_vertex(g.label(v));
     }
     for (u, v) in g.edges() {
-        if rng.gen::<f64>() < share {
+        if rng.gen_f64() < share {
             b.add_edge(u, v);
         }
     }
@@ -110,9 +108,9 @@ pub fn sample_edges(g: &Graph, share: f64, seed: u64) -> Graph {
 
 /// A uniformly random permutation of `0..n`, used by the spectrum analysis
 /// to sample matching orders.
-pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+pub fn random_permutation(n: usize, rng: &mut Rng64) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    perm.shuffle(rng);
+    rng.shuffle(&mut perm);
     perm
 }
 
@@ -166,7 +164,7 @@ mod tests {
 
     #[test]
     fn permutation_is_permutation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = Rng64::seed_from_u64(0);
         let p = random_permutation(10, &mut rng);
         let mut q = p.clone();
         q.sort_unstable();

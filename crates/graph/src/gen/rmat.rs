@@ -4,8 +4,7 @@
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::types::{Label, VertexId};
-use rand::Rng;
-use rand::SeedableRng;
+use sm_runtime::rng::Rng64;
 
 /// R-MAT quadrant probabilities. The paper fixes `a=0.45, b=0.22, c=0.22,
 /// d=0.11`.
@@ -70,7 +69,7 @@ pub fn rmat_graph(
 ) -> Graph {
     params.validate();
     assert!(num_labels >= 1, "need at least one label");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // scale = number of bisection levels (log2 of padded vertex count)
     let scale = (num_vertices.max(2) as f64).log2().ceil() as u32;
     let side = 1usize << scale;
@@ -92,7 +91,7 @@ pub fn rmat_graph(
         let (mut x0, mut x1) = (0usize, side);
         let (mut y0, mut y1) = (0usize, side);
         for _ in 0..scale {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (right, down) = if r < params.a {
                 (false, false)
             } else if r < params.a + params.b {

@@ -1,77 +1,88 @@
 //! Structural properties of the CSR graph and its I/O on arbitrary edge
-//! lists.
+//! lists, on the `sm_runtime::check` randomized harness.
 
-use proptest::prelude::*;
 use sm_graph::builder::graph_from_edges;
 use sm_graph::io::{read_graph, write_graph};
+use sm_runtime::check::Check;
+use sm_runtime::rng::Rng64;
+use sm_runtime::{ensure, ensure_eq};
 
-fn arb_graph() -> impl Strategy<Value = (Vec<u32>, Vec<(u32, u32)>)> {
-    (2usize..40).prop_flat_map(|n| {
-        let labels = prop::collection::vec(0u32..5, n..=n);
-        let edges = prop::collection::vec(
-            (0u32..n as u32, 0u32..n as u32),
-            0..(n * 3),
-        );
-        (labels, edges)
-    })
+/// Arbitrary (labels, edge list) input: up to ~40 vertices, labels in
+/// `0..5`, up to `3n` random (possibly duplicate / self-loop) edges.
+fn arb_graph(rng: &mut Rng64, size: u32) -> (Vec<u32>, Vec<(u32, u32)>) {
+    let n = 2 + (size as usize * 38 / 100).min(38);
+    let labels = (0..n).map(|_| rng.gen_range(0u32..5)).collect();
+    let num_edges = rng.gen_range(0usize..n * 3);
+    let edges = (0..num_edges)
+        .map(|_| (rng.gen_range(0u32..n as u32), rng.gen_range(0u32..n as u32)))
+        .collect();
+    (labels, edges)
 }
 
-proptest! {
-    #[test]
-    fn csr_invariants((labels, edges) in arb_graph()) {
-        let g = graph_from_edges(&labels, &edges);
+#[test]
+fn csr_invariants() {
+    Check::new("csr_invariants").cases(48).run(arb_graph, |(labels, edges)| {
+        let g = graph_from_edges(labels, edges);
         // degree sum = 2|E|
         let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+        ensure_eq!(deg_sum, 2 * g.num_edges());
         // adjacency sorted, no self loops, no duplicates
         for v in g.vertices() {
             let n = g.neighbors(v);
-            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(!n.contains(&v));
+            ensure!(n.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency at v{v}");
+            ensure!(!n.contains(&v), "self loop at v{v}");
             // symmetry
             for &w in n {
-                prop_assert!(g.neighbors(w).contains(&v));
-                prop_assert!(g.has_edge(v, w));
-                prop_assert!(g.has_edge(w, v));
+                ensure!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
+                ensure!(g.has_edge(v, w) && g.has_edge(w, v), "has_edge disagrees on {v}-{w}");
             }
         }
         // edges() iterates each undirected edge exactly once
         let listed: Vec<_> = g.edges().collect();
-        prop_assert_eq!(listed.len(), g.num_edges());
-        prop_assert!(listed.iter().all(|&(u, v)| u < v));
+        ensure_eq!(listed.len(), g.num_edges());
+        ensure!(listed.iter().all(|&(u, v)| u < v), "edges() emitted unordered pair");
         // label index covers every vertex exactly once
         let mut covered = 0;
         for l in 0..6u32 {
             let vs = g.vertices_with_label(l);
-            prop_assert!(vs.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(vs.iter().all(|&v| g.label(v) == l));
+            ensure!(vs.windows(2).all(|w| w[0] < w[1]), "label index unsorted for {l}");
+            ensure!(vs.iter().all(|&v| g.label(v) == l), "label index wrong for {l}");
             covered += vs.len();
         }
-        prop_assert_eq!(covered, g.num_vertices());
-    }
+        ensure_eq!(covered, g.num_vertices());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn io_round_trip((labels, edges) in arb_graph()) {
-        let g = graph_from_edges(&labels, &edges);
+#[test]
+fn io_round_trip() {
+    Check::new("io_round_trip").cases(48).run(arb_graph, |(labels, edges)| {
+        let g = graph_from_edges(labels, edges);
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         let g2 = read_graph(&buf[..]).unwrap();
-        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
-        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        ensure_eq!(g2.num_vertices(), g.num_vertices());
+        ensure_eq!(g2.num_edges(), g.num_edges());
         for v in g.vertices() {
-            prop_assert_eq!(g2.label(v), g.label(v));
-            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+            ensure_eq!(g2.label(v), g.label(v));
+            ensure_eq!(g2.neighbors(v), g.neighbors(v));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn core_numbers_are_consistent((labels, edges) in arb_graph()) {
-        use sm_graph::core_decomposition::core_numbers;
-        let g = graph_from_edges(&labels, &edges);
+#[test]
+fn core_numbers_are_consistent() {
+    use sm_graph::core_decomposition::core_numbers;
+    Check::new("core_numbers_are_consistent").cases(48).run(arb_graph, |(labels, edges)| {
+        let g = graph_from_edges(labels, edges);
         let core = core_numbers(&g);
         // core number bounded by degree
         for v in g.vertices() {
-            prop_assert!(core[v as usize] as usize <= g.degree(v));
+            ensure!(
+                core[v as usize] as usize <= g.degree(v),
+                "core number above degree at v{v}"
+            );
         }
         // every vertex in the k-core has >= k neighbors inside the k-core
         let maxc = core.iter().copied().max().unwrap_or(0);
@@ -83,32 +94,35 @@ proptest! {
                         .iter()
                         .filter(|&&w| core[w as usize] >= k)
                         .count();
-                    prop_assert!(
+                    ensure!(
                         inside >= k as usize,
-                        "v{} in {}-core has only {} in-core neighbors",
-                        v, k, inside
+                        "v{v} in {k}-core has only {inside} in-core neighbors"
                     );
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bfs_tree_covers_component((labels, edges) in arb_graph()) {
-        use sm_graph::traversal::BfsTree;
-        let g = graph_from_edges(&labels, &edges);
+#[test]
+fn bfs_tree_covers_component() {
+    use sm_graph::traversal::BfsTree;
+    Check::new("bfs_tree_covers_component").cases(48).run(arb_graph, |(labels, edges)| {
+        let g = graph_from_edges(labels, edges);
         let t = BfsTree::build(&g, 0);
         // order contains unique vertices, root first
-        prop_assert_eq!(t.order[0], 0);
+        ensure_eq!(t.order[0], 0);
         let set: std::collections::HashSet<_> = t.order.iter().collect();
-        prop_assert_eq!(set.len(), t.order.len());
+        ensure_eq!(set.len(), t.order.len());
         // parent depth relation
         for &v in &t.order {
             let p = t.parent[v as usize];
             if p != sm_graph::types::NO_VERTEX {
-                prop_assert_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
-                prop_assert!(g.has_edge(p, v));
+                ensure_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
+                ensure!(g.has_edge(p, v), "tree edge {p}-{v} not in graph");
             }
         }
-    }
+        Ok(())
+    });
 }

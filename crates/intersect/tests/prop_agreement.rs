@@ -1,59 +1,92 @@
-//! Property tests: every intersection kernel computes the same set as a
-//! HashSet-based oracle, on arbitrary inputs.
+//! Randomized invariants: every intersection kernel computes the same set
+//! as a BTreeSet-based oracle, on arbitrary inputs.
 
-use proptest::prelude::*;
 use sm_intersect::{intersect_buf, intersect_count, BsrSet, IntersectKind};
+use sm_runtime::check::Check;
+use sm_runtime::rng::Rng64;
+use sm_runtime::{ensure, ensure_eq};
 use std::collections::BTreeSet;
 
-fn sorted_unique(xs: Vec<u32>) -> Vec<u32> {
-    let set: BTreeSet<u32> = xs.into_iter().collect();
+const ALL_KINDS: [IntersectKind; 4] = [
+    IntersectKind::Merge,
+    IntersectKind::Galloping,
+    IntersectKind::Hybrid,
+    IntersectKind::Bsr,
+];
+
+fn sorted_unique(rng: &mut Rng64, len: usize, universe: u32) -> Vec<u32> {
+    let set: BTreeSet<u32> = (0..len).map(|_| rng.gen_range(0u32..universe)).collect();
     set.into_iter().collect()
 }
 
-proptest! {
-    #[test]
-    fn kernels_match_oracle(a in prop::collection::vec(0u32..2000, 0..300),
-                            b in prop::collection::vec(0u32..2000, 0..300)) {
-        let a = sorted_unique(a);
-        let b = sorted_unique(b);
-        let oracle: Vec<u32> = {
-            let sb: BTreeSet<u32> = b.iter().copied().collect();
-            a.iter().copied().filter(|x| sb.contains(x)).collect()
-        };
-        for kind in [IntersectKind::Merge, IntersectKind::Galloping,
-                     IntersectKind::Hybrid, IntersectKind::Bsr] {
-            let mut out = Vec::new();
-            intersect_buf(kind, &a, &b, &mut out);
-            prop_assert_eq!(&out, &oracle, "kind {:?}", kind);
-        }
-        prop_assert_eq!(intersect_count(&a, &b), oracle.len());
-    }
+fn oracle(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let sb: BTreeSet<u32> = b.iter().copied().collect();
+    a.iter().copied().filter(|x| sb.contains(x)).collect()
+}
 
-    #[test]
-    fn kernels_match_on_skewed_sizes(a in prop::collection::vec(0u32..100_000, 0..8),
-                                     b in prop::collection::vec(0u32..100_000, 500..600)) {
-        let a = sorted_unique(a);
-        let b = sorted_unique(b);
-        let oracle: Vec<u32> = {
-            let sb: BTreeSet<u32> = b.iter().copied().collect();
-            a.iter().copied().filter(|x| sb.contains(x)).collect()
-        };
-        for kind in [IntersectKind::Merge, IntersectKind::Galloping,
-                     IntersectKind::Hybrid, IntersectKind::Bsr] {
-            let mut out = Vec::new();
-            intersect_buf(kind, &a, &b, &mut out);
-            prop_assert_eq!(&out, &oracle, "kind {:?}", kind);
-        }
-    }
+#[test]
+fn kernels_match_oracle() {
+    Check::new("kernels_match_oracle").cases(64).run(
+        |rng, size| {
+            let max_len = 1 + size as usize * 3;
+            let a_len = rng.gen_range(0..max_len + 1);
+            let b_len = rng.gen_range(0..max_len + 1);
+            let a = sorted_unique(rng, a_len, 2000);
+            let b = sorted_unique(rng, b_len, 2000);
+            (a, b)
+        },
+        |(a, b)| {
+            let expect = oracle(a, b);
+            for kind in ALL_KINDS {
+                let mut out = Vec::new();
+                intersect_buf(kind, a, b, &mut out);
+                ensure_eq!(&out, &expect, "kind {kind:?} disagrees with oracle");
+            }
+            ensure_eq!(intersect_count(a, b), expect.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bsr_round_trip(xs in prop::collection::vec(any::<u32>(), 0..400)) {
-        let xs = sorted_unique(xs);
-        let s = BsrSet::from_sorted(&xs);
-        prop_assert_eq!(s.to_vec(), xs.clone());
-        prop_assert_eq!(s.len(), xs.len());
-        for &x in &xs {
-            prop_assert!(s.contains(x));
-        }
-    }
+#[test]
+fn kernels_match_on_skewed_sizes() {
+    // Tiny `a` against large `b`: the regime where galloping/hybrid take
+    // their fast paths.
+    Check::new("kernels_match_on_skewed_sizes").cases(48).run(
+        |rng, size| {
+            let a_len = rng.gen_range(0..8usize);
+            let a = sorted_unique(rng, a_len, 100_000);
+            let b_len = 500 + (size as usize).min(100);
+            let b = sorted_unique(rng, b_len, 100_000);
+            (a, b)
+        },
+        |(a, b)| {
+            let expect = oracle(a, b);
+            for kind in ALL_KINDS {
+                let mut out = Vec::new();
+                intersect_buf(kind, a, b, &mut out);
+                ensure_eq!(&out, &expect, "kind {kind:?} disagrees with oracle");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bsr_round_trip() {
+    Check::new("bsr_round_trip").cases(64).run(
+        |rng, size| {
+            // full-u32 values stress the block-id/bitmap split
+            sorted_unique(rng, size as usize * 4, u32::MAX)
+        },
+        |xs| {
+            let s = BsrSet::from_sorted(xs);
+            ensure_eq!(&s.to_vec(), xs);
+            ensure_eq!(s.len(), xs.len());
+            for &x in xs {
+                ensure!(s.contains(x), "BSR lost element {x}");
+            }
+            Ok(())
+        },
+    );
 }

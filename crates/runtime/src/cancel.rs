@@ -1,0 +1,189 @@
+//! Unified cooperative cancellation: one token type covering per-query
+//! deadlines ("kill after 5 minutes"), result caps ("stop at 10^5
+//! matches") and caller-side aborts, for both sequential and parallel
+//! runs.
+//!
+//! The protocol is the one every engine in the study already followed ad
+//! hoc: hot loops poll [`CancelToken::poll`] every few thousand steps
+//! (amortizing the `Instant::now()` call), and anything — a worker hitting
+//! the global cap, a deadline expiring on one thread, an external caller —
+//! flips the shared flag so every poller stops soon after. The *reason*
+//! travels with the flag, so a parallel run can distinguish "timed out"
+//! from "cap reached" without per-worker bookkeeping.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Explicit stop: a result cap was hit or the caller aborted.
+    Stopped,
+    /// A deadline expired.
+    Deadline,
+}
+
+const LIVE: u8 = 0;
+const STOPPED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+fn reason_of(state: u8) -> Option<CancelReason> {
+    match state {
+        STOPPED => Some(CancelReason::Stopped),
+        DEADLINE => Some(CancelReason::Deadline),
+        _ => None,
+    }
+}
+
+/// A cloneable cancellation token. Clones share the same flag; a `child`
+/// gets its own flag but still observes the parent's, so cancelling a
+/// query run never cancels the caller's outer token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicU8>,
+    /// Parent flag observed (but never written) by this token.
+    upstream: Option<Arc<AtomicU8>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A live token with no deadline.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A live token that expires at `deadline` (if given).
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            deadline,
+            ..CancelToken::default()
+        }
+    }
+
+    /// A live token that expires `limit` after `started` (if given).
+    pub fn deadline_after(started: Instant, limit: Option<Duration>) -> Self {
+        Self::with_deadline(limit.map(|d| started + d))
+    }
+
+    /// Derive a run-scoped token: fresh flag, `deadline`, and this token
+    /// as upstream. Cancelling the child does not cancel `self`;
+    /// cancelling `self` is seen by the child.
+    pub fn child(&self, deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            flag: Arc::default(),
+            upstream: Some(self.flag.clone()),
+            deadline,
+        }
+    }
+
+    /// Cancel with `reason`. First write wins; later calls are no-ops.
+    pub fn cancel(&self, reason: CancelReason) {
+        let state = match reason {
+            CancelReason::Stopped => STOPPED,
+            CancelReason::Deadline => DEADLINE,
+        };
+        let _ = self
+            .flag
+            .compare_exchange(LIVE, state, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Flag-only check (no clock read): the cancellation reason, if any.
+    #[inline]
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        if let Some(r) = reason_of(self.flag.load(Ordering::Relaxed)) {
+            return Some(r);
+        }
+        self.upstream
+            .as_ref()
+            .and_then(|f| reason_of(f.load(Ordering::Relaxed)))
+    }
+
+    /// Full check: the shared flag first, then the deadline. An expired
+    /// deadline cancels the token, so every clone (e.g. every worker of a
+    /// parallel run) observes the expiry after one poll.
+    #[inline]
+    pub fn poll(&self) -> Option<CancelReason> {
+        if let Some(r) = self.cancelled() {
+            return Some(r);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.cancel(CancelReason::Deadline);
+                Some(CancelReason::Deadline)
+            }
+            _ => None,
+        }
+    }
+
+    /// The token's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert_eq!(t.cancelled(), None);
+        assert_eq!(t.poll(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel(CancelReason::Stopped);
+        assert_eq!(c.poll(), Some(CancelReason::Stopped));
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Deadline);
+        t.cancel(CancelReason::Stopped);
+        assert_eq!(t.cancelled(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_all_clones() {
+        let t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let clone = t.clone();
+        assert_eq!(t.poll(), Some(CancelReason::Deadline));
+        // the clone sees it via the flag alone, no clock read needed
+        assert_eq!(clone.cancelled(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn unexpired_deadline_stays_live() {
+        let t = CancelToken::deadline_after(Instant::now(), Some(Duration::from_secs(3600)));
+        assert_eq!(t.poll(), None);
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        child.cancel(CancelReason::Stopped);
+        assert_eq!(child.cancelled(), Some(CancelReason::Stopped));
+        assert_eq!(parent.cancelled(), None, "child must not cancel parent");
+
+        let parent2 = CancelToken::new();
+        let child2 = parent2.child(None);
+        parent2.cancel(CancelReason::Stopped);
+        assert_eq!(child2.cancelled(), Some(CancelReason::Stopped));
+    }
+
+    #[test]
+    fn child_deadline_is_its_own() {
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(child.poll(), Some(CancelReason::Deadline));
+        assert_eq!(parent.poll(), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! A small seeded property-testing harness: random inputs, deterministic
+//! replay, size-based shrinking — enough to carry the workspace's
+//! randomized invariant suites without an external dependency.
+//!
+//! Model: a test supplies a *generator* `fn(&mut Rng64, size) -> T` and a
+//! *property* `fn(&T) -> Result<(), String>`. The harness runs the
+//! property over `cases` inputs with the generation size ramping up, so
+//! early cases are tiny and late cases stress the invariant. Every case
+//! has its own seed derived from the base seed by [`splitmix64`], printed
+//! on failure; re-running with `SM_CHECK_SEED=<seed>` replays the failing
+//! substream first, independent of how many cases precede it.
+//!
+//! Shrinking exploits that generators scale with `size`: on failure the
+//! harness regenerates the same substream at every smaller size and
+//! reports the smallest input that still fails. That is cruder than
+//! structural shrinking but needs no per-type shrinkers and no persisted
+//! regression files — the seed *is* the regression entry.
+//!
+//! Environment knobs: `SM_CHECK_SEED` (replay one substream),
+//! `SM_CHECK_CASES` (override the case count, e.g. for a soak run).
+
+use crate::rng::{splitmix64, Rng64};
+use std::fmt::Debug;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Default maximum generation size.
+pub const DEFAULT_MAX_SIZE: u32 = 100;
+
+/// Base seed all properties derive from (stable across runs so CI
+/// failures reproduce locally without any saved state).
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_2020;
+
+/// A configured property check. Build with [`Check::new`], adjust with
+/// the builder methods, execute with [`Check::run`].
+pub struct Check {
+    name: String,
+    cases: u32,
+    max_size: u32,
+    seed: u64,
+}
+
+impl Check {
+    /// A check named `name` (shown in failure messages) with default
+    /// cases/size/seed.
+    pub fn new(name: &str) -> Self {
+        Check {
+            name: name.to_string(),
+            cases: DEFAULT_CASES,
+            max_size: DEFAULT_MAX_SIZE,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Set the number of random cases (`SM_CHECK_CASES` overrides).
+    pub fn cases(mut self, n: u32) -> Self {
+        self.cases = n.max(1);
+        self
+    }
+
+    /// Set the maximum generation size the ramp reaches.
+    pub fn max_size(mut self, s: u32) -> Self {
+        self.max_size = s.max(1);
+        self
+    }
+
+    /// Set the base seed (rarely needed; `SM_CHECK_SEED` replays a
+    /// specific failing substream without touching code).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Run `prop` over random inputs from `gen`. Panics with a replayable
+    /// report on the first (shrunk) failure.
+    pub fn run<T, G, P>(&self, gen: G, prop: P)
+    where
+        T: Debug,
+        G: Fn(&mut Rng64, u32) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let cases = match env_u64("SM_CHECK_CASES") {
+            Some(n) => n.clamp(1, u32::MAX as u64) as u32,
+            None => self.cases,
+        };
+
+        // Replay mode: one substream, every size up to the max. Covers
+        // the originally failing size without having to persist it.
+        if let Some(seed) = env_u64("SM_CHECK_SEED") {
+            for size in 1..=self.max_size {
+                self.run_one(seed, size, &gen, &prop);
+            }
+            return;
+        }
+
+        let mut chain = self.seed;
+        for case in 0..cases {
+            let case_seed = splitmix64(&mut chain);
+            // Ramp size from 1 to max_size across the cases.
+            let size = if cases <= 1 {
+                self.max_size
+            } else {
+                1 + (case as u64 * (self.max_size - 1) as u64 / (cases - 1) as u64) as u32
+            };
+            self.run_one(case_seed, size, &gen, &prop);
+        }
+    }
+
+    fn run_one<T, G, P>(&self, case_seed: u64, size: u32, gen: &G, prop: &P)
+    where
+        T: Debug,
+        G: Fn(&mut Rng64, u32) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let input = gen(&mut Rng64::seed_from_u64(case_seed), size);
+        let err = match prop(&input) {
+            Ok(()) => return,
+            Err(e) => e,
+        };
+        // Shrink: same substream, smaller sizes; keep the smallest failure.
+        let mut worst: (u32, T, String) = (size, input, err);
+        for s in (1..size).rev() {
+            let candidate = gen(&mut Rng64::seed_from_u64(case_seed), s);
+            if let Err(e) = prop(&candidate) {
+                worst = (s, candidate, e);
+            }
+        }
+        let (shrunk_size, shrunk_input, shrunk_err) = worst;
+        panic!(
+            "property '{}' failed at size {shrunk_size} (seed {case_seed:#x}): \
+             {shrunk_err}\n  input: {shrunk_input:?}\n  replay: \
+             SM_CHECK_SEED={case_seed:#x} cargo test {}",
+            self.name, self.name
+        );
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var} must be a u64 (decimal or 0x-hex), got {raw:?}"),
+    }
+}
+
+/// Fail a property with a formatted message unless `cond` holds.
+/// The property-function analogue of `assert!`, returning `Err` instead
+/// of panicking so the harness can shrink the input first.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("ensure failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail a property unless the two expressions are equal, reporting both
+/// values. The property-function analogue of `assert_eq!`.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "ensure_eq failed: {} != {}\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left:  {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let ran = std::cell::Cell::new(0u32);
+        Check::new("count").cases(10).run(
+            |rng, size| {
+                ran.set(ran.get() + 1);
+                rng.gen_range(0u32..size + 1)
+            },
+            |_| Ok(()),
+        );
+        assert_eq!(ran.get(), 10);
+    }
+
+    #[test]
+    fn failure_is_shrunk_and_replayable() {
+        // Property fails whenever the generated vec has length >= 10; the
+        // shrink should land exactly on size 10.
+        let err = std::panic::catch_unwind(|| {
+            Check::new("too_long").cases(20).max_size(50).run(
+                |rng, size| {
+                    (0..size).map(|_| rng.next_u64() & 0xFF).collect::<Vec<u64>>()
+                },
+                |v| {
+                    if v.len() >= 10 {
+                        Err(format!("len {} >= 10", v.len()))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| panic!("panic payload not a String"));
+        assert!(msg.contains("failed at size 10"), "{msg}");
+        assert!(msg.contains("SM_CHECK_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn sizes_ramp_up() {
+        let sizes = std::cell::RefCell::new(Vec::new());
+        Check::new("ramp").cases(5).max_size(100).run(
+            |_, size| sizes.borrow_mut().push(size),
+            |_| Ok(()),
+        );
+        let sizes = sizes.into_inner();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&100));
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let vals = std::cell::RefCell::new(Vec::new());
+            Check::new("det")
+                .cases(8)
+                .run(|rng, _| vals.borrow_mut().push(rng.next_u64()), |_| Ok(()));
+            vals.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn ensure_macros_produce_errors() {
+        fn prop_bad(x: &u32) -> Result<(), String> {
+            ensure!(*x > 100, "x was {x}");
+            Ok(())
+        }
+        fn prop_eq(x: &u32) -> Result<(), String> {
+            ensure_eq!(*x, 7u32);
+            Ok(())
+        }
+        assert_eq!(prop_bad(&5), Err("x was 5".to_string()));
+        assert!(prop_bad(&101).is_ok());
+        assert!(prop_eq(&7).is_ok());
+        assert!(prop_eq(&8).unwrap_err().contains("ensure_eq failed"));
+    }
+}

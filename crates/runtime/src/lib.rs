@@ -1,0 +1,35 @@
+//! `sm-runtime` — the hermetic execution substrate the rest of the
+//! subgraph-matching system runs on.
+//!
+//! The study's engines (and the paper's Table 1 survey) all face the same
+//! systems problems once a query leaves the single-threaded toy regime:
+//!
+//! * **skewed intra-query parallelism** — the subtrees below depth-0
+//!   candidates of a power-law data graph differ in size by orders of
+//!   magnitude, so a static partition of the root leaves most workers idle
+//!   while one grinds a hub ([`pool`] fixes this with morsel-driven work
+//!   stealing, after Leis et al., SIGMOD 2014);
+//! * **cooperative cancellation** — per-query kill limits, global match
+//!   caps and caller-side aborts all need the same "poll a flag cheaply,
+//!   stop soon" protocol ([`cancel`]);
+//! * **observability** — scaling claims are guesses unless per-worker
+//!   morsel/steal/busy counters are reported ([`metrics`]);
+//! * **hermetic builds** — the workspace must compile and test fully
+//!   offline, so the randomness the generators and the property tests need
+//!   lives in-repo ([`rng`], [`check`]) instead of in external crates.
+//!
+//! Everything here is `std`-only by design: no external dependencies, no
+//! build scripts, no feature detection.
+
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod check;
+pub mod metrics;
+pub mod pool;
+pub mod rng;
+
+pub use cancel::{CancelReason, CancelToken};
+pub use metrics::{PoolMetrics, WorkerMetrics};
+pub use pool::{morsel_size_for, MorselQueue, Popped};
+pub use rng::Rng64;

@@ -1,0 +1,125 @@
+//! Per-worker execution counters for parallel runs: morsels executed,
+//! morsels stolen, busy/idle wall-clock. Scaling behavior should be
+//! observable in the experiment tables, not guessed from total wall-clock.
+
+use std::time::Duration;
+
+/// Counters of one worker of a [`crate::pool`] run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Morsels this worker executed (own + stolen).
+    pub morsels: u64,
+    /// Of those, morsels stolen from another worker's queue.
+    pub steals: u64,
+    /// Time spent executing morsels.
+    pub busy: Duration,
+    /// Time spent looking for work (queue polling and stealing).
+    pub idle: Duration,
+}
+
+impl WorkerMetrics {
+    /// Merge another worker's counters into this one.
+    pub fn merge(&mut self, other: &WorkerMetrics) {
+        self.morsels += other.morsels;
+        self.steals += other.steals;
+        self.busy += other.busy;
+        self.idle += other.idle;
+    }
+}
+
+/// Metrics of a whole pool run: one entry per worker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl PoolMetrics {
+    /// Total morsels executed across workers.
+    pub fn total_morsels(&self) -> u64 {
+        self.workers.iter().map(|w| w.morsels).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Mean fraction of worker wall-clock spent executing morsels
+    /// (`busy / (busy + idle)`), in `[0, 1]`. 1.0 for an empty pool.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let (busy, total) = self.workers.iter().fold((0.0, 0.0), |(b, t), w| {
+            (
+                b + w.busy.as_secs_f64(),
+                t + w.busy.as_secs_f64() + w.idle.as_secs_f64(),
+            )
+        });
+        if total <= 0.0 {
+            1.0
+        } else {
+            busy / total
+        }
+    }
+
+    /// Compact one-line rendering for tables: `m=12 s=3 busy=97%`.
+    pub fn summary(&self) -> String {
+        format!(
+            "m={} s={} busy={:.0}%",
+            self.total_morsels(),
+            self.total_steals(),
+            self.busy_fraction() * 100.0
+        )
+    }
+
+    /// Per-worker rendering: `w0 m=5/s=1 w1 m=7/s=2 …`.
+    pub fn per_worker(&self) -> String {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| format!("w{i} m={}/s={}", w.morsels, w.steals))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(morsels: u64, steals: u64, busy_ms: u64, idle_ms: u64) -> WorkerMetrics {
+        WorkerMetrics {
+            morsels,
+            steals,
+            busy: Duration::from_millis(busy_ms),
+            idle: Duration::from_millis(idle_ms),
+        }
+    }
+
+    #[test]
+    fn totals_and_busy_fraction() {
+        let m = PoolMetrics {
+            workers: vec![w(5, 1, 30, 10), w(7, 2, 40, 0)],
+        };
+        assert_eq!(m.total_morsels(), 12);
+        assert_eq!(m.total_steals(), 3);
+        let f = m.busy_fraction();
+        assert!((f - 70.0 / 80.0).abs() < 1e-9, "{f}");
+        assert!(m.summary().starts_with("m=12 s=3"));
+        assert_eq!(m.per_worker(), "w0 m=5/s=1 w1 m=7/s=2");
+    }
+
+    #[test]
+    fn empty_pool_is_fully_busy() {
+        assert_eq!(PoolMetrics::default().busy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = w(1, 0, 5, 5);
+        a.merge(&w(2, 1, 10, 0));
+        assert_eq!(a, w(3, 1, 15, 5));
+    }
+}
