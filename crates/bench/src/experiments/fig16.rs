@@ -52,7 +52,7 @@ pub fn run(opts: &HarnessOptions) {
             let mut cfg = base_cfg.clone();
             cfg.time_limit = Some(opts.time_limit);
             let s = eval_query_set(p, &queries, &gc, &cfg, opts.threads);
-            col.push(ms(s.avg_prep_ms() + s.avg_enum_ms()));
+            col.push(ms(s.avg_plan_build_ms() + s.avg_enum_ms()));
         }
         // Glasgow row: per-query CP solve or OOM.
         col.push(glasgow_cell(&queries, &ds.graph, opts));

@@ -46,7 +46,7 @@ fn eval_point(
             let s = eval_query_set(&p, &queries, &gc, &cfg, opts.threads);
             (
                 name.to_string(),
-                s.avg_prep_ms() + s.avg_enum_ms(),
+                s.avg_plan_build_ms() + s.avg_enum_ms(),
                 s.unsolved(),
                 s.avg_matches_if_mostly_solved(),
             )

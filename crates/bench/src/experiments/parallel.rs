@@ -53,24 +53,27 @@ pub fn run(opts: &HarnessOptions) {
     let mut t = TextTable::new(vec![
         "threads",
         "strategy",
-        "prep ms",
-        "enum ms",
-        "enum speedup",
+        "plan ms",
+        "exec ms",
+        "exec speedup",
         "matches",
+        "reuse",
         "pool",
         "per-worker",
     ]);
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
         for strategy in [ParallelStrategy::Static, ParallelStrategy::Morsel] {
-            let (mut prep, mut enumt, mut matches) = (0.0f64, 0.0f64, 0u64);
+            let (mut plan, mut enumt, mut matches) = (0.0f64, 0.0f64, 0u64);
+            let mut reuse = 0u64;
             let mut pool = sm_runtime::WorkerMetrics::default();
             let mut per_worker = String::new();
             for q in &queries {
                 let out = pipeline.run_parallel_with(q, &gc, &cfg, threads, strategy);
-                prep += out.preprocessing_time().as_secs_f64() * 1e3;
+                plan += out.plan_build_time().as_secs_f64() * 1e3;
                 enumt += out.enum_time.as_secs_f64() * 1e3;
                 matches += out.matches;
+                reuse += out.scratch_reuse;
                 if let Some(m) = &out.parallel {
                     for w in &m.workers {
                         pool.merge(w);
@@ -101,15 +104,16 @@ pub fn run(opts: &HarnessOptions) {
             t.row(vec![
                 threads.to_string(),
                 if threads == 1 { "seq".to_string() } else { name.to_string() },
-                ms(prep),
+                ms(plan),
                 ms(enumt),
                 ratio(base_ms / enumt.max(1e-9)),
                 matches.to_string(),
+                reuse.to_string(),
                 pool_cell,
                 if per_worker.is_empty() { "-".to_string() } else { per_worker },
             ]);
         }
     }
     t.print();
-    println!("(root distribution parallelizes enumeration only; preprocessing stays sequential. m=morsels executed, s=stolen)");
+    println!("(root distribution parallelizes execution only; the plan is built once, sequentially, and shared by all workers. m=morsels executed, s=stolen, reuse=scratch-arena reuses)");
 }

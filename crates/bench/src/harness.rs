@@ -8,8 +8,9 @@ use std::time::Duration;
 /// Per-query outcome retained for aggregation.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
-    /// Preprocessing time (filter + build + order).
-    pub prep: Duration,
+    /// Plan-build time (filter + build + order): everything before the
+    /// executor starts enumerating.
+    pub plan_build: Duration,
     /// Enumeration time. For unsolved queries this is clamped to the time
     /// limit, as the paper does for its averages.
     pub enumeration: Duration,
@@ -32,7 +33,7 @@ impl QueryResult {
             out.enum_time
         };
         QueryResult {
-            prep: out.preprocessing_time(),
+            plan_build: out.plan_build_time(),
             enumeration,
             matches: out.matches,
             unsolved,
@@ -50,9 +51,9 @@ pub struct SetSummary {
 }
 
 impl SetSummary {
-    /// Mean preprocessing time in ms.
-    pub fn avg_prep_ms(&self) -> f64 {
-        mean(self.results.iter().map(|r| r.prep.as_secs_f64() * 1e3))
+    /// Mean plan-build time in ms (the paper's "preprocessing time").
+    pub fn avg_plan_build_ms(&self) -> f64 {
+        mean(self.results.iter().map(|r| r.plan_build.as_secs_f64() * 1e3))
     }
 
     /// Mean enumeration time in ms (unsolved clamped to the limit).
@@ -200,7 +201,7 @@ mod tests {
     #[test]
     fn summary_math() {
         let mk = |ms: u64, unsolved: bool| QueryResult {
-            prep: Duration::from_millis(1),
+            plan_build: Duration::from_millis(1),
             enumeration: Duration::from_millis(ms),
             matches: 1,
             unsolved,
@@ -225,7 +226,7 @@ mod tests {
     #[test]
     fn mostly_unsolved_discarded() {
         let mk = |unsolved: bool| QueryResult {
-            prep: Duration::ZERO,
+            plan_build: Duration::ZERO,
             enumeration: Duration::from_millis(1),
             matches: 5,
             unsolved,

@@ -1,8 +1,12 @@
-//! Candidate vertex sets `C(u)`.
+//! Candidate vertex sets `C(u)`, stored as one flat CSR arena.
 
 use sm_graph::{Graph, VertexId};
 
-/// One sorted candidate set per query vertex (paper notation `C(u)`).
+/// One sorted candidate set per query vertex (paper notation `C(u)`),
+/// flattened into a CSR arena: `offsets[u]..offsets[u + 1]` indexes the
+/// shared `ids` array. A whole run's candidates live in two contiguous
+/// allocations, so plans can be cloned/shared cheaply and per-set `Vec`
+/// headers never reach the enumeration hot path.
 ///
 /// Completeness (Definition 2.2 of the paper) is the correctness contract
 /// every filter must uphold: if `(u, v)` appears in any match then
@@ -10,73 +14,87 @@ use sm_graph::{Graph, VertexId};
 /// reference matcher.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Candidates {
-    sets: Vec<Vec<VertexId>>,
+    /// `offsets[u]..offsets[u + 1]` delimits `C(u)` in `ids`.
+    offsets: Vec<u32>,
+    /// All candidate sets back to back, each slice sorted ascending.
+    ids: Vec<VertexId>,
 }
 
 impl Candidates {
-    /// Wrap per-vertex candidate sets. Each set must be sorted ascending.
+    /// Freeze per-vertex candidate sets into the CSR arena. Each set must
+    /// be sorted ascending. Filters build plain `Vec<Vec<_>>` sets while
+    /// refining and call this once at the end.
     pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
-        debug_assert!(sets
-            .iter()
-            .all(|s| s.windows(2).all(|w| w[0] < w[1])));
-        Candidates { sets }
+        Self::from_sets(&sets)
+    }
+
+    /// [`Candidates::new`] from borrowed sets.
+    pub fn from_sets(sets: &[Vec<VertexId>]) -> Self {
+        debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut ids = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for s in sets {
+            ids.extend_from_slice(s);
+            offsets.push(ids.len() as u32);
+        }
+        Candidates { offsets, ids }
     }
 
     /// Candidate set of query vertex `u`.
     #[inline]
     pub fn get(&self, u: VertexId) -> &[VertexId] {
-        &self.sets[u as usize]
-    }
-
-    /// Mutable access for in-place refinement by filters.
-    #[inline]
-    pub fn get_mut(&mut self, u: VertexId) -> &mut Vec<VertexId> {
-        &mut self.sets[u as usize]
+        let u = u as usize;
+        &self.ids[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Number of query vertices covered.
     #[inline]
     pub fn num_query_vertices(&self) -> usize {
-        self.sets.len()
+        self.offsets.len() - 1
     }
 
     /// Whether some candidate set is empty (no match can exist).
     pub fn any_empty(&self) -> bool {
-        self.sets.iter().any(|s| s.is_empty())
+        self.offsets.windows(2).any(|w| w[0] == w[1])
     }
 
     /// Total candidate count `Σ_u |C(u)|`.
     pub fn total(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.ids.len()
     }
 
     /// The paper's Figure 8 metric: `Σ_u |C(u)| / |V(q)|`.
     pub fn average(&self) -> f64 {
-        if self.sets.is_empty() {
+        let n = self.num_query_vertices();
+        if n == 0 {
             0.0
         } else {
-            self.total() as f64 / self.sets.len() as f64
+            self.total() as f64 / n as f64
         }
     }
 
-    /// Memory footprint of the candidate arrays, in bytes.
+    /// Memory footprint of the candidate arena (ids + offsets), in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.total() * std::mem::size_of::<VertexId>()
+        self.ids.len() * std::mem::size_of::<VertexId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
     }
 
     /// Position of data vertex `v` within `C(u)`, if present.
     #[inline]
     pub fn position(&self, u: VertexId, v: VertexId) -> Option<usize> {
-        self.sets[u as usize].binary_search(&v).ok()
+        self.get(u).binary_search(&v).ok()
     }
 
     /// Debug validation: every candidate satisfies the label/degree
     /// constraint (a cheap necessary condition for completeness-preserving
     /// filters, used in tests).
     pub fn respects_ldf(&self, q: &Graph, g: &Graph) -> bool {
-        self.sets.iter().enumerate().all(|(u, set)| {
+        (0..self.num_query_vertices()).all(|u| {
             let u = u as VertexId;
-            set.iter()
+            self.get(u)
+                .iter()
                 .all(|&v| g.label(v) == q.label(u) && g.degree(v) >= q.degree(u))
         })
     }
@@ -93,8 +111,18 @@ mod tests {
         assert_eq!(c.total(), 3);
         assert!((c.average() - 1.0).abs() < 1e-12);
         assert!(c.any_empty());
-        assert_eq!(c.memory_bytes(), 12);
+        // 3 ids + 4 offsets, 4 bytes each
+        assert_eq!(c.memory_bytes(), 28);
         assert_eq!(c.num_query_vertices(), 3);
+    }
+
+    #[test]
+    fn csr_slices_match_input_sets() {
+        let sets = vec![vec![0, 2], vec![1], vec![], vec![5, 7, 9]];
+        let c = Candidates::new(sets.clone());
+        for (u, s) in sets.iter().enumerate() {
+            assert_eq!(c.get(u as VertexId), s.as_slice());
+        }
     }
 
     #[test]

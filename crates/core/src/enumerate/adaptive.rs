@@ -7,195 +7,107 @@
 //! from the parents), so `LC(u, M)` is computed immediately and cached.
 //! Among extendable vertices the engine picks the one minimizing the
 //! estimated remaining work `Σ_{v ∈ LC} W[u][v]`, where the weight array
-//! `W` estimates, bottom-up over the DAG, how many tree-like path
-//! embeddings hang below each candidate (leaves weigh 1; inner vertices
-//! take the minimum over children of the candidate-edge-summed child
-//! weights). Degree-one query vertices are deprioritized, per DP-iso's
-//! core/forest decomposition.
+//! `W` (precomputed into the [`QueryPlan`]) estimates, bottom-up over the
+//! DAG, how many tree-like path embeddings hang below each candidate
+//! (leaves weigh 1; inner vertices take the minimum over children of the
+//! candidate-edge-summed child weights). Degree-one query vertices are
+//! deprioritized, per DP-iso's core/forest decomposition.
+//!
+//! Like the static engine, this is a pure executor: DAG parents/children
+//! and the weight array come precompiled in the plan (`plan.backward(u)`
+//! under `δ` *is* the parent set), and the partial embedding, visited map
+//! and LC caches live in a reusable [`Scratch`].
 
-use crate::candidate_space::CandidateSpace;
-use crate::candidates::Candidates;
+use crate::enumerate::control::RunControl;
 use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
-use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
-use sm_graph::traversal::BfsTree;
+use crate::enumerate::scratch::Scratch;
+use crate::enumerate::{EnumStats, MatchSink};
+use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
 use sm_intersect::intersect_buf;
-use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
-/// Inputs for the adaptive engine. The candidate space must cover **all**
-/// query edges in both directions.
-pub struct AdaptiveInput<'a> {
-    /// Query graph.
-    pub q: &'a Graph,
-    /// Data graph.
-    pub g: &'a Graph,
-    /// Candidate sets.
-    pub candidates: &'a Candidates,
-    /// All-edges candidate space.
-    pub space: &'a CandidateSpace,
-    /// The BFS tree fixing `δ` (from DP-iso's filter).
-    pub tree: &'a BfsTree,
-    /// Run configuration (`intersect` kind and `failing_sets` honored;
-    /// `vf2pp_rule` must be off).
-    pub config: &'a MatchConfig,
+/// Run the adaptive enumeration of a compiled plan with a fresh scratch.
+pub fn enumerate_adaptive<S: MatchSink>(
+    plan: &QueryPlan,
+    g: &Graph,
+    sink: &mut S,
+) -> EnumStats {
+    let mut scratch = Scratch::new();
+    enumerate_adaptive_with(plan, g, &mut scratch, sink)
 }
 
-/// The weight array `W[u][pos]` over candidate positions.
-pub fn weight_array(input: &AdaptiveInput<'_>) -> Vec<Vec<f64>> {
-    let q = input.q;
-    let n = q.num_vertices();
-    let rank = &input.tree.rank;
-    let mut w: Vec<Vec<f64>> = vec![Vec::new(); n];
-    for &u in input.tree.order.iter().rev() {
-        let children: Vec<VertexId> = q
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&c| rank[c as usize] > rank[u as usize])
-            .collect();
-        let len = input.candidates.get(u).len();
-        let mut wu = vec![1.0f64; len];
-        if !children.is_empty() {
-            for (pos, w_pos) in wu.iter_mut().enumerate() {
-                let mut best = f64::INFINITY;
-                for &c in &children {
-                    let sum: f64 = input
-                        .space
-                        .neighbors(u, pos, c)
-                        .iter()
-                        .map(|&p| w[c as usize][p as usize])
-                        .sum();
-                    best = best.min(sum);
-                }
-                *w_pos = best;
-            }
-        }
-        w[u as usize] = wu;
-    }
-    w
-}
-
-/// Run the adaptive enumeration.
-pub fn enumerate_adaptive<S: MatchSink>(input: &AdaptiveInput<'_>, sink: &mut S) -> EnumStats {
+/// Run the adaptive enumeration reusing `scratch` for all per-run mutable
+/// state.
+pub fn enumerate_adaptive_with<S: MatchSink>(
+    plan: &QueryPlan,
+    g: &Graph,
+    scratch: &mut Scratch,
+    sink: &mut S,
+) -> EnumStats {
+    assert!(plan.adaptive, "plan was not compiled for the adaptive engine");
     assert!(
-        !input.config.vf2pp_rule,
+        !plan.config.vf2pp_rule,
         "adaptive engine does not support the VF2++ rule"
     );
     let started = Instant::now();
-    let weights = weight_array(input);
-    let mut eng = AdaptiveEngine::new(input, weights, sink, started);
+    scratch.prepare(plan.num_query_vertices(), g.num_vertices());
+    let n = plan.num_query_vertices();
+    let root = plan.tree.as_ref().expect("adaptive plan carries its tree").root;
+    let mut eng = AdaptiveEngine {
+        plan,
+        sc: scratch,
+        mapped_parents: vec![0; n],
+        extendable: Vec::with_capacity(n),
+        ctl: RunControl::new(&plan.config, None, started, 0x3FF),
+        sink,
+    };
     // Root is extendable from the start with its full candidate set.
-    let root = input.tree.root;
-    eng.lc_cache[root as usize] =
-        (0..input.candidates.get(root).len() as u32).collect();
+    let root_lc = &mut eng.sc.lc_bufs[root as usize];
+    root_lc.clear();
+    root_lc.extend(0..plan.candidates.get(root).len() as u32);
     eng.extendable.push(root);
-    if input.config.failing_sets {
+    if plan.config.failing_sets {
         eng.recurse_fs(0);
     } else {
         eng.recurse(0);
     }
-    EnumStats {
-        matches: eng.matches,
-        recursions: eng.recursions,
-        elapsed: started.elapsed(),
-        outcome: eng.stopped.unwrap_or(Outcome::Complete),
-        parallel: None,
-    }
+    let ctl = eng.ctl;
+    let mut stats = ctl.into_stats(started);
+    stats.plan_build_ns = plan.plan_build_ns();
+    stats.scratch_reuse = scratch.reuses();
+    stats
 }
 
 struct AdaptiveEngine<'a, S: MatchSink> {
-    inp: &'a AdaptiveInput<'a>,
-    weights: Vec<Vec<f64>>,
-    /// DAG parents (δ-earlier neighbors) per query vertex.
-    parents: Vec<Vec<VertexId>>,
-    /// DAG children per query vertex.
-    children: Vec<Vec<VertexId>>,
+    plan: &'a QueryPlan,
+    sc: &'a mut Scratch,
     mapped_parents: Vec<u32>,
-    m: Vec<VertexId>,
-    mpos: Vec<u32>,
-    visited_by: Vec<VertexId>,
-    /// Cached `LC(u, M)` (positions into `C(u)`), valid while `u` is
-    /// extendable.
-    lc_cache: Vec<Vec<u32>>,
     extendable: Vec<VertexId>,
-    tmp: Vec<u32>,
-    matches: u64,
-    recursions: u64,
-    cap: u64,
-    cancel: CancelToken,
-    stopped: Option<Outcome>,
+    ctl: RunControl<'a>,
     sink: &'a mut S,
 }
 
 impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
-    fn new(
-        inp: &'a AdaptiveInput<'a>,
-        weights: Vec<Vec<f64>>,
-        sink: &'a mut S,
-        started: Instant,
-    ) -> Self {
-        let q = inp.q;
-        let n = q.num_vertices();
-        let rank = &inp.tree.rank;
-        let mut parents = vec![Vec::new(); n];
-        let mut children = vec![Vec::new(); n];
-        for u in q.vertices() {
-            for &u2 in q.neighbors(u) {
-                if rank[u2 as usize] < rank[u as usize] {
-                    parents[u as usize].push(u2);
-                } else {
-                    children[u as usize].push(u2);
-                }
-            }
-        }
-        AdaptiveEngine {
-            inp,
-            weights,
-            parents,
-            children,
-            mapped_parents: vec![0; n],
-            m: vec![NO_VERTEX; n],
-            mpos: vec![0; n],
-            visited_by: vec![NO_VERTEX; inp.g.num_vertices()],
-            lc_cache: vec![Vec::new(); n],
-            extendable: Vec::with_capacity(n),
-            tmp: Vec::new(),
-            matches: 0,
-            recursions: 0,
-            cap: inp.config.max_matches.unwrap_or(u64::MAX),
-            cancel: inp.config.run_token(started),
-            stopped: None,
-            sink,
-        }
-    }
-
     #[inline]
-    fn tick(&mut self) {
-        self.recursions += 1;
-        if self.recursions & 0x3FF == 0 {
-            if let Some(reason) = self.cancel.poll() {
-                self.stopped = Some(match reason {
-                    CancelReason::Deadline => Outcome::TimedOut,
-                    CancelReason::Stopped => Outcome::CapReached,
-                });
-            }
-        }
+    fn emit_match(&mut self) {
+        self.ctl.record_match();
+        self.sink.on_match(&self.sc.m);
     }
 
     /// Pick the extendable vertex with minimum estimated work; degree-one
     /// vertices only when nothing else is available. Returns its index in
     /// `extendable`.
     fn select(&self) -> usize {
-        let q = self.inp.q;
+        let q = self.plan.query();
         let mut best_idx = 0usize;
         let mut best_key = (true, f64::INFINITY, u32::MAX);
         for (i, &u) in self.extendable.iter().enumerate() {
             let deg1 = q.degree(u) <= 1;
-            let w: f64 = self.lc_cache[u as usize]
+            let w: f64 = self.sc.lc_bufs[u as usize]
                 .iter()
-                .map(|&p| self.weights[u as usize][p as usize])
+                .map(|&p| self.plan.weights[u as usize][p as usize])
                 .sum();
             let key = (deg1, w, u);
             if (key.0, key.1, key.2) < best_key {
@@ -206,24 +118,25 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
         best_idx
     }
 
-    /// Compute `LC(c, M)` for newly extendable `c` into its cache.
+    /// Compute `LC(c, M)` for newly extendable `c` into its cache slot.
     fn fill_lc(&mut self, c: VertexId) {
-        let space = self.inp.space;
-        let parents = &self.parents[c as usize];
+        let plan = self.plan;
+        let space = plan.space.as_ref().expect("adaptive plan carries a space");
+        let parents = plan.backward(c);
         let mut lists: Vec<&[u32]> = parents
             .iter()
-            .map(|&p| space.neighbors(p, self.mpos[p as usize] as usize, c))
+            .map(|&p| space.neighbors(p, self.sc.mpos[p as usize] as usize, c))
             .collect();
         lists.sort_by_key(|l| l.len());
-        let mut buf = std::mem::take(&mut self.lc_cache[c as usize]);
+        let mut buf = std::mem::take(&mut self.sc.lc_bufs[c as usize]);
         buf.clear();
         if lists.is_empty() {
-            buf.extend(0..self.inp.candidates.get(c).len() as u32);
+            buf.extend(0..plan.candidates.get(c).len() as u32);
         } else if lists.len() == 1 {
             buf.extend_from_slice(lists[0]);
         } else {
-            let kind = self.inp.config.intersect;
-            let mut tmp = std::mem::take(&mut self.tmp);
+            let kind = plan.config.intersect;
+            let mut tmp = std::mem::take(&mut self.sc.tmp_bufs[0]);
             intersect_buf(kind, lists[0], lists[1], &mut buf);
             for l in &lists[2..] {
                 if buf.is_empty() {
@@ -233,22 +146,25 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 intersect_buf(kind, &buf, l, &mut tmp);
                 std::mem::swap(&mut buf, &mut tmp);
             }
-            self.tmp = tmp;
+            self.sc.tmp_bufs[0] = tmp;
         }
-        self.lc_cache[c as usize] = buf;
+        self.sc.lc_bufs[c as usize] = buf;
     }
 
     /// Map `u → (v, pos)`: update DAG counters and extendables. Returns the
     /// list of children that became extendable (to undo later).
     fn apply(&mut self, u: VertexId, v: VertexId, pos: u32) -> Vec<VertexId> {
-        self.m[u as usize] = v;
-        self.mpos[u as usize] = pos;
-        self.visited_by[v as usize] = u;
-        let children = self.children[u as usize].clone();
+        self.sc.m[u as usize] = v;
+        self.sc.mpos[u as usize] = pos;
+        self.sc.visited_by[v as usize] = u;
+        // The plan's forward lists are the DAG children; iterating the
+        // borrowed slice directly (no per-expansion clone) is fine because
+        // `plan` outlives the `&mut self` calls below.
+        let plan = self.plan;
         let mut activated = Vec::new();
-        for c in children {
+        for &c in plan.forward(u) {
             self.mapped_parents[c as usize] += 1;
-            if self.mapped_parents[c as usize] as usize == self.parents[c as usize].len() {
+            if self.mapped_parents[c as usize] as usize == plan.backward(c).len() {
                 self.fill_lc(c);
                 self.extendable.push(c);
                 activated.push(c);
@@ -266,73 +182,65 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 .expect("activated vertex is extendable");
             self.extendable.swap_remove(i);
         }
-        for &c in &self.children[u as usize] {
+        for &c in self.plan.forward(u) {
             self.mapped_parents[c as usize] -= 1;
         }
-        self.visited_by[v as usize] = NO_VERTEX;
-        self.m[u as usize] = NO_VERTEX;
+        self.sc.visited_by[v as usize] = NO_VERTEX;
+        self.sc.m[u as usize] = NO_VERTEX;
     }
 
     fn recurse(&mut self, depth: usize) {
-        self.tick();
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return;
         }
-        let n = self.inp.q.num_vertices();
+        let n = self.plan.num_query_vertices();
         let idx = self.select();
         let u = self.extendable.swap_remove(idx);
-        let lc = std::mem::take(&mut self.lc_cache[u as usize]);
+        let lc = std::mem::take(&mut self.sc.lc_bufs[u as usize]);
         for &pos in &lc {
-            let v = self.inp.candidates.get(u)[pos as usize];
-            if self.visited_by[v as usize] != NO_VERTEX {
+            let v = self.plan.candidates.get(u)[pos as usize];
+            if self.sc.visited_by[v as usize] != NO_VERTEX {
                 continue;
             }
             let activated = self.apply(u, v, pos);
             if depth + 1 == n {
-                self.matches += 1;
-                self.sink.on_match(&self.m);
-                if self.matches >= self.cap {
-                    self.stopped = Some(Outcome::CapReached);
-                }
+                self.emit_match();
             } else {
                 self.recurse(depth + 1);
             }
             self.undo(u, v, &activated);
-            if self.stopped.is_some() {
+            if self.ctl.is_stopped() {
                 break;
             }
         }
-        self.lc_cache[u as usize] = lc;
+        self.sc.lc_bufs[u as usize] = lc;
         self.extendable.push(u);
     }
 
     fn recurse_fs(&mut self, depth: usize) -> u64 {
-        self.tick();
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return FULL;
         }
-        let n = self.inp.q.num_vertices();
+        let n = self.plan.num_query_vertices();
         let idx = self.select();
         let u = self.extendable.swap_remove(idx);
-        let lc = std::mem::take(&mut self.lc_cache[u as usize]);
+        let lc = std::mem::take(&mut self.sc.lc_bufs[u as usize]);
         let mut acc = 0u64;
         let mut early: Option<u64> = None;
         // See engine::recurse_fs: a match below any sibling forces FULL
         // even when a later sibling licenses skipping the rest.
         let mut found_below = false;
         for &pos in &lc {
-            let v = self.inp.candidates.get(u)[pos as usize];
-            let owner = self.visited_by[v as usize];
+            let v = self.plan.candidates.get(u)[pos as usize];
+            let owner = self.sc.visited_by[v as usize];
             let child_fs = if owner != NO_VERTEX {
                 conflict_class(u, owner)
             } else {
                 let activated = self.apply(u, v, pos);
                 let fs = if depth + 1 == n {
-                    self.matches += 1;
-                    self.sink.on_match(&self.m);
-                    if self.matches >= self.cap {
-                        self.stopped = Some(Outcome::CapReached);
-                    }
+                    self.emit_match();
                     FULL
                 } else {
                     self.recurse_fs(depth + 1)
@@ -343,7 +251,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
             if child_fs == FULL {
                 found_below = true;
             }
-            if self.stopped.is_some() {
+            if self.ctl.is_stopped() {
                 acc = FULL;
                 break;
             }
@@ -354,29 +262,29 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
             acc |= child_fs;
         }
         let empty_lc = lc.is_empty();
-        self.lc_cache[u as usize] = lc;
+        self.sc.lc_bufs[u as usize] = lc;
         self.extendable.push(u);
         if let Some(fs) = early {
             return if found_below { FULL } else { fs };
         }
         if empty_lc {
-            return emptyset_class(u, &self.parents[u as usize]);
+            return emptyset_class(u, self.plan.backward(u));
         }
         // Union rule: include u and the LC determiners (DAG parents) — see
         // engine::recurse_fs for why omitting them is unsound.
-        acc | emptyset_class(u, &self.parents[u as usize])
+        acc | emptyset_class(u, self.plan.backward(u))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidate_space::SpaceCoverage;
-    use crate::enumerate::CollectSink;
+    use crate::candidate_space::{CandidateSpace, SpaceCoverage};
+    use crate::enumerate::{CollectSink, LcMethod, MatchConfig};
     use crate::fixtures::{paper_data, paper_match, paper_query};
     use crate::{DataContext, QueryContext};
 
-    fn run(failing_sets: bool) -> (u64, Vec<Vec<VertexId>>) {
+    fn paper_adaptive_plan(failing_sets: bool) -> (QueryPlan, Graph) {
         let q = paper_query();
         let g = paper_data();
         let qc = QueryContext::new(&q);
@@ -387,51 +295,41 @@ mod tests {
             failing_sets,
             ..Default::default()
         };
-        let input = AdaptiveInput {
-            q: &q,
-            g: &g,
-            candidates: &cand,
-            space: &space,
-            tree: &tree,
-            config: &config,
-        };
-        let mut sink = CollectSink::default();
-        let stats = enumerate_adaptive(&input, &mut sink);
-        (stats.matches, sink.matches)
+        let order = tree.order.clone();
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            order,
+            Some(tree),
+            Some(space),
+            LcMethod::Intersect,
+            config,
+            true,
+        );
+        (plan, g)
     }
 
     #[test]
     fn finds_the_unique_match() {
         for fs in [false, true] {
-            let (n, ms) = run(fs);
-            assert_eq!(n, 1, "fs={fs}");
-            assert_eq!(ms, vec![paper_match()], "fs={fs}");
+            let (plan, g) = paper_adaptive_plan(fs);
+            let mut sink = CollectSink::default();
+            let stats = enumerate_adaptive(&plan, &g, &mut sink);
+            assert_eq!(stats.matches, 1, "fs={fs}");
+            assert_eq!(sink.matches, vec![paper_match()], "fs={fs}");
         }
     }
 
     #[test]
-    fn weight_array_leaf_is_one() {
-        let q = paper_query();
-        let g = paper_data();
-        let qc = QueryContext::new(&q);
-        let gc = DataContext::new(&g);
-        let (cand, tree) = crate::filter::dpiso::dpiso_candidates(&qc, &gc, 3);
-        let space = CandidateSpace::build(&q, &g, &cand, SpaceCoverage::AllEdges, false);
-        let config = MatchConfig::default();
-        let input = AdaptiveInput {
-            q: &q,
-            g: &g,
-            candidates: &cand,
-            space: &space,
-            tree: &tree,
-            config: &config,
-        };
-        let w = weight_array(&input);
-        // The δ-last vertex has no DAG children: all weights are 1.
-        let last = *tree.order.last().unwrap();
-        assert!(w[last as usize].iter().all(|&x| x == 1.0));
-        // The root's weights are finite and >= 1 on a satisfiable query.
-        let root = tree.root;
-        assert!(w[root as usize].iter().all(|&x| x.is_finite() && x >= 0.0));
+    fn scratch_reuse_across_adaptive_runs() {
+        let (plan, g) = paper_adaptive_plan(false);
+        let mut scratch = Scratch::new();
+        let mut sink = CollectSink::default();
+        let s1 = enumerate_adaptive_with(&plan, &g, &mut scratch, &mut sink);
+        let s2 = enumerate_adaptive_with(&plan, &g, &mut scratch, &mut sink);
+        assert_eq!(s1.matches, 1);
+        assert_eq!(s2.matches, 1);
+        assert_eq!(s1.scratch_reuse, 0);
+        assert_eq!(s2.scratch_reuse, 1);
     }
 }

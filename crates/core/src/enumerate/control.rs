@@ -1,0 +1,194 @@
+//! Run-lifecycle bookkeeping shared by every engine: match/recursion
+//! counters, the output cap, cancellation polling, and the cross-worker
+//! coordination of parallel runs. The static engine, the adaptive engine
+//! and the historical Ullmann/VF2 baselines all drive one [`RunControl`]
+//! instead of each keeping its own copy of this state machine.
+
+use crate::enumerate::{EnumStats, MatchConfig, Outcome};
+use sm_runtime::{CancelReason, CancelToken};
+use std::time::Instant;
+
+/// Shared state coordinating the worker engines of a parallel run: a
+/// global match counter (so the 10^5 cap applies to the *sum*) and one
+/// [`CancelToken`] every worker polls. Any worker hitting the cap (or a
+/// deadline expiring on any worker) cancels the token, and the reason
+/// distinguishes cap from timeout when outcomes are merged.
+#[derive(Default)]
+pub struct SharedControl {
+    /// Cancellation shared by every worker of the run.
+    pub cancel: CancelToken,
+    /// Total matches across workers.
+    pub matches: std::sync::atomic::AtomicU64,
+}
+
+impl SharedControl {
+    /// Shared state for a run of `config` that started at `started`:
+    /// carries the config's deadline (and caller token, when attached) so
+    /// every worker observes the same cancellation.
+    pub fn for_run(config: &MatchConfig, started: Instant) -> Self {
+        SharedControl {
+            cancel: config.run_token(started),
+            matches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+/// Counters and stop conditions of one engine run. Engines call
+/// [`RunControl::tick`] on every search-tree node and
+/// [`RunControl::record_match`] on every emitted embedding; everything
+/// else (cap, deadline, caller cancellation, parallel coordination) is
+/// handled here.
+pub struct RunControl<'a> {
+    /// Matches emitted by this engine.
+    pub matches: u64,
+    /// Search-tree nodes visited.
+    pub recursions: u64,
+    cap: u64,
+    /// Cancellation is polled every `poll_mask + 1` recursions.
+    poll_mask: u64,
+    cancel: CancelToken,
+    stopped: Option<Outcome>,
+    shared: Option<&'a SharedControl>,
+}
+
+impl<'a> RunControl<'a> {
+    /// Control for a run of `config` started at `started`. Workers of a
+    /// parallel run pass their [`SharedControl`] and share its token and
+    /// global cap; a solo run derives a token from the config (deadline +
+    /// caller token).
+    pub fn new(
+        config: &MatchConfig,
+        shared: Option<&'a SharedControl>,
+        started: Instant,
+        poll_mask: u64,
+    ) -> Self {
+        RunControl {
+            matches: 0,
+            recursions: 0,
+            cap: config.max_matches.unwrap_or(u64::MAX),
+            poll_mask,
+            cancel: match shared {
+                Some(sh) => sh.cancel.clone(),
+                None => config.run_token(started),
+            },
+            stopped: None,
+            shared,
+        }
+    }
+
+    /// Count one search-tree node and periodically poll cancellation.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.recursions += 1;
+        if self.recursions & self.poll_mask == 0 {
+            if let Some(reason) = self.cancel.poll() {
+                self.stopped = Some(match reason {
+                    CancelReason::Deadline => Outcome::TimedOut,
+                    CancelReason::Stopped => Outcome::CapReached,
+                });
+            }
+        }
+    }
+
+    /// Whether the run must unwind (cap, deadline or cancellation).
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.is_some()
+    }
+
+    /// Count one emitted match and apply the cap — against the shared
+    /// cross-worker total in parallel runs, the local count otherwise.
+    #[inline]
+    pub fn record_match(&mut self) {
+        self.matches += 1;
+        match self.shared {
+            Some(sh) => {
+                let total = sh
+                    .matches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    + 1;
+                if total >= self.cap {
+                    sh.cancel.cancel(CancelReason::Stopped);
+                    self.stopped = Some(Outcome::CapReached);
+                }
+            }
+            None => {
+                if self.matches >= self.cap {
+                    self.stopped = Some(Outcome::CapReached);
+                }
+            }
+        }
+    }
+
+    /// Why the run ended ([`Outcome::Complete`] unless stopped).
+    pub fn outcome(&self) -> Outcome {
+        self.stopped.unwrap_or(Outcome::Complete)
+    }
+
+    /// Fold the counters into an [`EnumStats`] for a run begun at
+    /// `started`.
+    pub fn into_stats(self, started: Instant) -> EnumStats {
+        EnumStats {
+            matches: self.matches,
+            recursions: self.recursions,
+            elapsed: started.elapsed(),
+            outcome: self.outcome(),
+            parallel: None,
+            plan_build_ns: 0,
+            scratch_reuse: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_stops_solo_run() {
+        let cfg = MatchConfig {
+            max_matches: Some(2),
+            ..Default::default()
+        };
+        let mut ctl = RunControl::new(&cfg, None, Instant::now(), 0x3FF);
+        ctl.record_match();
+        assert!(!ctl.is_stopped());
+        ctl.record_match();
+        assert!(ctl.is_stopped());
+        assert_eq!(ctl.outcome(), Outcome::CapReached);
+    }
+
+    #[test]
+    fn shared_cap_applies_to_the_sum() {
+        let cfg = MatchConfig {
+            max_matches: Some(3),
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let shared = SharedControl::for_run(&cfg, started);
+        let mut a = RunControl::new(&cfg, Some(&shared), started, 0x3FF);
+        let mut b = RunControl::new(&cfg, Some(&shared), started, 0x3FF);
+        a.record_match();
+        b.record_match();
+        assert!(!a.is_stopped() && !b.is_stopped());
+        a.record_match(); // total hits 3: cancels the shared token
+        assert!(a.is_stopped());
+        // b notices at its next poll boundary
+        for _ in 0..=0x3FF {
+            b.tick();
+        }
+        assert!(b.is_stopped());
+        assert_eq!(b.outcome(), Outcome::CapReached);
+    }
+
+    #[test]
+    fn caller_cancellation_reported_as_cap() {
+        let token = CancelToken::new();
+        let cfg = MatchConfig::find_all().with_cancel(token.clone());
+        let mut ctl = RunControl::new(&cfg, None, Instant::now(), 0);
+        token.cancel(CancelReason::Stopped);
+        ctl.tick();
+        assert!(ctl.is_stopped());
+        assert_eq!(ctl.into_stats(Instant::now()).outcome, Outcome::CapReached);
+    }
+}

@@ -1,38 +1,29 @@
 //! The static-order backtracking engine (paper Algorithm 1, lines 4–12)
 //! with the four local-candidate computation methods of Algorithms 2–5 and
 //! optional failing-set pruning.
+//!
+//! The engine is a pure *executor*: every order-derived table (backward
+//! neighbors, pivot parents, VF2++ requirements) comes precompiled in the
+//! [`QueryPlan`], and all per-run mutable state lives in a caller-owned
+//! [`Scratch`] so repeated runs (morsels of a parallel execution) allocate
+//! nothing in steady state.
 
-use crate::candidate_space::CandidateSpace;
-use crate::candidates::Candidates;
-use crate::enumerate::{EnumStats, LcMethod, MatchConfig, MatchSink, Outcome};
+use crate::enumerate::control::{RunControl, SharedControl};
+use crate::enumerate::scratch::Scratch;
+use crate::enumerate::{EnumStats, LcMethod, MatchSink};
+use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
-use sm_graph::{Graph, Label, VertexId};
+use sm_graph::{Graph, VertexId};
 use sm_intersect::{intersect_buf, BsrSet, IntersectKind};
-use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
-/// Everything the engine needs for one run.
+/// One execution of a compiled plan against a data graph.
 pub struct EngineInput<'a> {
-    /// Query graph.
-    pub q: &'a Graph,
+    /// The compiled plan (order, parents, backward lists, candidates,
+    /// space, config — everything run-invariant).
+    pub plan: &'a QueryPlan,
     /// Data graph.
     pub g: &'a Graph,
-    /// Candidate sets from the filtering step.
-    pub candidates: &'a Candidates,
-    /// Auxiliary structure (required by [`LcMethod::TreeIndex`] and
-    /// [`LcMethod::Intersect`]).
-    pub space: Option<&'a CandidateSpace>,
-    /// Matching order `φ`.
-    pub order: &'a [VertexId],
-    /// Pivot parent per query vertex (`NO_VERTEX` for the first vertex
-    /// and for vertices with no backward neighbor). For
-    /// [`LcMethod::TreeIndex`] this must be the BFS-tree parent whose edge
-    /// list exists in the space.
-    pub parent: &'a [VertexId],
-    /// Local-candidate computation method.
-    pub method: LcMethod,
-    /// Run configuration.
-    pub config: &'a MatchConfig,
     /// Restrict the first level to this subset of its local candidates
     /// (entries in the method's depth-0 convention). Used by
     /// [`crate::enumerate::parallel`] to partition the search across
@@ -42,99 +33,43 @@ pub struct EngineInput<'a> {
     pub shared: Option<&'a SharedControl>,
 }
 
-/// Shared state coordinating the worker engines of a parallel run: a
-/// global match counter (so the 10^5 cap applies to the *sum*) and one
-/// [`CancelToken`] every worker polls. Any worker hitting the cap (or a
-/// deadline expiring on any worker) cancels the token, and the reason
-/// distinguishes cap from timeout when outcomes are merged.
-#[derive(Default)]
-pub struct SharedControl {
-    /// Cancellation shared by every worker of the run.
-    pub cancel: CancelToken,
-    /// Total matches across workers.
-    pub matches: std::sync::atomic::AtomicU64,
-}
-
-impl SharedControl {
-    /// Shared state for a run of `config` that started at `started`:
-    /// carries the config's deadline (and caller token, when attached) so
-    /// every worker observes the same cancellation.
-    pub fn for_run(config: &MatchConfig, started: Instant) -> Self {
-        SharedControl {
-            cancel: config.run_token(started),
-            matches: std::sync::atomic::AtomicU64::new(0),
-        }
-    }
-}
-
-/// Derive per-vertex pivot parents from an order: the earliest-matched
-/// backward neighbor (or a supplied tree parent when it is backward).
-pub fn derive_parents(
-    q: &Graph,
-    order: &[VertexId],
-    tree: Option<&sm_graph::traversal::BfsTree>,
-) -> Vec<VertexId> {
-    let n = q.num_vertices();
-    let mut rank = vec![usize::MAX; n];
-    for (i, &u) in order.iter().enumerate() {
-        rank[u as usize] = i;
-    }
-    let mut parent = vec![NO_VERTEX; n];
-    for &u in order {
-        if rank[u as usize] == 0 {
-            continue;
-        }
-        // Prefer the BFS-tree parent when it precedes u in the order (the
-        // TreeIndex method depends on that edge list existing).
-        if let Some(t) = tree {
-            let p = t.parent[u as usize];
-            if p != NO_VERTEX && rank[p as usize] < rank[u as usize] {
-                parent[u as usize] = p;
-                continue;
-            }
-        }
-        parent[u as usize] = q
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&u2| rank[u2 as usize] < rank[u as usize])
-            .min_by_key(|&u2| rank[u2 as usize])
-            .unwrap_or(NO_VERTEX);
-    }
-    parent
-}
-
-/// Run the enumeration, streaming matches into `sink`.
+/// Run the enumeration with a fresh scratch arena, streaming matches into
+/// `sink`. One-shot callers use this; repeated callers (workers) keep a
+/// [`Scratch`] and use [`enumerate_with`].
 pub fn enumerate<S: MatchSink>(input: &EngineInput<'_>, sink: &mut S) -> EnumStats {
+    let mut scratch = Scratch::new();
+    enumerate_with(input, &mut scratch, sink)
+}
+
+/// Run the enumeration reusing `scratch` for all per-run mutable state.
+/// When the scratch already has this run's shape (same query/data sizes,
+/// as across morsels of one parallel run) no allocation happens.
+pub fn enumerate_with<S: MatchSink>(
+    input: &EngineInput<'_>,
+    scratch: &mut Scratch,
+    sink: &mut S,
+) -> EnumStats {
     let started = Instant::now();
-    let mut eng = Engine::new(input, sink, started);
-    if input.method.needs_space() {
-        assert!(
-            input.space.is_some(),
-            "{:?} requires a CandidateSpace",
-            input.method
-        );
-    }
-    // See enumerate::failing_sets: the emptyset class is unsound when LC
-    // depends on more than the backward neighbors' mappings.
-    assert!(
-        !(input.config.failing_sets && input.config.vf2pp_rule),
-        "failing sets are incompatible with VF2++'s extra runtime rule"
-    );
-    debug_assert_eq!(input.order.len(), input.q.num_vertices());
-    if input.config.failing_sets {
+    let plan = input.plan;
+    scratch.prepare(plan.num_query_vertices(), input.g.num_vertices());
+    let mut eng = Engine {
+        plan,
+        g: input.g,
+        root_subset: input.root_subset,
+        sc: scratch,
+        ctl: RunControl::new(&plan.config, input.shared, started, TIME_CHECK_MASK),
+        sink,
+    };
+    if plan.config.failing_sets {
         eng.recurse_fs(0);
     } else {
         eng.recurse(0);
     }
-    let outcome = eng.stopped.unwrap_or(Outcome::Complete);
-    EnumStats {
-        matches: eng.matches,
-        recursions: eng.recursions,
-        elapsed: started.elapsed(),
-        outcome,
-        parallel: None,
-    }
+    let ctl = eng.ctl;
+    let mut stats = ctl.into_stats(started);
+    stats.plan_build_ns = plan.plan_build_ns();
+    stats.scratch_reuse = scratch.reuses();
+    stats
 }
 
 use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
@@ -143,136 +78,60 @@ use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_sibl
 const TIME_CHECK_MASK: u64 = 0x3FF;
 
 struct Engine<'a, S: MatchSink> {
-    inp: &'a EngineInput<'a>,
-    /// Backward neighbors per query vertex, ordered by match time.
-    backward: Vec<Vec<VertexId>>,
-    /// VF2++'s forward label requirements per query vertex.
-    vf2pp_req: Vec<Vec<(Label, u32)>>,
-    m: Vec<VertexId>,
-    mpos: Vec<u32>,
-    visited_by: Vec<VertexId>,
-    lc_bufs: Vec<Vec<u32>>,
-    tmp_bufs: Vec<Vec<u32>>,
-    bsr_a: Vec<BsrSet>,
-    bsr_b: Vec<BsrSet>,
-    matches: u64,
-    recursions: u64,
-    cap: u64,
-    cancel: CancelToken,
-    stopped: Option<Outcome>,
+    plan: &'a QueryPlan,
+    g: &'a Graph,
+    root_subset: Option<&'a [u32]>,
+    sc: &'a mut Scratch,
+    ctl: RunControl<'a>,
     sink: &'a mut S,
 }
 
 impl<'a, S: MatchSink> Engine<'a, S> {
-    fn new(inp: &'a EngineInput<'a>, sink: &'a mut S, started: Instant) -> Self {
-        let q = inp.q;
-        let n = q.num_vertices();
-        let backward = crate::order::backward_neighbors(q, inp.order);
-        let vf2pp_req = if inp.config.vf2pp_rule {
-            forward_label_requirements(q, inp.order)
-        } else {
-            vec![Vec::new(); n]
-        };
-        Engine {
-            inp,
-            backward,
-            vf2pp_req,
-            m: vec![NO_VERTEX; n],
-            mpos: vec![0; n],
-            visited_by: vec![NO_VERTEX; inp.g.num_vertices()],
-            lc_bufs: vec![Vec::new(); n],
-            tmp_bufs: vec![Vec::new(); n],
-            bsr_a: vec![BsrSet::default(); n],
-            bsr_b: vec![BsrSet::default(); n],
-            matches: 0,
-            recursions: 0,
-            cap: inp.config.max_matches.unwrap_or(u64::MAX),
-            // Workers of a parallel run share the run's token; a solo run
-            // derives one from the config (deadline + caller token).
-            cancel: match inp.shared {
-                Some(sh) => sh.cancel.clone(),
-                None => inp.config.run_token(started),
-            },
-            stopped: None,
-            sink,
-        }
-    }
-
-    #[inline]
-    fn tick(&mut self) {
-        self.recursions += 1;
-        if self.recursions & TIME_CHECK_MASK == 0 {
-            if let Some(reason) = self.cancel.poll() {
-                self.stopped = Some(match reason {
-                    CancelReason::Deadline => Outcome::TimedOut,
-                    CancelReason::Stopped => Outcome::CapReached,
-                });
-            }
-        }
-    }
-
     #[inline]
     fn emit_match(&mut self) {
-        self.matches += 1;
-        self.sink.on_match(&self.m);
-        match self.inp.shared {
-            Some(sh) => {
-                let total = sh
-                    .matches
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                    + 1;
-                if total >= self.cap {
-                    sh.cancel.cancel(CancelReason::Stopped);
-                    self.stopped = Some(Outcome::CapReached);
-                }
-            }
-            None => {
-                if self.matches >= self.cap {
-                    self.stopped = Some(Outcome::CapReached);
-                }
-            }
-        }
+        self.ctl.record_match();
+        self.sink.on_match(&self.sc.m);
     }
 
     /// Fill `lc_bufs[depth]` for query vertex `u`. Entries are *positions*
     /// into `C(u)` for TreeIndex/Intersect, *data vertex ids* otherwise.
     fn compute_lc(&mut self, depth: usize, u: VertexId) {
-        let mut buf = std::mem::take(&mut self.lc_bufs[depth]);
+        let mut buf = std::mem::take(&mut self.sc.lc_bufs[depth]);
         buf.clear();
-        let inp = self.inp;
+        // Copy the plan reference out so its slices borrow for 'a, not for
+        // the duration of the &mut self borrow.
+        let plan = self.plan;
         if depth == 0 {
-            if let Some(sub) = inp.root_subset {
+            if let Some(sub) = self.root_subset {
                 // Parallel partition: the caller pre-split the depth-0
                 // candidates (in this method's entry convention).
                 buf.extend_from_slice(sub);
-                self.lc_bufs[depth] = buf;
+                self.sc.lc_bufs[depth] = buf;
                 return;
             }
         }
-        let c_u = inp.candidates.get(u);
-        let bw = &self.backward[u as usize];
-        match inp.method {
+        let c_u = plan.candidates.get(u);
+        let bw = plan.backward(u);
+        match plan.method {
             LcMethod::Direct => {
-                let parent = inp.parent[u as usize];
+                let parent = plan.parents()[u as usize];
                 if depth == 0 || parent == NO_VERTEX {
                     buf.extend_from_slice(c_u);
                 } else {
-                    let g = inp.g;
-                    let q = inp.q;
+                    let g = self.g;
+                    let q = plan.query();
                     let (lu, du) = (q.label(u), q.degree(u));
-                    let vp = self.m[parent as usize];
+                    let vp = self.sc.m[parent as usize];
                     'cand: for &v in g.neighbors(vp) {
                         if g.label(v) != lu || g.degree(v) < du {
                             continue;
                         }
                         for &ub in bw {
-                            if ub != parent && !g.has_edge(v, self.m[ub as usize]) {
+                            if ub != parent && !g.has_edge(v, self.sc.m[ub as usize]) {
                                 continue 'cand;
                             }
                         }
-                        if inp.config.vf2pp_rule
-                            && !self.vf2pp_pass(u, v)
-                        {
+                        if plan.config.vf2pp_rule && !self.vf2pp_pass(u, v) {
                             continue;
                         }
                         buf.push(v);
@@ -280,10 +139,10 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                 }
             }
             LcMethod::CandidateScan => {
-                let g = inp.g;
+                let g = self.g;
                 'scan: for &v in c_u {
                     for &ub in bw {
-                        if !g.has_edge(v, self.m[ub as usize]) {
+                        if !g.has_edge(v, self.sc.m[ub as usize]) {
                             continue 'scan;
                         }
                     }
@@ -291,18 +150,18 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                 }
             }
             LcMethod::TreeIndex => {
-                let parent = inp.parent[u as usize];
+                let parent = plan.parents()[u as usize];
                 if depth == 0 || parent == NO_VERTEX {
                     buf.extend(0..c_u.len() as u32);
                 } else {
-                    let space = inp.space.expect("TreeIndex needs space");
-                    let g = inp.g;
+                    let space = plan.space.as_ref().expect("TreeIndex needs space");
+                    let g = self.g;
                     let list =
-                        space.neighbors(parent, self.mpos[parent as usize] as usize, u);
+                        space.neighbors(parent, self.sc.mpos[parent as usize] as usize, u);
                     'tree: for &pos in list {
                         let v = c_u[pos as usize];
                         for &ub in bw {
-                            if ub != parent && !g.has_edge(v, self.m[ub as usize]) {
+                            if ub != parent && !g.has_edge(v, self.sc.m[ub as usize]) {
                                 continue 'tree;
                             }
                         }
@@ -314,8 +173,8 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                 if depth == 0 || bw.is_empty() {
                     buf.extend(0..c_u.len() as u32);
                 } else {
-                    let space = inp.space.expect("Intersect needs space");
-                    if inp.config.intersect == IntersectKind::Bsr {
+                    let space = plan.space.as_ref().expect("Intersect needs space");
+                    if plan.config.intersect == IntersectKind::Bsr {
                         self.intersect_bsr(depth, u, &mut buf);
                     } else {
                         // Gather the A lists of all backward neighbors,
@@ -324,15 +183,15 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                         let mut lists: Vec<&[u32]> = bw
                             .iter()
                             .map(|&ub| {
-                                space.neighbors(ub, self.mpos[ub as usize] as usize, u)
+                                space.neighbors(ub, self.sc.mpos[ub as usize] as usize, u)
                             })
                             .collect();
                         lists.sort_by_key(|l| l.len());
                         if lists.len() == 1 {
                             buf.extend_from_slice(lists[0]);
                         } else {
-                            let kind = inp.config.intersect;
-                            let mut tmp = std::mem::take(&mut self.tmp_bufs[depth]);
+                            let kind = plan.config.intersect;
+                            let mut tmp = std::mem::take(&mut self.sc.tmp_bufs[depth]);
                             intersect_buf(kind, lists[0], lists[1], &mut buf);
                             for l in &lists[2..] {
                                 if buf.is_empty() {
@@ -342,25 +201,25 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                                 intersect_buf(kind, &buf, l, &mut tmp);
                                 std::mem::swap(&mut buf, &mut tmp);
                             }
-                            self.tmp_bufs[depth] = tmp;
+                            self.sc.tmp_bufs[depth] = tmp;
                         }
                     }
                 }
             }
         }
-        self.lc_bufs[depth] = buf;
+        self.sc.lc_bufs[depth] = buf;
     }
 
     /// BSR-flavored intersection of the backward A lists.
     fn intersect_bsr(&mut self, depth: usize, u: VertexId, buf: &mut Vec<u32>) {
-        let inp = self.inp;
-        let space = inp.space.expect("Intersect needs space");
-        let bw = &self.backward[u as usize];
+        let plan = self.plan;
+        let space = plan.space.as_ref().expect("Intersect needs space");
+        let bw = plan.backward(u);
         let mut sets: Vec<&BsrSet> = bw
             .iter()
             .map(|&ub| {
                 space
-                    .bsr_neighbors(ub, self.mpos[ub as usize] as usize, u)
+                    .bsr_neighbors(ub, self.sc.mpos[ub as usize] as usize, u)
                     .expect("space built without BSR encodings")
             })
             .collect();
@@ -369,8 +228,8 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             sets[0].decode_into(buf);
             return;
         }
-        let mut a = std::mem::take(&mut self.bsr_a[depth]);
-        let mut b = std::mem::take(&mut self.bsr_b[depth]);
+        let mut a = std::mem::take(&mut self.sc.bsr_a[depth]);
+        let mut b = std::mem::take(&mut self.sc.bsr_b[depth]);
         sets[0].intersect_into(sets[1], &mut a);
         for s in &sets[2..] {
             if a.is_empty() {
@@ -380,23 +239,23 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             std::mem::swap(&mut a, &mut b);
         }
         a.decode_into(buf);
-        self.bsr_a[depth] = a;
-        self.bsr_b[depth] = b;
+        self.sc.bsr_a[depth] = a;
+        self.sc.bsr_b[depth] = b;
     }
 
     /// VF2++'s runtime rule: for every label `l` among u's *forward*
     /// neighbors, `v` must still have enough unmatched neighbors labeled
     /// `l`.
     fn vf2pp_pass(&self, u: VertexId, v: VertexId) -> bool {
-        let req = &self.vf2pp_req[u as usize];
+        let req = self.plan.vf2pp_req(u);
         if req.is_empty() {
             return true;
         }
-        let g = self.inp.g;
+        let g = self.g;
         for &(l, need) in req {
             let mut have = 0u32;
             for &w in g.neighbors(v) {
-                if g.label(w) == l && self.visited_by[w as usize] == NO_VERTEX {
+                if g.label(w) == l && self.sc.visited_by[w as usize] == NO_VERTEX {
                     have += 1;
                     if have >= need {
                         break;
@@ -414,9 +273,9 @@ impl<'a, S: MatchSink> Engine<'a, S> {
     /// buffer convention. Position is meaningful only for space methods.
     #[inline]
     fn resolve(&self, u: VertexId, entry: u32) -> (VertexId, u32) {
-        match self.inp.method {
+        match self.plan.method {
             LcMethod::TreeIndex | LcMethod::Intersect => {
-                (self.inp.candidates.get(u)[entry as usize], entry)
+                (self.plan.candidates.get(u)[entry as usize], entry)
             }
             _ => (entry, 0),
         }
@@ -424,48 +283,48 @@ impl<'a, S: MatchSink> Engine<'a, S> {
 
     /// Plain recursion (no failing sets).
     fn recurse(&mut self, depth: usize) {
-        self.tick();
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return;
         }
-        let n = self.inp.order.len();
-        let u = self.inp.order[depth];
+        let n = self.plan.num_query_vertices();
+        let u = self.plan.order()[depth];
         self.compute_lc(depth, u);
-        let buf = std::mem::take(&mut self.lc_bufs[depth]);
+        let buf = std::mem::take(&mut self.sc.lc_bufs[depth]);
         for &entry in &buf {
             let (v, pos) = self.resolve(u, entry);
-            if self.visited_by[v as usize] != NO_VERTEX {
+            if self.sc.visited_by[v as usize] != NO_VERTEX {
                 continue;
             }
-            self.m[u as usize] = v;
-            self.mpos[u as usize] = pos;
-            self.visited_by[v as usize] = u;
+            self.sc.m[u as usize] = v;
+            self.sc.mpos[u as usize] = pos;
+            self.sc.visited_by[v as usize] = u;
             if depth + 1 == n {
                 self.emit_match();
             } else {
                 self.recurse(depth + 1);
             }
-            self.visited_by[v as usize] = NO_VERTEX;
-            if self.stopped.is_some() {
+            self.sc.visited_by[v as usize] = NO_VERTEX;
+            if self.ctl.is_stopped() {
                 break;
             }
         }
-        self.m[u as usize] = NO_VERTEX;
-        self.lc_bufs[depth] = buf;
+        self.sc.m[u as usize] = NO_VERTEX;
+        self.sc.lc_bufs[depth] = buf;
     }
 
     /// Failing-set recursion: returns the failing set of this subtree as a
     /// bitset over query vertices ([`FULL`] = contains a match / cannot
     /// prune).
     fn recurse_fs(&mut self, depth: usize) -> u64 {
-        self.tick();
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return FULL;
         }
-        let n = self.inp.order.len();
-        let u = self.inp.order[depth];
+        let n = self.plan.num_query_vertices();
+        let u = self.plan.order()[depth];
         self.compute_lc(depth, u);
-        let buf = std::mem::take(&mut self.lc_bufs[depth]);
+        let buf = std::mem::take(&mut self.sc.lc_bufs[depth]);
         let mut acc: u64 = 0;
         let mut early: Option<u64> = None;
         // Whether any sibling's subtree contained a match: the node's
@@ -475,26 +334,26 @@ impl<'a, S: MatchSink> Engine<'a, S> {
         let mut found_below = false;
         for &entry in &buf {
             let (v, pos) = self.resolve(u, entry);
-            let owner = self.visited_by[v as usize];
+            let owner = self.sc.visited_by[v as usize];
             let child_fs = if owner != NO_VERTEX {
                 conflict_class(u, owner)
             } else {
-                self.m[u as usize] = v;
-                self.mpos[u as usize] = pos;
-                self.visited_by[v as usize] = u;
+                self.sc.m[u as usize] = v;
+                self.sc.mpos[u as usize] = pos;
+                self.sc.visited_by[v as usize] = u;
                 let fs = if depth + 1 == n {
                     self.emit_match();
                     FULL
                 } else {
                     self.recurse_fs(depth + 1)
                 };
-                self.visited_by[v as usize] = NO_VERTEX;
+                self.sc.visited_by[v as usize] = NO_VERTEX;
                 fs
             };
             if child_fs == FULL {
                 found_below = true;
             }
-            if self.stopped.is_some() {
+            if self.ctl.is_stopped() {
                 acc = FULL;
                 break;
             }
@@ -506,14 +365,14 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             }
             acc |= child_fs;
         }
-        self.m[u as usize] = NO_VERTEX;
+        self.sc.m[u as usize] = NO_VERTEX;
         let empty_lc = buf.is_empty();
-        self.lc_bufs[depth] = buf;
+        self.sc.lc_bufs[depth] = buf;
         if let Some(fs) = early {
             return if found_below { FULL } else { fs };
         }
         if empty_lc {
-            return emptyset_class(u, &self.backward[u as usize]);
+            return emptyset_class(u, self.plan.backward(u));
         }
         // Union rule: the node's failing set must also contain u and the
         // vertices that determined LC(u, M) — otherwise an ancestor could
@@ -521,76 +380,55 @@ impl<'a, S: MatchSink> Engine<'a, S> {
         // node never explored. (DP-iso achieves the same with ancestor
         // closures; OR-ing the determiners in at every level accumulates
         // them transitively.)
-        acc | emptyset_class(u, &self.backward[u as usize])
+        acc | emptyset_class(u, self.plan.backward(u))
     }
-}
-
-/// For each query vertex `u`, the labels (with multiplicities) of its
-/// *forward* neighbors under `order` — VF2++'s runtime requirement table.
-fn forward_label_requirements(q: &Graph, order: &[VertexId]) -> Vec<Vec<(Label, u32)>> {
-    let n = q.num_vertices();
-    let mut rank = vec![usize::MAX; n];
-    for (i, &u) in order.iter().enumerate() {
-        rank[u as usize] = i;
-    }
-    let mut out = vec![Vec::new(); n];
-    for &u in order {
-        let mut labels: Vec<Label> = q
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&u2| rank[u2 as usize] > rank[u as usize])
-            .map(|u2| q.label(u2))
-            .collect();
-        labels.sort_unstable();
-        let mut req = Vec::new();
-        let mut i = 0;
-        while i < labels.len() {
-            let l = labels[i];
-            let mut c = 0u32;
-            while i < labels.len() && labels[i] == l {
-                c += 1;
-                i += 1;
-            }
-            req.push((l, c));
-        }
-        out[u as usize] = req;
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::candidate_space::{CandidateSpace, SpaceCoverage};
-    use crate::enumerate::{CollectSink, CountSink};
+    use crate::enumerate::{CollectSink, CountSink, MatchConfig, Outcome};
     use crate::fixtures::{paper_data, paper_match, paper_query};
     use crate::{DataContext, QueryContext};
 
-    fn run_method(method: LcMethod, failing_sets: bool) -> (u64, Vec<Vec<VertexId>>) {
+    fn paper_plan(method: LcMethod, config: MatchConfig) -> (QueryPlan, Graph) {
         let q = paper_query();
         let g = paper_data();
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![0, 1, 2, 3];
-        let space = method.needs_space().then(|| {
-            CandidateSpace::build(&q, &g, &cand, SpaceCoverage::AllEdges, false)
+        let space = (method.needs_space() || config.intersect == IntersectKind::Bsr).then(|| {
+            CandidateSpace::build(
+                &q,
+                &g,
+                &cand,
+                SpaceCoverage::AllEdges,
+                config.intersect == IntersectKind::Bsr,
+            )
         });
-        let parent = derive_parents(&q, &order, None);
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![0, 1, 2, 3],
+            None,
+            space,
+            method,
+            config,
+            false,
+        );
+        (plan, g)
+    }
+
+    fn run_method(method: LcMethod, failing_sets: bool) -> (u64, Vec<Vec<VertexId>>) {
         let config = MatchConfig {
             failing_sets,
             ..Default::default()
         };
+        let (plan, g) = paper_plan(method, config);
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: space.as_ref(),
-            order: &order,
-            parent: &parent,
-            method,
-            config: &config,
             root_subset: None,
             shared: None,
         };
@@ -617,39 +455,20 @@ mod tests {
 
     #[test]
     fn intersect_kernels_agree() {
-        let q = paper_query();
-        let g = paper_data();
-        let qc = QueryContext::new(&q);
-        let gc = DataContext::new(&g);
-        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![0, 1, 2, 3];
-        let parent = derive_parents(&q, &order, None);
         for kind in [
             IntersectKind::Merge,
             IntersectKind::Galloping,
             IntersectKind::Hybrid,
             IntersectKind::Bsr,
         ] {
-            let space = CandidateSpace::build(
-                &q,
-                &g,
-                &cand,
-                SpaceCoverage::AllEdges,
-                kind == IntersectKind::Bsr,
-            );
             let config = MatchConfig {
                 intersect: kind,
                 ..Default::default()
             };
+            let (plan, g) = paper_plan(LcMethod::Intersect, config);
             let input = EngineInput {
-                q: &q,
+                plan: &plan,
                 g: &g,
-                candidates: &cand,
-                space: Some(&space),
-                order: &order,
-                parent: &parent,
-                method: LcMethod::Intersect,
-                config: &config,
                 root_subset: None,
                 shared: None,
             };
@@ -668,21 +487,23 @@ mod tests {
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![1u32, 0, 2];
-        let parent = derive_parents(&q, &order, None);
         let config = MatchConfig {
             max_matches: Some(2),
             ..Default::default()
         };
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![1, 0, 2],
+            None,
+            None,
+            LcMethod::CandidateScan,
+            config,
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: None,
-            order: &order,
-            parent: &parent,
-            method: LcMethod::CandidateScan,
-            config: &config,
             root_subset: None,
             shared: None,
         };
@@ -701,18 +522,19 @@ mod tests {
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![1u32, 0, 2];
-        let parent = derive_parents(&q, &order, None);
-        let config = MatchConfig::default();
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![1, 0, 2],
+            None,
+            None,
+            LcMethod::Direct,
+            MatchConfig::default(),
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: None,
-            order: &order,
-            parent: &parent,
-            method: LcMethod::Direct,
-            config: &config,
             root_subset: None,
             shared: None,
         };
@@ -723,27 +545,15 @@ mod tests {
 
     #[test]
     fn vf2pp_rule_preserves_counts() {
-        let q = paper_query();
-        let g = paper_data();
-        let qc = QueryContext::new(&q);
-        let gc = DataContext::new(&g);
-        let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![0u32, 1, 2, 3];
-        let parent = derive_parents(&q, &order, None);
         for rule in [false, true] {
             let config = MatchConfig {
                 vf2pp_rule: rule,
                 ..Default::default()
             };
+            let (plan, g) = paper_plan(LcMethod::Direct, config);
             let input = EngineInput {
-                q: &q,
+                plan: &plan,
                 g: &g,
-                candidates: &cand,
-                space: None,
-                order: &order,
-                parent: &parent,
-                method: LcMethod::Direct,
-                config: &config,
                 root_subset: None,
                 shared: None,
             };
@@ -754,27 +564,20 @@ mod tests {
     }
 
     #[test]
-    fn forward_requirements_table() {
-        let q = paper_query();
-        let req = forward_label_requirements(&q, &[0, 1, 2, 3]);
-        // u0's forward neighbors are u1 (B) and u2 (C).
-        assert_eq!(req[0], vec![(1, 1), (2, 1)]);
-        // u3 is last: no forward neighbors.
-        assert!(req[3].is_empty());
-    }
-
-    #[test]
-    fn derive_parents_prefers_tree_parent() {
-        let q = paper_query();
-        let tree = sm_graph::traversal::BfsTree::build(&q, 0);
-        let order = vec![0u32, 1, 2, 3];
-        let p = derive_parents(&q, &order, Some(&tree));
-        assert_eq!(p[0], NO_VERTEX);
-        assert_eq!(p[1], 0);
-        assert_eq!(p[2], 0);
-        assert_eq!(p[3], 1); // tree parent of u3 is u1
-        // without the tree, earliest backward neighbor
-        let p2 = derive_parents(&q, &order, None);
-        assert_eq!(p2[3], 1);
+    fn scratch_reuse_across_runs() {
+        let (plan, g) = paper_plan(LcMethod::Intersect, MatchConfig::default());
+        let input = EngineInput {
+            plan: &plan,
+            g: &g,
+            root_subset: None,
+            shared: None,
+        };
+        let mut scratch = Scratch::new();
+        let mut sink = CountSink;
+        for expected_reuses in [0u64, 1, 2] {
+            let stats = enumerate_with(&input, &mut scratch, &mut sink);
+            assert_eq!(stats.matches, 1);
+            assert_eq!(scratch.reuses(), expected_reuses);
+        }
     }
 }

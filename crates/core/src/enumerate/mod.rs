@@ -14,9 +14,11 @@
 //! [`adaptive`] implements DP-iso's runtime vertex selection.
 
 pub mod adaptive;
+pub mod control;
 pub mod engine;
 pub mod failing_sets;
 pub mod parallel;
+pub mod scratch;
 
 use sm_graph::VertexId;
 use sm_intersect::IntersectKind;
@@ -157,6 +159,14 @@ pub struct EnumStats {
     /// Per-worker morsel/steal/busy counters of a parallel run
     /// (`None` for sequential runs).
     pub parallel: Option<PoolMetrics>,
+    /// Nanoseconds spent compiling the [`crate::plan::QueryPlan`] this run
+    /// executed (filter + order + auxiliary build); 0 when unknown to the
+    /// engine (e.g. a hand-assembled plan).
+    pub plan_build_ns: u64,
+    /// Total scratch-arena reuses across workers: how many runs/morsels hit
+    /// the zero-allocation fast path of
+    /// [`scratch::Scratch::prepare`].
+    pub scratch_reuse: u64,
 }
 
 impl EnumStats {

@@ -14,6 +14,12 @@
 //!   partition (one chunk per worker, no rebalancing), kept as the
 //!   baseline the experiment tables compare against.
 //!
+//! Every worker executes the same immutable `&QueryPlan` and owns one
+//! [`Scratch`] arena for the whole run, so in steady state a morsel
+//! allocates nothing — the per-worker
+//! [`WorkerMetrics::scratch_reuse`] counter reports exactly how many
+//! morsels hit that fast path.
+//!
 //! Both strategies share a [`SharedControl`]: the match cap applies to the
 //! *sum* across workers, and one worker's deadline/cap cancels everyone
 //! through the run's [`sm_runtime::CancelToken`].
@@ -24,7 +30,9 @@
 //! the wall-clock of the whole region, and [`EnumStats::parallel`] carries
 //! the per-worker morsel/steal/busy counters.
 
-use crate::enumerate::engine::{enumerate, EngineInput, SharedControl};
+use crate::enumerate::control::SharedControl;
+use crate::enumerate::engine::{enumerate, enumerate_with, EngineInput};
+use crate::enumerate::scratch::Scratch;
 use crate::enumerate::{EnumStats, LcMethod, MatchSink, Outcome};
 use sm_runtime::pool::{deal_morsels, scoped_map, MorselQueue};
 use sm_runtime::{CancelReason, PoolMetrics, WorkerMetrics};
@@ -66,10 +74,11 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
         "enumerate_parallel partitions the root itself; pass root_subset: None"
     );
     let started = Instant::now();
-    let root = input.order[0];
-    let c_root = input.candidates.get(root);
+    let plan = input.plan;
+    let root = plan.root();
+    let c_root = plan.candidates.get(root);
     // Depth-0 entries per the method's convention.
-    let entries: Vec<u32> = match input.method {
+    let entries: Vec<u32> = match plan.method {
         LcMethod::TreeIndex | LcMethod::Intersect => (0..c_root.len() as u32).collect(),
         _ => c_root.to_vec(),
     };
@@ -79,7 +88,7 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
         let stats = enumerate(input, &mut sink);
         return (stats, vec![sink]);
     }
-    let shared = SharedControl::for_run(input.config, started);
+    let shared = SharedControl::for_run(&plan.config, started);
     let per_worker: Vec<(WorkerStats<S>, WorkerMetrics)> = match strategy {
         ParallelStrategy::Morsel => run_morsel(input, &entries, threads, &shared),
         ParallelStrategy::Static => run_static(input, &entries, threads, &shared),
@@ -87,12 +96,15 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
 
     let mut matches = 0u64;
     let mut recursions = 0u64;
+    let mut scratch_reuse = 0u64;
     let mut outcome = Outcome::Complete;
     let mut sinks = Vec::with_capacity(per_worker.len());
     let mut metrics = PoolMetrics::default();
-    for (w, m) in per_worker {
+    for (w, mut m) in per_worker {
+        m.scratch_reuse = w.scratch.reuses();
         matches += w.matches;
         recursions += w.recursions;
+        scratch_reuse += m.scratch_reuse;
         merge_outcome(&mut outcome, w.outcome);
         sinks.push(w.sink);
         metrics.workers.push(m);
@@ -113,6 +125,8 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
             elapsed: started.elapsed(),
             outcome,
             parallel: Some(metrics),
+            plan_build_ns: plan.plan_build_ns(),
+            scratch_reuse,
         },
         sinks,
     )
@@ -129,6 +143,9 @@ fn merge_outcome(acc: &mut Outcome, o: Outcome) {
 
 struct WorkerStats<S> {
     sink: S,
+    /// Worker-local scratch arena, reused across every morsel this worker
+    /// executes.
+    scratch: Scratch,
     matches: u64,
     recursions: u64,
     outcome: Outcome,
@@ -138,6 +155,7 @@ impl<S: Default> Default for WorkerStats<S> {
     fn default() -> Self {
         WorkerStats {
             sink: S::default(),
+            scratch: Scratch::new(),
             matches: 0,
             recursions: 0,
             outcome: Outcome::Complete,
@@ -154,18 +172,12 @@ fn run_subset<S: MatchSink>(
     w: &mut WorkerStats<S>,
 ) -> bool {
     let worker_input = EngineInput {
-        q: input.q,
+        plan: input.plan,
         g: input.g,
-        candidates: input.candidates,
-        space: input.space,
-        order: input.order,
-        parent: input.parent,
-        method: input.method,
-        config: input.config,
         root_subset: Some(subset),
         shared: Some(shared),
     };
-    let stats = enumerate(&worker_input, &mut w.sink);
+    let stats = enumerate_with(&worker_input, &mut w.scratch, &mut w.sink);
     w.matches += stats.matches;
     w.recursions += stats.recursions;
     merge_outcome(&mut w.outcome, stats.outcome);
@@ -212,6 +224,7 @@ fn run_static<S: MatchSink + Default + Send>(
             steals: 0,
             busy: busy.elapsed(),
             idle: std::time::Duration::ZERO,
+            scratch_reuse: 0,
         };
         (w, metrics)
     })
@@ -221,9 +234,9 @@ fn run_static<S: MatchSink + Default + Send>(
 mod tests {
     use super::*;
     use crate::candidate_space::{CandidateSpace, SpaceCoverage};
-    use crate::enumerate::engine::derive_parents;
     use crate::enumerate::{CollectSink, CountSink, MatchConfig};
     use crate::fixtures::{paper_data, paper_query};
+    use crate::plan::QueryPlan;
     use crate::{DataContext, QueryContext};
     use sm_graph::gen::rmat::{rmat_graph, RmatParams};
 
@@ -237,19 +250,20 @@ mod tests {
         if cand.any_empty() {
             return;
         }
-        let order = vec![0u32, 1, 2, 3];
-        let parents = derive_parents(&q, &order, None);
         let space = CandidateSpace::build(&q, &g, &cand, SpaceCoverage::AllEdges, false);
-        let cfg = MatchConfig::find_all();
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![0, 1, 2, 3],
+            None,
+            Some(space),
+            crate::enumerate::LcMethod::Intersect,
+            MatchConfig::find_all(),
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: Some(&space),
-            order: &order,
-            parent: &parents,
-            method: crate::enumerate::LcMethod::Intersect,
-            config: &cfg,
             root_subset: None,
             shared: None,
         };
@@ -265,6 +279,11 @@ mod tests {
                     let m = par.parallel.expect("parallel metrics missing");
                     assert_eq!(m.workers.len(), threads);
                     assert!(m.total_morsels() > 0);
+                    // Every worker that ran more than one morsel reused its
+                    // scratch for all but the first.
+                    for w in &m.workers {
+                        assert_eq!(w.scratch_reuse, w.morsels.saturating_sub(1));
+                    }
                 }
             }
         }
@@ -277,18 +296,19 @@ mod tests {
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![0u32, 1, 2, 3];
-        let parents = derive_parents(&q, &order, None);
-        let cfg = MatchConfig::find_all();
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![0, 1, 2, 3],
+            None,
+            None,
+            crate::enumerate::LcMethod::CandidateScan,
+            MatchConfig::find_all(),
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: None,
-            order: &order,
-            parent: &parents,
-            method: crate::enumerate::LcMethod::CandidateScan,
-            config: &cfg,
             root_subset: None,
             shared: None,
         };
@@ -305,21 +325,23 @@ mod tests {
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![1u32, 0, 2];
-        let parents = derive_parents(&q, &order, None);
         let cfg = MatchConfig {
             max_matches: Some(500),
             ..Default::default()
         };
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![1, 0, 2],
+            None,
+            None,
+            crate::enumerate::LcMethod::Direct,
+            cfg,
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: None,
-            order: &order,
-            parent: &parents,
-            method: crate::enumerate::LcMethod::Direct,
-            config: &cfg,
             root_subset: None,
             shared: None,
         };
@@ -344,20 +366,22 @@ mod tests {
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::ldf::ldf_candidates(&qc, &gc);
-        let order = vec![1u32, 0, 2];
-        let parents = derive_parents(&q, &order, None);
         let token = sm_runtime::CancelToken::new();
         token.cancel(CancelReason::Stopped); // cancelled before the run
         let cfg = MatchConfig::find_all().with_cancel(token.clone());
+        let plan = QueryPlan::assemble(
+            &q,
+            cand,
+            vec![1, 0, 2],
+            None,
+            None,
+            crate::enumerate::LcMethod::Direct,
+            cfg,
+            false,
+        );
         let input = EngineInput {
-            q: &q,
+            plan: &plan,
             g: &g,
-            candidates: &cand,
-            space: None,
-            order: &order,
-            parent: &parents,
-            method: crate::enumerate::LcMethod::Direct,
-            config: &cfg,
             root_subset: None,
             shared: None,
         };

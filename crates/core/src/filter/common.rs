@@ -1,6 +1,5 @@
 //! Shared filter building blocks.
 
-use crate::candidates::Candidates;
 use crate::context::{DataContext, QueryContext};
 use sm_graph::{NlfIndex, VertexId};
 use sm_intersect::intersect_nonempty;
@@ -47,11 +46,13 @@ pub fn rule31_pass(g: &DataContext<'_>, v: VertexId, c_other: &[VertexId]) -> bo
     intersect_nonempty(g.graph.neighbors(v), c_other)
 }
 
-/// Prune `C(u)` in place, keeping candidates with a neighbor in every
-/// `C(u')` for `u'` in `others`. Returns whether anything was removed.
+/// Prune the raw candidate set of `u` in place, keeping candidates with a
+/// neighbor in every `sets[u']` for `u'` in `others`. Operates on the
+/// mutable per-vertex sets a filter refines before freezing them into
+/// [`Candidates`]. Returns whether anything was removed.
 pub fn prune_by_rule31(
     g: &DataContext<'_>,
-    cand: &mut Candidates,
+    sets: &mut [Vec<VertexId>],
     u: VertexId,
     others: &[VertexId],
 ) -> bool {
@@ -59,15 +60,15 @@ pub fn prune_by_rule31(
         return false;
     }
     // Split borrow: take the set out, filter against the rest, put back.
-    let mut set = std::mem::take(cand.get_mut(u));
+    let mut set = std::mem::take(&mut sets[u as usize]);
     let before = set.len();
     set.retain(|&v| {
         others
             .iter()
-            .all(|&u2| rule31_pass(g, v, cand.get(u2)))
+            .all(|&u2| rule31_pass(g, v, &sets[u2 as usize]))
     });
     let changed = set.len() != before;
-    *cand.get_mut(u) = set;
+    sets[u as usize] = set;
     changed
 }
 
@@ -106,12 +107,12 @@ mod tests {
     fn rule31_pruning() {
         let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
         let gc = DataContext::new(&g);
-        let mut cand = crate::Candidates::new(vec![vec![0, 1, 2, 3], vec![1]]);
-        let changed = prune_by_rule31(&gc, &mut cand, 0, &[1]);
+        let mut sets = vec![vec![0, 1, 2, 3], vec![1]];
+        let changed = prune_by_rule31(&gc, &mut sets, 0, &[1]);
         assert!(changed);
         // only v0 has a neighbor in C(u1) = {1}
-        assert_eq!(cand.get(0), &[0]);
+        assert_eq!(sets[0], &[0]);
         // empty `others` is a no-op
-        assert!(!prune_by_rule31(&gc, &mut cand, 0, &[]));
+        assert!(!prune_by_rule31(&gc, &mut sets, 0, &[]));
     }
 }

@@ -46,22 +46,22 @@ pub fn gql_candidates(
     params: GqlParams,
 ) -> Candidates {
     let nq = q.num_vertices();
-    // Local pruning with r = 1 profiles.
-    let mut cand = Candidates::new(
-        (0..nq as VertexId)
-            .map(|u| ldf_nlf_set(q, g, u))
-            .collect(),
-    );
-    if cand.any_empty() {
-        return cand;
+    // Local pruning with r = 1 profiles. Refinement shrinks these raw sets
+    // in place; they are frozen into the CSR arena only on return.
+    let mut sets: Vec<Vec<VertexId>> = (0..nq as VertexId)
+        .map(|u| ldf_nlf_set(q, g, u))
+        .collect();
+    if sets.iter().any(|s| s.is_empty()) {
+        return Candidates::new(sets);
     }
     // Global refinement: membership bitmaps per query vertex, kept in sync
     // as sets shrink.
     let n = g.graph.num_vertices();
-    let mut bitmaps: Vec<Bitmap> = (0..nq)
-        .map(|u| {
+    let mut bitmaps: Vec<Bitmap> = sets
+        .iter()
+        .map(|s| {
             let mut b = Bitmap::new(n);
-            b.set_all(cand.get(u as VertexId));
+            b.set_all(s);
             b
         })
         .collect();
@@ -69,7 +69,7 @@ pub fn gql_candidates(
     for _ in 0..params.refinement_rounds {
         let mut changed = false;
         for u in 0..nq as VertexId {
-            let mut set = std::mem::take(cand.get_mut(u));
+            let mut set = std::mem::take(&mut sets[u as usize]);
             let before = set.len();
             set.retain(|&v| {
                 let ok = semi_perfect_matching_exists(q, g, &bitmaps, u, v, &mut adj_scratch);
@@ -79,16 +79,17 @@ pub fn gql_candidates(
                 ok
             });
             changed |= set.len() != before;
-            *cand.get_mut(u) = set;
-            if cand.get(u).is_empty() {
-                return cand;
+            let empty = set.is_empty();
+            sets[u as usize] = set;
+            if empty {
+                return Candidates::new(sets);
             }
         }
         if !changed {
             break;
         }
     }
-    cand
+    Candidates::new(sets)
 }
 
 /// Whether the bipartite graph between `N(u)` and `N(v)` (edges: `(u', v')`

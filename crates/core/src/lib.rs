@@ -14,7 +14,10 @@
 //! 4. **optimizations**, chiefly DP-iso's failing-set pruning —
 //!    [`enumerate::failing_sets`].
 //!
-//! [`Pipeline`] wires a choice of each into a runnable matcher, and
+//! [`Pipeline`] wires a choice of each into a runnable matcher: it
+//! compiles the choices into a [`QueryPlan`] (built once per run) which an
+//! [`Executor`] then runs — sequentially or shared immutably across
+//! parallel workers, each with a reusable per-worker scratch arena.
 //! [`Algorithm`] provides the paper's eight named configurations (both the
 //! *original* compositions and the *optimized* variants of Section 5.2).
 //!
@@ -44,10 +47,12 @@ pub mod candidates;
 pub mod candidate_space;
 pub mod context;
 pub mod enumerate;
+pub mod exec;
 pub mod filter;
 pub mod fixtures;
 pub mod order;
 pub mod pipeline;
+pub mod plan;
 pub mod reference;
 pub mod spectrum;
 pub mod ullmann;
@@ -58,7 +63,10 @@ pub use algorithm::{recommended, Algorithm};
 pub use candidate_space::CandidateSpace;
 pub use candidates::Candidates;
 pub use context::{DataContext, QueryContext};
+pub use enumerate::scratch::Scratch;
 pub use enumerate::{EnumStats, LcMethod, MatchConfig, Outcome, DEFAULT_MATCH_CAP};
+pub use exec::Executor;
 pub use filter::FilterKind;
 pub use order::OrderKind;
 pub use pipeline::{MatchOutput, Pipeline};
+pub use plan::QueryPlan;

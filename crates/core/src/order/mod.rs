@@ -28,6 +28,7 @@ use crate::candidate_space::CandidateSpace;
 use crate::candidates::Candidates;
 use crate::context::{DataContext, QueryContext};
 use sm_graph::traversal::BfsTree;
+use sm_graph::types::NO_VERTEX;
 use sm_graph::VertexId;
 
 /// Which ordering method to run.
@@ -152,6 +153,47 @@ pub fn backward_neighbors(q: &sm_graph::Graph, order: &[VertexId]) -> Vec<Vec<Ve
     out
 }
 
+/// Derive per-vertex pivot parents from an order: the earliest-matched
+/// backward neighbor (or a supplied tree parent when it is backward).
+///
+/// This is the one canonical derivation — [`crate::plan::QueryPlan`] calls
+/// it at plan-build time and the engines consume the result; none of them
+/// re-derive parents per run.
+pub fn derive_parents(
+    q: &sm_graph::Graph,
+    order: &[VertexId],
+    tree: Option<&BfsTree>,
+) -> Vec<VertexId> {
+    let n = q.num_vertices();
+    let mut rank = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        rank[u as usize] = i;
+    }
+    let mut parent = vec![NO_VERTEX; n];
+    for &u in order {
+        if rank[u as usize] == 0 {
+            continue;
+        }
+        // Prefer the BFS-tree parent when it precedes u in the order (the
+        // TreeIndex method depends on that edge list existing).
+        if let Some(t) = tree {
+            let p = t.parent[u as usize];
+            if p != NO_VERTEX && rank[p as usize] < rank[u as usize] {
+                parent[u as usize] = p;
+                continue;
+            }
+        }
+        parent[u as usize] = q
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&u2| rank[u2 as usize] < rank[u as usize])
+            .min_by_key(|&u2| rank[u2 as usize])
+            .unwrap_or(NO_VERTEX);
+    }
+    parent
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +233,21 @@ mod tests {
         assert_eq!(b[1], vec![0]);
         assert_eq!(b[2], vec![0, 1]);
         assert_eq!(b[3], vec![1, 2]);
+    }
+
+    #[test]
+    fn derive_parents_prefers_tree_parent() {
+        let q = paper_query();
+        let tree = BfsTree::build(&q, 0);
+        let order = vec![0u32, 1, 2, 3];
+        let p = derive_parents(&q, &order, Some(&tree));
+        assert_eq!(p[0], NO_VERTEX);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 0);
+        assert_eq!(p[3], 1); // tree parent of u3 is u1
+        // without the tree, earliest backward neighbor
+        let p2 = derive_parents(&q, &order, None);
+        assert_eq!(p2[3], 1);
     }
 
     #[test]

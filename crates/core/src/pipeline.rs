@@ -1,18 +1,21 @@
 //! [`Pipeline`]: one concrete composition of Algorithm 1 — a filter, an
 //! ordering, an enumeration method — runnable against a query, with the
 //! per-phase timings the paper reports (preprocessing vs enumeration).
+//!
+//! A pipeline run has two halves: [`Pipeline::plan`] compiles a
+//! [`QueryPlan`] (filter → order → auxiliary structure → derived tables),
+//! and an [`Executor`] runs it — sequentially, or shared immutably across
+//! the workers of a parallel run. The plan is built exactly once per run;
+//! no engine re-derives order/parent/label tables.
 
 use crate::candidate_space::{CandidateSpace, SpaceCoverage};
-use crate::candidates::Candidates;
 use crate::context::{DataContext, QueryContext};
-use crate::enumerate::adaptive::{enumerate_adaptive, AdaptiveInput};
-use crate::enumerate::engine::{derive_parents, enumerate, EngineInput};
-use crate::enumerate::parallel::{enumerate_parallel_with, ParallelStrategy};
-use crate::enumerate::{
-    CountSink, EnumStats, LcMethod, MatchConfig, MatchSink, Outcome,
-};
+use crate::enumerate::parallel::ParallelStrategy;
+use crate::enumerate::{CountSink, EnumStats, LcMethod, MatchConfig, MatchSink, Outcome};
+use crate::exec::Executor;
 use crate::filter::{run_filter, FilterKind};
 use crate::order::{run_order, OrderInput, OrderKind};
+use crate::plan::QueryPlan;
 use sm_graph::traversal::BfsTree;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
@@ -48,11 +51,11 @@ pub struct MatchOutput {
     pub outcome: Outcome,
     /// Time in the filtering step.
     pub filter_time: Duration,
-    /// Time building the auxiliary structure.
+    /// Time building the auxiliary structure and plan tables.
     pub build_time: Duration,
     /// Time computing the matching order.
     pub order_time: Duration,
-    /// Time enumerating.
+    /// Time enumerating (executing the plan).
     pub enum_time: Duration,
     /// Average candidate count `Σ|C(u)| / |V(q)|` (Figure 8 metric).
     pub candidate_avg: f64,
@@ -60,15 +63,26 @@ pub struct MatchOutput {
     pub candidate_memory: usize,
     /// Bytes held by the auxiliary structure.
     pub space_memory: usize,
-    /// Per-worker morsel/steal/busy counters (parallel runs only).
+    /// Per-worker morsel/steal/busy/scratch counters (parallel runs only).
     pub parallel: Option<sm_runtime::PoolMetrics>,
+    /// Total scratch-arena reuses across workers (0 for one-shot runs).
+    pub scratch_reuse: u64,
 }
 
 impl MatchOutput {
-    /// The paper's "preprocessing time": filtering + building `A` +
+    /// The paper's "preprocessing time" — equivalently, the plan-build
+    /// time of the compile/execute split: filtering + building `A` +
     /// ordering.
     pub fn preprocessing_time(&self) -> Duration {
         self.filter_time + self.build_time + self.order_time
+    }
+
+    /// Compile/execute-split name for [`preprocessing_time`]: the time
+    /// spent building the [`QueryPlan`] before any enumeration ran.
+    ///
+    /// [`preprocessing_time`]: MatchOutput::preprocessing_time
+    pub fn plan_build_time(&self) -> Duration {
+        self.preprocessing_time()
     }
 
     /// Total query time.
@@ -94,49 +108,26 @@ impl MatchOutput {
             candidate_memory: 0,
             space_memory: 0,
             parallel: None,
+            scratch_reuse: 0,
         }
     }
 
-    fn from_stats(prep: &Prepared, stats: EnumStats) -> Self {
+    fn from_stats(plan: &QueryPlan, stats: EnumStats) -> Self {
         MatchOutput {
             matches: stats.matches,
             recursions: stats.recursions,
             outcome: stats.outcome,
-            filter_time: prep.filter_time,
-            build_time: prep.build_time,
-            order_time: prep.order_time,
+            filter_time: plan.filter_time,
+            build_time: plan.build_time,
+            order_time: plan.order_time,
             enum_time: stats.elapsed,
-            candidate_avg: prep.candidates.average(),
-            candidate_memory: prep.candidates.memory_bytes(),
-            space_memory: prep.space.as_ref().map_or(0, |s| s.memory_bytes()),
+            candidate_avg: plan.candidates.average(),
+            candidate_memory: plan.candidates.memory_bytes(),
+            space_memory: plan.space.as_ref().map_or(0, |s| s.memory_bytes()),
             parallel: stats.parallel,
+            scratch_reuse: stats.scratch_reuse,
         }
     }
-}
-
-/// The preprocessing product of a pipeline: candidates, matching order,
-/// pivot parents and the auxiliary structure, with per-phase timings.
-/// Reusable across enumeration variants (sequential, parallel, different
-/// sinks) without redoing the filtering.
-pub struct Prepared {
-    /// Candidate sets from the filter.
-    pub candidates: Candidates,
-    /// Matching order `φ` (the BFS order `δ` when the ordering is
-    /// adaptive).
-    pub order: Vec<VertexId>,
-    /// Pivot parents per query vertex.
-    pub parents: Vec<VertexId>,
-    /// Auxiliary structure, when the enumeration method needs one.
-    pub space: Option<CandidateSpace>,
-    /// BFS tree from the filter (tree-based filters only).
-    pub tree: Option<BfsTree>,
-    /// Effective configuration (pipeline flags folded in).
-    pub config: MatchConfig,
-    /// Whether the adaptive engine will run.
-    pub adaptive: bool,
-    filter_time: Duration,
-    order_time: Duration,
-    build_time: Duration,
 }
 
 impl Pipeline {
@@ -156,15 +147,16 @@ impl Pipeline {
         }
     }
 
-    /// Run the preprocessing phases (filter → order → auxiliary
-    /// structure). Returns `Err(filter_time)` when some candidate set is
-    /// empty — the query has no match.
-    pub fn prepare(
+    /// Compile the plan: run the preprocessing phases (filter → order →
+    /// auxiliary structure) and assemble the [`QueryPlan`] every executor
+    /// of this run shares. Returns `Err(filter_time)` when some candidate
+    /// set is empty — the query has no match.
+    pub fn plan(
         &self,
         q: &Graph,
         g: &DataContext<'_>,
         config: &MatchConfig,
-    ) -> Result<Prepared, Duration> {
+    ) -> Result<QueryPlan, Duration> {
         let qc = QueryContext::new(q);
         let mut config = config.clone();
         if self.vf2pp_rule {
@@ -179,34 +171,43 @@ impl Pipeline {
             return Err(filter_time);
         };
         let candidates = out.candidates;
-        let tree = out.bfs_tree;
+        let mut tree = out.bfs_tree;
         let adaptive = matches!(self.order, OrderKind::Adaptive);
 
         // Phase 2: ordering (before building A so TreeIndex can check
         // order/tree compatibility; the paper folds both into
-        // "preprocessing" anyway).
+        // "preprocessing" anyway). The adaptive engine's "order" is the
+        // BFS order δ of its tree — built here when the filter did not
+        // provide one.
         let t1 = Instant::now();
-        let order = run_order(
-            &self.order,
-            &OrderInput {
-                q: &qc,
-                g,
-                candidates: &candidates,
-                bfs_tree: tree.as_ref(),
-                space: None,
-            },
-        );
+        let order = if adaptive {
+            if tree.is_none() {
+                let root = crate::filter::dpiso::select_dpiso_root(&qc, g);
+                tree = Some(BfsTree::build(q, root));
+            }
+            tree.as_ref().expect("just ensured").order.clone()
+        } else {
+            run_order(
+                &self.order,
+                &OrderInput {
+                    q: &qc,
+                    g,
+                    candidates: &candidates,
+                    bfs_tree: tree.as_ref(),
+                    space: None,
+                },
+            )
+        };
         let order_time = t1.elapsed();
         debug_assert!(
             crate::order::is_connected_order(q, &order)
                 || matches!(self.order, OrderKind::Fixed(_))
         );
 
-        // Phase 3: auxiliary structure.
+        // Phase 3: auxiliary structure + plan tables.
         let t2 = Instant::now();
         let with_bsr = config.intersect == IntersectKind::Bsr
             && (adaptive || self.method == LcMethod::Intersect);
-        let parents = derive_parents(q, &order, tree.as_ref());
         let space: Option<CandidateSpace> = if adaptive || self.method == LcMethod::Intersect {
             Some(CandidateSpace::build(
                 q,
@@ -221,6 +222,7 @@ impl Pipeline {
                 LcMethod::TreeIndex => {
                     // Tree coverage is only usable when every pivot parent
                     // is the tree parent; otherwise fall back to all edges.
+                    let parents = crate::order::derive_parents(q, &order, tree.as_ref());
                     let tree_ok = tree.as_ref().is_some_and(|t| {
                         order.iter().skip(1).all(|&u| {
                             parents[u as usize] != NO_VERTEX
@@ -243,20 +245,13 @@ impl Pipeline {
                 LcMethod::Intersect => unreachable!("handled above"),
             }
         };
-        let build_time = t2.elapsed();
-
-        Ok(Prepared {
-            candidates,
-            order,
-            parents,
-            space,
-            tree,
-            config,
-            adaptive,
-            filter_time,
-            order_time,
-            build_time,
-        })
+        let mut plan = QueryPlan::assemble(
+            q, candidates, order, tree, space, self.method, config, adaptive,
+        );
+        plan.filter_time = filter_time;
+        plan.order_time = order_time;
+        plan.build_time = t2.elapsed();
+        Ok(plan)
     }
 
     /// Run against a query, counting matches.
@@ -273,50 +268,12 @@ impl Pipeline {
         config: &MatchConfig,
         sink: &mut S,
     ) -> MatchOutput {
-        let prep = match self.prepare(q, g, config) {
+        let plan = match self.plan(q, g, config) {
             Ok(p) => p,
             Err(filter_time) => return MatchOutput::empty(filter_time),
         };
-        let stats: EnumStats = if prep.adaptive {
-            let owned_tree;
-            let tree: &BfsTree = match prep.tree.as_ref() {
-                Some(t) => t,
-                None => {
-                    let qc = QueryContext::new(q);
-                    let root = crate::filter::dpiso::select_dpiso_root(&qc, g);
-                    owned_tree = BfsTree::build(q, root);
-                    &owned_tree
-                }
-            };
-            enumerate_adaptive(
-                &AdaptiveInput {
-                    q,
-                    g: g.graph,
-                    candidates: &prep.candidates,
-                    space: prep.space.as_ref().expect("adaptive space"),
-                    tree,
-                    config: &prep.config,
-                },
-                sink,
-            )
-        } else {
-            enumerate(
-                &EngineInput {
-                    q,
-                    g: g.graph,
-                    candidates: &prep.candidates,
-                    space: prep.space.as_ref(),
-                    order: &prep.order,
-                    parent: &prep.parents,
-                    method: self.method,
-                    config: &prep.config,
-                    root_subset: None,
-                    shared: None,
-                },
-                sink,
-            )
-        };
-        MatchOutput::from_stats(&prep, stats)
+        let stats = Executor::new(&plan, g.graph).run(sink);
+        MatchOutput::from_stats(&plan, stats)
     }
 
     /// Run with intra-query parallelism using the default morsel
@@ -335,9 +292,11 @@ impl Pipeline {
     /// [`Pipeline::run_parallel`] with an explicit root-distribution
     /// strategy.
     ///
-    /// Adaptive-ordering pipelines fall back to the sequential engine —
-    /// DP-iso's runtime vertex selection is inherently sequential per
-    /// subtree and the paper only parallelizes the static engines.
+    /// The plan is compiled once; every worker executes it by shared
+    /// reference. Adaptive-ordering pipelines fall back to sequential
+    /// execution of the same plan — DP-iso's runtime vertex selection is
+    /// inherently sequential per subtree and the paper only parallelizes
+    /// the static engines.
     pub fn run_parallel_with(
         &self,
         q: &Graph,
@@ -346,33 +305,19 @@ impl Pipeline {
         threads: usize,
         strategy: ParallelStrategy,
     ) -> MatchOutput {
-        if matches!(self.order, OrderKind::Adaptive) || threads <= 1 {
-            return self.run(q, g, config);
-        }
-        let prep = match self.prepare(q, g, config) {
+        let plan = match self.plan(q, g, config) {
             Ok(p) => p,
             Err(filter_time) => return MatchOutput::empty(filter_time),
         };
-        let input = EngineInput {
-            q,
-            g: g.graph,
-            candidates: &prep.candidates,
-            space: prep.space.as_ref(),
-            order: &prep.order,
-            parent: &prep.parents,
-            method: self.method,
-            config: &prep.config,
-            root_subset: None,
-            shared: None,
-        };
-        let (stats, _sinks) = enumerate_parallel_with::<CountSink>(&input, threads, strategy);
-        MatchOutput::from_stats(&prep, stats)
+        let (stats, _sinks) =
+            Executor::new(&plan, g.graph).run_parallel::<CountSink>(threads, strategy);
+        MatchOutput::from_stats(&plan, stats)
     }
 }
 
-/// An EXPLAIN-style report of the preprocessing decisions a pipeline made
-/// for one query: per-vertex candidate counts, the matching order with
-/// backward-neighbor counts, and the auxiliary structure's shape.
+/// An EXPLAIN-style report of the plan a pipeline compiled for one query:
+/// per-vertex candidate counts, the matching order with backward-neighbor
+/// counts, and the auxiliary structure's shape.
 #[derive(Clone, Debug)]
 pub struct PlanReport {
     /// Pipeline name.
@@ -391,7 +336,7 @@ pub struct PlanReport {
     pub backward_counts: Vec<usize>,
     /// Auxiliary structure bytes (0 when the method needs none).
     pub space_memory: usize,
-    /// Preprocessing time.
+    /// Preprocessing (plan-build) time.
     pub preprocessing: Duration,
 }
 
@@ -419,37 +364,36 @@ impl std::fmt::Display for PlanReport {
 }
 
 impl Pipeline {
-    /// Run only the preprocessing and report the plan (an `EXPLAIN` for
-    /// subgraph queries). Returns `None` when a candidate set is empty —
-    /// the query is trivially unsatisfiable.
+    /// Compile only the plan and report it (an `EXPLAIN` for subgraph
+    /// queries). Returns `None` when a candidate set is empty — the query
+    /// is trivially unsatisfiable.
     pub fn explain(
         &self,
         q: &Graph,
         g: &DataContext<'_>,
         config: &MatchConfig,
     ) -> Option<PlanReport> {
-        let prep = self.prepare(q, g, config).ok()?;
-        let backward = crate::order::backward_neighbors(q, &prep.order);
+        let plan = self.plan(q, g, config).ok()?;
         Some(PlanReport {
             pipeline: self.name.clone(),
             filter: self.filter.name(),
             order_method: self.order.name(),
-            lc_method: if prep.adaptive {
+            lc_method: if plan.adaptive {
                 "Adaptive+Intersect"
             } else {
                 self.method.name()
             },
-            backward_counts: prep
-                .order
+            backward_counts: plan
+                .order()
                 .iter()
-                .map(|&u| backward[u as usize].len())
+                .map(|&u| plan.backward(u).len())
                 .collect(),
             candidate_sizes: (0..q.num_vertices() as VertexId)
-                .map(|u| prep.candidates.get(u).len())
+                .map(|u| plan.candidates.get(u).len())
                 .collect(),
-            order: prep.order,
-            space_memory: prep.space.as_ref().map_or(0, |s| s.memory_bytes()),
-            preprocessing: prep.filter_time + prep.order_time + prep.build_time,
+            order: plan.order().to_vec(),
+            space_memory: plan.space.as_ref().map_or(0, |s| s.memory_bytes()),
+            preprocessing: plan.filter_time + plan.order_time + plan.build_time,
         })
     }
 }
@@ -502,7 +446,7 @@ mod tests {
     }
 
     #[test]
-    fn prepare_reusable_and_parallel_agrees() {
+    fn plan_reusable_and_parallel_agrees() {
         let q = paper_query();
         let g = paper_data();
         let gc = DataContext::new(&g);
@@ -545,20 +489,31 @@ mod tests {
     }
 
     #[test]
-    fn prepare_exposes_phases() {
+    fn plan_exposes_phases() {
         let q = paper_query();
         let g = paper_data();
         let gc = DataContext::new(&g);
-        let p = Pipeline::new(
-            "t",
-            FilterKind::Cfl,
-            OrderKind::Cfl,
-            LcMethod::Intersect,
-        );
-        let prep = p.prepare(&q, &gc, &MatchConfig::default()).unwrap();
-        assert_eq!(prep.order.len(), 4);
-        assert!(prep.space.is_some());
-        assert!(prep.tree.is_some());
-        assert!(!prep.adaptive);
+        let p = Pipeline::new("t", FilterKind::Cfl, OrderKind::Cfl, LcMethod::Intersect);
+        let plan = p.plan(&q, &gc, &MatchConfig::default()).unwrap();
+        assert_eq!(plan.order().len(), 4);
+        assert!(plan.space.is_some());
+        assert!(plan.tree.is_some());
+        assert!(!plan.adaptive);
+        assert!(plan.plan_build_ns() > 0);
+    }
+
+    #[test]
+    fn adaptive_plan_built_without_filter_tree() {
+        // LDF provides no BFS tree; the pipeline must build DP-iso's own.
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let p = Pipeline::new("t", FilterKind::Ldf, OrderKind::Adaptive, LcMethod::Intersect);
+        let plan = p.plan(&q, &gc, &MatchConfig::default()).unwrap();
+        assert!(plan.adaptive);
+        let tree = plan.tree.as_ref().unwrap();
+        assert_eq!(plan.order(), tree.order.as_slice());
+        let out = p.run(&q, &gc, &MatchConfig::default());
+        assert_eq!(out.matches, 1);
     }
 }

@@ -7,12 +7,16 @@
 //! `M[u'][v']` set — the 1976 ancestor of the paper's Filtering Rule 3.1,
 //! applied at every search node rather than once up front.
 
-use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
+use crate::enumerate::control::RunControl;
+use crate::enumerate::{EnumStats, MatchConfig, MatchSink};
 use crate::util::Bitmap;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
-use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
+
+/// Cancellation is polled every this many recursions (Ullmann's nodes are
+/// expensive — refinement per node — so the poll interval is short).
+const TIME_CHECK_MASK: u64 = 0xFF;
 
 /// Run Ullmann's algorithm, streaming matches into `sink`.
 ///
@@ -51,23 +55,13 @@ pub fn ullmann_match<S: MatchSink>(
         g,
         m: vec![NO_VERTEX; nq],
         g_used: vec![false; ng],
-        matches: 0,
-        recursions: 0,
-        cap: config.max_matches.unwrap_or(u64::MAX),
-        cancel: config.run_token(started),
-        stopped: None,
+        ctl: RunControl::new(config, None, started, TIME_CHECK_MASK),
         sink,
     };
     if st.refine(&mut matrix) {
         st.recurse(0, &matrix);
     }
-    EnumStats {
-        matches: st.matches,
-        recursions: st.recursions,
-        elapsed: started.elapsed(),
-        outcome: st.stopped.unwrap_or(Outcome::Complete),
-        parallel: None,
-    }
+    st.ctl.into_stats(started)
 }
 
 struct UllmannState<'a, S: MatchSink> {
@@ -75,11 +69,7 @@ struct UllmannState<'a, S: MatchSink> {
     g: &'a Graph,
     m: Vec<VertexId>,
     g_used: Vec<bool>,
-    matches: u64,
-    recursions: u64,
-    cap: u64,
-    cancel: CancelToken,
-    stopped: Option<Outcome>,
+    ctl: RunControl<'a>,
     sink: &'a mut S,
 }
 
@@ -120,30 +110,19 @@ impl<S: MatchSink> UllmannState<'_, S> {
     }
 
     fn recurse(&mut self, depth: usize, matrix: &[Bitmap]) {
-        self.recursions += 1;
-        if self.recursions & 0xFF == 0 {
-            if let Some(reason) = self.cancel.poll() {
-                self.stopped = Some(match reason {
-                    CancelReason::Deadline => Outcome::TimedOut,
-                    CancelReason::Stopped => Outcome::CapReached,
-                });
-            }
-        }
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return;
         }
         let nq = self.q.num_vertices();
         if depth == nq {
-            self.matches += 1;
+            self.ctl.record_match();
             self.sink.on_match(&self.m);
-            if self.matches >= self.cap {
-                self.stopped = Some(Outcome::CapReached);
-            }
             return;
         }
         let u = depth as VertexId; // Ullmann uses the natural row order
         for v in 0..self.g.num_vertices() as VertexId {
-            if self.stopped.is_some() {
+            if self.ctl.is_stopped() {
                 return;
             }
             if self.g_used[v as usize] || !matrix[u as usize].get(v) {

@@ -14,11 +14,14 @@
 //! `|N(u) ∩ T_q| ≤ |N(v) ∩ unmapped|` and
 //! `|N(u) ∩ unmapped| ≤ |N(v) ∩ unmapped|`.
 
-use crate::enumerate::{EnumStats, MatchConfig, MatchSink, Outcome};
+use crate::enumerate::control::RunControl;
+use crate::enumerate::{EnumStats, MatchConfig, MatchSink};
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
-use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
+
+/// Cancellation is polled every this many recursions.
+const TIME_CHECK_MASK: u64 = 0x3FF;
 
 /// Run classic VF2, streaming matches into `sink`.
 ///
@@ -46,21 +49,11 @@ pub fn vf2_match<S: MatchSink>(
         g_used: vec![false; g.num_vertices()],
         q_depth: vec![0u32; q.num_vertices()],
         g_depth: vec![0u32; g.num_vertices()],
-        matches: 0,
-        recursions: 0,
-        cap: config.max_matches.unwrap_or(u64::MAX),
-        cancel: config.run_token(started),
-        stopped: None,
+        ctl: RunControl::new(config, None, started, TIME_CHECK_MASK),
         sink,
     };
     st.recurse(0);
-    EnumStats {
-        matches: st.matches,
-        recursions: st.recursions,
-        elapsed: started.elapsed(),
-        outcome: st.stopped.unwrap_or(Outcome::Complete),
-        parallel: None,
-    }
+    st.ctl.into_stats(started)
 }
 
 struct Vf2State<'a, S: MatchSink> {
@@ -72,35 +65,20 @@ struct Vf2State<'a, S: MatchSink> {
     /// 0 = not terminal. Mapped vertices also keep their entry depth.
     q_depth: Vec<u32>,
     g_depth: Vec<u32>,
-    matches: u64,
-    recursions: u64,
-    cap: u64,
-    cancel: CancelToken,
-    stopped: Option<Outcome>,
+    ctl: RunControl<'a>,
     sink: &'a mut S,
 }
 
 impl<S: MatchSink> Vf2State<'_, S> {
     fn recurse(&mut self, depth: usize) {
-        self.recursions += 1;
-        if self.recursions & 0x3FF == 0 {
-            if let Some(reason) = self.cancel.poll() {
-                self.stopped = Some(match reason {
-                    CancelReason::Deadline => Outcome::TimedOut,
-                    CancelReason::Stopped => Outcome::CapReached,
-                });
-            }
-        }
-        if self.stopped.is_some() {
+        self.ctl.tick();
+        if self.ctl.is_stopped() {
             return;
         }
         let nq = self.q.num_vertices();
         if depth == nq {
-            self.matches += 1;
+            self.ctl.record_match();
             self.sink.on_match(&self.m);
-            if self.matches >= self.cap {
-                self.stopped = Some(Outcome::CapReached);
-            }
             return;
         }
         // Candidate query vertex: smallest terminal vertex, else (first
@@ -119,7 +97,7 @@ impl<S: MatchSink> Vf2State<'_, S> {
         // would be an optimization VF2 itself does not have.)
         let n = self.g.num_vertices() as VertexId;
         for v in 0..n {
-            if self.stopped.is_some() {
+            if self.ctl.is_stopped() {
                 return;
             }
             if self.g_used[v as usize] {
@@ -214,7 +192,7 @@ impl<S: MatchSink> Vf2State<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::enumerate::{CollectSink, CountSink};
+    use crate::enumerate::{CollectSink, CountSink, Outcome};
     use crate::fixtures::{paper_data, paper_match, paper_query};
     use crate::reference::brute_force_count;
     use sm_graph::builder::graph_from_edges;

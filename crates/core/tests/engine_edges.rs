@@ -3,9 +3,9 @@
 
 use sm_graph::builder::graph_from_edges;
 use sm_match::candidate_space::{CandidateSpace, SpaceCoverage};
-use sm_match::enumerate::engine::{derive_parents, enumerate, EngineInput};
+use sm_match::enumerate::engine::{enumerate, EngineInput};
 use sm_match::enumerate::{CollectSink, CountSink, LcMethod, MatchConfig};
-use sm_match::{Algorithm, DataContext, Pipeline};
+use sm_match::{Algorithm, DataContext, Pipeline, QueryPlan};
 
 fn run_engine(
     q: &sm_graph::Graph,
@@ -16,20 +16,22 @@ fn run_engine(
     let qc = sm_match::QueryContext::new(q);
     let gc = DataContext::new(g);
     let cand = sm_match::filter::ldf::ldf_candidates(&qc, &gc);
-    let parents = derive_parents(q, &order, None);
     let space = method
         .needs_space()
         .then(|| CandidateSpace::build(q, g, &cand, SpaceCoverage::AllEdges, false));
-    let cfg = MatchConfig::find_all();
-    let input = EngineInput {
+    let plan = QueryPlan::assemble(
         q,
-        g,
-        candidates: &cand,
-        space: space.as_ref(),
-        order: &order,
-        parent: &parents,
+        cand,
+        order,
+        None,
+        space,
         method,
-        config: &cfg,
+        MatchConfig::find_all(),
+        false,
+    );
+    let input = EngineInput {
+        plan: &plan,
+        g,
         root_subset: None,
         shared: None,
     };

@@ -5,12 +5,12 @@
 use sm_graph::gen::query::{extract_query, Density};
 use sm_graph::gen::random::erdos_renyi;
 use sm_match::candidate_space::{CandidateSpace, SpaceCoverage};
-use sm_match::enumerate::engine::{derive_parents, enumerate, EngineInput};
+use sm_match::enumerate::engine::{enumerate, EngineInput};
 use sm_match::enumerate::parallel::enumerate_parallel;
 use sm_match::enumerate::{CollectSink, CountSink, LcMethod, MatchConfig};
 use sm_match::filter::{run_filter, FilterKind};
 use sm_match::order::{is_connected_order, run_order, OrderInput, OrderKind};
-use sm_match::{DataContext, QueryContext};
+use sm_match::{DataContext, QueryContext, QueryPlan};
 use sm_runtime::check::Check;
 use sm_runtime::rng::Rng64;
 use sm_runtime::{ensure, ensure_eq};
@@ -132,9 +132,6 @@ fn engines_produce_identical_match_sets() {
                 };
                 run_order(&OrderKind::GraphQl, &input)
             };
-            let parents = derive_parents(&q, &order, None);
-            let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
-            let cfg = MatchConfig::find_all();
             let mut reference: Option<Vec<Vec<u32>>> = None;
             for method in [
                 LcMethod::Direct,
@@ -142,15 +139,21 @@ fn engines_produce_identical_match_sets() {
                 LcMethod::TreeIndex,
                 LcMethod::Intersect,
             ] {
-                let input = EngineInput {
-                    q: &q,
-                    g: &g,
-                    candidates: c,
-                    space: Some(&space),
-                    order: &order,
-                    parent: &parents,
+                let space =
+                    CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
+                let plan = QueryPlan::assemble(
+                    &q,
+                    c.clone(),
+                    order.clone(),
+                    None,
+                    Some(space),
                     method,
-                    config: &cfg,
+                    MatchConfig::find_all(),
+                    false,
+                );
+                let input = EngineInput {
+                    plan: &plan,
+                    g: &g,
                     root_subset: None,
                     shared: None,
                 };
@@ -197,18 +200,20 @@ fn parallel_equals_sequential() {
                 };
                 run_order(&OrderKind::Ri, &input)
             };
-            let parents = derive_parents(&q, &order, None);
             let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
-            let cfg = MatchConfig::find_all();
+            let plan = QueryPlan::assemble(
+                &q,
+                c.clone(),
+                order,
+                None,
+                Some(space),
+                LcMethod::Intersect,
+                MatchConfig::find_all(),
+                false,
+            );
             let input = EngineInput {
-                q: &q,
+                plan: &plan,
                 g: &g,
-                candidates: c,
-                space: Some(&space),
-                order: &order,
-                parent: &parents,
-                method: LcMethod::Intersect,
-                config: &cfg,
                 root_subset: None,
                 shared: None,
             };

@@ -15,6 +15,10 @@ pub struct WorkerMetrics {
     pub busy: Duration,
     /// Time spent looking for work (queue polling and stealing).
     pub idle: Duration,
+    /// Runs for which this worker's scratch arena was already shaped and
+    /// no allocation happened (filled in by the execution layer; the pool
+    /// itself leaves it 0).
+    pub scratch_reuse: u64,
 }
 
 impl WorkerMetrics {
@@ -24,6 +28,7 @@ impl WorkerMetrics {
         self.steals += other.steals;
         self.busy += other.busy;
         self.idle += other.idle;
+        self.scratch_reuse += other.scratch_reuse;
     }
 }
 
@@ -45,6 +50,11 @@ impl PoolMetrics {
         self.workers.iter().map(|w| w.steals).sum()
     }
 
+    /// Total scratch-arena reuses across workers.
+    pub fn total_scratch_reuse(&self) -> u64 {
+        self.workers.iter().map(|w| w.scratch_reuse).sum()
+    }
+
     /// Mean fraction of worker wall-clock spent executing morsels
     /// (`busy / (busy + idle)`), in `[0, 1]`. 1.0 for an empty pool.
     pub fn busy_fraction(&self) -> f64 {
@@ -64,22 +74,23 @@ impl PoolMetrics {
         }
     }
 
-    /// Compact one-line rendering for tables: `m=12 s=3 busy=97%`.
+    /// Compact one-line rendering for tables: `m=12 s=3 r=9 busy=97%`.
     pub fn summary(&self) -> String {
         format!(
-            "m={} s={} busy={:.0}%",
+            "m={} s={} r={} busy={:.0}%",
             self.total_morsels(),
             self.total_steals(),
+            self.total_scratch_reuse(),
             self.busy_fraction() * 100.0
         )
     }
 
-    /// Per-worker rendering: `w0 m=5/s=1 w1 m=7/s=2 …`.
+    /// Per-worker rendering: `w0 m=5/s=1/r=4 w1 m=7/s=2/r=6 …`.
     pub fn per_worker(&self) -> String {
         self.workers
             .iter()
             .enumerate()
-            .map(|(i, w)| format!("w{i} m={}/s={}", w.morsels, w.steals))
+            .map(|(i, w)| format!("w{i} m={}/s={}/r={}", w.morsels, w.steals, w.scratch_reuse))
             .collect::<Vec<_>>()
             .join(" ")
     }
@@ -95,6 +106,7 @@ mod tests {
             steals,
             busy: Duration::from_millis(busy_ms),
             idle: Duration::from_millis(idle_ms),
+            scratch_reuse: morsels.saturating_sub(1),
         }
     }
 
@@ -107,8 +119,9 @@ mod tests {
         assert_eq!(m.total_steals(), 3);
         let f = m.busy_fraction();
         assert!((f - 70.0 / 80.0).abs() < 1e-9, "{f}");
-        assert!(m.summary().starts_with("m=12 s=3"));
-        assert_eq!(m.per_worker(), "w0 m=5/s=1 w1 m=7/s=2");
+        assert_eq!(m.total_scratch_reuse(), 10);
+        assert!(m.summary().starts_with("m=12 s=3 r=10"));
+        assert_eq!(m.per_worker(), "w0 m=5/s=1/r=4 w1 m=7/s=2/r=6");
     }
 
     #[test]
@@ -118,8 +131,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = w(1, 0, 5, 5);
-        a.merge(&w(2, 1, 10, 0));
-        assert_eq!(a, w(3, 1, 15, 5));
+        let mut a = w(1, 0, 5, 5); // r=0
+        a.merge(&w(2, 1, 10, 0)); // r=1
+        let expected = WorkerMetrics {
+            scratch_reuse: 1,
+            ..w(3, 1, 15, 5)
+        };
+        assert_eq!(a, expected);
     }
 }

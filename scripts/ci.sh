@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Full local gate: release build, workspace tests, clippy with warnings
+# denied. Run from anywhere; everything executes at the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
