@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
+//!             [--trace] [--profile-out PATH]
 //! ```
 
 use std::time::Duration;
@@ -23,6 +24,12 @@ pub struct HarnessOptions {
     pub orders: usize,
     /// Worker threads for query-set evaluation.
     pub threads: usize,
+    /// Attach an sm-runtime [`sm_runtime::Trace`] to supported experiments
+    /// and print the per-phase span tree after each traced run.
+    pub trace: bool,
+    /// Write machine-readable JSONL run profiles here (implies tracing in
+    /// the experiments that support it).
+    pub profile_out: Option<String>,
 }
 
 impl Default for HarnessOptions {
@@ -34,6 +41,8 @@ impl Default for HarnessOptions {
             time_limit: Duration::from_millis(1000),
             orders: 100,
             threads: 1,
+            trace: false,
+            profile_out: None,
         }
     }
 }
@@ -76,6 +85,13 @@ impl HarnessOptions {
                         .and_then(|v| v.parse().ok())
                         .filter(|&t: &usize| t >= 1)
                         .ok_or("--threads needs a positive integer")?;
+                }
+                "--trace" => {
+                    opts.trace = true;
+                }
+                "--profile-out" => {
+                    let v = it.next().ok_or("--profile-out needs a path")?;
+                    opts.profile_out = Some(v);
                 }
                 "--full" => {
                     // Paper-scale settings (slow!).
@@ -152,5 +168,16 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["fig7", "extra"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--profile-out"]).is_err());
+    }
+
+    #[test]
+    fn trace_flags() {
+        let o = parse(&["parallel", "--trace", "--profile-out", "/tmp/p.jsonl"]).unwrap();
+        assert!(o.trace);
+        assert_eq!(o.profile_out.as_deref(), Some("/tmp/p.jsonl"));
+        let d = parse(&[]).unwrap();
+        assert!(!d.trace);
+        assert!(d.profile_out.is_none());
     }
 }

@@ -3,12 +3,20 @@
 //! ```text
 //! experiments <cmd> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
+//!             [--trace] [--profile-out PATH]
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel | all
+//!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
 //!      | bench-fig15 | bench-fig16 | bench-all
 //! ```
+//!
+//! `profile` runs a traced workload and prints per-phase span trees
+//! (write machine-readable JSONL + folded stacks with `--profile-out`);
+//! `trace-overhead` smoke-checks the cost of enabling tracing;
+//! `check-profile` round-trips a JSONL profile and validates its schema.
+//! `--trace` also works on `parallel` for per-run span trees.
 //!
 //! The `bench-*` subcommands are the timer-based micro-benchmarks that
 //! replaced the former Criterion benches (min/median/mean per case).
@@ -25,7 +33,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--full]");
+            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--full] [--trace] [--profile-out PATH]");
             std::process::exit(2);
         }
     };
@@ -51,6 +59,9 @@ fn main() {
         "fig18" => experiments::fig18::run(&opts),
         "ablation" => experiments::ablation::run(&opts),
         "parallel" => experiments::parallel::run(&opts),
+        "profile" => sm_bench::profile::run(&opts),
+        "trace-overhead" => sm_bench::profile::trace_overhead(&opts),
+        "check-profile" => sm_bench::profile::check_profile(&opts),
         "all" => experiments::run_all(&opts),
         "bench-fig7" => sm_bench::micro::bench_fig07(&opts),
         "bench-fig8" => sm_bench::micro::bench_fig08(&opts),

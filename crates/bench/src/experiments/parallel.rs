@@ -14,11 +14,13 @@
 //! (single core).
 
 use crate::args::HarnessOptions;
+use crate::profile::{traced_cell, write_profiles};
 use crate::table::{ms, ratio, TextTable};
 use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
 use sm_graph::gen::rmat::{rmat_graph, RmatParams};
 use sm_match::enumerate::parallel::ParallelStrategy;
 use sm_match::{Algorithm, DataContext, MatchConfig};
+use sm_runtime::trace::profile::RunMeta;
 
 /// Run the scaling experiment.
 pub fn run(opts: &HarnessOptions) {
@@ -50,6 +52,8 @@ pub fn run(opts: &HarnessOptions) {
         time_limit: Some(opts.time_limit.max(std::time::Duration::from_secs(5))),
         ..Default::default()
     };
+    let tracing = opts.trace || opts.profile_out.is_some();
+    let mut profiles = Vec::new();
     let mut t = TextTable::new(vec![
         "threads",
         "strategy",
@@ -58,6 +62,8 @@ pub fn run(opts: &HarnessOptions) {
         "exec speedup",
         "matches",
         "reuse",
+        "steal lat",
+        "idle ms",
         "pool",
         "per-worker",
     ]);
@@ -68,8 +74,30 @@ pub fn run(opts: &HarnessOptions) {
             let mut reuse = 0u64;
             let mut pool = sm_runtime::WorkerMetrics::default();
             let mut per_worker = String::new();
-            for q in &queries {
-                let out = pipeline.run_parallel_with(q, &gc, &cfg, threads, strategy);
+            let mut pool_all = sm_runtime::PoolMetrics::default();
+            let strat_name = match strategy {
+                ParallelStrategy::Static => "static",
+                ParallelStrategy::Morsel => "morsel",
+            };
+            for (qi, q) in queries.iter().enumerate() {
+                let out = if tracing && !(threads == 1 && strategy == ParallelStrategy::Morsel) {
+                    let meta = RunMeta {
+                        dataset: "rmat50k".into(),
+                        query: format!("q{qi}"),
+                        config: format!("{strat_name}-t{threads}"),
+                        threads,
+                        cancelled: false,
+                    };
+                    let (out, profile) =
+                        traced_cell(&pipeline, q, &gc, &cfg, threads, strategy, meta);
+                    if opts.trace && qi == 0 {
+                        print!("{}", profile.render_tree());
+                    }
+                    profiles.push(profile);
+                    out
+                } else {
+                    pipeline.run_parallel_with(q, &gc, &cfg, threads, strategy)
+                };
                 plan += out.plan_build_time().as_secs_f64() * 1e3;
                 enumt += out.enum_time.as_secs_f64() * 1e3;
                 matches += out.matches;
@@ -79,6 +107,12 @@ pub fn run(opts: &HarnessOptions) {
                         pool.merge(w);
                     }
                     per_worker = m.per_worker(); // last query: representative
+                    while pool_all.workers.len() < m.workers.len() {
+                        pool_all.workers.push(Default::default());
+                    }
+                    for (slot, w) in pool_all.workers.iter_mut().zip(&m.workers) {
+                        slot.merge(w);
+                    }
                 }
             }
             // 1-thread runs are sequential under either label; print once.
@@ -86,10 +120,6 @@ pub fn run(opts: &HarnessOptions) {
                 continue;
             }
             let base_ms = *base.get_or_insert(enumt);
-            let name = match strategy {
-                ParallelStrategy::Static => "static",
-                ParallelStrategy::Morsel => "morsel",
-            };
             let pool_cell = if pool.morsels == 0 {
                 "-".to_string()
             } else {
@@ -101,19 +131,38 @@ pub fn run(opts: &HarnessOptions) {
                         / (pool.busy + pool.idle).as_secs_f64().max(1e-12)
                 )
             };
+            let steal_lat = if pool_all.total_steals() == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}µs",
+                    pool_all.mean_steal_wait().as_secs_f64() * 1e6
+                )
+            };
+            let idle_cell = if pool_all.workers.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.2}", pool_all.total_idle().as_secs_f64() * 1e3)
+            };
             t.row(vec![
                 threads.to_string(),
-                if threads == 1 { "seq".to_string() } else { name.to_string() },
+                if threads == 1 { "seq".to_string() } else { strat_name.to_string() },
                 ms(plan),
                 ms(enumt),
                 ratio(base_ms / enumt.max(1e-9)),
                 matches.to_string(),
                 reuse.to_string(),
+                steal_lat,
+                idle_cell,
                 pool_cell,
                 if per_worker.is_empty() { "-".to_string() } else { per_worker },
             ]);
         }
     }
     t.print();
-    println!("(root distribution parallelizes execution only; the plan is built once, sequentially, and shared by all workers. m=morsels executed, s=stolen, reuse=scratch-arena reuses)");
+    println!("(root distribution parallelizes execution only; the plan is built once, sequentially, and shared by all workers. m=morsels executed, s=stolen, reuse=scratch-arena reuses; steal lat=mean time a steal spent finding remote work, idle ms=summed worker time spent looking for work, per-worker idle/sw show the same per worker)");
+    if let Some(path) = &opts.profile_out {
+        write_profiles(path, &profiles);
+        println!("wrote {} profile(s) to {path} (+ {path}.folded)", profiles.len());
+    }
 }

@@ -8,6 +8,7 @@ pub mod args;
 pub mod experiments;
 pub mod harness;
 pub mod micro;
+pub mod profile;
 pub mod table;
 
 pub use args::HarnessOptions;

@@ -15,6 +15,8 @@ fn tiny(datasets: &[&str]) -> HarnessOptions {
         time_limit: Duration::from_millis(100),
         orders: 5,
         threads: 1,
+        trace: false,
+        profile_out: None,
     }
 }
 

@@ -21,11 +21,12 @@
 use crate::enumerate::control::RunControl;
 use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
 use crate::enumerate::scratch::Scratch;
-use crate::enumerate::{EnumStats, MatchSink};
+use crate::enumerate::{intersect_counter, EnumStats, MatchSink};
 use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
 use sm_intersect::intersect_buf;
+use sm_runtime::Counter;
 use std::time::Instant;
 
 /// Run the adaptive enumeration of a compiled plan with a fresh scratch.
@@ -133,17 +134,22 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
         if lists.is_empty() {
             buf.extend(0..plan.candidates.get(c).len() as u32);
         } else if lists.len() == 1 {
+            // One mapped parent: LC is its A list as-is (DP-iso's cache).
+            self.ctl.counters.bump(Counter::LcCacheHits);
             buf.extend_from_slice(lists[0]);
         } else {
             let kind = plan.config.intersect;
+            let ctr = intersect_counter(kind);
             let mut tmp = std::mem::take(&mut self.sc.tmp_bufs[0]);
             intersect_buf(kind, lists[0], lists[1], &mut buf);
+            self.ctl.counters.bump(ctr);
             for l in &lists[2..] {
                 if buf.is_empty() {
                     break;
                 }
                 tmp.clear();
                 intersect_buf(kind, &buf, l, &mut tmp);
+                self.ctl.counters.bump(ctr);
                 std::mem::swap(&mut buf, &mut tmp);
             }
             self.sc.tmp_bufs[0] = tmp;
@@ -204,12 +210,14 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 continue;
             }
             let activated = self.apply(u, v, pos);
+            self.ctl.counters.record_max(Counter::PeakDepth, depth as u64 + 1);
             if depth + 1 == n {
                 self.emit_match();
             } else {
                 self.recurse(depth + 1);
             }
             self.undo(u, v, &activated);
+            self.ctl.counters.bump(Counter::Backtracks);
             if self.ctl.is_stopped() {
                 break;
             }
@@ -239,6 +247,9 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 conflict_class(u, owner)
             } else {
                 let activated = self.apply(u, v, pos);
+                self.ctl
+                    .counters
+                    .record_max(Counter::PeakDepth, depth as u64 + 1);
                 let fs = if depth + 1 == n {
                     self.emit_match();
                     FULL
@@ -246,6 +257,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                     self.recurse_fs(depth + 1)
                 };
                 self.undo(u, v, &activated);
+                self.ctl.counters.bump(Counter::Backtracks);
                 fs
             };
             if child_fs == FULL {

@@ -5,6 +5,7 @@
 //! instead of each keeping its own copy of this state machine.
 
 use crate::enumerate::{EnumStats, MatchConfig, Outcome};
+use sm_runtime::trace::{Counter, CounterBlock, EventKind, EventRing, Trace};
 use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
@@ -43,12 +44,23 @@ pub struct RunControl<'a> {
     pub matches: u64,
     /// Search-tree nodes visited.
     pub recursions: u64,
+    /// Worker-local registry counters: engines accumulate intersections,
+    /// backtracks, peak depth and cache hits here with plain `u64` adds;
+    /// [`RunControl::into_stats`] folds them into the run's
+    /// [`EnumStats::counters`].
+    pub counters: CounterBlock,
     cap: u64,
     /// Cancellation is polled every `poll_mask + 1` recursions.
     poll_mask: u64,
     cancel: CancelToken,
     stopped: Option<Outcome>,
     shared: Option<&'a SharedControl>,
+    trace: Trace,
+    /// Control-side event log: cap-hit and cancellation observations.
+    /// Flushed (under worker 0 — "the run's control ring") by
+    /// [`RunControl::into_stats`]; per-worker morsel/steal events live in
+    /// the pool's own rings.
+    ring: EventRing,
 }
 
 impl<'a> RunControl<'a> {
@@ -65,6 +77,7 @@ impl<'a> RunControl<'a> {
         RunControl {
             matches: 0,
             recursions: 0,
+            counters: CounterBlock::new(),
             cap: config.max_matches.unwrap_or(u64::MAX),
             poll_mask,
             cancel: match shared {
@@ -73,6 +86,8 @@ impl<'a> RunControl<'a> {
             },
             stopped: None,
             shared,
+            trace: config.trace.clone(),
+            ring: EventRing::default(),
         }
     }
 
@@ -82,10 +97,19 @@ impl<'a> RunControl<'a> {
         self.recursions += 1;
         if self.recursions & self.poll_mask == 0 {
             if let Some(reason) = self.cancel.poll() {
+                let newly = self.stopped.is_none();
                 self.stopped = Some(match reason {
                     CancelReason::Deadline => Outcome::TimedOut,
                     CancelReason::Stopped => Outcome::CapReached,
                 });
+                if newly && self.trace.is_enabled() {
+                    self.ring.push(
+                        self.trace.now_ns(),
+                        EventKind::Cancel,
+                        matches!(reason, CancelReason::Deadline) as u64,
+                    );
+                    self.trace.mark_cancelled();
+                }
             }
         }
     }
@@ -101,7 +125,7 @@ impl<'a> RunControl<'a> {
     #[inline]
     pub fn record_match(&mut self) {
         self.matches += 1;
-        match self.shared {
+        let capped = match self.shared {
             Some(sh) => {
                 let total = sh
                     .matches
@@ -109,13 +133,20 @@ impl<'a> RunControl<'a> {
                     + 1;
                 if total >= self.cap {
                     sh.cancel.cancel(CancelReason::Stopped);
-                    self.stopped = Some(Outcome::CapReached);
+                    true
+                } else {
+                    false
                 }
             }
-            None => {
-                if self.matches >= self.cap {
-                    self.stopped = Some(Outcome::CapReached);
-                }
+            None => self.matches >= self.cap,
+        };
+        if capped {
+            let newly = self.stopped.is_none();
+            self.stopped = Some(Outcome::CapReached);
+            if newly && self.trace.is_enabled() {
+                self.ring
+                    .push(self.trace.now_ns(), EventKind::CapHit, self.cap);
+                self.trace.mark_cancelled();
             }
         }
     }
@@ -126,16 +157,24 @@ impl<'a> RunControl<'a> {
     }
 
     /// Fold the counters into an [`EnumStats`] for a run begun at
-    /// `started`.
+    /// `started`, flushing the control event ring into the trace (the
+    /// counters themselves are flushed once per run/worker by the entry
+    /// points, so morsel-grained calls don't fragment the registry).
     pub fn into_stats(self, started: Instant) -> EnumStats {
+        let outcome = self.outcome();
+        let mut counters = self.counters;
+        counters.add(Counter::Recursions, self.recursions);
+        counters.add(Counter::Matches, self.matches);
+        self.trace.flush_ring(0, &self.ring);
         EnumStats {
             matches: self.matches,
             recursions: self.recursions,
             elapsed: started.elapsed(),
-            outcome: self.outcome(),
+            outcome,
             parallel: None,
             plan_build_ns: 0,
             scratch_reuse: 0,
+            counters,
         }
     }
 }

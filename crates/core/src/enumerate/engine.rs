@@ -10,11 +10,12 @@
 
 use crate::enumerate::control::{RunControl, SharedControl};
 use crate::enumerate::scratch::Scratch;
-use crate::enumerate::{EnumStats, LcMethod, MatchSink};
+use crate::enumerate::{intersect_counter, EnumStats, LcMethod, MatchSink};
 use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
 use sm_intersect::{intersect_buf, BsrSet, IntersectKind};
+use sm_runtime::Counter;
 use std::time::Instant;
 
 /// One execution of a compiled plan against a data graph.
@@ -158,6 +159,9 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                     let g = self.g;
                     let list =
                         space.neighbors(parent, self.sc.mpos[parent as usize] as usize, u);
+                    // Served from the prebuilt tree-edge list: no
+                    // intersection, no scan of C(u).
+                    self.ctl.counters.bump(Counter::LcCacheHits);
                     'tree: for &pos in list {
                         let v = c_u[pos as usize];
                         for &ub in bw {
@@ -188,17 +192,22 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                             .collect();
                         lists.sort_by_key(|l| l.len());
                         if lists.len() == 1 {
+                            // One backward neighbor: LC is its A list as-is.
+                            self.ctl.counters.bump(Counter::LcCacheHits);
                             buf.extend_from_slice(lists[0]);
                         } else {
                             let kind = plan.config.intersect;
+                            let ctr = intersect_counter(kind);
                             let mut tmp = std::mem::take(&mut self.sc.tmp_bufs[depth]);
                             intersect_buf(kind, lists[0], lists[1], &mut buf);
+                            self.ctl.counters.bump(ctr);
                             for l in &lists[2..] {
                                 if buf.is_empty() {
                                     break;
                                 }
                                 tmp.clear();
                                 intersect_buf(kind, &buf, l, &mut tmp);
+                                self.ctl.counters.bump(ctr);
                                 std::mem::swap(&mut buf, &mut tmp);
                             }
                             self.sc.tmp_bufs[depth] = tmp;
@@ -225,17 +234,20 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             .collect();
         sets.sort_by_key(|s| s.len());
         if sets.len() == 1 {
+            self.ctl.counters.bump(Counter::LcCacheHits);
             sets[0].decode_into(buf);
             return;
         }
         let mut a = std::mem::take(&mut self.sc.bsr_a[depth]);
         let mut b = std::mem::take(&mut self.sc.bsr_b[depth]);
         sets[0].intersect_into(sets[1], &mut a);
+        self.ctl.counters.bump(Counter::IntersectQfilter);
         for s in &sets[2..] {
             if a.is_empty() {
                 break;
             }
             a.intersect_into(s, &mut b);
+            self.ctl.counters.bump(Counter::IntersectQfilter);
             std::mem::swap(&mut a, &mut b);
         }
         a.decode_into(buf);
@@ -299,12 +311,14 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             self.sc.m[u as usize] = v;
             self.sc.mpos[u as usize] = pos;
             self.sc.visited_by[v as usize] = u;
+            self.ctl.counters.record_max(Counter::PeakDepth, depth as u64 + 1);
             if depth + 1 == n {
                 self.emit_match();
             } else {
                 self.recurse(depth + 1);
             }
             self.sc.visited_by[v as usize] = NO_VERTEX;
+            self.ctl.counters.bump(Counter::Backtracks);
             if self.ctl.is_stopped() {
                 break;
             }
@@ -341,6 +355,9 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                 self.sc.m[u as usize] = v;
                 self.sc.mpos[u as usize] = pos;
                 self.sc.visited_by[v as usize] = u;
+                self.ctl
+                    .counters
+                    .record_max(Counter::PeakDepth, depth as u64 + 1);
                 let fs = if depth + 1 == n {
                     self.emit_match();
                     FULL
@@ -348,6 +365,7 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                     self.recurse_fs(depth + 1)
                 };
                 self.sc.visited_by[v as usize] = NO_VERTEX;
+                self.ctl.counters.bump(Counter::Backtracks);
                 fs
             };
             if child_fs == FULL {

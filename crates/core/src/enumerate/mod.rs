@@ -22,11 +22,22 @@ pub mod scratch;
 
 use sm_graph::VertexId;
 use sm_intersect::IntersectKind;
-use sm_runtime::{CancelToken, PoolMetrics};
+use sm_runtime::{CancelToken, CounterBlock, PoolMetrics, Trace};
 use std::time::{Duration, Instant};
 
 /// The paper's default output cap: queries stop after 10^5 matches.
 pub const DEFAULT_MATCH_CAP: u64 = 100_000;
+
+/// The registry counter that tallies intersections of `kind` — how the
+/// engines attribute each `intersect_buf` call to its kernel.
+pub fn intersect_counter(kind: IntersectKind) -> sm_runtime::Counter {
+    match kind {
+        IntersectKind::Merge => sm_runtime::Counter::IntersectMerge,
+        IntersectKind::Galloping => sm_runtime::Counter::IntersectGalloping,
+        IntersectKind::Hybrid => sm_runtime::Counter::IntersectHybrid,
+        IntersectKind::Bsr => sm_runtime::Counter::IntersectQfilter,
+    }
+}
 
 /// How `LC(u, M)` is computed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -78,6 +89,10 @@ pub struct MatchConfig {
     /// [`Outcome::CapReached`] when it is cancelled. `None` = only the
     /// config's own limits apply.
     pub cancel: Option<CancelToken>,
+    /// Observability handle: spans, counters and event rings flow through
+    /// here to every phase of the run. The default
+    /// [`Trace::disabled`] handle costs one branch per touch point.
+    pub trace: Trace,
 }
 
 impl Default for MatchConfig {
@@ -89,6 +104,7 @@ impl Default for MatchConfig {
             intersect: IntersectKind::Hybrid,
             vf2pp_rule: false,
             cancel: None,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -118,6 +134,13 @@ impl MatchConfig {
     /// Builder-style: attach a caller-side cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style: attach a tracing handle. Every phase of a run with
+    /// this config records spans/counters/events into it.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -167,6 +190,10 @@ pub struct EnumStats {
     /// the zero-allocation fast path of
     /// [`scratch::Scratch::prepare`].
     pub scratch_reuse: u64,
+    /// The run's registry counters (intersections by kernel, backtracks,
+    /// peak depth, LC cache hits, …) — a merged view over what the
+    /// engines accumulated, populated whether or not a trace is attached.
+    pub counters: CounterBlock,
 }
 
 impl EnumStats {

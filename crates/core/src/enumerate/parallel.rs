@@ -35,8 +35,21 @@ use crate::enumerate::engine::{enumerate, enumerate_with, EngineInput};
 use crate::enumerate::scratch::Scratch;
 use crate::enumerate::{EnumStats, LcMethod, MatchSink, Outcome};
 use sm_runtime::pool::{deal_morsels, scoped_map, MorselQueue};
+use sm_runtime::trace::{Counter, CounterBlock, Trace};
 use sm_runtime::{CancelReason, PoolMetrics, WorkerMetrics};
 use std::time::Instant;
+
+/// Mirror a worker's pool metrics into its counter block, so the JSONL
+/// profile carries morsel/steal/busy/idle/steal-wait numbers per worker
+/// next to the engine counters.
+fn mirror_metrics(block: &mut CounterBlock, m: &WorkerMetrics) {
+    block.set(Counter::MorselsExecuted, m.morsels);
+    block.set(Counter::MorselsStolen, m.steals);
+    block.set(Counter::ScratchReuses, m.scratch_reuse);
+    block.set(Counter::BusyNs, m.busy.as_nanos() as u64);
+    block.set(Counter::IdleNs, m.idle.as_nanos() as u64);
+    block.set(Counter::StealWaitNs, m.steal_wait.as_nanos() as u64);
+}
 
 /// How the depth-0 candidates are distributed across workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,15 +96,24 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
         _ => c_root.to_vec(),
     };
     let threads = threads.min(entries.len().max(1));
+    let trace = plan.config.trace.clone();
     if threads <= 1 {
+        let _exec_span = trace.is_enabled().then(|| trace.span("execute"));
         let mut sink = S::default();
         let stats = enumerate(input, &mut sink);
+        trace.flush_counters(0, &stats.counters);
         return (stats, vec![sink]);
     }
+    let parallel_span = trace.is_enabled().then(|| trace.span("parallel"));
+    let parent = parallel_span.as_ref().and_then(|s| s.id());
     let shared = SharedControl::for_run(&plan.config, started);
     let per_worker: Vec<(WorkerStats<S>, WorkerMetrics)> = match strategy {
-        ParallelStrategy::Morsel => run_morsel(input, &entries, threads, &shared),
-        ParallelStrategy::Static => run_static(input, &entries, threads, &shared),
+        ParallelStrategy::Morsel => {
+            run_morsel(input, &entries, threads, &shared, &trace, parent)
+        }
+        ParallelStrategy::Static => {
+            run_static(input, &entries, threads, &shared, &trace, parent)
+        }
     };
 
     let mut matches = 0u64;
@@ -100,12 +122,16 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
     let mut outcome = Outcome::Complete;
     let mut sinks = Vec::with_capacity(per_worker.len());
     let mut metrics = PoolMetrics::default();
-    for (w, mut m) in per_worker {
+    let mut counters = CounterBlock::new();
+    for (wid, (mut w, mut m)) in per_worker.into_iter().enumerate() {
         m.scratch_reuse = w.scratch.reuses();
         matches += w.matches;
         recursions += w.recursions;
         scratch_reuse += m.scratch_reuse;
         merge_outcome(&mut outcome, w.outcome);
+        mirror_metrics(&mut w.counters, &m);
+        counters.merge(&w.counters);
+        trace.flush_counters(wid, &w.counters);
         sinks.push(w.sink);
         metrics.workers.push(m);
     }
@@ -127,6 +153,7 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
             parallel: Some(metrics),
             plan_build_ns: plan.plan_build_ns(),
             scratch_reuse,
+            counters,
         },
         sinks,
     )
@@ -149,6 +176,8 @@ struct WorkerStats<S> {
     matches: u64,
     recursions: u64,
     outcome: Outcome,
+    /// Registry counters merged across every morsel this worker executed.
+    counters: CounterBlock,
 }
 
 impl<S: Default> Default for WorkerStats<S> {
@@ -159,6 +188,7 @@ impl<S: Default> Default for WorkerStats<S> {
             matches: 0,
             recursions: 0,
             outcome: Outcome::Complete,
+            counters: CounterBlock::new(),
         }
     }
 }
@@ -180,6 +210,7 @@ fn run_subset<S: MatchSink>(
     let stats = enumerate_with(&worker_input, &mut w.scratch, &mut w.sink);
     w.matches += stats.matches;
     w.recursions += stats.recursions;
+    w.counters.merge(&stats.counters);
     merge_outcome(&mut w.outcome, stats.outcome);
     stats.outcome == Outcome::Complete
 }
@@ -189,9 +220,11 @@ fn run_morsel<S: MatchSink + Default + Send>(
     entries: &[u32],
     threads: usize,
     shared: &SharedControl,
+    trace: &Trace,
+    parent: Option<u32>,
 ) -> Vec<(WorkerStats<S>, WorkerMetrics)> {
     let queue = MorselQueue::new(deal_morsels(entries.len(), threads));
-    queue.run(
+    queue.run_traced(
         |_wid| WorkerStats::default(),
         |_wid, w, morsel| {
             if shared.cancel.cancelled().is_some() {
@@ -199,6 +232,8 @@ fn run_morsel<S: MatchSink + Default + Send>(
             }
             run_subset(input, &entries[morsel], shared, w)
         },
+        trace,
+        parent,
     )
 }
 
@@ -207,6 +242,8 @@ fn run_static<S: MatchSink + Default + Send>(
     entries: &[u32],
     threads: usize,
     shared: &SharedControl,
+    trace: &Trace,
+    parent: Option<u32>,
 ) -> Vec<(WorkerStats<S>, WorkerMetrics)> {
     // Round-robin chunks balance the skewed subtree sizes of power-law
     // graphs better than contiguous ranges, but cannot rebalance at
@@ -216,6 +253,7 @@ fn run_static<S: MatchSink + Default + Send>(
         chunks[i % threads].push(e);
     }
     scoped_map(threads, |wid| {
+        let worker_span = trace.is_enabled().then(|| trace.span_under(parent, "worker"));
         let busy = Instant::now();
         let mut w = WorkerStats::default();
         run_subset(input, &chunks[wid], shared, &mut w);
@@ -224,8 +262,10 @@ fn run_static<S: MatchSink + Default + Send>(
             steals: 0,
             busy: busy.elapsed(),
             idle: std::time::Duration::ZERO,
+            steal_wait: std::time::Duration::ZERO,
             scratch_reuse: 0,
         };
+        drop(worker_span);
         (w, metrics)
     })
 }

@@ -45,7 +45,9 @@ impl<'a> Executor<'a> {
         scratch: &mut Scratch,
         sink: &mut S,
     ) -> EnumStats {
-        if self.plan.adaptive {
+        let trace = self.plan.config.trace.clone();
+        let span = trace.is_enabled().then(|| trace.span("execute"));
+        let stats = if self.plan.adaptive {
             enumerate_adaptive_with(self.plan, self.g, scratch, sink)
         } else {
             enumerate_with(
@@ -58,7 +60,10 @@ impl<'a> Executor<'a> {
                 scratch,
                 sink,
             )
-        }
+        };
+        trace.flush_counters(0, &stats.counters);
+        drop(span);
+        stats
     }
 
     /// Parallel execution across `threads` workers, each with its own

@@ -15,6 +15,7 @@ use crate::context::{DataContext, QueryContext};
 use crate::filter::common::{ldf_set, nlf_pass, rule31_pass};
 use sm_graph::traversal::BfsTree;
 use sm_graph::VertexId;
+use sm_runtime::trace::{Counter, CounterBlock, EventKind, EventRing, Trace};
 
 /// The `k` of the original DP-iso paper.
 pub const DEFAULT_REFINEMENT_ROUNDS: usize = 3;
@@ -39,14 +40,34 @@ pub fn dpiso_candidates(
     g: &DataContext<'_>,
     rounds: usize,
 ) -> (Candidates, BfsTree) {
+    dpiso_candidates_traced(q, g, rounds, &Trace::disabled())
+}
+
+/// [`dpiso_candidates`] with observability: each refinement round becomes
+/// a `filter_round` span, prunes are tallied into
+/// [`Counter::CandidatesPruned`] / [`Counter::FilterRounds`], and a
+/// [`EventKind::FilterRound`] event (arg = vertices pruned that round)
+/// lands in the run's control ring. Counters and events flush under
+/// worker 0 when `trace` is enabled; with the disabled handle this is the
+/// exact code path of the untraced variant.
+pub fn dpiso_candidates_traced(
+    q: &QueryContext<'_>,
+    g: &DataContext<'_>,
+    rounds: usize,
+    trace: &Trace,
+) -> (Candidates, BfsTree) {
     let qg = q.graph;
     let root = select_dpiso_root(q, g);
     let tree = BfsTree::build(qg, root);
     let mut sets: Vec<Vec<VertexId>> = (0..qg.num_vertices() as VertexId)
         .map(|u| ldf_set(q, g, u))
         .collect();
+    let mut counters = CounterBlock::new();
+    let mut ring = EventRing::default();
 
-    for round in 0..rounds {
+    'rounds: for round in 0..rounds {
+        let round_span = trace.is_enabled().then(|| trace.span("filter_round"));
+        let mut pruned_this_round: u64 = 0;
         let reverse = round % 2 == 0;
         let apply_nlf = round == 0;
         let order: Vec<VertexId> = if reverse {
@@ -55,6 +76,7 @@ pub fn dpiso_candidates(
             tree.order.clone()
         };
         let mut changed = false;
+        let mut died = false;
         for &u in &order {
             let rank_u = tree.rank[u as usize];
             let against: Vec<VertexId> = qg
@@ -80,16 +102,29 @@ pub fn dpiso_candidates(
                     && against.iter().all(|&u2| rule31_pass(g, v, &sets[u2 as usize]))
             });
             changed |= cu.len() != before;
+            pruned_this_round += (before - cu.len()) as u64;
             let empty = cu.is_empty();
             sets[u as usize] = cu;
             if empty {
-                return (Candidates::new(sets), tree);
+                died = true;
+                break;
             }
+        }
+        counters.bump(Counter::FilterRounds);
+        counters.add(Counter::CandidatesPruned, pruned_this_round);
+        if trace.is_enabled() {
+            ring.push(trace.now_ns(), EventKind::FilterRound, pruned_this_round);
+        }
+        drop(round_span);
+        if died {
+            break 'rounds;
         }
         if !changed && round > 0 {
             break;
         }
     }
+    trace.flush_counters(0, &counters);
+    trace.flush_ring(0, &ring);
     (Candidates::new(sets), tree)
 }
 

@@ -93,6 +93,19 @@ pub fn run_filter(
     q: &QueryContext<'_>,
     g: &DataContext<'_>,
 ) -> Option<FilterOutput> {
+    run_filter_traced(kind, q, g, &sm_runtime::Trace::disabled())
+}
+
+/// [`run_filter`] with an observability handle: round-based filters
+/// (currently DP-iso) record per-round spans, pruned-candidate counters
+/// and `filter_round` events into `trace`. Other filters run unchanged —
+/// their single pass is already covered by the pipeline's `filter` span.
+pub fn run_filter_traced(
+    kind: FilterKind,
+    q: &QueryContext<'_>,
+    g: &DataContext<'_>,
+    trace: &sm_runtime::Trace,
+) -> Option<FilterOutput> {
     let out = match kind {
         FilterKind::Ldf => FilterOutput {
             candidates: ldf::ldf_candidates(q, g),
@@ -121,7 +134,8 @@ pub fn run_filter(
             }
         }
         FilterKind::DpIso => {
-            let (c, t) = dpiso::dpiso_candidates(q, g, dpiso::DEFAULT_REFINEMENT_ROUNDS);
+            let (c, t) =
+                dpiso::dpiso_candidates_traced(q, g, dpiso::DEFAULT_REFINEMENT_ROUNDS, trace);
             FilterOutput {
                 candidates: c,
                 bfs_tree: Some(t),

@@ -13,7 +13,7 @@ use crate::context::{DataContext, QueryContext};
 use crate::enumerate::parallel::ParallelStrategy;
 use crate::enumerate::{CountSink, EnumStats, LcMethod, MatchConfig, MatchSink, Outcome};
 use crate::exec::Executor;
-use crate::filter::{run_filter, FilterKind};
+use crate::filter::{run_filter_traced, FilterKind};
 use crate::order::{run_order, OrderInput, OrderKind};
 use crate::plan::QueryPlan;
 use sm_graph::traversal::BfsTree;
@@ -162,12 +162,17 @@ impl Pipeline {
         if self.vf2pp_rule {
             config.vf2pp_rule = true;
         }
+        let trace = config.trace.clone();
+        let plan_span = trace.is_enabled().then(|| trace.span("plan"));
 
         // Phase 1: filtering.
         let t0 = Instant::now();
-        let filtered = run_filter(self.filter, &qc, g);
+        let filter_span = trace.is_enabled().then(|| trace.span("filter"));
+        let filtered = run_filter_traced(self.filter, &qc, g, &trace);
+        drop(filter_span);
         let filter_time = t0.elapsed();
         let Some(out) = filtered else {
+            drop(plan_span);
             return Err(filter_time);
         };
         let candidates = out.candidates;
@@ -180,6 +185,7 @@ impl Pipeline {
         // BFS order δ of its tree — built here when the filter did not
         // provide one.
         let t1 = Instant::now();
+        let order_span = trace.is_enabled().then(|| trace.span("order"));
         let order = if adaptive {
             if tree.is_none() {
                 let root = crate::filter::dpiso::select_dpiso_root(&qc, g);
@@ -198,6 +204,7 @@ impl Pipeline {
                 },
             )
         };
+        drop(order_span);
         let order_time = t1.elapsed();
         debug_assert!(
             crate::order::is_connected_order(q, &order)
@@ -206,6 +213,7 @@ impl Pipeline {
 
         // Phase 3: auxiliary structure + plan tables.
         let t2 = Instant::now();
+        let build_span = trace.is_enabled().then(|| trace.span("build"));
         let with_bsr = config.intersect == IntersectKind::Bsr
             && (adaptive || self.method == LcMethod::Intersect);
         let space: Option<CandidateSpace> = if adaptive || self.method == LcMethod::Intersect {
@@ -250,7 +258,9 @@ impl Pipeline {
         );
         plan.filter_time = filter_time;
         plan.order_time = order_time;
+        drop(build_span);
         plan.build_time = t2.elapsed();
+        drop(plan_span);
         Ok(plan)
     }
 

@@ -12,6 +12,7 @@ use crate::enumerate::{EnumStats, MatchConfig, MatchSink};
 use crate::util::Bitmap;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
+use sm_runtime::Counter;
 use std::time::Instant;
 
 /// Cancellation is polled every this many recursions (Ullmann's nodes are
@@ -50,6 +51,8 @@ pub fn ullmann_match<S: MatchSink>(
             row
         })
         .collect();
+    let trace = config.trace.clone();
+    let span = trace.is_enabled().then(|| trace.span("execute"));
     let mut st = UllmannState {
         q,
         g,
@@ -61,7 +64,10 @@ pub fn ullmann_match<S: MatchSink>(
     if st.refine(&mut matrix) {
         st.recurse(0, &matrix);
     }
-    st.ctl.into_stats(started)
+    let stats = st.ctl.into_stats(started);
+    trace.flush_counters(0, &stats.counters);
+    drop(span);
+    stats
 }
 
 struct UllmannState<'a, S: MatchSink> {
@@ -140,9 +146,13 @@ impl<S: MatchSink> UllmannState<'_, S> {
             if self.refine(&mut next) {
                 self.m[u as usize] = v;
                 self.g_used[v as usize] = true;
+                self.ctl
+                    .counters
+                    .record_max(Counter::PeakDepth, depth as u64 + 1);
                 self.recurse(depth + 1, &next);
                 self.g_used[v as usize] = false;
                 self.m[u as usize] = NO_VERTEX;
+                self.ctl.counters.bump(Counter::Backtracks);
             }
         }
     }

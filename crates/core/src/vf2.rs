@@ -18,6 +18,7 @@ use crate::enumerate::control::RunControl;
 use crate::enumerate::{EnumStats, MatchConfig, MatchSink};
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
+use sm_runtime::Counter;
 use std::time::Instant;
 
 /// Cancellation is polled every this many recursions.
@@ -42,6 +43,8 @@ pub fn vf2_match<S: MatchSink>(
     sink: &mut S,
 ) -> EnumStats {
     let started = Instant::now();
+    let trace = config.trace.clone();
+    let span = trace.is_enabled().then(|| trace.span("execute"));
     let mut st = Vf2State {
         q,
         g,
@@ -53,7 +56,10 @@ pub fn vf2_match<S: MatchSink>(
         sink,
     };
     st.recurse(0);
-    st.ctl.into_stats(started)
+    let stats = st.ctl.into_stats(started);
+    trace.flush_counters(0, &stats.counters);
+    drop(span);
+    stats
 }
 
 struct Vf2State<'a, S: MatchSink> {
@@ -108,8 +114,12 @@ impl<S: MatchSink> Vf2State<'_, S> {
             }
             if self.feasible(u, v) {
                 let snapshot = self.apply(depth as u32 + 1, u, v);
+                self.ctl
+                    .counters
+                    .record_max(Counter::PeakDepth, depth as u64 + 1);
                 self.recurse(depth + 1);
                 self.undo(u, v, snapshot);
+                self.ctl.counters.bump(Counter::Backtracks);
             }
         }
     }

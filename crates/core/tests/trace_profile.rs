@@ -1,0 +1,206 @@
+//! End-to-end observability tests: a traced pipeline run must produce a
+//! structurally valid profile that survives the JSONL round trip, and a
+//! *cancelled* run must still close every span and flush its partial
+//! counters — the trace of an interrupted run is complete, not corrupt.
+
+use sm_graph::builder::graph_from_edges;
+use sm_graph::Graph;
+use sm_match::enumerate::parallel::ParallelStrategy;
+use sm_match::{Algorithm, DataContext, MatchConfig, Outcome, Pipeline};
+use sm_runtime::trace::profile::{RunMeta, RunProfile};
+use sm_runtime::{CancelReason, CancelToken, Counter, Trace};
+
+/// A same-label clique: `n·(n-1)` matches for a single-edge query, plenty
+/// of work to interrupt.
+fn clique(n: usize) -> Graph {
+    let labels = vec![0u32; n];
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            edges.push((a, b));
+        }
+    }
+    graph_from_edges(&labels, &edges)
+}
+
+fn profile_of(trace: &Trace, threads: usize) -> RunProfile {
+    RunProfile::from_snapshot(
+        RunMeta {
+            dataset: "test".into(),
+            query: "q".into(),
+            config: "cell".into(),
+            threads,
+            cancelled: trace.was_cancelled(),
+        },
+        &trace.snapshot(),
+    )
+}
+
+#[test]
+fn sequential_run_round_trips_through_jsonl() {
+    let q = sm_match::fixtures::paper_query();
+    let g = sm_match::fixtures::paper_data();
+    let gc = DataContext::new(&g);
+    let trace = Trace::enabled();
+    let p = Algorithm::GraphQl.optimized();
+    let cfg = MatchConfig::default().with_trace(trace.clone());
+    let out = {
+        let _run = trace.span("run");
+        p.run(&q, &gc, &cfg)
+    };
+    assert_eq!(out.matches, 1);
+
+    let profile = profile_of(&trace, 1);
+    profile.validate().expect("structurally valid");
+    // Span nesting: plan and execute under run, filter under plan.
+    let names: Vec<&str> = profile.spans.iter().map(|s| s.name.as_str()).collect();
+    for phase in ["run", "plan", "filter", "order", "build", "execute"] {
+        assert!(names.contains(&phase), "missing {phase} in {names:?}");
+    }
+    let by_name = |n: &str| profile.spans.iter().find(|s| s.name == n).unwrap();
+    assert_eq!(by_name("plan").parent, Some(by_name("run").id));
+    assert_eq!(by_name("filter").parent, Some(by_name("plan").id));
+    assert_eq!(by_name("execute").parent, Some(by_name("run").id));
+    // Monotone timestamps along the phases.
+    assert!(by_name("filter").start_ns <= by_name("order").start_ns);
+    assert!(by_name("order").start_ns <= by_name("build").start_ns);
+    assert!(by_name("build").end_ns <= by_name("execute").end_ns);
+    // Counters made it through the flush.
+    assert_eq!(profile.totals.get(Counter::Matches), 1);
+    assert!(profile.totals.get(Counter::Recursions) >= 1);
+    assert!(profile.totals.get(Counter::PeakDepth) >= 1);
+
+    // JSONL round trip preserves everything.
+    let text = profile.to_jsonl();
+    let back = RunProfile::parse_jsonl(&text).expect("re-parse");
+    assert_eq!(back, profile);
+    back.validate().expect("still valid after round trip");
+}
+
+#[test]
+fn parallel_totals_are_the_sum_of_worker_blocks() {
+    let q = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+    let g = clique(12);
+    let gc = DataContext::new(&g);
+    let trace = Trace::enabled();
+    let p = Algorithm::GraphQl.optimized();
+    let cfg = MatchConfig::find_all().with_trace(trace.clone());
+    let out = {
+        let _run = trace.span("run");
+        p.run_parallel_with(&q, &gc, &cfg, 4, ParallelStrategy::Morsel)
+    };
+    assert_eq!(out.outcome, Outcome::Complete);
+    assert!(out.matches > 0);
+
+    let profile = profile_of(&trace, 4);
+    // validate() checks totals == merge of per-worker blocks; also assert
+    // the sum property directly for the additive counters we care about.
+    profile.validate().expect("valid parallel profile");
+    assert!(profile.counters.len() >= 2, "expected multiple worker blocks");
+    let sum: u64 = profile
+        .counters
+        .iter()
+        .map(|(_, b)| b.get(Counter::Matches))
+        .sum();
+    assert_eq!(sum, profile.totals.get(Counter::Matches));
+    assert_eq!(profile.totals.get(Counter::Matches), out.matches);
+    assert!(profile.totals.get(Counter::MorselsExecuted) > 0);
+    // Worker spans hang under the coordinator's parallel span.
+    let names: Vec<&str> = profile.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"parallel"), "{names:?}");
+    assert!(names.contains(&"worker"), "{names:?}");
+    assert!(names.contains(&"morsel"), "{names:?}");
+    // Round trip.
+    let back = RunProfile::parse_jsonl(&profile.to_jsonl()).unwrap();
+    assert_eq!(back, profile);
+}
+
+#[test]
+fn cancelled_run_still_produces_a_complete_trace() {
+    // Cap a huge find-all at 5 matches: the run is cancelled mid-flight.
+    let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+    let g = clique(40); // 1560 matches available
+    let gc = DataContext::new(&g);
+    let trace = Trace::enabled();
+    let p = Algorithm::GraphQl.optimized();
+    let cfg = MatchConfig {
+        max_matches: Some(5),
+        trace: trace.clone(),
+        ..Default::default()
+    };
+    let out = {
+        let _run = trace.span("run");
+        p.run_parallel_with(&q, &gc, &cfg, 2, ParallelStrategy::Morsel)
+    };
+    assert_eq!(out.outcome, Outcome::CapReached);
+
+    assert!(trace.was_cancelled(), "cap hit must mark the trace cancelled");
+    let profile = profile_of(&trace, 2);
+    assert!(profile.meta.cancelled);
+    // Every span is closed despite the early unwind, and partial counters
+    // were flushed (validate also re-checks totals vs per-worker blocks).
+    profile.validate().expect("cancelled run trace is well-formed");
+    assert!(profile.totals.get(Counter::Matches) >= 5);
+    assert!(profile.totals.get(Counter::Recursions) > 0);
+    // The control ring logged the cap hit.
+    let cap_hits: Vec<_> = profile
+        .events
+        .iter()
+        .flat_map(|we| we.tail.iter())
+        .filter(|e| e.kind == sm_runtime::EventKind::CapHit)
+        .collect();
+    assert!(!cap_hits.is_empty(), "expected a cap_hit event");
+    assert!(cap_hits.iter().all(|e| e.arg == 5));
+    // Round trip of a cancelled profile too.
+    let back = RunProfile::parse_jsonl(&profile.to_jsonl()).unwrap();
+    assert_eq!(back, profile);
+}
+
+#[test]
+fn caller_cancellation_closes_spans() {
+    // A token cancelled before the run starts: the engines stop almost
+    // immediately, yet the trace must still be coherent.
+    let q = sm_match::fixtures::paper_query();
+    let g = sm_match::fixtures::paper_data();
+    let gc = DataContext::new(&g);
+    let token = CancelToken::new();
+    token.cancel(CancelReason::Stopped);
+    let trace = Trace::enabled();
+    let p = Pipeline::new(
+        "t",
+        sm_match::FilterKind::GraphQl,
+        sm_match::OrderKind::GraphQl,
+        sm_match::LcMethod::Intersect,
+    );
+    let cfg = MatchConfig::find_all()
+        .with_cancel(token)
+        .with_trace(trace.clone());
+    let _ = {
+        let _run = trace.span("run");
+        p.run(&q, &gc, &cfg)
+    };
+    let profile = profile_of(&trace, 1);
+    profile.validate().expect("well-formed despite instant cancel");
+    assert!(profile.spans.iter().all(|s| s.end_ns != u64::MAX));
+}
+
+#[test]
+fn disabled_trace_leaves_no_footprint_but_stats_still_carry_counters() {
+    let q = sm_match::fixtures::paper_query();
+    let g = sm_match::fixtures::paper_data();
+    let gc = DataContext::new(&g);
+    let p = Algorithm::GraphQl.optimized();
+    let cfg = MatchConfig::default(); // trace disabled
+    let out = p.run(&q, &gc, &cfg);
+    assert_eq!(out.matches, 1);
+    // The disabled handle records nothing...
+    let snap = Trace::disabled().snapshot();
+    assert!(snap.spans.is_empty());
+    assert!(snap.counters.is_empty());
+    // ...but EnumStats counters are populated regardless of tracing.
+    let plan = p.plan(&q, &gc, &cfg).unwrap();
+    let mut sink = sm_match::enumerate::CountSink;
+    let stats = sm_match::Executor::new(&plan, gc.graph).run(&mut sink);
+    assert_eq!(stats.counters.get(Counter::Matches), 1);
+    assert!(stats.counters.get(Counter::Recursions) >= 1);
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use sm_graph::{Graph, VertexId};
+use sm_runtime::trace::{Counter, CounterBlock, Trace};
 use sm_runtime::{CancelReason, CancelToken};
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,9 @@ pub struct GlasgowConfig {
     /// addition to `time_limit` and stops early (without marking the run
     /// timed out) when it is cancelled.
     pub cancel: Option<CancelToken>,
+    /// Observability handle: `init`/`search` spans plus the
+    /// `glasgow_nodes` / `glasgow_propagations` counters flow through here.
+    pub trace: Trace,
 }
 
 impl Default for GlasgowConfig {
@@ -52,6 +56,7 @@ impl Default for GlasgowConfig {
             time_limit: None,
             memory_budget_bytes: 2 << 30,
             cancel: None,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -128,6 +133,9 @@ pub fn glasgow_match(
         });
     }
     let started = Instant::now();
+    let trace = config.trace.clone();
+    let run_span = trace.is_enabled().then(|| trace.span("glasgow"));
+    let init_span = trace.is_enabled().then(|| trace.span("init"));
     let n = g.num_vertices();
     let nq = q.num_vertices();
     let words = n.div_ceil(64);
@@ -184,9 +192,20 @@ pub fn glasgow_match(
         },
         halted: false,
         timed_out: false,
+        counters: CounterBlock::new(),
     };
     solver.arena[..nq * words].copy_from_slice(&root_domains);
+    drop(init_span);
+    let search_span = trace.is_enabled().then(|| trace.span("search"));
     solver.search(0);
+    drop(search_span);
+    solver.counters.set(Counter::GlasgowNodes, solver.nodes);
+    solver.counters.add(Counter::Matches, solver.matches);
+    trace.flush_counters(0, &solver.counters);
+    if solver.halted && trace.is_enabled() {
+        trace.mark_cancelled();
+    }
+    drop(run_span);
     Ok(GlasgowStats {
         matches: solver.matches,
         nodes: solver.nodes,
@@ -225,6 +244,7 @@ struct Solver<'a> {
     cancel: CancelToken,
     halted: bool,
     timed_out: bool,
+    counters: CounterBlock,
 }
 
 impl Solver<'_> {
@@ -277,9 +297,12 @@ impl Solver<'_> {
             if self.propagate(depth, u, v) {
                 self.assigned[u] = v;
                 self.assigned_mask[u] = true;
+                self.counters
+                    .record_max(Counter::PeakDepth, depth as u64 + 1);
                 self.search(depth + 1);
                 self.assigned_mask[u] = false;
                 self.assigned[u] = u32::MAX;
+                self.counters.bump(Counter::Backtracks);
             }
         }
     }
@@ -324,6 +347,7 @@ impl Solver<'_> {
     /// Copy depth's domains to depth+1 applying the assignment `u → v`.
     /// Returns false if some unassigned domain empties (dead end).
     fn propagate(&mut self, depth: usize, u: usize, v: VertexId) -> bool {
+        self.counters.bump(Counter::GlasgowPropagations);
         let nq = self.q.num_vertices();
         let words = self.words;
         let src = depth * nq * words;

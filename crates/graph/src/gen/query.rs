@@ -167,12 +167,14 @@ fn grow_dense(g: &Graph, size: usize, rng: &mut Rng64) -> Option<Vec<VertexId>> 
     }
     while verts.len() < size {
         let best_score = frontier.values().copied().max()?;
-        // uniform choice among the argmax frontier vertices
-        let ties: Vec<VertexId> = frontier
+        // uniform choice among the argmax frontier vertices; sorted so the
+        // pick depends only on the seed, not HashMap iteration order
+        let mut ties: Vec<VertexId> = frontier
             .iter()
             .filter(|&(_, &s)| s == best_score)
             .map(|(&v, _)| v)
             .collect();
+        ties.sort_unstable();
         let next = ties[rng.gen_range(0..ties.len())];
         frontier.remove(&next);
         in_set.insert(next);
@@ -258,17 +260,27 @@ mod tests {
 
     #[test]
     fn set_generation_deterministic() {
+        // Dense exercises grow_dense's frontier tie-break, which must not
+        // depend on HashMap iteration order; compare full structure, not
+        // just sizes. (Two same-seed calls use *different* hasher states,
+        // so order leakage shows up even within one process.)
         let g = data_graph();
-        let spec = QuerySetSpec {
-            num_vertices: 6,
-            density: Density::Any,
-            count: 5,
-        };
-        let a = generate_query_set(&g, spec, 3);
-        let b = generate_query_set(&g, spec, 3);
-        assert_eq!(a.len(), b.len());
-        for (qa, qb) in a.iter().zip(&b) {
-            assert_eq!(qa.num_edges(), qb.num_edges());
+        for density in [Density::Any, Density::Dense] {
+            let spec = QuerySetSpec {
+                num_vertices: 6,
+                density,
+                count: 5,
+            };
+            let a = generate_query_set(&g, spec, 3);
+            let b = generate_query_set(&g, spec, 3);
+            assert_eq!(a.len(), b.len());
+            for (qa, qb) in a.iter().zip(&b) {
+                assert_eq!(qa.num_edges(), qb.num_edges());
+                for v in 0..qa.num_vertices() as u32 {
+                    assert_eq!(qa.label(v), qb.label(v));
+                    assert_eq!(qa.neighbors(v), qb.neighbors(v));
+                }
+            }
         }
     }
 

@@ -13,7 +13,9 @@
 //!   caps and caller-side aborts all need the same "poll a flag cheaply,
 //!   stop soon" protocol ([`cancel`]);
 //! * **observability** — scaling claims are guesses unless per-worker
-//!   morsel/steal/busy counters are reported ([`metrics`]);
+//!   morsel/steal/busy counters are reported ([`metrics`]), and phase
+//!   claims are guesses unless spans, counters and event logs share one
+//!   schema ([`trace`]);
 //! * **hermetic builds** — the workspace must compile and test fully
 //!   offline, so the randomness the generators and the property tests need
 //!   lives in-repo ([`rng`], [`check`]) instead of in external crates.
@@ -28,8 +30,10 @@ pub mod check;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod trace;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use metrics::{PoolMetrics, WorkerMetrics};
 pub use pool::{morsel_size_for, MorselQueue, Popped};
 pub use rng::Rng64;
+pub use trace::{Counter, CounterBlock, EventKind, EventRing, RunProfile, Trace};

@@ -15,6 +15,10 @@ pub struct WorkerMetrics {
     pub busy: Duration,
     /// Time spent looking for work (queue polling and stealing).
     pub idle: Duration,
+    /// Of [`WorkerMetrics::idle`], time spent on polls that ended in a
+    /// steal — the steal *latency* (how long finding remote work takes),
+    /// as opposed to the steal *count* in [`WorkerMetrics::steals`].
+    pub steal_wait: Duration,
     /// Runs for which this worker's scratch arena was already shaped and
     /// no allocation happened (filled in by the execution layer; the pool
     /// itself leaves it 0).
@@ -28,7 +32,17 @@ impl WorkerMetrics {
         self.steals += other.steals;
         self.busy += other.busy;
         self.idle += other.idle;
+        self.steal_wait += other.steal_wait;
         self.scratch_reuse += other.scratch_reuse;
+    }
+
+    /// Mean time to find remote work, per successful steal.
+    pub fn mean_steal_wait(&self) -> Duration {
+        if self.steals == 0 {
+            Duration::ZERO
+        } else {
+            self.steal_wait / self.steals as u32
+        }
     }
 }
 
@@ -53,6 +67,22 @@ impl PoolMetrics {
     /// Total scratch-arena reuses across workers.
     pub fn total_scratch_reuse(&self) -> u64 {
         self.workers.iter().map(|w| w.scratch_reuse).sum()
+    }
+
+    /// Total time spent idle (polling + stealing) across workers.
+    pub fn total_idle(&self) -> Duration {
+        self.workers.iter().map(|w| w.idle).sum()
+    }
+
+    /// Mean steal latency across the pool: total steal wait over total
+    /// successful steals. Zero when nothing was stolen.
+    pub fn mean_steal_wait(&self) -> Duration {
+        let steals: u64 = self.total_steals();
+        if steals == 0 {
+            return Duration::ZERO;
+        }
+        let wait: Duration = self.workers.iter().map(|w| w.steal_wait).sum();
+        wait / steals as u32
     }
 
     /// Mean fraction of worker wall-clock spent executing morsels
@@ -85,12 +115,23 @@ impl PoolMetrics {
         )
     }
 
-    /// Per-worker rendering: `w0 m=5/s=1/r=4 w1 m=7/s=2/r=6 …`.
+    /// Per-worker rendering with balancing detail:
+    /// `w0 m=5/s=1/r=4/idle=10.0ms/sw=5.0ms …` — `idle` is total time the
+    /// worker spent looking for work, `sw` its mean steal latency.
     pub fn per_worker(&self) -> String {
         self.workers
             .iter()
             .enumerate()
-            .map(|(i, w)| format!("w{i} m={}/s={}/r={}", w.morsels, w.steals, w.scratch_reuse))
+            .map(|(i, w)| {
+                format!(
+                    "w{i} m={}/s={}/r={}/idle={:.1}ms/sw={:.1}ms",
+                    w.morsels,
+                    w.steals,
+                    w.scratch_reuse,
+                    w.idle.as_secs_f64() * 1e3,
+                    w.mean_steal_wait().as_secs_f64() * 1e3,
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ")
     }
@@ -106,6 +147,7 @@ mod tests {
             steals,
             busy: Duration::from_millis(busy_ms),
             idle: Duration::from_millis(idle_ms),
+            steal_wait: Duration::from_millis(idle_ms / 2),
             scratch_reuse: morsels.saturating_sub(1),
         }
     }
@@ -121,12 +163,27 @@ mod tests {
         assert!((f - 70.0 / 80.0).abs() < 1e-9, "{f}");
         assert_eq!(m.total_scratch_reuse(), 10);
         assert!(m.summary().starts_with("m=12 s=3 r=10"));
-        assert_eq!(m.per_worker(), "w0 m=5/s=1/r=4 w1 m=7/s=2/r=6");
+        assert_eq!(
+            m.per_worker(),
+            "w0 m=5/s=1/r=4/idle=10.0ms/sw=5.0ms w1 m=7/s=2/r=6/idle=0.0ms/sw=0.0ms"
+        );
     }
 
     #[test]
     fn empty_pool_is_fully_busy() {
         assert_eq!(PoolMetrics::default().busy_fraction(), 1.0);
+        assert_eq!(PoolMetrics::default().mean_steal_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn steal_latency_is_wait_over_steals() {
+        let m = PoolMetrics {
+            workers: vec![w(5, 1, 30, 10), w(7, 3, 40, 6)], // waits: 5ms + 3ms
+        };
+        assert_eq!(m.mean_steal_wait(), Duration::from_millis(2));
+        assert_eq!(m.total_idle(), Duration::from_millis(16));
+        assert_eq!(m.workers[1].mean_steal_wait(), Duration::from_millis(1));
+        assert_eq!(WorkerMetrics::default().mean_steal_wait(), Duration::ZERO);
     }
 
     #[test]

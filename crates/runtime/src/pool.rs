@@ -17,6 +17,7 @@
 //! morsel cannot dominate a run), with a floor of one entry.
 
 use crate::metrics::WorkerMetrics;
+use crate::trace::{EventKind, EventRing, Trace};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Mutex;
@@ -126,28 +127,76 @@ impl<T> MorselQueue<T> {
         I: Fn(usize) -> S + Sync,
         F: Fn(usize, &mut S, T) -> bool + Sync,
     {
+        self.run_traced(init, step, &Trace::disabled(), None)
+    }
+
+    /// [`MorselQueue::run`] with tracing: each worker opens a span under
+    /// `parent`, wraps every morsel in a `morsel` span, and logs
+    /// morsel-start/finish, steal and early-stop events into a private
+    /// ring flushed when the worker exits (including on cancellation).
+    /// With a disabled trace this is exactly `run` — every trace touch is
+    /// one branch.
+    pub fn run_traced<S, I, F>(
+        &self,
+        init: I,
+        step: F,
+        trace: &Trace,
+        parent: Option<u32>,
+    ) -> Vec<(S, WorkerMetrics)>
+    where
+        T: Send,
+        S: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(usize, &mut S, T) -> bool + Sync,
+    {
         let threads = self.workers();
         scoped_map(threads, |wid| {
+            let worker_span = trace.is_enabled().then(|| trace.span_under(parent, "worker"));
+            let mut ring = EventRing::default();
             let mut state = init(wid);
             let mut metrics = WorkerMetrics::default();
+            let mut seq = 0u64;
             loop {
                 let waiting = Instant::now();
                 let popped = self.pop(wid);
-                metrics.idle += waiting.elapsed();
+                let wait = waiting.elapsed();
+                metrics.idle += wait;
                 let (morsel, stolen) = match popped {
                     Some(Popped::Local(t)) => (t, false),
                     Some(Popped::Stolen(t)) => (t, true),
                     None => break,
                 };
                 metrics.morsels += 1;
-                metrics.steals += stolen as u64;
+                if stolen {
+                    metrics.steals += 1;
+                    metrics.steal_wait += wait;
+                }
+                if trace.is_enabled() {
+                    if stolen {
+                        ring.push(trace.now_ns(), EventKind::Steal, seq);
+                    }
+                    ring.push(trace.now_ns(), EventKind::MorselStart, seq);
+                }
                 let working = Instant::now();
-                let keep_going = step(wid, &mut state, morsel);
+                let keep_going = {
+                    let _morsel_span = trace.is_enabled().then(|| trace.span("morsel"));
+                    step(wid, &mut state, morsel)
+                };
                 metrics.busy += working.elapsed();
+                if trace.is_enabled() {
+                    ring.push(trace.now_ns(), EventKind::MorselFinish, seq);
+                }
+                seq += 1;
                 if !keep_going {
+                    if trace.is_enabled() {
+                        ring.push(trace.now_ns(), EventKind::Cancel, 0);
+                        trace.mark_cancelled();
+                    }
                     break;
                 }
             }
+            trace.flush_ring(wid, &ring);
+            drop(worker_span);
             (state, metrics)
         })
     }
@@ -283,6 +332,72 @@ mod tests {
         });
         let executed: u32 = results.iter().map(|(s, _)| *s).sum();
         assert!(executed <= 2, "{executed}"); // at most one morsel per worker
+    }
+
+    #[test]
+    fn run_traced_records_spans_and_events() {
+        let trace = Trace::enabled();
+        let root = trace.span("parallel");
+        let q = MorselQueue::new(vec![(0..8).collect::<Vec<u32>>(), vec![]]);
+        let results = q.run_traced(
+            |_| 0u64,
+            |_, n, _m| {
+                std::thread::yield_now();
+                *n += 1;
+                true
+            },
+            &trace,
+            root.id(),
+        );
+        drop(root);
+        let done: u64 = results.iter().map(|(s, _)| *s).sum();
+        assert_eq!(done, 8);
+        let snap = trace.snapshot();
+        let workers = snap.spans.iter().filter(|s| s.name == "worker").count();
+        let morsels = snap.spans.iter().filter(|s| s.name == "morsel").count();
+        assert_eq!(workers, 2);
+        assert_eq!(morsels, 8);
+        assert!(snap.spans.iter().all(|s| s.closed()));
+        // worker spans hang off the parallel root
+        assert!(snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "worker")
+            .all(|s| s.parent == Some(0)));
+        // every executed morsel logged a start and a finish
+        let starts: u64 = snap
+            .events
+            .iter()
+            .flat_map(|w| &w.tail)
+            .filter(|e| e.kind == EventKind::MorselStart)
+            .count() as u64;
+        assert_eq!(starts, 8);
+        // maximal skew: worker 1 must have stolen, and steal_wait is
+        // accounted within idle
+        let steals: u64 = results.iter().map(|(_, m)| m.steals).sum();
+        assert!(steals > 0);
+        for (_, m) in &results {
+            assert!(m.steal_wait <= m.idle);
+            if m.steals == 0 {
+                assert_eq!(m.steal_wait, std::time::Duration::ZERO);
+            }
+        }
+        assert!(!trace.was_cancelled());
+    }
+
+    #[test]
+    fn run_traced_cancel_flushes_ring() {
+        let trace = Trace::enabled();
+        let q = MorselQueue::new(vec![vec![1u32, 2, 3]]);
+        let _ = q.run_traced(|_| (), |_, _, _| false, &trace, None);
+        assert!(trace.was_cancelled());
+        let snap = trace.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(
+            snap.events[0].tail.last().unwrap().kind,
+            EventKind::Cancel
+        );
+        assert!(snap.spans.iter().all(|s| s.closed()));
     }
 
     #[test]

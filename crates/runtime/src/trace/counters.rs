@@ -1,0 +1,254 @@
+//! The counter registry: a fixed, schema-stable set of cheap `u64`
+//! counters covering the paper's explanatory metrics — intersections by
+//! kernel, candidates pruned, backtracks, peak partial-embedding depth,
+//! local-candidate cache hits, morsel/steal/scratch accounting.
+//!
+//! Engines accumulate into a worker-local plain [`CounterBlock`] (an
+//! unconditional `u64` add — no atomics, no branches on the hot path) and
+//! flush the block into the [`crate::trace::Trace`] once per run/worker.
+//! Totals across workers are a *merge*: sum counters add, the peak-depth
+//! gauge takes the max.
+
+/// One named counter of the registry. The numbering is the wire schema of
+/// the JSONL profile — append new counters at the end, never reorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Merge-kernel set intersections performed.
+    IntersectMerge,
+    /// Galloping-kernel set intersections performed.
+    IntersectGalloping,
+    /// Hybrid-kernel set intersections performed.
+    IntersectHybrid,
+    /// QFilter (BSR block-bitmap) set intersections performed.
+    IntersectQfilter,
+    /// Candidate vertices removed by filter refinement (all rounds).
+    CandidatesPruned,
+    /// Filter refinement rounds executed.
+    FilterRounds,
+    /// Backtracks: partial assignments undone by the enumeration engines.
+    Backtracks,
+    /// Peak partial-embedding depth reached (a max gauge, not a sum).
+    PeakDepth,
+    /// Local-candidate reads served from a prebuilt space list instead of
+    /// a fresh intersection/scan (TreeIndex tree-edge lists, adaptive LC
+    /// cache).
+    LcCacheHits,
+    /// Search-tree nodes visited (recursive engine invocations).
+    Recursions,
+    /// Matches emitted.
+    Matches,
+    /// Morsels executed by the worker pool.
+    MorselsExecuted,
+    /// Of those, morsels stolen from another worker's queue.
+    MorselsStolen,
+    /// Runs/morsels that hit the zero-allocation scratch fast path.
+    ScratchReuses,
+    /// Wall-clock nanoseconds spent executing morsels.
+    BusyNs,
+    /// Wall-clock nanoseconds spent looking for work (poll + steal).
+    IdleNs,
+    /// Of `IdleNs`, nanoseconds spent on polls that ended in a steal —
+    /// the steal *latency* the parallel table reports.
+    StealWaitNs,
+    /// Glasgow CP search nodes explored.
+    GlasgowNodes,
+    /// Glasgow domain-propagation passes on assignment.
+    GlasgowPropagations,
+}
+
+impl Counter {
+    /// Number of counters in the registry.
+    pub const COUNT: usize = 19;
+
+    /// Every counter, in schema order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::IntersectMerge,
+        Counter::IntersectGalloping,
+        Counter::IntersectHybrid,
+        Counter::IntersectQfilter,
+        Counter::CandidatesPruned,
+        Counter::FilterRounds,
+        Counter::Backtracks,
+        Counter::PeakDepth,
+        Counter::LcCacheHits,
+        Counter::Recursions,
+        Counter::Matches,
+        Counter::MorselsExecuted,
+        Counter::MorselsStolen,
+        Counter::ScratchReuses,
+        Counter::BusyNs,
+        Counter::IdleNs,
+        Counter::StealWaitNs,
+        Counter::GlasgowNodes,
+        Counter::GlasgowPropagations,
+    ];
+
+    /// Stable snake_case name — the JSONL field key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::IntersectMerge => "intersect_merge",
+            Counter::IntersectGalloping => "intersect_galloping",
+            Counter::IntersectHybrid => "intersect_hybrid",
+            Counter::IntersectQfilter => "intersect_qfilter",
+            Counter::CandidatesPruned => "candidates_pruned",
+            Counter::FilterRounds => "filter_rounds",
+            Counter::Backtracks => "backtracks",
+            Counter::PeakDepth => "peak_depth",
+            Counter::LcCacheHits => "lc_cache_hits",
+            Counter::Recursions => "recursions",
+            Counter::Matches => "matches",
+            Counter::MorselsExecuted => "morsels_executed",
+            Counter::MorselsStolen => "morsels_stolen",
+            Counter::ScratchReuses => "scratch_reuses",
+            Counter::BusyNs => "busy_ns",
+            Counter::IdleNs => "idle_ns",
+            Counter::StealWaitNs => "steal_wait_ns",
+            Counter::GlasgowNodes => "glasgow_nodes",
+            Counter::GlasgowPropagations => "glasgow_propagations",
+        }
+    }
+
+    /// Look a counter up by its JSONL field key.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Whether merging across workers takes the max (gauge) instead of the
+    /// sum.
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Counter::PeakDepth)
+    }
+}
+
+/// A worker-local block of every registry counter. Plain `u64`s: bumping
+/// one is a single add, so the block can stay on the enumeration hot path
+/// even when tracing is disabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterBlock {
+    vals: [u64; Counter::COUNT],
+}
+
+impl CounterBlock {
+    /// An all-zero block.
+    pub fn new() -> Self {
+        CounterBlock::default()
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.vals[c as usize] += n;
+    }
+
+    /// Add 1 to a counter.
+    #[inline]
+    pub fn bump(&mut self, c: Counter) {
+        self.vals[c as usize] += 1;
+    }
+
+    /// Raise a gauge counter to at least `v`.
+    #[inline]
+    pub fn record_max(&mut self, c: Counter, v: u64) {
+        if v > self.vals[c as usize] {
+            self.vals[c as usize] = v;
+        }
+    }
+
+    /// Overwrite a counter (for mirrored values like `busy_ns`).
+    #[inline]
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c as usize] = v;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// Merge another block into this one: sums add, gauges take the max.
+    pub fn merge(&mut self, other: &CounterBlock) {
+        for c in Counter::ALL {
+            if c.is_gauge() {
+                self.record_max(c, other.get(c));
+            } else {
+                self.add(c, other.get(c));
+            }
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+
+    /// Iterate the non-zero counters in schema order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL
+            .into_iter()
+            .filter_map(move |c| (self.get(c) > 0).then_some((c, self.get(c))))
+    }
+
+    /// Total set intersections across all four kernels.
+    pub fn intersections(&self) -> u64 {
+        self.get(Counter::IntersectMerge)
+            + self.get(Counter::IntersectGalloping)
+            + self.get(Counter::IntersectHybrid)
+            + self.get(Counter::IntersectQfilter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("bogus"), None);
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn block_ops() {
+        let mut b = CounterBlock::new();
+        assert!(b.is_zero());
+        b.bump(Counter::Backtracks);
+        b.add(Counter::Backtracks, 2);
+        b.record_max(Counter::PeakDepth, 5);
+        b.record_max(Counter::PeakDepth, 3); // lower: no effect
+        assert_eq!(b.get(Counter::Backtracks), 3);
+        assert_eq!(b.get(Counter::PeakDepth), 5);
+        assert!(!b.is_zero());
+        let nz: Vec<_> = b.iter_nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![(Counter::Backtracks, 3), (Counter::PeakDepth, 5)]
+        );
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = CounterBlock::new();
+        a.add(Counter::Recursions, 10);
+        a.record_max(Counter::PeakDepth, 4);
+        let mut b = CounterBlock::new();
+        b.add(Counter::Recursions, 5);
+        b.record_max(Counter::PeakDepth, 7);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::Recursions), 15);
+        assert_eq!(a.get(Counter::PeakDepth), 7);
+    }
+
+    #[test]
+    fn intersections_sum_kernels() {
+        let mut b = CounterBlock::new();
+        b.add(Counter::IntersectMerge, 1);
+        b.add(Counter::IntersectHybrid, 2);
+        b.add(Counter::IntersectQfilter, 4);
+        assert_eq!(b.intersections(), 7);
+    }
+}

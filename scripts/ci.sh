@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Full local gate: release build, workspace tests, clippy with warnings
-# denied. Run from anywhere; everything executes at the repo root.
+# denied, plus the observability smoke checks (trace overhead stays inside
+# the bound; JSONL run profiles round-trip and validate). Run from
+# anywhere; everything executes at the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,3 +10,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+cargo build --release -p sm-bench
+./target/release/experiments trace-overhead --queries 2 --threads 4
+./target/release/experiments check-profile --queries 1 --threads 4
