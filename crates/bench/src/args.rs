@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
-//!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
-//!             [--trace] [--profile-out PATH]
+//!             [--time-limit-ms N] [--orders N] [--threads N] [--clients N]
+//!             [--full] [--trace] [--profile-out PATH]
 //! ```
 
 use std::time::Duration;
@@ -24,6 +24,8 @@ pub struct HarnessOptions {
     pub orders: usize,
     /// Worker threads for query-set evaluation.
     pub threads: usize,
+    /// Concurrent client threads for the `serve` experiment.
+    pub clients: usize,
     /// Attach an sm-runtime [`sm_runtime::Trace`] to supported experiments
     /// and print the per-phase span tree after each traced run.
     pub trace: bool,
@@ -41,6 +43,7 @@ impl Default for HarnessOptions {
             time_limit: Duration::from_millis(1000),
             orders: 100,
             threads: 1,
+            clients: 2,
             trace: false,
             profile_out: None,
         }
@@ -85,6 +88,13 @@ impl HarnessOptions {
                         .and_then(|v| v.parse().ok())
                         .filter(|&t: &usize| t >= 1)
                         .ok_or("--threads needs a positive integer")?;
+                }
+                "--clients" => {
+                    opts.clients = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&c: &usize| c >= 1)
+                        .ok_or("--clients needs a positive integer")?;
                 }
                 "--trace" => {
                     opts.trace = true;
@@ -146,7 +156,10 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(o.command, "fig7");
-        assert_eq!(o.datasets.as_deref(), Some(&["ye".to_string(), "hu".to_string()][..]));
+        assert_eq!(
+            o.datasets.as_deref(),
+            Some(&["ye".to_string(), "hu".to_string()][..])
+        );
         assert_eq!(o.queries, 50);
         assert_eq!(o.time_limit, Duration::from_secs(2));
         assert_eq!(o.orders, 500);
@@ -168,7 +181,16 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["fig7", "extra"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--clients", "0"]).is_err());
         assert!(parse(&["--profile-out"]).is_err());
+    }
+
+    #[test]
+    fn clients_flag() {
+        let o = parse(&["serve", "--clients", "4"]).unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.clients, 4);
+        assert_eq!(parse(&[]).unwrap().clients, 2);
     }
 
     #[test]

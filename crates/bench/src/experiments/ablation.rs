@@ -17,9 +17,7 @@ use crate::table::{ms, TextTable};
 use sm_intersect::IntersectKind;
 use sm_match::filter::dpiso::dpiso_candidates;
 use sm_match::filter::gql::{gql_candidates, GqlParams};
-use sm_match::{
-    Algorithm, DataContext, FilterKind, LcMethod, OrderKind, Pipeline, QueryContext,
-};
+use sm_match::{Algorithm, DataContext, FilterKind, LcMethod, OrderKind, Pipeline, QueryContext};
 use std::time::Instant;
 
 /// Run all three ablations.
@@ -66,7 +64,13 @@ pub fn run(opts: &HarnessOptions) {
             for q in &queries {
                 let qc = QueryContext::new(q);
                 let t0 = Instant::now();
-                let c = gql_candidates(&qc, &gc, GqlParams { refinement_rounds: rounds });
+                let c = gql_candidates(
+                    &qc,
+                    &gc,
+                    GqlParams {
+                        refinement_rounds: rounds,
+                    },
+                );
                 time_sum += t0.elapsed().as_secs_f64() * 1e3;
                 cand_sum += c.average();
             }
@@ -93,7 +97,11 @@ pub fn run(opts: &HarnessOptions) {
             let s = eval_query_set(&p, &queries, &gc, &cfg, opts.threads);
             let mem: usize =
                 s.results.iter().map(|r| r.space_memory).sum::<usize>() / s.results.len().max(1);
-            t.row(vec![label.to_string(), ms(s.avg_enum_ms()), (mem / 1024).to_string()]);
+            t.row(vec![
+                label.to_string(),
+                ms(s.avg_enum_ms()),
+                (mem / 1024).to_string(),
+            ]);
         }
         t.print();
 

@@ -68,15 +68,17 @@ pub fn run(opts: &HarnessOptions) {
     let ds = load(&spec);
     let gc = DataContext::new(&ds.graph);
 
-    println!("\n=== Figure 7(b): filtering time (ms) on {}, dense sizes ===", spec.abbrev);
+    println!(
+        "\n=== Figure 7(b): filtering time (ms) on {}, dense sizes ===",
+        spec.abbrev
+    );
     let sweep = dense_sweep(&spec, opts.queries);
     let mut t = TextTable::new(
         std::iter::once("filter".to_string())
             .chain(sweep.iter().map(|(n, _)| n.clone()))
             .collect(),
     );
-    let sweep_queries: Vec<Vec<Graph>> =
-        sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    let sweep_queries: Vec<Vec<Graph>> = sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
     for f in FILTERS {
         let mut row = vec![f.name().to_string()];
         for qs in &sweep_queries {
@@ -86,7 +88,10 @@ pub fn run(opts: &HarnessOptions) {
     }
     t.print();
 
-    println!("\n=== Figure 7(c): filtering time (ms) on {}, dense vs sparse ===", spec.abbrev);
+    println!(
+        "\n=== Figure 7(c): filtering time (ms) on {}, dense vs sparse ===",
+        spec.abbrev
+    );
     let dense = query_set(&ds, dense_sweep(&spec, opts.queries).last().unwrap().1);
     let sparse = query_set(&ds, sparse_sweep(&spec, opts.queries).last().unwrap().1);
     let mut t = TextTable::new(vec!["filter", "dense", "sparse"]);

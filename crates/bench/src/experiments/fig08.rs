@@ -77,7 +77,10 @@ pub fn run(opts: &HarnessOptions) {
     let ds = load(&spec);
     let gc = DataContext::new(&ds.graph);
 
-    println!("\n=== Figure 8(b): avg candidates on {}, vary |V(q)| (dense) ===", spec.abbrev);
+    println!(
+        "\n=== Figure 8(b): avg candidates on {}, vary |V(q)| (dense) ===",
+        spec.abbrev
+    );
     let mut sweep = vec![(
         "Q4".to_string(),
         sm_graph::gen::query::QuerySetSpec {
@@ -92,8 +95,7 @@ pub fn run(opts: &HarnessOptions) {
             .chain(sweep.iter().map(|(n, _)| n.clone()))
             .collect(),
     );
-    let sweep_queries: Vec<Vec<Graph>> =
-        sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
+    let sweep_queries: Vec<Vec<Graph>> = sweep.iter().map(|(_, s)| query_set(&ds, *s)).collect();
     for m in METHODS {
         let mut row = vec![m.name().to_string()];
         for qs in &sweep_queries {
@@ -103,7 +105,10 @@ pub fn run(opts: &HarnessOptions) {
     }
     t.print();
 
-    println!("\n=== Figure 8(c): avg candidates on {}, dense vs sparse ===", spec.abbrev);
+    println!(
+        "\n=== Figure 8(c): avg candidates on {}, dense vs sparse ===",
+        spec.abbrev
+    );
     let dense = query_set(&ds, dense_sweep(&spec, opts.queries).last().unwrap().1);
     let sparse = query_set(&ds, sparse_sweep(&spec, opts.queries).last().unwrap().1);
     let mut t = TextTable::new(vec!["method", "dense", "sparse"]);

@@ -24,8 +24,18 @@ pub fn pairs() -> Vec<(&'static str, Pipeline, Pipeline)> {
     vec![
         (
             "QSI",
-            Pipeline::new("QSI-orig", FilterKind::Ldf, OrderKind::QuickSi, LcMethod::Direct),
-            Pipeline::new("QSI-opt", FilterKind::Ldf, OrderKind::QuickSi, LcMethod::Intersect),
+            Pipeline::new(
+                "QSI-orig",
+                FilterKind::Ldf,
+                OrderKind::QuickSi,
+                LcMethod::Direct,
+            ),
+            Pipeline::new(
+                "QSI-opt",
+                FilterKind::Ldf,
+                OrderKind::QuickSi,
+                LcMethod::Intersect,
+            ),
         ),
         (
             "GQL",
@@ -44,13 +54,28 @@ pub fn pairs() -> Vec<(&'static str, Pipeline, Pipeline)> {
         ),
         (
             "CFL",
-            Pipeline::new("CFL-orig", FilterKind::Cfl, OrderKind::Cfl, LcMethod::TreeIndex),
-            Pipeline::new("CFL-opt", FilterKind::Cfl, OrderKind::Cfl, LcMethod::Intersect),
+            Pipeline::new(
+                "CFL-orig",
+                FilterKind::Cfl,
+                OrderKind::Cfl,
+                LcMethod::TreeIndex,
+            ),
+            Pipeline::new(
+                "CFL-opt",
+                FilterKind::Cfl,
+                OrderKind::Cfl,
+                LcMethod::Intersect,
+            ),
         ),
         (
             "2PP",
             vf_orig,
-            Pipeline::new("2PP-opt", FilterKind::Ldf, OrderKind::Vf2pp, LcMethod::Intersect),
+            Pipeline::new(
+                "2PP-opt",
+                FilterKind::Ldf,
+                OrderKind::Vf2pp,
+                LcMethod::Intersect,
+            ),
         ),
     ]
 }

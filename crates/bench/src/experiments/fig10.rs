@@ -7,7 +7,7 @@
 
 use crate::args::HarnessOptions;
 use crate::experiments::{
-    datasets_for, default_query_sets, dense_sweep, load, query_set, measure_config,
+    datasets_for, default_query_sets, dense_sweep, load, measure_config, query_set,
 };
 use crate::harness::eval_query_set;
 use crate::table::{ms, TextTable};
@@ -75,7 +75,9 @@ pub fn run(opts: &HarnessOptions) {
         for qs in &sweep_queries {
             let mut cfg = measure_config(opts);
             cfg.intersect = k;
-            row.push(ms(eval_query_set(&pipeline, qs, &gc, &cfg, opts.threads).avg_enum_ms()));
+            row.push(ms(
+                eval_query_set(&pipeline, qs, &gc, &cfg, opts.threads).avg_enum_ms()
+            ));
         }
         t.row(row);
     }

@@ -77,7 +77,9 @@ pub fn run(opts: &HarnessOptions) {
     for p in &pipelines {
         let mut row = vec![p.name.clone()];
         for qs in &sweep_queries {
-            row.push(ms(eval_query_set(p, qs, &gc, &cfg, opts.threads).avg_enum_ms()));
+            row.push(ms(
+                eval_query_set(p, qs, &gc, &cfg, opts.threads).avg_enum_ms()
+            ));
         }
         t.row(row);
     }

@@ -8,7 +8,9 @@
 
 use crate::args::HarnessOptions;
 use crate::experiments::fig11::ordering_pipelines;
-use crate::experiments::{datasets_for, dense_sweep, load, measure_config, query_set, sparse_sweep};
+use crate::experiments::{
+    datasets_for, dense_sweep, load, measure_config, query_set, sparse_sweep,
+};
 use crate::harness::eval_query_set;
 use crate::table::TextTable;
 use sm_match::DataContext;

@@ -3,7 +3,9 @@
 //! query, with GQL's and RI's orders marked against it.
 
 use crate::args::HarnessOptions;
-use crate::experiments::{datasets_for, dense_sweep, load, measure_config, query_set, sparse_sweep};
+use crate::experiments::{
+    datasets_for, dense_sweep, load, measure_config, query_set, sparse_sweep,
+};
 use crate::table::{ms, TextTable};
 use sm_match::spectrum::spectrum_analysis;
 use sm_match::{Algorithm, DataContext};
@@ -30,7 +32,13 @@ pub fn run(opts: &HarnessOptions) {
         opts.orders, spec.abbrev, opts.time_limit
     );
     let mut t = TextTable::new(vec![
-        "query", "completed", "min", "median", "max", "GQL", "RI",
+        "query",
+        "completed",
+        "min",
+        "median",
+        "max",
+        "GQL",
+        "RI",
     ]);
     for (name, q) in picks {
         let Some(q) = q else {

@@ -51,7 +51,9 @@ pub fn run(opts: &HarnessOptions) {
     for (label, c) in [("wo/fs", &cfg), ("w/fs", &cfg_fs)] {
         let mut row = vec![label.to_string()];
         for qs in &sweep_queries {
-            row.push(ms(eval_query_set(&dp, qs, &gc, c, opts.threads).avg_enum_ms()));
+            row.push(ms(
+                eval_query_set(&dp, qs, &gc, c, opts.threads).avg_enum_ms()
+            ));
         }
         t.row(row);
     }
@@ -69,12 +71,7 @@ pub fn run(opts: &HarnessOptions) {
     for p in ordering_pipelines() {
         let wo = eval_query_set(&p, &queries, &gc, &cfg, opts.threads).avg_enum_ms();
         let w = eval_query_set(&p, &queries, &gc, &cfg_fs, opts.threads).avg_enum_ms();
-        t.row(vec![
-            p.name.clone(),
-            ms(wo),
-            ms(w),
-            ratio(wo / w.max(1e-6)),
-        ]);
+        t.row(vec![p.name.clone(), ms(wo), ms(w), ratio(wo / w.max(1e-6))]);
     }
     t.print();
 }

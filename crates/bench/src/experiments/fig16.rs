@@ -3,9 +3,7 @@
 //! Glasgow CP solver, which only fits in memory on the small datasets.
 
 use crate::args::HarnessOptions;
-use crate::experiments::{
-    datasets_for, default_query_sets, load, query_set, ALL_DATASETS,
-};
+use crate::experiments::{datasets_for, default_query_sets, load, query_set, ALL_DATASETS};
 use crate::harness::eval_query_set;
 use crate::table::{ms, TextTable};
 use sm_glasgow::{glasgow_match, GlasgowConfig, GlasgowError};

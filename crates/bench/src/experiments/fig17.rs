@@ -27,10 +27,7 @@ fn pipelines() -> Vec<(Pipeline, &'static str)> {
     vec![(gqlfs, "GQLfs"), (rifs, "RIfs")]
 }
 
-fn eval_point(
-    g: &sm_graph::Graph,
-    opts: &HarnessOptions,
-) -> Vec<PointRow> {
+fn eval_point(g: &sm_graph::Graph, opts: &HarnessOptions) -> Vec<PointRow> {
     let gc = DataContext::new(g);
     let set = QuerySetSpec {
         num_vertices: 16,
@@ -60,7 +57,11 @@ type PointRow = (String, f64, usize, Option<f64>);
 fn print_sweep(label: &str, points: Vec<(String, Vec<PointRow>)>) {
     println!("\n=== Figure 17 ({label}): Q16D on RMAT, find-all ===");
     let mut t = TextTable::new(vec![
-        "point", "algorithm", "time ms", "unsolved", "avg results",
+        "point",
+        "algorithm",
+        "time ms",
+        "unsolved",
+        "avg results",
     ]);
     for (point, rows) in points {
         for (name, time, unsolved, results) in rows {

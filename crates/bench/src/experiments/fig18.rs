@@ -35,7 +35,11 @@ fn eval(g: &sm_graph::Graph, opts: &HarnessOptions) -> Vec<(String, f64, usize)>
         .iter()
         .map(|p| {
             let s = eval_query_set(p, &queries, &gc, &cfg, opts.threads);
-            (p.name.clone(), s.avg_plan_build_ms() + s.avg_enum_ms(), s.unsolved())
+            (
+                p.name.clone(),
+                s.avg_plan_build_ms() + s.avg_enum_ms(),
+                s.unsolved(),
+            )
         })
         .collect()
 }

@@ -134,10 +134,7 @@ pub fn run(opts: &HarnessOptions) {
             let steal_lat = if pool_all.total_steals() == 0 {
                 "-".to_string()
             } else {
-                format!(
-                    "{:.1}µs",
-                    pool_all.mean_steal_wait().as_secs_f64() * 1e6
-                )
+                format!("{:.1}µs", pool_all.mean_steal_wait().as_secs_f64() * 1e6)
             };
             let idle_cell = if pool_all.workers.is_empty() {
                 "-".to_string()
@@ -146,7 +143,11 @@ pub fn run(opts: &HarnessOptions) {
             };
             t.row(vec![
                 threads.to_string(),
-                if threads == 1 { "seq".to_string() } else { strat_name.to_string() },
+                if threads == 1 {
+                    "seq".to_string()
+                } else {
+                    strat_name.to_string()
+                },
                 ms(plan),
                 ms(enumt),
                 ratio(base_ms / enumt.max(1e-9)),
@@ -155,7 +156,11 @@ pub fn run(opts: &HarnessOptions) {
                 steal_lat,
                 idle_cell,
                 pool_cell,
-                if per_worker.is_empty() { "-".to_string() } else { per_worker },
+                if per_worker.is_empty() {
+                    "-".to_string()
+                } else {
+                    per_worker
+                },
             ]);
         }
     }
@@ -163,6 +168,9 @@ pub fn run(opts: &HarnessOptions) {
     println!("(root distribution parallelizes execution only; the plan is built once, sequentially, and shared by all workers. m=morsels executed, s=stolen, reuse=scratch-arena reuses; steal lat=mean time a steal spent finding remote work, idle ms=summed worker time spent looking for work, per-worker idle/sw show the same per worker)");
     if let Some(path) = &opts.profile_out {
         write_profiles(path, &profiles);
-        println!("wrote {} profile(s) to {path} (+ {path}.folded)", profiles.len());
+        println!(
+            "wrote {} profile(s) to {path} (+ {path}.folded)",
+            profiles.len()
+        );
     }
 }

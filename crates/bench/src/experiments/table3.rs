@@ -8,7 +8,15 @@ use crate::table::TextTable;
 pub fn run(opts: &HarnessOptions) {
     println!("\n=== Table 3: dataset properties (paper original -> stand-in) ===");
     let mut t = TextTable::new(vec![
-        "Category", "Dataset", "Name", "|V| paper", "|E| paper", "|V|", "|E|", "|Sigma|", "d",
+        "Category",
+        "Dataset",
+        "Name",
+        "|V| paper",
+        "|E| paper",
+        "|V|",
+        "|E|",
+        "|Sigma|",
+        "d",
     ]);
     for spec in datasets_for(opts, &ALL_DATASETS) {
         let ds = load(&spec);

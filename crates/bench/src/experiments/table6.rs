@@ -23,9 +23,7 @@ pub fn run(opts: &HarnessOptions) {
         "\n=== Table 6: speedup of best sampled order ({} orders/query, {} queries/set) on {} ===",
         opts.orders, per_query, spec.abbrev
     );
-    let mut t = TextTable::new(vec![
-        "algorithm", "set", "mean", "std", "max", ">10",
-    ]);
+    let mut t = TextTable::new(vec!["algorithm", "set", "mean", "std", "max", ">10"]);
     for (set_name, set) in default_query_sets(&spec, per_query) {
         let queries = query_set(&ds, set);
         for alg in [Algorithm::GraphQl, Algorithm::Ri] {
@@ -56,7 +54,11 @@ pub fn run(opts: &HarnessOptions) {
             }
             let n = speedups.len() as f64;
             let mean = speedups.iter().sum::<f64>() / n;
-            let var = speedups.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+            let var = speedups
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
+                / n;
             let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
             let gt10 = speedups.iter().filter(|&&s| s > 10.0).count();
             t.row(vec![

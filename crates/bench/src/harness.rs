@@ -53,12 +53,20 @@ pub struct SetSummary {
 impl SetSummary {
     /// Mean plan-build time in ms (the paper's "preprocessing time").
     pub fn avg_plan_build_ms(&self) -> f64 {
-        mean(self.results.iter().map(|r| r.plan_build.as_secs_f64() * 1e3))
+        mean(
+            self.results
+                .iter()
+                .map(|r| r.plan_build.as_secs_f64() * 1e3),
+        )
     }
 
     /// Mean enumeration time in ms (unsolved clamped to the limit).
     pub fn avg_enum_ms(&self) -> f64 {
-        mean(self.results.iter().map(|r| r.enumeration.as_secs_f64() * 1e3))
+        mean(
+            self.results
+                .iter()
+                .map(|r| r.enumeration.as_secs_f64() * 1e3),
+        )
     }
 
     /// Standard deviation of the enumeration time in ms (Figure 12).
@@ -171,7 +179,10 @@ pub fn eval_query_set(
         slots[i] = Some(r);
     }
     SetSummary {
-        results: slots.into_iter().map(|r| r.expect("all slots filled")).collect(),
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect(),
     }
 }
 

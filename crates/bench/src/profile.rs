@@ -133,8 +133,15 @@ pub fn run(opts: &HarnessOptions) {
             threads,
             cancelled: false,
         };
-        let (out, profile) =
-            traced_cell(&pipeline, q, &gc, &cfg, threads, ParallelStrategy::Morsel, meta);
+        let (out, profile) = traced_cell(
+            &pipeline,
+            q,
+            &gc,
+            &cfg,
+            threads,
+            ParallelStrategy::Morsel,
+            meta,
+        );
         println!(
             "\n-- q{i}: {} matches in {:.2} ms ({:?})",
             out.matches,

@@ -84,9 +84,7 @@ impl Algorithm {
                 OrderKind::Adaptive,
                 LcMethod::Intersect,
             ),
-            Algorithm::Ri => {
-                Pipeline::new(name, FilterKind::Ldf, OrderKind::Ri, LcMethod::Direct)
-            }
+            Algorithm::Ri => Pipeline::new(name, FilterKind::Ldf, OrderKind::Ri, LcMethod::Direct),
             Algorithm::Vf2pp => {
                 let mut p =
                     Pipeline::new(name, FilterKind::Ldf, OrderKind::Vf2pp, LcMethod::Direct);

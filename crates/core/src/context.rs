@@ -29,6 +29,18 @@ impl<'g> DataContext<'g> {
             label_pairs: LabelPairEdgeCounts::build(graph),
         }
     }
+
+    /// Assemble from prebuilt indices — for callers that keep the indices
+    /// alive across many contexts (a service compiling plans against a
+    /// long-lived data graph) instead of recomputing `O(|E(G)|)` work per
+    /// query.
+    pub fn from_parts(graph: &'g Graph, nlf: NlfIndex, label_pairs: LabelPairEdgeCounts) -> Self {
+        DataContext {
+            graph,
+            nlf,
+            label_pairs,
+        }
+    }
 }
 
 /// Per-query derived state: NLF of the query and the 2-core mask used by

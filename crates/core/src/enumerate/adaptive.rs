@@ -30,11 +30,7 @@ use sm_runtime::Counter;
 use std::time::Instant;
 
 /// Run the adaptive enumeration of a compiled plan with a fresh scratch.
-pub fn enumerate_adaptive<S: MatchSink>(
-    plan: &QueryPlan,
-    g: &Graph,
-    sink: &mut S,
-) -> EnumStats {
+pub fn enumerate_adaptive<S: MatchSink>(plan: &QueryPlan, g: &Graph, sink: &mut S) -> EnumStats {
     let mut scratch = Scratch::new();
     enumerate_adaptive_with(plan, g, &mut scratch, sink)
 }
@@ -47,7 +43,24 @@ pub fn enumerate_adaptive_with<S: MatchSink>(
     scratch: &mut Scratch,
     sink: &mut S,
 ) -> EnumStats {
-    assert!(plan.adaptive, "plan was not compiled for the adaptive engine");
+    enumerate_adaptive_shared(plan, g, None, scratch, sink)
+}
+
+/// [`enumerate_adaptive_with`] under an external [`SharedControl`]: the
+/// run's cancellation token and match cap come from `shared` instead of
+/// the plan's config, so a service can execute one cached adaptive plan
+/// under many per-request budgets. `None` falls back to the plan config.
+pub fn enumerate_adaptive_shared<S: MatchSink>(
+    plan: &QueryPlan,
+    g: &Graph,
+    shared: Option<&crate::enumerate::control::SharedControl>,
+    scratch: &mut Scratch,
+    sink: &mut S,
+) -> EnumStats {
+    assert!(
+        plan.adaptive,
+        "plan was not compiled for the adaptive engine"
+    );
     assert!(
         !plan.config.vf2pp_rule,
         "adaptive engine does not support the VF2++ rule"
@@ -55,13 +68,17 @@ pub fn enumerate_adaptive_with<S: MatchSink>(
     let started = Instant::now();
     scratch.prepare(plan.num_query_vertices(), g.num_vertices());
     let n = plan.num_query_vertices();
-    let root = plan.tree.as_ref().expect("adaptive plan carries its tree").root;
+    let root = plan
+        .tree
+        .as_ref()
+        .expect("adaptive plan carries its tree")
+        .root;
     let mut eng = AdaptiveEngine {
         plan,
         sc: scratch,
         mapped_parents: vec![0; n],
         extendable: Vec::with_capacity(n),
-        ctl: RunControl::new(&plan.config, None, started, 0x3FF),
+        ctl: RunControl::new(&plan.config, shared, started, 0x3FF),
         sink,
     };
     // Root is extendable from the start with its full candidate set.
@@ -93,8 +110,9 @@ struct AdaptiveEngine<'a, S: MatchSink> {
 impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
     #[inline]
     fn emit_match(&mut self) {
-        self.ctl.record_match();
-        self.sink.on_match(&self.sc.m);
+        if self.ctl.record_match() {
+            self.sink.on_match(&self.sc.m);
+        }
     }
 
     /// Pick the extendable vertex with minimum estimated work; degree-one
@@ -210,7 +228,9 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 continue;
             }
             let activated = self.apply(u, v, pos);
-            self.ctl.counters.record_max(Counter::PeakDepth, depth as u64 + 1);
+            self.ctl
+                .counters
+                .record_max(Counter::PeakDepth, depth as u64 + 1);
             if depth + 1 == n {
                 self.emit_match();
             } else {

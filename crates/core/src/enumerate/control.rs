@@ -10,26 +10,56 @@ use sm_runtime::{CancelReason, CancelToken};
 use std::time::Instant;
 
 /// Shared state coordinating the worker engines of a parallel run: a
-/// global match counter (so the 10^5 cap applies to the *sum*) and one
-/// [`CancelToken`] every worker polls. Any worker hitting the cap (or a
-/// deadline expiring on any worker) cancels the token, and the reason
-/// distinguishes cap from timeout when outcomes are merged.
-#[derive(Default)]
+/// global match counter (so the 10^5 cap applies to the *sum*), the cap
+/// itself, and one [`CancelToken`] every worker polls. Any worker hitting
+/// the cap (or a deadline expiring on any worker) cancels the token, and
+/// the reason distinguishes cap from timeout when outcomes are merged.
+///
+/// Because the control carries the *run-scoped* budget (cap + token), it
+/// is also the hook a multi-query service uses to execute one immutable
+/// cached [`crate::QueryPlan`] under many different per-request budgets:
+/// build a control with [`SharedControl::with_token`] and pass it to
+/// every engine invocation of that run, morsel-grained or whole-plan.
 pub struct SharedControl {
     /// Cancellation shared by every worker of the run.
     pub cancel: CancelToken,
     /// Total matches across workers.
     pub matches: std::sync::atomic::AtomicU64,
+    /// Match cap applied to the cross-worker total (`u64::MAX` = none).
+    /// Overrides the plan config's `max_matches` for this run.
+    pub cap: u64,
+}
+
+impl Default for SharedControl {
+    fn default() -> Self {
+        SharedControl {
+            cancel: CancelToken::default(),
+            matches: std::sync::atomic::AtomicU64::new(0),
+            cap: u64::MAX,
+        }
+    }
 }
 
 impl SharedControl {
     /// Shared state for a run of `config` that started at `started`:
     /// carries the config's deadline (and caller token, when attached) so
-    /// every worker observes the same cancellation.
+    /// every worker observes the same cancellation, and the config's cap.
     pub fn for_run(config: &MatchConfig, started: Instant) -> Self {
         SharedControl {
             cancel: config.run_token(started),
             matches: std::sync::atomic::AtomicU64::new(0),
+            cap: config.max_matches.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Shared state with an explicit run token and cap, independent of
+    /// any plan's config — the per-request budget of a service executing
+    /// a cached plan.
+    pub fn with_token(cancel: CancelToken, cap: Option<u64>) -> Self {
+        SharedControl {
+            cancel,
+            matches: std::sync::atomic::AtomicU64::new(0),
+            cap: cap.unwrap_or(u64::MAX),
         }
     }
 }
@@ -78,7 +108,10 @@ impl<'a> RunControl<'a> {
             matches: 0,
             recursions: 0,
             counters: CounterBlock::new(),
-            cap: config.max_matches.unwrap_or(u64::MAX),
+            cap: match shared {
+                Some(sh) => sh.cap,
+                None => config.max_matches.unwrap_or(u64::MAX),
+            },
             poll_mask,
             cancel: match shared {
                 Some(sh) => sh.cancel.clone(),
@@ -120,26 +153,38 @@ impl<'a> RunControl<'a> {
         self.stopped.is_some()
     }
 
-    /// Count one emitted match and apply the cap — against the shared
+    /// Count one found match and apply the cap — against the shared
     /// cross-worker total in parallel runs, the local count otherwise.
+    /// Returns whether the match is within the cap and should be counted
+    /// and emitted to the sink; `false` means another worker already
+    /// claimed the cap's last slot, so the engines must drop the match.
+    /// This makes capped counts *exact*: the sum across workers is
+    /// `min(true total, cap)` regardless of interleaving.
     #[inline]
-    pub fn record_match(&mut self) {
-        self.matches += 1;
-        let capped = match self.shared {
+    #[must_use = "a false return means the match must not be emitted"]
+    pub fn record_match(&mut self) -> bool {
+        let (emit, capped) = match self.shared {
             Some(sh) => {
-                let total = sh
+                // Allocate a unique slot in the cross-worker total; slots
+                // past the cap are discarded, the cap'th slot cancels.
+                let slot = sh
                     .matches
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                     + 1;
-                if total >= self.cap {
-                    sh.cancel.cancel(CancelReason::Stopped);
-                    true
+                if slot > self.cap {
+                    (false, true)
                 } else {
-                    false
+                    if slot == self.cap {
+                        sh.cancel.cancel(CancelReason::Stopped);
+                    }
+                    (true, slot >= self.cap)
                 }
             }
-            None => self.matches >= self.cap,
+            None => (true, self.matches + 1 >= self.cap),
         };
+        if emit {
+            self.matches += 1;
+        }
         if capped {
             let newly = self.stopped.is_none();
             self.stopped = Some(Outcome::CapReached);
@@ -149,6 +194,7 @@ impl<'a> RunControl<'a> {
                 self.trace.mark_cancelled();
             }
         }
+        emit
     }
 
     /// Why the run ended ([`Outcome::Complete`] unless stopped).
@@ -190,11 +236,12 @@ mod tests {
             ..Default::default()
         };
         let mut ctl = RunControl::new(&cfg, None, Instant::now(), 0x3FF);
-        ctl.record_match();
+        assert!(ctl.record_match());
         assert!(!ctl.is_stopped());
-        ctl.record_match();
+        assert!(ctl.record_match());
         assert!(ctl.is_stopped());
         assert_eq!(ctl.outcome(), Outcome::CapReached);
+        assert_eq!(ctl.matches, 2);
     }
 
     #[test]
@@ -207,11 +254,14 @@ mod tests {
         let shared = SharedControl::for_run(&cfg, started);
         let mut a = RunControl::new(&cfg, Some(&shared), started, 0x3FF);
         let mut b = RunControl::new(&cfg, Some(&shared), started, 0x3FF);
-        a.record_match();
-        b.record_match();
+        assert!(a.record_match());
+        assert!(b.record_match());
         assert!(!a.is_stopped() && !b.is_stopped());
-        a.record_match(); // total hits 3: cancels the shared token
+        assert!(a.record_match()); // total hits 3: cancels the shared token
         assert!(a.is_stopped());
+        // a further match past the cap is rejected, keeping the sum exact
+        assert!(!b.record_match());
+        assert_eq!(a.matches + b.matches, 3);
         // b notices at its next poll boundary
         for _ in 0..=0x3FF {
             b.tick();

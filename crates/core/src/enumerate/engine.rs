@@ -90,8 +90,9 @@ struct Engine<'a, S: MatchSink> {
 impl<'a, S: MatchSink> Engine<'a, S> {
     #[inline]
     fn emit_match(&mut self) {
-        self.ctl.record_match();
-        self.sink.on_match(&self.sc.m);
+        if self.ctl.record_match() {
+            self.sink.on_match(&self.sc.m);
+        }
     }
 
     /// Fill `lc_bufs[depth]` for query vertex `u`. Entries are *positions*
@@ -157,8 +158,7 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                 } else {
                     let space = plan.space.as_ref().expect("TreeIndex needs space");
                     let g = self.g;
-                    let list =
-                        space.neighbors(parent, self.sc.mpos[parent as usize] as usize, u);
+                    let list = space.neighbors(parent, self.sc.mpos[parent as usize] as usize, u);
                     // Served from the prebuilt tree-edge list: no
                     // intersection, no scan of C(u).
                     self.ctl.counters.bump(Counter::LcCacheHits);
@@ -186,9 +186,7 @@ impl<'a, S: MatchSink> Engine<'a, S> {
                         // bound the paper's cost model gives.
                         let mut lists: Vec<&[u32]> = bw
                             .iter()
-                            .map(|&ub| {
-                                space.neighbors(ub, self.sc.mpos[ub as usize] as usize, u)
-                            })
+                            .map(|&ub| space.neighbors(ub, self.sc.mpos[ub as usize] as usize, u))
                             .collect();
                         lists.sort_by_key(|l| l.len());
                         if lists.len() == 1 {
@@ -311,7 +309,9 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             self.sc.m[u as usize] = v;
             self.sc.mpos[u as usize] = pos;
             self.sc.visited_by[v as usize] = u;
-            self.ctl.counters.record_max(Counter::PeakDepth, depth as u64 + 1);
+            self.ctl
+                .counters
+                .record_max(Counter::PeakDepth, depth as u64 + 1);
             if depth + 1 == n {
                 self.emit_match();
             } else {

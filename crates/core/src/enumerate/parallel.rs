@@ -108,12 +108,8 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
     let parent = parallel_span.as_ref().and_then(|s| s.id());
     let shared = SharedControl::for_run(&plan.config, started);
     let per_worker: Vec<(WorkerStats<S>, WorkerMetrics)> = match strategy {
-        ParallelStrategy::Morsel => {
-            run_morsel(input, &entries, threads, &shared, &trace, parent)
-        }
-        ParallelStrategy::Static => {
-            run_static(input, &entries, threads, &shared, &trace, parent)
-        }
+        ParallelStrategy::Morsel => run_morsel(input, &entries, threads, &shared, &trace, parent),
+        ParallelStrategy::Static => run_static(input, &entries, threads, &shared, &trace, parent),
     };
 
     let mut matches = 0u64;
@@ -253,7 +249,9 @@ fn run_static<S: MatchSink + Default + Send>(
         chunks[i % threads].push(e);
     }
     scoped_map(threads, |wid| {
-        let worker_span = trace.is_enabled().then(|| trace.span_under(parent, "worker"));
+        let worker_span = trace
+            .is_enabled()
+            .then(|| trace.span_under(parent, "worker"));
         let busy = Instant::now();
         let mut w = WorkerStats::default();
         run_subset(input, &chunks[wid], shared, &mut w);
@@ -283,7 +281,8 @@ mod tests {
     #[test]
     fn parallel_counts_match_sequential() {
         let g = rmat_graph(2000, 10.0, 3, RmatParams::PAPER, 21);
-        let q = sm_graph::builder::graph_from_edges(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let q =
+            sm_graph::builder::graph_from_edges(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3), (0, 2)]);
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         let cand = crate::filter::gql::gql_candidates(&qc, &gc, Default::default());
@@ -311,8 +310,7 @@ mod tests {
         let seq = enumerate(&input, &mut seq_sink);
         for strategy in [ParallelStrategy::Morsel, ParallelStrategy::Static] {
             for threads in [1usize, 2, 4, 7] {
-                let (par, _sinks) =
-                    enumerate_parallel_with::<CountSink>(&input, threads, strategy);
+                let (par, _sinks) = enumerate_parallel_with::<CountSink>(&input, threads, strategy);
                 assert_eq!(par.matches, seq.matches, "{strategy:?} {threads} threads");
                 assert_eq!(par.outcome, Outcome::Complete);
                 if threads > 1 {
@@ -386,8 +384,7 @@ mod tests {
             shared: None,
         };
         for strategy in [ParallelStrategy::Morsel, ParallelStrategy::Static] {
-            let (stats, _sinks) =
-                enumerate_parallel_with::<CountSink>(&input, 4, strategy);
+            let (stats, _sinks) = enumerate_parallel_with::<CountSink>(&input, 4, strategy);
             assert_eq!(stats.outcome, Outcome::CapReached, "{strategy:?}");
             // workers race a little past the cap; the overshoot is bounded
             // by roughly one match per worker

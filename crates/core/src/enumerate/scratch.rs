@@ -89,10 +89,7 @@ mod tests {
         let mut sc = Scratch::new();
         sc.prepare(4, 100);
         assert_eq!(sc.reuses(), 0);
-        let ids = (
-            sc.m.as_ptr() as usize,
-            sc.visited_by.as_ptr() as usize,
-        );
+        let ids = (sc.m.as_ptr() as usize, sc.visited_by.as_ptr() as usize);
         sc.prepare(4, 100);
         sc.prepare(4, 100);
         assert_eq!(sc.reuses(), 2);

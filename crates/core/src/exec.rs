@@ -7,7 +7,8 @@
 //! immutably: one plan can back any number of executions, and all workers
 //! of a parallel run share it by reference.
 
-use crate::enumerate::adaptive::enumerate_adaptive_with;
+use crate::enumerate::adaptive::{enumerate_adaptive_shared, enumerate_adaptive_with};
+use crate::enumerate::control::SharedControl;
 use crate::enumerate::engine::{enumerate_with, EngineInput};
 use crate::enumerate::parallel::{enumerate_parallel_with, ParallelStrategy};
 use crate::enumerate::scratch::Scratch;
@@ -40,11 +41,7 @@ impl<'a> Executor<'a> {
 
     /// Sequential execution reusing a caller-owned [`Scratch`] — repeated
     /// executions of same-shaped plans allocate nothing.
-    pub fn run_with_scratch<S: MatchSink>(
-        &self,
-        scratch: &mut Scratch,
-        sink: &mut S,
-    ) -> EnumStats {
+    pub fn run_with_scratch<S: MatchSink>(&self, scratch: &mut Scratch, sink: &mut S) -> EnumStats {
         let trace = self.plan.config.trace.clone();
         let span = trace.is_enabled().then(|| trace.span("execute"));
         let stats = if self.plan.adaptive {
@@ -64,6 +61,33 @@ impl<'a> Executor<'a> {
         trace.flush_counters(0, &stats.counters);
         drop(span);
         stats
+    }
+
+    /// Sequential execution under an external [`SharedControl`]: the
+    /// run's cancellation token and match cap come from `shared`, not the
+    /// plan's config — how a service executes one cached, immutable plan
+    /// under many different per-request budgets. Works for both the
+    /// static and the adaptive engine.
+    pub fn run_with_shared<S: MatchSink>(
+        &self,
+        shared: &SharedControl,
+        scratch: &mut Scratch,
+        sink: &mut S,
+    ) -> EnumStats {
+        if self.plan.adaptive {
+            enumerate_adaptive_shared(self.plan, self.g, Some(shared), scratch, sink)
+        } else {
+            enumerate_with(
+                &EngineInput {
+                    plan: self.plan,
+                    g: self.g,
+                    root_subset: None,
+                    shared: Some(shared),
+                },
+                scratch,
+                sink,
+            )
+        }
     }
 
     /// Parallel execution across `threads` workers, each with its own
@@ -136,8 +160,7 @@ mod tests {
             assert_eq!(stats.scratch_reuse, round);
         }
         // Parallel execution of the very same plan agrees.
-        let (par, _sinks) =
-            exec.run_parallel::<CountSink>(4, ParallelStrategy::Morsel);
+        let (par, _sinks) = exec.run_parallel::<CountSink>(4, ParallelStrategy::Morsel);
         assert_eq!(par.matches, 1);
     }
 }

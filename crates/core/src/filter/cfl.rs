@@ -119,7 +119,11 @@ pub fn cfl_candidates(q: &QueryContext<'_>, g: &DataContext<'_>) -> (Candidates,
             continue;
         }
         let mut cu = std::mem::take(&mut sets[u as usize]);
-        cu.retain(|&v| forward.iter().all(|&u2| rule31_pass(g, v, &sets[u2 as usize])));
+        cu.retain(|&v| {
+            forward
+                .iter()
+                .all(|&u2| rule31_pass(g, v, &sets[u2 as usize]))
+        });
         sets[u as usize] = cu;
     }
     (Candidates::new(sets), tree)
@@ -139,7 +143,11 @@ mod tests {
         let gc = DataContext::new(&g);
         let (c, tree) = cfl_candidates(&qc, &gc);
         for (u, &v) in paper_match().iter().enumerate() {
-            assert!(c.get(u as u32).contains(&v), "u{u} lost v{v}: {:?}", c.get(u as u32));
+            assert!(
+                c.get(u as u32).contains(&v),
+                "u{u} lost v{v}: {:?}",
+                c.get(u as u32)
+            );
         }
         assert_eq!(tree.order.len(), 4);
     }

@@ -93,10 +93,7 @@ mod tests {
         // query u0 (label 0) needs two label-1 neighbors
         let q = graph_from_edges(&[0, 1, 1], &[(0, 1), (0, 2)]);
         // v0: two label-1 nbrs; v1: one label-1 + one label-2 nbr
-        let g = graph_from_edges(
-            &[0, 0, 1, 1, 1, 2],
-            &[(0, 2), (0, 3), (1, 4), (1, 5)],
-        );
+        let g = graph_from_edges(&[0, 0, 1, 1, 1, 2], &[(0, 2), (0, 3), (1, 4), (1, 5)]);
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
         assert_eq!(ldf_set(&qc, &gc, 0), vec![0, 1]);

@@ -99,7 +99,9 @@ pub fn dpiso_candidates_traced(
             let before = cu.len();
             cu.retain(|&v| {
                 (!apply_nlf || nlf_pass(q, g, u, v))
-                    && against.iter().all(|&u2| rule31_pass(g, v, &sets[u2 as usize]))
+                    && against
+                        .iter()
+                        .all(|&u2| rule31_pass(g, v, &sets[u2 as usize]))
             });
             changed |= cu.len() != before;
             pruned_this_round += (before - cu.len()) as u64;

@@ -40,17 +40,11 @@ impl Default for GqlParams {
 
 /// GraphQL candidate sets: local pruning then `k` rounds of global
 /// refinement.
-pub fn gql_candidates(
-    q: &QueryContext<'_>,
-    g: &DataContext<'_>,
-    params: GqlParams,
-) -> Candidates {
+pub fn gql_candidates(q: &QueryContext<'_>, g: &DataContext<'_>, params: GqlParams) -> Candidates {
     let nq = q.num_vertices();
     // Local pruning with r = 1 profiles. Refinement shrinks these raw sets
     // in place; they are frozen into the CSR arena only on return.
-    let mut sets: Vec<Vec<VertexId>> = (0..nq as VertexId)
-        .map(|u| ldf_nlf_set(q, g, u))
-        .collect();
+    let mut sets: Vec<Vec<VertexId>> = (0..nq as VertexId).map(|u| ldf_nlf_set(q, g, u)).collect();
     if sets.iter().any(|s| s.is_empty()) {
         return Candidates::new(sets);
     }
@@ -160,7 +154,11 @@ mod tests {
         let c = gql_candidates(&qc, &gc, GqlParams::default());
         // u2 is the C-labeled query vertex adjacent to u0, u1, u3.
         assert!(c.get(2).contains(&5));
-        assert!(!c.get(2).contains(&1), "v1 should be pruned: {:?}", c.get(2));
+        assert!(
+            !c.get(2).contains(&1),
+            "v1 should be pruned: {:?}",
+            c.get(2)
+        );
     }
 
     #[test]
@@ -191,8 +189,20 @@ mod tests {
         let g = paper_data();
         let qc = QueryContext::new(&q);
         let gc = DataContext::new(&g);
-        let c1 = gql_candidates(&qc, &gc, GqlParams { refinement_rounds: 1 });
-        let c4 = gql_candidates(&qc, &gc, GqlParams { refinement_rounds: 4 });
+        let c1 = gql_candidates(
+            &qc,
+            &gc,
+            GqlParams {
+                refinement_rounds: 1,
+            },
+        );
+        let c4 = gql_candidates(
+            &qc,
+            &gc,
+            GqlParams {
+                refinement_rounds: 4,
+            },
+        );
         for u in q.vertices() {
             for &v in c4.get(u) {
                 assert!(c1.get(u).contains(&v));

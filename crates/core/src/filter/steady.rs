@@ -16,9 +16,7 @@ use sm_graph::VertexId;
 pub fn steady_candidates(q: &QueryContext<'_>, g: &DataContext<'_>) -> Candidates {
     let qg = q.graph;
     let nq = qg.num_vertices();
-    let mut sets: Vec<Vec<VertexId>> = (0..nq as VertexId)
-        .map(|u| ldf_nlf_set(q, g, u))
-        .collect();
+    let mut sets: Vec<Vec<VertexId>> = (0..nq as VertexId).map(|u| ldf_nlf_set(q, g, u)).collect();
     // Worklist of query vertices whose candidates may need re-checking.
     let mut dirty: Vec<bool> = vec![true; nq];
     let mut queue: std::collections::VecDeque<VertexId> = (0..nq as VertexId).collect();

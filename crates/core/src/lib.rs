@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
-pub mod candidates;
 pub mod candidate_space;
+pub mod candidates;
 pub mod context;
 pub mod enumerate;
 pub mod exec;

@@ -84,11 +84,14 @@ pub fn cfl_order(input: &OrderInput<'_>) -> Vec<VertexId> {
                     .rposition(|&u| in_order[u as usize])
                     .expect("paths share the root");
                 let u = p[j];
-                let score =
-                    path_sums[i][j] / input.candidates.get(u).len().max(1) as f64;
+                let score = path_sums[i][j] / input.candidates.get(u).len().max(1) as f64;
                 (i, score)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(paths[a.0].cmp(&paths[b.0])))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then(paths[a.0].cmp(&paths[b.0]))
+            })
             .expect("non-empty remaining");
         for &u in &paths[pick] {
             if !in_order[u as usize] {

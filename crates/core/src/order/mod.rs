@@ -197,8 +197,8 @@ pub fn derive_parents(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixtures::{paper_data, paper_query};
     use crate::filter::{run_filter, FilterKind};
+    use crate::fixtures::{paper_data, paper_query};
 
     #[test]
     fn all_methods_emit_connected_orders() {
@@ -216,11 +216,7 @@ mod tests {
         };
         for kind in OrderKind::all_static() {
             let order = run_order(&kind, &input);
-            assert!(
-                is_connected_order(&q, &order),
-                "{}: {order:?}",
-                kind.name()
-            );
+            assert!(is_connected_order(&q, &order), "{}: {order:?}", kind.name());
         }
     }
 
@@ -245,7 +241,7 @@ mod tests {
         assert_eq!(p[1], 0);
         assert_eq!(p[2], 0);
         assert_eq!(p[3], 1); // tree parent of u3 is u1
-        // without the tree, earliest backward neighbor
+                             // without the tree, earliest backward neighbor
         let p2 = derive_parents(&q, &order, None);
         assert_eq!(p2[3], 1);
     }

@@ -88,8 +88,7 @@ mod tests {
         let first_two: Vec<u32> = order[..2].to_vec();
         let rare: [&[u32]; 2] = [&[1, 3], &[2, 3]];
         assert!(
-            rare.iter()
-                .any(|r| r.iter().all(|v| first_two.contains(v))),
+            rare.iter().any(|r| r.iter().all(|v| first_two.contains(v))),
             "order {order:?}"
         );
     }

@@ -254,7 +254,14 @@ impl Pipeline {
             }
         };
         let mut plan = QueryPlan::assemble(
-            q, candidates, order, tree, space, self.method, config, adaptive,
+            q,
+            candidates,
+            order,
+            tree,
+            space,
+            self.method,
+            config,
+            adaptive,
         );
         plan.filter_time = filter_time;
         plan.order_time = order_time;
@@ -518,7 +525,12 @@ mod tests {
         let q = paper_query();
         let g = paper_data();
         let gc = DataContext::new(&g);
-        let p = Pipeline::new("t", FilterKind::Ldf, OrderKind::Adaptive, LcMethod::Intersect);
+        let p = Pipeline::new(
+            "t",
+            FilterKind::Ldf,
+            OrderKind::Adaptive,
+            LcMethod::Intersect,
+        );
         let plan = p.plan(&q, &gc, &MatchConfig::default()).unwrap();
         assert!(plan.adaptive);
         let tree = plan.tree.as_ref().unwrap();

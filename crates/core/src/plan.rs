@@ -121,7 +121,11 @@ impl QueryPlan {
             assert!(
                 space.is_some(),
                 "{:?} requires a CandidateSpace",
-                if adaptive { "adaptive".to_string() } else { format!("{method:?}") }
+                if adaptive {
+                    "adaptive".to_string()
+                } else {
+                    format!("{method:?}")
+                }
             );
         }
         if adaptive {
@@ -439,6 +443,10 @@ mod tests {
                 assert!(plan.forward(p).contains(&u));
             }
         }
-        assert_eq!(plan.plan_build_ns(), 0, "assemble leaves timings to the pipeline");
+        assert_eq!(
+            plan.plan_build_ns(),
+            0,
+            "assemble leaves timings to the pipeline"
+        );
     }
 }

@@ -36,7 +36,9 @@ fn brute_force_inner(
     let mut m = vec![NO_VERTEX; n];
     let mut used = vec![false; g.num_vertices()];
     let mut count = 0u64;
-    extend(q, g, &order, 0, &mut m, &mut used, &mut count, cap, collect, out);
+    extend(
+        q, g, &order, 0, &mut m, &mut used, &mut count, cap, collect, out,
+    );
     count
 }
 
@@ -131,7 +133,8 @@ pub fn is_valid_match(q: &Graph, g: &Graph, m: &[VertexId]) -> bool {
     }
     // label- and edge-preserving
     q.vertices().all(|u| q.label(u) == g.label(m[u as usize]))
-        && q.edges().all(|(a, b)| g.has_edge(m[a as usize], m[b as usize]))
+        && q.edges()
+            .all(|(a, b)| g.has_edge(m[a as usize], m[b as usize]))
 }
 
 #[cfg(test)]

@@ -95,14 +95,17 @@ mod tests {
         let res = spectrum_analysis(&q, &gc, 20, Duration::from_secs(5), 1);
         assert_eq!(res.points.len(), 20);
         assert_eq!(res.completed(), 20); // tiny query: all complete
-        // every order finds the single match
+                                         // every order finds the single match
         assert!(res.points.iter().all(|p| p.matches == 1));
         assert!(res.best().is_some());
     }
 
     #[test]
     fn speedup_math() {
-        assert!((speedup_over(Duration::from_millis(10), Duration::from_millis(100)) - 10.0).abs() < 1e-9);
+        assert!(
+            (speedup_over(Duration::from_millis(10), Duration::from_millis(100)) - 10.0).abs()
+                < 1e-9
+        );
         assert!(speedup_over(Duration::ZERO, Duration::from_secs(1)) > 1e6);
     }
 

@@ -122,8 +122,9 @@ impl<S: MatchSink> UllmannState<'_, S> {
         }
         let nq = self.q.num_vertices();
         if depth == nq {
-            self.ctl.record_match();
-            self.sink.on_match(&self.m);
+            if self.ctl.record_match() {
+                self.sink.on_match(&self.m);
+            }
             return;
         }
         let u = depth as VertexId; // Ullmann uses the natural row order

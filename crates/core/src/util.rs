@@ -83,9 +83,7 @@ fn augment(l: usize, adj: &[Vec<u32>], match_right: &mut [i32], seen: &mut [bool
         let r = r as usize;
         if !seen[r] {
             seen[r] = true;
-            if match_right[r] < 0
-                || augment(match_right[r] as usize, adj, match_right, seen)
-            {
+            if match_right[r] < 0 || augment(match_right[r] as usize, adj, match_right, seen) {
                 match_right[r] = l as i32;
                 return true;
             }

@@ -83,8 +83,9 @@ impl<S: MatchSink> Vf2State<'_, S> {
         }
         let nq = self.q.num_vertices();
         if depth == nq {
-            self.ctl.record_match();
-            self.sink.on_match(&self.m);
+            if self.ctl.record_match() {
+                self.sink.on_match(&self.m);
+            }
             return;
         }
         // Candidate query vertex: smallest terminal vertex, else (first
@@ -92,9 +93,7 @@ impl<S: MatchSink> Vf2State<'_, S> {
         let u = (0..nq as VertexId)
             .filter(|&u| self.m[u as usize] == NO_VERTEX && self.q_depth[u as usize] > 0)
             .min()
-            .or_else(|| {
-                (0..nq as VertexId).find(|&u| self.m[u as usize] == NO_VERTEX)
-            })
+            .or_else(|| (0..nq as VertexId).find(|&u| self.m[u as usize] == NO_VERTEX))
             .expect("depth < nq implies an unmapped vertex");
         let from_terminal = self.q_depth[u as usize] > 0;
 

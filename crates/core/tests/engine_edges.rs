@@ -7,12 +7,7 @@ use sm_match::enumerate::engine::{enumerate, EngineInput};
 use sm_match::enumerate::{CollectSink, CountSink, LcMethod, MatchConfig};
 use sm_match::{Algorithm, DataContext, Pipeline, QueryPlan};
 
-fn run_engine(
-    q: &sm_graph::Graph,
-    g: &sm_graph::Graph,
-    order: Vec<u32>,
-    method: LcMethod,
-) -> u64 {
+fn run_engine(q: &sm_graph::Graph, g: &sm_graph::Graph, order: Vec<u32>, method: LcMethod) -> u64 {
     let qc = sm_match::QueryContext::new(q);
     let gc = DataContext::new(g);
     let cand = sm_match::filter::ldf::ldf_candidates(&qc, &gc);
@@ -43,7 +38,11 @@ fn run_engine(
 fn single_vertex_query() {
     let q = graph_from_edges(&[1], &[]);
     let g = graph_from_edges(&[1, 1, 0], &[(0, 2), (1, 2)]);
-    for method in [LcMethod::Direct, LcMethod::CandidateScan, LcMethod::Intersect] {
+    for method in [
+        LcMethod::Direct,
+        LcMethod::CandidateScan,
+        LcMethod::Intersect,
+    ] {
         assert_eq!(run_engine(&q, &g, vec![0], method), 2, "{method:?}");
     }
 }
@@ -56,8 +55,16 @@ fn disconnected_order_falls_back_to_full_scan() {
     let q = graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]);
     let g = graph_from_edges(&[0, 1, 2, 2], &[(0, 1), (1, 2), (1, 3)]);
     let want = sm_match::reference::brute_force_count(&q, &g, None);
-    for method in [LcMethod::Direct, LcMethod::CandidateScan, LcMethod::Intersect] {
-        assert_eq!(run_engine(&q, &g, vec![0, 2, 1], method), want, "{method:?}");
+    for method in [
+        LcMethod::Direct,
+        LcMethod::CandidateScan,
+        LcMethod::Intersect,
+    ] {
+        assert_eq!(
+            run_engine(&q, &g, vec![0, 2, 1], method),
+            want,
+            "{method:?}"
+        );
     }
 }
 

@@ -93,11 +93,7 @@ fn emptyset_class_prunes_siblings() {
         sm_match::LcMethod::Intersect,
     );
     let wo = pipeline.run(&q, &gc, &MatchConfig::find_all());
-    let w = pipeline.run(
-        &q,
-        &gc,
-        &MatchConfig::find_all().with_failing_sets(true),
-    );
+    let w = pipeline.run(&q, &gc, &MatchConfig::find_all().with_failing_sets(true));
     assert_eq!(wo.matches, 0);
     assert_eq!(w.matches, 0);
     assert!(

@@ -64,5 +64,8 @@ fn workstealing_matches_sequential_on_skewed_rmat() {
     // Skewed subtrees leave some workers idle while hub morsels run long:
     // across 3 pipelines x 3 queries x {2,4,8} threads at least one
     // rebalancing steal must have happened.
-    assert!(total_steals > 0, "no steals across the whole skewed workload");
+    assert!(
+        total_steals > 0,
+        "no steals across the whole skewed workload"
+    );
 }

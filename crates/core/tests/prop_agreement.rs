@@ -77,9 +77,21 @@ fn all_algorithms_agree_with_brute_force() {
             // the historical state-space baselines
             let mut sink = sm_match::enumerate::CountSink;
             let vf2 = sm_match::vf2::vf2_match(&q, &g, &cfg, &mut sink);
-            ensure_eq!(vf2.matches, want, "VF2 on seeds ({}, {})", data_seed, query_seed);
+            ensure_eq!(
+                vf2.matches,
+                want,
+                "VF2 on seeds ({}, {})",
+                data_seed,
+                query_seed
+            );
             let ull = sm_match::ullmann::ullmann_match(&q, &g, &cfg, &mut sink);
-            ensure_eq!(ull.matches, want, "Ullmann on seeds ({}, {})", data_seed, query_seed);
+            ensure_eq!(
+                ull.matches,
+                want,
+                "Ullmann on seeds ({}, {})",
+                data_seed,
+                query_seed
+            );
             Ok(())
         });
 }
@@ -90,9 +102,9 @@ fn filters_preserve_completeness() {
     use sm_match::reference::brute_force_matches;
     use sm_match::QueryContext;
 
-    Check::new("filters_preserve_completeness")
-        .cases(24)
-        .run(arb_workload, |&(data_seed, query_seed, qsize)| {
+    Check::new("filters_preserve_completeness").cases(24).run(
+        arb_workload,
+        |&(data_seed, query_seed, qsize)| {
             let Some((g, q)) = workload(data_seed, query_seed, qsize) else {
                 return Ok(());
             };
@@ -128,5 +140,6 @@ fn filters_preserve_completeness() {
                 }
             }
             Ok(())
-        });
+        },
+    );
 }

@@ -110,67 +110,68 @@ fn candidate_space_is_faithful() {
 
 #[test]
 fn engines_produce_identical_match_sets() {
-    Check::new("engines_produce_identical_match_sets").cases(20).run(
-        |rng, size| arb_seeds(rng, size, 3),
-        |&(ds, qs, size)| {
-            let Some((g, q)) = workload(ds, qs, size) else {
-                return Ok(());
-            };
-            let gc = DataContext::new(&g);
-            let qc = QueryContext::new(&q);
-            let Some(f) = run_filter(FilterKind::Ldf, &qc, &gc) else {
-                return Ok(());
-            };
-            let c = &f.candidates;
-            let order: Vec<u32> = {
-                let input = OrderInput {
-                    q: &qc,
-                    g: &gc,
-                    candidates: c,
-                    bfs_tree: None,
-                    space: None,
+    Check::new("engines_produce_identical_match_sets")
+        .cases(20)
+        .run(
+            |rng, size| arb_seeds(rng, size, 3),
+            |&(ds, qs, size)| {
+                let Some((g, q)) = workload(ds, qs, size) else {
+                    return Ok(());
                 };
-                run_order(&OrderKind::GraphQl, &input)
-            };
-            let mut reference: Option<Vec<Vec<u32>>> = None;
-            for method in [
-                LcMethod::Direct,
-                LcMethod::CandidateScan,
-                LcMethod::TreeIndex,
-                LcMethod::Intersect,
-            ] {
-                let space =
-                    CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
-                let plan = QueryPlan::assemble(
-                    &q,
-                    c.clone(),
-                    order.clone(),
-                    None,
-                    Some(space),
-                    method,
-                    MatchConfig::find_all(),
-                    false,
-                );
-                let input = EngineInput {
-                    plan: &plan,
-                    g: &g,
-                    root_subset: None,
-                    shared: None,
+                let gc = DataContext::new(&g);
+                let qc = QueryContext::new(&q);
+                let Some(f) = run_filter(FilterKind::Ldf, &qc, &gc) else {
+                    return Ok(());
                 };
-                let mut sink = CollectSink::default();
-                enumerate(&input, &mut sink);
-                let mut ms = sink.matches;
-                ms.sort();
-                match &reference {
-                    None => reference = Some(ms),
-                    Some(r) => {
-                        ensure_eq!(&ms, r, "{:?} on seeds ({}, {})", method, ds, qs);
+                let c = &f.candidates;
+                let order: Vec<u32> = {
+                    let input = OrderInput {
+                        q: &qc,
+                        g: &gc,
+                        candidates: c,
+                        bfs_tree: None,
+                        space: None,
+                    };
+                    run_order(&OrderKind::GraphQl, &input)
+                };
+                let mut reference: Option<Vec<Vec<u32>>> = None;
+                for method in [
+                    LcMethod::Direct,
+                    LcMethod::CandidateScan,
+                    LcMethod::TreeIndex,
+                    LcMethod::Intersect,
+                ] {
+                    let space = CandidateSpace::build(&q, &g, c, SpaceCoverage::AllEdges, false);
+                    let plan = QueryPlan::assemble(
+                        &q,
+                        c.clone(),
+                        order.clone(),
+                        None,
+                        Some(space),
+                        method,
+                        MatchConfig::find_all(),
+                        false,
+                    );
+                    let input = EngineInput {
+                        plan: &plan,
+                        g: &g,
+                        root_subset: None,
+                        shared: None,
+                    };
+                    let mut sink = CollectSink::default();
+                    enumerate(&input, &mut sink);
+                    let mut ms = sink.matches;
+                    ms.sort();
+                    match &reference {
+                        None => reference = Some(ms),
+                        Some(r) => {
+                            ensure_eq!(&ms, r, "{:?} on seeds ({}, {})", method, ds, qs);
+                        }
                     }
                 }
-            }
-            Ok(())
-        },
-    );
+                Ok(())
+            },
+        );
 }
 
 #[test]

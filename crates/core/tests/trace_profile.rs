@@ -96,7 +96,10 @@ fn parallel_totals_are_the_sum_of_worker_blocks() {
     // validate() checks totals == merge of per-worker blocks; also assert
     // the sum property directly for the additive counters we care about.
     profile.validate().expect("valid parallel profile");
-    assert!(profile.counters.len() >= 2, "expected multiple worker blocks");
+    assert!(
+        profile.counters.len() >= 2,
+        "expected multiple worker blocks"
+    );
     let sum: u64 = profile
         .counters
         .iter()
@@ -134,12 +137,17 @@ fn cancelled_run_still_produces_a_complete_trace() {
     };
     assert_eq!(out.outcome, Outcome::CapReached);
 
-    assert!(trace.was_cancelled(), "cap hit must mark the trace cancelled");
+    assert!(
+        trace.was_cancelled(),
+        "cap hit must mark the trace cancelled"
+    );
     let profile = profile_of(&trace, 2);
     assert!(profile.meta.cancelled);
     // Every span is closed despite the early unwind, and partial counters
     // were flushed (validate also re-checks totals vs per-worker blocks).
-    profile.validate().expect("cancelled run trace is well-formed");
+    profile
+        .validate()
+        .expect("cancelled run trace is well-formed");
     assert!(profile.totals.get(Counter::Matches) >= 5);
     assert!(profile.totals.get(Counter::Recursions) > 0);
     // The control ring logged the cap hit.
@@ -180,7 +188,9 @@ fn caller_cancellation_closes_spans() {
         p.run(&q, &gc, &cfg)
     };
     let profile = profile_of(&trace, 1);
-    profile.validate().expect("well-formed despite instant cancel");
+    profile
+        .validate()
+        .expect("well-formed despite instant cancel");
     assert!(profile.spans.iter().all(|s| s.end_ns != u64::MAX));
 }
 

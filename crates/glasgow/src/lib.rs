@@ -156,8 +156,7 @@ pub fn glasgow_match(
     for u in q.vertices() {
         let row = u as usize * words;
         for &v in g.vertices_with_label(q.label(u)).iter() {
-            if g.degree(v) >= q.degree(u) && nds_dominates(&g_nds[v as usize], &q_nds[u as usize])
-            {
+            if g.degree(v) >= q.degree(u) && nds_dominates(&g_nds[v as usize], &q_nds[u as usize]) {
                 root_domains[row + (v as usize >> 6)] |= 1u64 << (v & 63);
             }
         }

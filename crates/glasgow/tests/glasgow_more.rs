@@ -59,10 +59,12 @@ fn labeled_random_workload_agrees_with_framework() {
     let g = rmat_graph(800, 8.0, 5, RmatParams::PAPER, 77);
     let ctx = DataContext::new(&g);
     // a few hand-built labeled patterns
-    let patterns = [graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]),
+    let patterns = [
+        graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2)]),
         graph_from_edges(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]),
         graph_from_edges(&[0, 0, 1, 1], &[(0, 2), (0, 3), (1, 2), (1, 3)]),
-        graph_from_edges(&[2, 3, 4, 0], &[(0, 1), (1, 2), (2, 3), (0, 3)])];
+        graph_from_edges(&[2, 3, 4, 0], &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+    ];
     let glw = GlasgowConfig {
         max_matches: None,
         ..Default::default()
@@ -89,7 +91,11 @@ fn nds_prunes_star_centers() {
     let g = graph_from_edges(&[0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
     let stats = glasgow_match(&q, &g, &GlasgowConfig::default()).unwrap();
     assert_eq!(stats.matches, 0);
-    assert!(stats.nodes <= 1, "NDS should prune before search: {}", stats.nodes);
+    assert!(
+        stats.nodes <= 1,
+        "NDS should prune before search: {}",
+        stats.nodes
+    );
 }
 
 #[test]

@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn clique_core_numbers() {
-        let g = graph_from_edges(
-            &[0; 4],
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let g = graph_from_edges(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(core_numbers(&g), vec![3, 3, 3, 3]);
     }
 

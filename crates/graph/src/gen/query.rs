@@ -64,12 +64,7 @@ impl QuerySetSpec {
 /// walk on a sparse graph essentially never lands there. Real social/web
 /// graphs additionally have local clustering that makes unbiased
 /// extraction viable for the paper; the bias substitutes for that.
-pub fn extract_query(
-    g: &Graph,
-    size: usize,
-    density: Density,
-    rng: &mut Rng64,
-) -> Option<Graph> {
+pub fn extract_query(g: &Graph, size: usize, density: Density, rng: &mut Rng64) -> Option<Graph> {
     let n = g.num_vertices();
     if n < size || size == 0 {
         return None;

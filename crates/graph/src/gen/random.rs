@@ -59,12 +59,7 @@ pub fn assign_labels_zipf(g: &Graph, num_labels: usize, s: f64, seed: u64) -> Gr
 /// Skewed label assignment: a `dominant_share` fraction of vertices get
 /// label 0 and the remainder are uniform over the other labels. Models
 /// WordNet, where more than 80 % of vertices share one label.
-pub fn assign_labels_skewed(
-    g: &Graph,
-    num_labels: usize,
-    dominant_share: f64,
-    seed: u64,
-) -> Graph {
+pub fn assign_labels_skewed(g: &Graph, num_labels: usize, dominant_share: f64, seed: u64) -> Graph {
     assert!(num_labels >= 1);
     assert!((0.0..=1.0).contains(&dominant_share));
     let mut rng = Rng64::seed_from_u64(seed);

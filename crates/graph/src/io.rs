@@ -51,7 +51,10 @@ impl fmt::Display for ParseError {
                 expected,
                 found,
                 what,
-            } => write!(f, "{what} count mismatch: header says {expected}, found {found}"),
+            } => write!(
+                f,
+                "{what} count mismatch: header says {expected}, found {found}"
+            ),
         }
     }
 }

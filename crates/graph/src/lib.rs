@@ -20,6 +20,9 @@
 //!   CECI and DP-iso filters.
 //! * [`core_decomposition`] — the 2-core (degeneracy) computation used by
 //!   CFL's ordering.
+//! * [`canon`] — canonical labelings and permutation-invariant
+//!   fingerprints of query graphs, the keying scheme of the service
+//!   layer's plan cache.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod canon;
 pub mod core_decomposition;
 pub mod gen;
 pub mod graph;

@@ -21,108 +21,131 @@ fn arb_graph(rng: &mut Rng64, size: u32) -> (Vec<u32>, Vec<(u32, u32)>) {
 
 #[test]
 fn csr_invariants() {
-    Check::new("csr_invariants").cases(48).run(arb_graph, |(labels, edges)| {
-        let g = graph_from_edges(labels, edges);
-        // degree sum = 2|E|
-        let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
-        ensure_eq!(deg_sum, 2 * g.num_edges());
-        // adjacency sorted, no self loops, no duplicates
-        for v in g.vertices() {
-            let n = g.neighbors(v);
-            ensure!(n.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency at v{v}");
-            ensure!(!n.contains(&v), "self loop at v{v}");
-            // symmetry
-            for &w in n {
-                ensure!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
-                ensure!(g.has_edge(v, w) && g.has_edge(w, v), "has_edge disagrees on {v}-{w}");
+    Check::new("csr_invariants")
+        .cases(48)
+        .run(arb_graph, |(labels, edges)| {
+            let g = graph_from_edges(labels, edges);
+            // degree sum = 2|E|
+            let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+            ensure_eq!(deg_sum, 2 * g.num_edges());
+            // adjacency sorted, no self loops, no duplicates
+            for v in g.vertices() {
+                let n = g.neighbors(v);
+                ensure!(
+                    n.windows(2).all(|w| w[0] < w[1]),
+                    "unsorted adjacency at v{v}"
+                );
+                ensure!(!n.contains(&v), "self loop at v{v}");
+                // symmetry
+                for &w in n {
+                    ensure!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
+                    ensure!(
+                        g.has_edge(v, w) && g.has_edge(w, v),
+                        "has_edge disagrees on {v}-{w}"
+                    );
+                }
             }
-        }
-        // edges() iterates each undirected edge exactly once
-        let listed: Vec<_> = g.edges().collect();
-        ensure_eq!(listed.len(), g.num_edges());
-        ensure!(listed.iter().all(|&(u, v)| u < v), "edges() emitted unordered pair");
-        // label index covers every vertex exactly once
-        let mut covered = 0;
-        for l in 0..6u32 {
-            let vs = g.vertices_with_label(l);
-            ensure!(vs.windows(2).all(|w| w[0] < w[1]), "label index unsorted for {l}");
-            ensure!(vs.iter().all(|&v| g.label(v) == l), "label index wrong for {l}");
-            covered += vs.len();
-        }
-        ensure_eq!(covered, g.num_vertices());
-        Ok(())
-    });
+            // edges() iterates each undirected edge exactly once
+            let listed: Vec<_> = g.edges().collect();
+            ensure_eq!(listed.len(), g.num_edges());
+            ensure!(
+                listed.iter().all(|&(u, v)| u < v),
+                "edges() emitted unordered pair"
+            );
+            // label index covers every vertex exactly once
+            let mut covered = 0;
+            for l in 0..6u32 {
+                let vs = g.vertices_with_label(l);
+                ensure!(
+                    vs.windows(2).all(|w| w[0] < w[1]),
+                    "label index unsorted for {l}"
+                );
+                ensure!(
+                    vs.iter().all(|&v| g.label(v) == l),
+                    "label index wrong for {l}"
+                );
+                covered += vs.len();
+            }
+            ensure_eq!(covered, g.num_vertices());
+            Ok(())
+        });
 }
 
 #[test]
 fn io_round_trip() {
-    Check::new("io_round_trip").cases(48).run(arb_graph, |(labels, edges)| {
-        let g = graph_from_edges(labels, edges);
-        let mut buf = Vec::new();
-        write_graph(&g, &mut buf).unwrap();
-        let g2 = read_graph(&buf[..]).unwrap();
-        ensure_eq!(g2.num_vertices(), g.num_vertices());
-        ensure_eq!(g2.num_edges(), g.num_edges());
-        for v in g.vertices() {
-            ensure_eq!(g2.label(v), g.label(v));
-            ensure_eq!(g2.neighbors(v), g.neighbors(v));
-        }
-        Ok(())
-    });
+    Check::new("io_round_trip")
+        .cases(48)
+        .run(arb_graph, |(labels, edges)| {
+            let g = graph_from_edges(labels, edges);
+            let mut buf = Vec::new();
+            write_graph(&g, &mut buf).unwrap();
+            let g2 = read_graph(&buf[..]).unwrap();
+            ensure_eq!(g2.num_vertices(), g.num_vertices());
+            ensure_eq!(g2.num_edges(), g.num_edges());
+            for v in g.vertices() {
+                ensure_eq!(g2.label(v), g.label(v));
+                ensure_eq!(g2.neighbors(v), g.neighbors(v));
+            }
+            Ok(())
+        });
 }
 
 #[test]
 fn core_numbers_are_consistent() {
     use sm_graph::core_decomposition::core_numbers;
-    Check::new("core_numbers_are_consistent").cases(48).run(arb_graph, |(labels, edges)| {
-        let g = graph_from_edges(labels, edges);
-        let core = core_numbers(&g);
-        // core number bounded by degree
-        for v in g.vertices() {
-            ensure!(
-                core[v as usize] as usize <= g.degree(v),
-                "core number above degree at v{v}"
-            );
-        }
-        // every vertex in the k-core has >= k neighbors inside the k-core
-        let maxc = core.iter().copied().max().unwrap_or(0);
-        for k in 1..=maxc {
+    Check::new("core_numbers_are_consistent")
+        .cases(48)
+        .run(arb_graph, |(labels, edges)| {
+            let g = graph_from_edges(labels, edges);
+            let core = core_numbers(&g);
+            // core number bounded by degree
             for v in g.vertices() {
-                if core[v as usize] >= k {
-                    let inside = g
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&w| core[w as usize] >= k)
-                        .count();
-                    ensure!(
-                        inside >= k as usize,
-                        "v{v} in {k}-core has only {inside} in-core neighbors"
-                    );
+                ensure!(
+                    core[v as usize] as usize <= g.degree(v),
+                    "core number above degree at v{v}"
+                );
+            }
+            // every vertex in the k-core has >= k neighbors inside the k-core
+            let maxc = core.iter().copied().max().unwrap_or(0);
+            for k in 1..=maxc {
+                for v in g.vertices() {
+                    if core[v as usize] >= k {
+                        let inside = g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&w| core[w as usize] >= k)
+                            .count();
+                        ensure!(
+                            inside >= k as usize,
+                            "v{v} in {k}-core has only {inside} in-core neighbors"
+                        );
+                    }
                 }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        });
 }
 
 #[test]
 fn bfs_tree_covers_component() {
     use sm_graph::traversal::BfsTree;
-    Check::new("bfs_tree_covers_component").cases(48).run(arb_graph, |(labels, edges)| {
-        let g = graph_from_edges(labels, edges);
-        let t = BfsTree::build(&g, 0);
-        // order contains unique vertices, root first
-        ensure_eq!(t.order[0], 0);
-        let set: std::collections::HashSet<_> = t.order.iter().collect();
-        ensure_eq!(set.len(), t.order.len());
-        // parent depth relation
-        for &v in &t.order {
-            let p = t.parent[v as usize];
-            if p != sm_graph::types::NO_VERTEX {
-                ensure_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
-                ensure!(g.has_edge(p, v), "tree edge {p}-{v} not in graph");
+    Check::new("bfs_tree_covers_component")
+        .cases(48)
+        .run(arb_graph, |(labels, edges)| {
+            let g = graph_from_edges(labels, edges);
+            let t = BfsTree::build(&g, 0);
+            // order contains unique vertices, root first
+            ensure_eq!(t.order[0], 0);
+            let set: std::collections::HashSet<_> = t.order.iter().collect();
+            ensure_eq!(set.len(), t.order.len());
+            // parent depth relation
+            for &v in &t.order {
+                let p = t.parent[v as usize];
+                if p != sm_graph::types::NO_VERTEX {
+                    ensure_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
+                    ensure!(g.has_edge(p, v), "tree edge {p}-{v} not in graph");
+                }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        });
 }

@@ -219,7 +219,9 @@ mod tests {
         let err = std::panic::catch_unwind(|| {
             Check::new("too_long").cases(20).max_size(50).run(
                 |rng, size| {
-                    (0..size).map(|_| rng.next_u64() & 0xFF).collect::<Vec<u64>>()
+                    (0..size)
+                        .map(|_| rng.next_u64() & 0xFF)
+                        .collect::<Vec<u64>>()
                 },
                 |v| {
                     if v.len() >= 10 {
@@ -242,10 +244,10 @@ mod tests {
     #[test]
     fn sizes_ramp_up() {
         let sizes = std::cell::RefCell::new(Vec::new());
-        Check::new("ramp").cases(5).max_size(100).run(
-            |_, size| sizes.borrow_mut().push(size),
-            |_| Ok(()),
-        );
+        Check::new("ramp")
+            .cases(5)
+            .max_size(100)
+            .run(|_, size| sizes.borrow_mut().push(size), |_| Ok(()));
         let sizes = sizes.into_inner();
         assert_eq!(sizes.first(), Some(&1));
         assert_eq!(sizes.last(), Some(&100));

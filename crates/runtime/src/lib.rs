@@ -9,6 +9,10 @@
 //!   magnitude, so a static partition of the root leaves most workers idle
 //!   while one grinds a hub ([`pool`] fixes this with morsel-driven work
 //!   stealing, after Leis et al., SIGMOD 2014);
+//! * **multi-query fairness** — a service multiplexing many concurrent
+//!   queries onto one pool must dispatch at morsel granularity,
+//!   round-robin across the active runs, or one huge query starves every
+//!   small one ([`sched`]);
 //! * **cooperative cancellation** — per-query kill limits, global match
 //!   caps and caller-side aborts all need the same "poll a flag cheaply,
 //!   stop soon" protocol ([`cancel`]);
@@ -30,10 +34,12 @@ pub mod check;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod sched;
 pub mod trace;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use metrics::{PoolMetrics, WorkerMetrics};
 pub use pool::{morsel_size_for, MorselQueue, Popped};
 pub use rng::Rng64;
+pub use sched::{Claim, FairScheduler, SourceId};
 pub use trace::{Counter, CounterBlock, EventKind, EventRing, RunProfile, Trace};

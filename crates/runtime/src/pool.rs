@@ -151,7 +151,9 @@ impl<T> MorselQueue<T> {
     {
         let threads = self.workers();
         scoped_map(threads, |wid| {
-            let worker_span = trace.is_enabled().then(|| trace.span_under(parent, "worker"));
+            let worker_span = trace
+                .is_enabled()
+                .then(|| trace.span_under(parent, "worker"));
             let mut ring = EventRing::default();
             let mut state = init(wid);
             let mut metrics = WorkerMetrics::default();
@@ -326,10 +328,13 @@ mod tests {
     #[test]
     fn early_stop_halts_one_worker() {
         let q = MorselQueue::new(vec![vec![1, 2, 3], vec![]]);
-        let results = q.run(|_| 0u32, |_, n, _| {
-            *n += 1;
-            false // every worker stops after one morsel
-        });
+        let results = q.run(
+            |_| 0u32,
+            |_, n, _| {
+                *n += 1;
+                false // every worker stops after one morsel
+            },
+        );
         let executed: u32 = results.iter().map(|(s, _)| *s).sum();
         assert!(executed <= 2, "{executed}"); // at most one morsel per worker
     }
@@ -393,10 +398,7 @@ mod tests {
         assert!(trace.was_cancelled());
         let snap = trace.snapshot();
         assert_eq!(snap.events.len(), 1);
-        assert_eq!(
-            snap.events[0].tail.last().unwrap().kind,
-            EventKind::Cancel
-        );
+        assert_eq!(snap.events[0].tail.last().unwrap().kind, EventKind::Cancel);
         assert!(snap.spans.iter().all(|s| s.closed()));
     }
 

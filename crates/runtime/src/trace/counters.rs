@@ -55,11 +55,23 @@ pub enum Counter {
     GlasgowNodes,
     /// Glasgow domain-propagation passes on assignment.
     GlasgowPropagations,
+    /// Service plan-cache lookups that returned a cached plan.
+    PlanCacheHits,
+    /// Service plan-cache lookups that had to compile a plan.
+    PlanCacheMisses,
+    /// Cached plans evicted by the LRU policy (capacity or epoch).
+    PlanCacheEvictions,
+    /// Queries admitted by the service (queued or started).
+    QueriesAdmitted,
+    /// Queries rejected by admission control (submission queue full).
+    QueriesRejected,
+    /// Embeddings delivered through service result streams.
+    EmbeddingsStreamed,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in schema order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -82,6 +94,12 @@ impl Counter {
         Counter::StealWaitNs,
         Counter::GlasgowNodes,
         Counter::GlasgowPropagations,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::QueriesAdmitted,
+        Counter::QueriesRejected,
+        Counter::EmbeddingsStreamed,
     ];
 
     /// Stable snake_case name — the JSONL field key.
@@ -106,6 +124,12 @@ impl Counter {
             Counter::StealWaitNs => "steal_wait_ns",
             Counter::GlasgowNodes => "glasgow_nodes",
             Counter::GlasgowPropagations => "glasgow_propagations",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::QueriesAdmitted => "queries_admitted",
+            Counter::QueriesRejected => "queries_rejected",
+            Counter::EmbeddingsStreamed => "embeddings_streamed",
         }
     }
 
@@ -224,10 +248,7 @@ mod tests {
         assert_eq!(b.get(Counter::PeakDepth), 5);
         assert!(!b.is_zero());
         let nz: Vec<_> = b.iter_nonzero().collect();
-        assert_eq!(
-            nz,
-            vec![(Counter::Backtracks, 3), (Counter::PeakDepth, 5)]
-        );
+        assert_eq!(nz, vec![(Counter::Backtracks, 3), (Counter::PeakDepth, 5)]);
     }
 
     #[test]

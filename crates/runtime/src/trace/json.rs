@@ -250,9 +250,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
                             16,
@@ -284,9 +282,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
     std::str::from_utf8(&b[start..*pos])
@@ -323,7 +319,10 @@ mod tests {
 
     #[test]
     fn integral_numbers_have_no_fraction() {
-        assert_eq!(Json::u64(1_000_000_000_000).to_string_compact(), "1000000000000");
+        assert_eq!(
+            Json::u64(1_000_000_000_000).to_string_compact(),
+            "1000000000000"
+        );
         assert_eq!(Json::Num(2.5).to_string_compact(), "2.5");
     }
 

@@ -213,9 +213,11 @@ impl RunProfile {
                         id: field_u64(&v, "id", lineno)? as u32,
                         parent: match v.get("parent") {
                             Some(Json::Null) | None => None,
-                            Some(p) => Some(p.as_u64().ok_or_else(|| {
-                                format!("line {}: bad \"parent\"", lineno + 1)
-                            })? as u32),
+                            Some(p) => Some(
+                                p.as_u64()
+                                    .ok_or_else(|| format!("line {}: bad \"parent\"", lineno + 1))?
+                                    as u32,
+                            ),
                         },
                         name: field_str(&v, "name", lineno)?,
                         start_ns: field_u64(&v, "start_ns", lineno)?,
@@ -256,9 +258,7 @@ impl RunProfile {
                         tail,
                     });
                 }
-                other => {
-                    return Err(format!("line {}: unknown line type {other:?}", lineno + 1))
-                }
+                other => return Err(format!("line {}: unknown line type {other:?}", lineno + 1)),
             }
         }
         if !saw_meta {
@@ -396,7 +396,11 @@ impl RunProfile {
             self.meta.config,
             self.meta.threads,
             if self.meta.threads == 1 { "" } else { "s" },
-            if self.meta.cancelled { ", cancelled" } else { "" },
+            if self.meta.cancelled {
+                ", cancelled"
+            } else {
+                ""
+            },
         ));
         fn walk(nodes: &[SpanNode], depth: usize, out: &mut String) {
             for n in nodes {

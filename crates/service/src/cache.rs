@@ -1,0 +1,274 @@
+//! Sharded LRU plan cache keyed by `(data-graph epoch, canonical query
+//! fingerprint, pipeline/config fingerprint)`.
+//!
+//! Two clients submitting the *same query up to a vertex-id permutation*
+//! share one compiled [`QueryPlan`]: the key's query component is the
+//! canonical-form hash from [`sm_graph::canon`], so any relabeling of an
+//! isomorphic query lands on the same slot. Hashes alone are not trusted —
+//! a lookup verifies the stored form's full canonical **code** against the
+//! probe's before reporting a hit, so a 64-bit collision degrades into a
+//! miss, never into executing the wrong plan.
+//!
+//! Entries pin `Arc<QueryPlan>` (plans own their query graph, so they are
+//! self-contained) plus the canonical form the plan was compiled under;
+//! the service composes the stored labeling with the submitting client's
+//! to remap delivered embeddings back to the client's vertex ids.
+//!
+//! The cache is sharded by key hash; each shard is an independent
+//! mutex-protected map with its own LRU clock, so concurrent lookups from
+//! the service's submission path rarely contend. Hit/miss/eviction totals
+//! are plain atomics, exported through the service into `sm-trace`'s
+//! counter registry (`plan_cache_hits` / `plan_cache_misses` /
+//! `plan_cache_evictions`).
+
+use sm_graph::canon::CanonicalForm;
+use sm_match::QueryPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: every component that affects what plan gets compiled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Data-graph epoch — bumped by [`crate::Service::swap_graph`], so
+    /// plans compiled against a replaced graph can never be returned.
+    pub epoch: u64,
+    /// Canonical-form hash of the query ([`sm_graph::canon::fingerprint`]).
+    pub query: u64,
+    /// Fingerprint of the pipeline + match-config knobs that are folded
+    /// into a compiled plan (filter, order, method, vf2++ rule,
+    /// failing sets, intersection kernel).
+    pub config: u64,
+}
+
+/// One cached compilation: the plan (or the verdict that the query is
+/// unsatisfiable on this graph — empty candidate sets are worth caching
+/// too) and the canonical form of the query it was compiled from.
+pub struct CachedPlan {
+    /// The compiled plan; `None` when filtering proved the query has no
+    /// match on this data graph (a negative-result cache entry).
+    pub plan: Option<Arc<QueryPlan>>,
+    /// Canonical form of the plan's own query — composed with a
+    /// submitting client's form to remap embeddings.
+    pub form: CanonicalForm,
+}
+
+struct Entry {
+    cached: Arc<CachedPlan>,
+    /// Last-touch tick for LRU eviction (global clock, monotonically
+    /// increasing across shards).
+    tick: u64,
+}
+
+struct Shard {
+    map: HashMap<PlanKey, Entry>,
+}
+
+/// Sharded LRU cache of compiled plans. `capacity == 0` disables caching
+/// entirely (every lookup misses, inserts are dropped).
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding up to `capacity` plans across `shards` shards
+    /// (shard count is clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        PlanCache {
+            per_shard: capacity.div_ceil(shards),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &PlanKey) -> &Mutex<Shard> {
+        // Mix all three components so epochs don't collapse onto one shard.
+        let mut state = key.query ^ key.config.rotate_left(21) ^ key.epoch.rotate_left(42);
+        let h = sm_runtime::rng::splitmix64(&mut state);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a plan for `key`, verifying that the stored entry's full
+    /// canonical code equals `code` (hash-collision safety). Counts a hit
+    /// or a miss either way.
+    pub fn lookup(&self, key: &PlanKey, code: &[u64]) -> Option<Arc<CachedPlan>> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().expect("plan cache poisoned");
+        let found = match shard.map.get_mut(key) {
+            Some(e) if e.cached.form.code == code => {
+                e.tick = self.clock.fetch_add(1, Ordering::Relaxed);
+                Some(e.cached.clone())
+            }
+            _ => None,
+        };
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a compiled plan. A different-code occupant of the same key
+    /// (a 64-bit collision) is replaced — at most one plan per key, and
+    /// later lookups of the displaced query simply miss again. When the
+    /// shard is full, its least-recently-used entry is evicted.
+    pub fn insert(&self, key: PlanKey, cached: Arc<CachedPlan>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().expect("plan cache poisoned");
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { cached, tick });
+    }
+
+    /// Drop every entry whose epoch differs from `keep_epoch` — called
+    /// after a data-graph swap so stale plans free their memory promptly
+    /// instead of waiting to age out. Dropped entries count as evictions.
+    pub fn purge_other_epochs(&self, keep_epoch: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            let before = shard.map.len();
+            shard.map.retain(|k, _| k.epoch == keep_epoch);
+            let dropped = (before - shard.map.len()) as u64;
+            if dropped > 0 {
+                self.evictions.fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that returned a cached plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (or failed code verification).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by LRU pressure or epoch purges.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_graph::builder::graph_from_edges;
+    use sm_graph::canon::canonical_form;
+
+    fn entry_for(labels: &[u32], edges: &[(u32, u32)]) -> (Arc<CachedPlan>, Vec<u64>) {
+        let g = graph_from_edges(labels, edges);
+        let form = canonical_form(&g);
+        let code = form.code.clone();
+        (Arc::new(CachedPlan { plan: None, form }), code)
+    }
+
+    fn key(epoch: u64, query: u64, config: u64) -> PlanKey {
+        PlanKey {
+            epoch,
+            query,
+            config,
+        }
+    }
+
+    #[test]
+    fn hit_requires_code_match() {
+        let cache = PlanCache::new(8, 2);
+        let (e, code) = entry_for(&[0, 1], &[(0, 1)]);
+        let k = key(0, e.form.hash, 7);
+        assert!(cache.lookup(&k, &code).is_none());
+        cache.insert(k, e.clone());
+        assert!(cache.lookup(&k, &code).is_some());
+        // same key, different code (simulated collision): miss, not a wrong hit
+        let (other, other_code) = entry_for(&[0, 1, 1], &[(0, 1), (1, 2)]);
+        assert_ne!(other_code, code);
+        assert!(cache.lookup(&k, &other_code).is_none());
+        drop(other);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let cache = PlanCache::new(2, 1);
+        let (e, code) = entry_for(&[0, 0], &[(0, 1)]);
+        cache.insert(key(0, 1, 0), e.clone());
+        cache.insert(key(0, 2, 0), e.clone());
+        // touch key 1 so key 2 is the LRU victim
+        assert!(cache.lookup(&key(0, 1, 0), &code).is_some());
+        cache.insert(key(0, 3, 0), e.clone());
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&key(0, 1, 0), &code).is_some());
+        assert!(cache.lookup(&key(0, 2, 0), &code).is_none());
+        assert!(cache.lookup(&key(0, 3, 0), &code).is_some());
+    }
+
+    #[test]
+    fn epoch_purge_drops_stale_plans() {
+        let cache = PlanCache::new(8, 4);
+        let (e, code) = entry_for(&[0, 0], &[(0, 1)]);
+        cache.insert(key(0, 1, 0), e.clone());
+        cache.insert(key(1, 1, 0), e.clone());
+        assert_eq!(cache.len(), 2);
+        cache.purge_other_epochs(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key(0, 1, 0), &code).is_none());
+        assert!(cache.lookup(&key(1, 1, 0), &code).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0, 4);
+        let (e, code) = entry_for(&[0, 0], &[(0, 1)]);
+        let k = key(0, e.form.hash, 0);
+        cache.insert(k, e.clone());
+        assert!(cache.lookup(&k, &code).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,747 @@
+//! The concurrent query service: admission control, fair multi-query
+//! scheduling, cached plan compilation, and per-query budgets.
+//!
+//! # Architecture
+//!
+//! [`Service::submit`] is the only entry point. It
+//!
+//! 1. **admits** the query (or returns a born-terminal
+//!    [`ServiceOutcome::Rejected`] stream when `max_active` queries run
+//!    and the pending queue is full),
+//! 2. **fingerprints** the query graph canonically and consults the
+//!    sharded LRU [`PlanCache`](crate::cache::PlanCache) — two clients
+//!    submitting the same query *up to a vertex-id permutation* share one
+//!    compiled [`QueryPlan`]; a miss compiles and populates,
+//! 3. **splits** the plan's root candidates into morsels and registers
+//!    them with the runtime's [`FairScheduler`], which deals claims
+//!    round-robin across all active queries — one query with a huge root
+//!    set cannot starve a small one,
+//! 4. returns a [`ResultStream`] immediately; the service's worker
+//!    threads execute morsels under the query's own
+//!    [`SharedControl`] budget (deadline + embedding cap on a
+//!    [`CancelToken`]) and push remapped embeddings through the stream's
+//!    bounded buffer.
+//!
+//! Per-query budgets live in the run's `SharedControl`, **not** in the
+//! cached plan's config — the same immutable plan executes under any
+//! number of different deadlines and caps concurrently. Capped counts
+//! are exact across workers (atomic slot allocation in
+//! `RunControl::record_match`), which is what makes a concurrent run's
+//! per-query counts equal a sequential run's.
+//!
+//! Queries whose plan has **zero root work** (unsatisfiable after
+//! filtering, or an empty root candidate set) never touch the scheduler:
+//! they finalize at submission, deterministically — an already-expired
+//! deadline yields [`ServiceOutcome::Deadline`], otherwise
+//! [`ServiceOutcome::Complete`]. Nothing ever parks waiting for work
+//! that does not exist.
+
+use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::stream::{QueryReport, ResultStream, ServiceOutcome, StreamCore};
+use sm_graph::canon::canonical_form;
+use sm_graph::label_index::LabelPairEdgeCounts;
+use sm_graph::{Graph, NlfIndex, VertexId};
+use sm_match::enumerate::control::SharedControl;
+use sm_match::enumerate::engine::{enumerate_with, EngineInput};
+use sm_match::enumerate::{LcMethod, MatchConfig, MatchSink, Outcome};
+use sm_match::{DataContext, Executor, Pipeline, QueryPlan, Scratch};
+use sm_runtime::pool::morsel_size_for;
+use sm_runtime::trace::{Counter, CounterBlock, Trace};
+use sm_runtime::{CancelReason, CancelToken, Claim, FairScheduler, SourceId};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A data graph plus the per-graph indices every plan compilation needs,
+/// stamped with the service epoch it was installed under.
+pub struct GraphData {
+    /// The data graph.
+    pub graph: Graph,
+    /// Neighbor-label-frequency index (NLF filter, VF2++ rule).
+    pub nlf: NlfIndex,
+    /// Label-pair edge counts (QuickSI weights).
+    pub label_pairs: LabelPairEdgeCounts,
+    /// Epoch this graph was installed under — part of every plan-cache
+    /// key, so a swapped graph invalidates all cached plans at once.
+    pub epoch: u64,
+}
+
+impl GraphData {
+    fn build(graph: Graph, epoch: u64) -> Arc<Self> {
+        let nlf = graph.build_nlf();
+        let label_pairs = LabelPairEdgeCounts::build(&graph);
+        Arc::new(GraphData {
+            graph,
+            nlf,
+            label_pairs,
+            epoch,
+        })
+    }
+}
+
+/// Service configuration. `Default` is sized for tests and small
+/// embedded uses: 2 workers, 4 active queries, a 256-plan cache.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing morsels (at least 1).
+    pub workers: usize,
+    /// Queries enumerated concurrently; further admitted queries wait in
+    /// the pending queue.
+    pub max_active: usize,
+    /// Bounded pending queue beyond `max_active`; a submission finding
+    /// it full is rejected.
+    pub queue_capacity: usize,
+    /// Total cached plans across shards (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Plan-cache shard count.
+    pub cache_shards: usize,
+    /// Per-query embedding buffer length (backpressure bound).
+    pub stream_capacity: usize,
+    /// Deadline applied when a request does not set its own.
+    pub default_deadline: Option<Duration>,
+    /// Embedding cap applied when a request does not set its own
+    /// (`None` = unbounded).
+    pub default_cap: Option<u64>,
+    /// The pipeline every plan is compiled with (part of the cache key).
+    pub pipeline: Pipeline,
+    /// Base match config for plan compilation — its `failing_sets`,
+    /// `intersect` and `vf2pp_rule` knobs are honored (and part of the
+    /// cache key); per-run fields (`max_matches`, `time_limit`, `cancel`,
+    /// `trace`) are overridden by each request's budget.
+    pub base_config: MatchConfig,
+    /// Observability handle; service counters are flushed here on drop.
+    pub trace: Trace,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            max_active: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            stream_capacity: 1024,
+            default_deadline: None,
+            default_cap: None,
+            pipeline: sm_match::Algorithm::GraphQl.optimized(),
+            base_config: MatchConfig::default(),
+            trace: Trace::disabled(),
+        }
+    }
+}
+
+/// One query submission.
+#[derive(Clone)]
+pub struct QueryRequest {
+    /// The query graph.
+    pub query: Graph,
+    /// Per-query deadline (overrides the service default).
+    pub deadline: Option<Duration>,
+    /// Per-query embedding cap (overrides the service default).
+    pub max_matches: Option<u64>,
+    /// Stream embeddings to the client (`false` = count only).
+    pub deliver: bool,
+}
+
+impl QueryRequest {
+    /// Count matches of `query`; no embeddings are delivered.
+    pub fn count(query: Graph) -> Self {
+        QueryRequest {
+            query,
+            deadline: None,
+            max_matches: None,
+            deliver: false,
+        }
+    }
+
+    /// Stream the embeddings of `query`.
+    pub fn streaming(query: Graph) -> Self {
+        QueryRequest {
+            deliver: true,
+            ..QueryRequest::count(query)
+        }
+    }
+
+    /// Set a deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set an embedding cap.
+    pub fn with_cap(mut self, cap: u64) -> Self {
+        self.max_matches = Some(cap);
+        self
+    }
+}
+
+/// How a worker executes one claimed morsel.
+enum MorselKind {
+    /// A contiguous slice of the static engine's depth-0 entries.
+    Entries(Range<usize>),
+    /// The whole plan in one claim — adaptive (DP-iso) plans, whose
+    /// runtime vertex selection is inherently sequential per subtree.
+    Whole,
+}
+
+/// Scheduler payload: the run plus which part of it to execute.
+struct Morsel {
+    run: Arc<QueryRun>,
+    kind: MorselKind,
+}
+
+/// Accumulated results of one query across morsels.
+struct RunAgg {
+    matches: u64,
+    recursions: u64,
+    outcome: Outcome,
+}
+
+impl RunAgg {
+    /// Keep the most severe outcome (`TimedOut` > `CapReached` >
+    /// `Complete`) — one timed-out morsel makes the query partial no
+    /// matter how many others completed.
+    fn merge_outcome(&mut self, o: Outcome) {
+        fn rank(o: Outcome) -> u8 {
+            match o {
+                Outcome::Complete => 0,
+                Outcome::CapReached => 1,
+                Outcome::TimedOut => 2,
+            }
+        }
+        if rank(o) > rank(self.outcome) {
+            self.outcome = o;
+        }
+    }
+}
+
+/// Everything the workers need about one admitted query.
+struct QueryRun {
+    plan: Option<Arc<QueryPlan>>,
+    graph: Arc<GraphData>,
+    /// Per-run budget: cancellation token (deadline + client cancel) and
+    /// embedding cap, shared by every morsel of this query.
+    shared: SharedControl,
+    /// Depth-0 entries of the static engine (the method's convention:
+    /// candidate positions for `TreeIndex`/`Intersect`, data vertex ids
+    /// otherwise). Empty for adaptive plans.
+    entries: Vec<u32>,
+    adaptive: bool,
+    /// Plan-vertex → client-vertex composition for cache hits on
+    /// permuted queries: `delivered[u] = m[remap[u]]`.
+    remap: Option<Vec<VertexId>>,
+    deliver: bool,
+    stream: Arc<StreamCore>,
+    agg: Mutex<RunAgg>,
+    cache_hit: bool,
+    plan_build_ns: u64,
+    started: Instant,
+}
+
+impl QueryRun {
+    fn has_work(&self) -> bool {
+        self.adaptive || !self.entries.is_empty()
+    }
+}
+
+/// Admission state: how many queries are in the system, which are
+/// actively scheduled, and the bounded wait queue.
+struct Admission {
+    /// Active + pending (reservations included).
+    in_system: usize,
+    /// Queries currently registered with the scheduler.
+    active: usize,
+    pending: VecDeque<Arc<QueryRun>>,
+    /// Active runs, for drain-on-shutdown.
+    running: Vec<Arc<QueryRun>>,
+}
+
+struct ServiceCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    streamed: AtomicU64,
+}
+
+struct ServiceCore {
+    cfg: ServiceConfig,
+    graph: Mutex<Arc<GraphData>>,
+    epoch: AtomicU64,
+    cache: PlanCache,
+    sched: FairScheduler<Morsel>,
+    admission: Mutex<Admission>,
+    counters: ServiceCounters,
+    /// Cache-key component for the service's (pipeline, base config).
+    config_fp: u64,
+}
+
+/// A concurrent subgraph-query service over one data graph.
+///
+/// ```
+/// use sm_graph::builder::graph_from_edges;
+/// use sm_service::{QueryRequest, Service, ServiceConfig, ServiceOutcome};
+///
+/// let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
+/// let svc = Service::new(g, ServiceConfig::default());
+/// let q = graph_from_edges(&[0, 0], &[(0, 1)]);
+/// let report = svc.submit(QueryRequest::count(q)).wait();
+/// assert_eq!(report.outcome, ServiceOutcome::Complete);
+/// assert_eq!(report.matches, 4); // 2 edges x 2 directions
+/// ```
+pub struct Service {
+    core: Arc<ServiceCore>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service over `graph` with `cfg.workers` worker threads.
+    pub fn new(graph: Graph, cfg: ServiceConfig) -> Self {
+        let config_fp = config_fingerprint(&cfg.pipeline, &cfg.base_config);
+        let core = Arc::new(ServiceCore {
+            cache: PlanCache::new(cfg.cache_capacity, cfg.cache_shards),
+            graph: Mutex::new(GraphData::build(graph, 0)),
+            epoch: AtomicU64::new(0),
+            sched: FairScheduler::new(),
+            admission: Mutex::new(Admission {
+                in_system: 0,
+                active: 0,
+                pending: VecDeque::new(),
+                running: Vec::new(),
+            }),
+            counters: ServiceCounters {
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                streamed: AtomicU64::new(0),
+            },
+            config_fp,
+            cfg,
+        });
+        let workers = (0..core.cfg.workers.max(1))
+            .map(|i| {
+                let core = core.clone();
+                thread::Builder::new()
+                    .name(format!("sm-service-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { core, workers }
+    }
+
+    /// Submit a query; returns immediately with the result stream.
+    pub fn submit(&self, req: QueryRequest) -> ResultStream {
+        self.core.submit(req)
+    }
+
+    /// Submit and block for the terminal report (count-only helper).
+    pub fn run_count(&self, query: Graph) -> QueryReport {
+        self.submit(QueryRequest::count(query)).wait()
+    }
+
+    /// Replace the data graph. Bumps the epoch — every cached plan
+    /// compiled against the old graph becomes unreachable and is purged.
+    /// In-flight queries keep the old graph alive (via `Arc`) and finish
+    /// against it.
+    pub fn swap_graph(&self, graph: Graph) {
+        let epoch = self.core.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let data = GraphData::build(graph, epoch);
+        *self.core.graph.lock().expect("graph lock poisoned") = data;
+        self.core.cache.purge_other_epochs(epoch);
+    }
+
+    /// Current data-graph epoch (0 for the construction-time graph).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache statistics: `(hits, misses, evictions, live entries)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64, usize) {
+        let c = &self.core.cache;
+        (c.hits(), c.misses(), c.evictions(), c.len())
+    }
+
+    /// Snapshot of the service counters as a registry [`CounterBlock`]
+    /// (`plan_cache_*`, `queries_*`, `embeddings_streamed`).
+    pub fn counters(&self) -> CounterBlock {
+        let mut b = CounterBlock::new();
+        b.add(Counter::PlanCacheHits, self.core.cache.hits());
+        b.add(Counter::PlanCacheMisses, self.core.cache.misses());
+        b.add(Counter::PlanCacheEvictions, self.core.cache.evictions());
+        b.add(
+            Counter::QueriesAdmitted,
+            self.core.counters.admitted.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::QueriesRejected,
+            self.core.counters.rejected.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::EmbeddingsStreamed,
+            self.core.counters.streamed.load(Ordering::Relaxed),
+        );
+        b
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.core.sched.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Terminate any streams the shutdown stranded so no client blocks
+        // forever on a dead service.
+        let leftovers: Vec<Arc<QueryRun>> = {
+            let mut adm = self.core.admission.lock().expect("admission poisoned");
+            let mut v: Vec<Arc<QueryRun>> = adm.running.drain(..).collect();
+            v.extend(adm.pending.drain(..));
+            v
+        };
+        for run in leftovers {
+            run.shared.cancel.cancel(CancelReason::Stopped);
+            let agg = run.agg.lock().expect("agg poisoned");
+            run.stream.finish(QueryReport {
+                outcome: ServiceOutcome::Cancelled,
+                matches: agg.matches,
+                recursions: agg.recursions,
+                cache_hit: run.cache_hit,
+                plan_build_ns: run.plan_build_ns,
+                elapsed: run.started.elapsed(),
+            });
+        }
+        if self.core.cfg.trace.is_enabled() {
+            self.core.cfg.trace.flush_counters(0, &self.counters());
+        }
+    }
+}
+
+impl ServiceCore {
+    fn submit(&self, req: QueryRequest) -> ResultStream {
+        let started = Instant::now();
+        // Admission: reserve a slot in the bounded system or reject now.
+        {
+            let mut adm = self.admission.lock().expect("admission poisoned");
+            if adm.in_system >= self.cfg.max_active + self.cfg.queue_capacity {
+                drop(adm);
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return ResultStream::terminal(QueryReport {
+                    outcome: ServiceOutcome::Rejected,
+                    matches: 0,
+                    recursions: 0,
+                    cache_hit: false,
+                    plan_build_ns: 0,
+                    elapsed: started.elapsed(),
+                });
+            }
+            adm.in_system += 1;
+        }
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+
+        let graph = self.graph.lock().expect("graph lock poisoned").clone();
+        let (cached, cache_hit) = self.plan_for(&req.query, &graph);
+        let remap = if cache_hit {
+            let form = canonical_form(&req.query);
+            Some(
+                form.map_onto(&cached.form)
+                    .expect("cache hit verified equal canonical codes"),
+            )
+        } else {
+            None
+        };
+        let plan_build_ns = if cache_hit {
+            0
+        } else {
+            cached.plan.as_ref().map_or(0, |p| p.plan_build_ns())
+        };
+
+        // Per-request budget on a fresh token: deadline + embedding cap.
+        let deadline = req.deadline.or(self.cfg.default_deadline);
+        let cap = req.max_matches.or(self.cfg.default_cap);
+        let token = CancelToken::deadline_after(started, deadline);
+        let stream = StreamCore::new(self.cfg.stream_capacity, token.clone());
+        let (entries, adaptive) = match &cached.plan {
+            None => (Vec::new(), false),
+            Some(p) if p.adaptive => (Vec::new(), true),
+            Some(p) => (depth0_entries(p), false),
+        };
+        let run = Arc::new(QueryRun {
+            plan: cached.plan.clone(),
+            graph,
+            shared: SharedControl::with_token(token.clone(), cap),
+            entries,
+            adaptive,
+            remap,
+            deliver: req.deliver,
+            stream: stream.clone(),
+            agg: Mutex::new(RunAgg {
+                matches: 0,
+                recursions: 0,
+                outcome: Outcome::Complete,
+            }),
+            cache_hit,
+            plan_build_ns,
+            started,
+        });
+
+        if !run.has_work() {
+            // Zero-candidate plans finalize at submission, deterministically:
+            // an already-expired deadline is a Deadline outcome, otherwise
+            // the (empty) enumeration is Complete. Nothing is scheduled, so
+            // nothing can hang.
+            let outcome = match token.poll() {
+                Some(CancelReason::Deadline) => ServiceOutcome::Deadline,
+                Some(CancelReason::Stopped) => ServiceOutcome::Cancelled,
+                None => ServiceOutcome::Complete,
+            };
+            let mut adm = self.admission.lock().expect("admission poisoned");
+            adm.in_system -= 1;
+            drop(adm);
+            stream.finish(QueryReport {
+                outcome,
+                matches: 0,
+                recursions: 0,
+                cache_hit,
+                plan_build_ns,
+                elapsed: started.elapsed(),
+            });
+            return ResultStream::new(stream);
+        }
+
+        let activate_now = {
+            let mut adm = self.admission.lock().expect("admission poisoned");
+            if adm.active < self.cfg.max_active {
+                adm.active += 1;
+                adm.running.push(run.clone());
+                true
+            } else {
+                adm.pending.push_back(run.clone());
+                false
+            }
+        };
+        if activate_now {
+            self.activate(run);
+        }
+        ResultStream::new(stream)
+    }
+
+    /// Cache lookup, compiling (and populating) on a miss. The returned
+    /// flag is true on a hit.
+    fn plan_for(&self, query: &Graph, graph: &Arc<GraphData>) -> (Arc<CachedPlan>, bool) {
+        let form = canonical_form(query);
+        let key = PlanKey {
+            epoch: graph.epoch,
+            query: form.hash,
+            config: self.config_fp,
+        };
+        if let Some(hit) = self.cache.lookup(&key, &form.code) {
+            return (hit, true);
+        }
+        let ctx =
+            DataContext::from_parts(&graph.graph, graph.nlf.clone(), graph.label_pairs.clone());
+        // Cached plans carry a canonical compile config: per-run budget
+        // fields are neutralized so one plan serves every request budget
+        // (applied via SharedControl at execution time).
+        let mut compile_cfg = self.cfg.base_config.clone();
+        compile_cfg.max_matches = None;
+        compile_cfg.time_limit = None;
+        compile_cfg.cancel = None;
+        compile_cfg.trace = Trace::disabled();
+        let plan = self
+            .cfg
+            .pipeline
+            .plan(query, &ctx, &compile_cfg)
+            .ok()
+            .map(Arc::new);
+        let entry = Arc::new(CachedPlan { plan, form });
+        self.cache.insert(key, entry.clone());
+        (entry, false)
+    }
+
+    /// Register a runnable query's morsels with the fair scheduler.
+    fn activate(&self, run: Arc<QueryRun>) {
+        let morsels: Vec<Morsel> = if run.adaptive {
+            vec![Morsel {
+                run: run.clone(),
+                kind: MorselKind::Whole,
+            }]
+        } else {
+            let n = run.entries.len();
+            let size = morsel_size_for(n, self.cfg.workers);
+            let mut out = Vec::with_capacity(n.div_ceil(size));
+            let mut start = 0;
+            while start < n {
+                let end = (start + size).min(n);
+                out.push(Morsel {
+                    run: run.clone(),
+                    kind: MorselKind::Entries(start..end),
+                });
+                start = end;
+            }
+            out
+        };
+        self.sched.register(morsels);
+    }
+
+    /// Terminal transition: build the report, finish the stream, release
+    /// the admission slot and promote a pending query if any.
+    fn finalize(&self, run: &Arc<QueryRun>) {
+        let (matches, recursions, outcome) = {
+            let agg = run.agg.lock().expect("agg poisoned");
+            let outcome = if run.stream.client_cancelled.load(Ordering::Relaxed) {
+                ServiceOutcome::Cancelled
+            } else {
+                match agg.outcome {
+                    Outcome::Complete => ServiceOutcome::Complete,
+                    Outcome::CapReached => ServiceOutcome::CapHit,
+                    Outcome::TimedOut => ServiceOutcome::Deadline,
+                }
+            };
+            (agg.matches, agg.recursions, outcome)
+        };
+        run.stream.finish(QueryReport {
+            outcome,
+            matches,
+            recursions,
+            cache_hit: run.cache_hit,
+            plan_build_ns: run.plan_build_ns,
+            elapsed: run.started.elapsed(),
+        });
+        let next = {
+            let mut adm = self.admission.lock().expect("admission poisoned");
+            adm.in_system -= 1;
+            adm.active -= 1;
+            adm.running.retain(|r| !Arc::ptr_eq(r, run));
+            if adm.active < self.cfg.max_active {
+                if let Some(next) = adm.pending.pop_front() {
+                    adm.active += 1;
+                    adm.running.push(next.clone());
+                    Some(next)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(next) = next {
+            self.activate(next);
+        }
+    }
+
+    /// Execute one claimed morsel (or skip it when the run's token is
+    /// already cancelled, revoking the rest of the query's queued work).
+    fn run_morsel(&self, morsel: &Morsel, source: SourceId, scratch: &mut Scratch) {
+        let run = &morsel.run;
+        if let Some(reason) = run.shared.cancel.poll() {
+            self.sched.revoke(source);
+            let mut agg = run.agg.lock().expect("agg poisoned");
+            agg.merge_outcome(match reason {
+                CancelReason::Deadline => Outcome::TimedOut,
+                CancelReason::Stopped => Outcome::CapReached,
+            });
+            return;
+        }
+        let plan = run.plan.as_ref().expect("runnable runs have a plan");
+        let mut sink = DeliverSink {
+            run,
+            out: Vec::new(),
+            streamed: 0,
+        };
+        let stats = match &morsel.kind {
+            MorselKind::Whole => Executor::new(plan, &run.graph.graph).run_with_shared(
+                &run.shared,
+                scratch,
+                &mut sink,
+            ),
+            MorselKind::Entries(r) => enumerate_with(
+                &EngineInput {
+                    plan,
+                    g: &run.graph.graph,
+                    root_subset: Some(&run.entries[r.clone()]),
+                    shared: Some(&run.shared),
+                },
+                scratch,
+                &mut sink,
+            ),
+        };
+        if sink.streamed > 0 {
+            self.counters
+                .streamed
+                .fetch_add(sink.streamed, Ordering::Relaxed);
+        }
+        let mut agg = run.agg.lock().expect("agg poisoned");
+        agg.matches += stats.matches;
+        agg.recursions += stats.recursions;
+        agg.merge_outcome(stats.outcome);
+    }
+}
+
+/// Depth-0 entries in the static engine's convention (see
+/// `enumerate::parallel`): candidate *positions* for the space-indexed
+/// methods, data vertex ids otherwise.
+fn depth0_entries(plan: &QueryPlan) -> Vec<u32> {
+    let c_root = plan.candidates.get(plan.root());
+    match plan.method {
+        LcMethod::TreeIndex | LcMethod::Intersect => (0..c_root.len() as u32).collect(),
+        _ => c_root.to_vec(),
+    }
+}
+
+/// Sink delivering remapped embeddings into the run's stream (counting
+/// happens in `RunControl`; a count-only run just drops the match here).
+struct DeliverSink<'a> {
+    run: &'a QueryRun,
+    out: Vec<VertexId>,
+    streamed: u64,
+}
+
+impl MatchSink for DeliverSink<'_> {
+    fn on_match(&mut self, m: &[VertexId]) {
+        if !self.run.deliver {
+            return;
+        }
+        self.out.clear();
+        match &self.run.remap {
+            Some(map) => self.out.extend(map.iter().map(|&p| m[p as usize])),
+            None => self.out.extend_from_slice(m),
+        }
+        if self.run.stream.push(std::mem::take(&mut self.out)) {
+            self.streamed += 1;
+        }
+    }
+}
+
+fn worker_loop(core: Arc<ServiceCore>) {
+    let mut scratch = Scratch::new();
+    loop {
+        match core.sched.claim() {
+            Claim::Shutdown => break,
+            Claim::Morsel { source, item } => {
+                core.run_morsel(&item, source, &mut scratch);
+                if core.sched.complete(source) {
+                    core.finalize(&item.run);
+                }
+            }
+        }
+    }
+}
+
+/// Fingerprint of everything plan compilation depends on besides the
+/// query and the data graph: the pipeline composition and the compile-
+/// relevant config knobs. Per-run budget fields are deliberately
+/// excluded — they do not change the compiled plan.
+fn config_fingerprint(pipeline: &Pipeline, base: &MatchConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    pipeline.filter.hash(&mut h);
+    pipeline.order.hash(&mut h);
+    pipeline.method.hash(&mut h);
+    pipeline.vf2pp_rule.hash(&mut h);
+    base.failing_sets.hash(&mut h);
+    base.intersect.hash(&mut h);
+    base.vf2pp_rule.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,340 @@
+//! Pull-based streaming result delivery with bounded buffering.
+//!
+//! A [`ResultStream`] is the client half of one submitted query: a
+//! bounded embedding queue plus, eventually, a terminal
+//! [`QueryReport`]. Workers push embeddings through the producer half
+//! ([`StreamCore::push`]) and **block when the buffer is full** — that is
+//! the backpressure: a slow consumer throttles enumeration instead of
+//! growing an unbounded buffer. Producers never deadlock on an absent
+//! consumer because every blocking wait re-checks the run's cancellation
+//! token and the consumer-dropped flag; dropping the stream cancels the
+//! query, which unblocks and drains everything within a poll interval.
+//!
+//! The terminal report carries one of the five service outcomes
+//! ([`ServiceOutcome`]) along with the partial counts accumulated up to
+//! that point, so a deadline kill still tells the client how far it got.
+
+use sm_graph::VertexId;
+use sm_runtime::{CancelReason, CancelToken};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a blocked producer sleeps between cancellation re-checks.
+/// Bounds the time a deadline/cancel takes to unblock a full buffer.
+const PUSH_RECHECK: Duration = Duration::from_millis(20);
+
+/// Why a query finished — the terminal state of every [`ResultStream`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceOutcome {
+    /// Enumeration ran to completion; counts are exact.
+    Complete,
+    /// The per-query embedding cap was hit; counts equal the cap.
+    CapHit,
+    /// The per-query deadline expired; counts are partial.
+    Deadline,
+    /// The client cancelled (explicitly or by dropping the stream).
+    Cancelled,
+    /// Admission control refused the query; nothing ran.
+    Rejected,
+}
+
+impl ServiceOutcome {
+    /// Stable lowercase name (table/JSONL friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceOutcome::Complete => "complete",
+            ServiceOutcome::CapHit => "cap_hit",
+            ServiceOutcome::Deadline => "deadline",
+            ServiceOutcome::Cancelled => "cancelled",
+            ServiceOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// Terminal report of one query: the outcome plus whatever was counted
+/// before the run ended.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// Why the query finished.
+    pub outcome: ServiceOutcome,
+    /// Embeddings counted (exact across workers, even at the cap).
+    pub matches: u64,
+    /// Search-tree nodes visited.
+    pub recursions: u64,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Plan-compile time in nanoseconds (0 on a cache hit).
+    pub plan_build_ns: u64,
+    /// Wall-clock time from admission to the terminal state.
+    pub elapsed: Duration,
+}
+
+struct StreamInner {
+    buf: VecDeque<Vec<VertexId>>,
+    report: Option<QueryReport>,
+    consumer_gone: bool,
+}
+
+/// Shared state between the service's workers (producers) and one
+/// [`ResultStream`] (the consumer).
+pub(crate) struct StreamCore {
+    inner: Mutex<StreamInner>,
+    /// Consumer waits here for an embedding or the terminal report.
+    avail: Condvar,
+    /// Producers wait here for buffer space.
+    space: Condvar,
+    capacity: usize,
+    /// The run's cancellation token: producers re-check it while blocked
+    /// so a deadline or cancel never strands them on a full buffer.
+    cancel: CancelToken,
+    /// Set by [`ResultStream::cancel`] or by dropping the stream —
+    /// distinguishes a client abort from a cap kill on the shared token.
+    pub(crate) client_cancelled: AtomicBool,
+}
+
+impl StreamCore {
+    pub(crate) fn new(capacity: usize, cancel: CancelToken) -> Arc<Self> {
+        Arc::new(StreamCore {
+            inner: Mutex::new(StreamInner {
+                buf: VecDeque::new(),
+                report: None,
+                consumer_gone: false,
+            }),
+            avail: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            cancel,
+            client_cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Deliver one embedding, blocking while the buffer is full. Returns
+    /// `false` when the embedding was dropped instead (consumer gone or
+    /// client cancelled) — the caller may stop producing.
+    pub(crate) fn push(&self, embedding: Vec<VertexId>) -> bool {
+        let mut inner = self.inner.lock().expect("stream poisoned");
+        loop {
+            if inner.consumer_gone || self.client_cancelled.load(Ordering::Relaxed) {
+                return false;
+            }
+            if inner.buf.len() < self.capacity {
+                inner.buf.push_back(embedding);
+                self.avail.notify_one();
+                return true;
+            }
+            // Deadline kills drop further deliveries (partial results are
+            // partial); cap kills keep delivering — every within-cap match
+            // must reach the client for counts to agree.
+            if self.cancel.poll() == Some(CancelReason::Deadline) {
+                return false;
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(inner, PUSH_RECHECK)
+                .expect("stream poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Install the terminal report and wake everyone.
+    pub(crate) fn finish(&self, report: QueryReport) {
+        let mut inner = self.inner.lock().expect("stream poisoned");
+        inner.report = Some(report);
+        self.avail.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// The client half of one submitted query: pull embeddings with
+/// [`Iterator::next`], then read the terminal [`QueryReport`].
+/// Dropping the stream cancels the query.
+pub struct ResultStream {
+    core: Arc<StreamCore>,
+}
+
+impl ResultStream {
+    pub(crate) fn new(core: Arc<StreamCore>) -> Self {
+        ResultStream { core }
+    }
+
+    /// A stream that is born terminal (admission rejection).
+    pub(crate) fn terminal(report: QueryReport) -> Self {
+        let core = StreamCore::new(1, CancelToken::new());
+        core.finish(report);
+        ResultStream { core }
+    }
+
+    /// The terminal report, once [`Iterator::next`] has returned
+    /// `None`. `None` while the query is still running or the buffer
+    /// still holds embeddings.
+    pub fn report(&self) -> Option<QueryReport> {
+        let inner = self.core.inner.lock().expect("stream poisoned");
+        if inner.buf.is_empty() {
+            inner.report.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Abort the query. Enumeration stops at the next poll; the stream
+    /// still terminates with a report (outcome
+    /// [`ServiceOutcome::Cancelled`]).
+    pub fn cancel(&self) {
+        self.core.client_cancelled.store(true, Ordering::Relaxed);
+        self.core.cancel.cancel(CancelReason::Stopped);
+        // Unblock producers stuck on a full buffer so they observe the flag.
+        self.core.space.notify_all();
+    }
+
+    /// Drain the stream (discarding any remaining embeddings) and return
+    /// the terminal report.
+    pub fn wait(mut self) -> QueryReport {
+        while self.next().is_some() {}
+        self.report()
+            .expect("next() returned None without a report")
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = Vec<VertexId>;
+
+    /// Pull the next embedding (client vertex ids, indexed by query
+    /// vertex), blocking while the buffer is empty and the query still
+    /// runs. `None` means the query reached a terminal state and the
+    /// buffer is drained — [`report`](ResultStream::report) is now
+    /// available. Count-only queries yield no embeddings, just the
+    /// terminal `None`.
+    fn next(&mut self) -> Option<Vec<VertexId>> {
+        let mut inner = self.core.inner.lock().expect("stream poisoned");
+        loop {
+            if let Some(e) = inner.buf.pop_front() {
+                self.core.space.notify_one();
+                return Some(e);
+            }
+            if inner.report.is_some() {
+                return None;
+            }
+            inner = self.core.avail.wait(inner).expect("stream poisoned");
+        }
+    }
+}
+
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        let terminal = {
+            let mut inner = self.core.inner.lock().expect("stream poisoned");
+            inner.consumer_gone = true;
+            inner.report.is_some()
+        };
+        if !terminal {
+            // Abandoning a live query cancels it — don't burn workers on
+            // results nobody will read.
+            self.cancel();
+        } else {
+            self.core.space.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn report(outcome: ServiceOutcome) -> QueryReport {
+        QueryReport {
+            outcome,
+            matches: 0,
+            recursions: 0,
+            cache_hit: false,
+            plan_build_ns: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn push_then_pull_then_terminal() {
+        let core = StreamCore::new(4, CancelToken::new());
+        assert!(core.push(vec![1, 2]));
+        assert!(core.push(vec![3, 4]));
+        core.finish(report(ServiceOutcome::Complete));
+        let mut s = ResultStream::new(core);
+        assert_eq!(s.next(), Some(vec![1, 2]));
+        assert_eq!(s.next(), Some(vec![3, 4]));
+        assert_eq!(s.next(), None);
+        assert_eq!(s.report().unwrap().outcome, ServiceOutcome::Complete);
+    }
+
+    #[test]
+    fn full_buffer_blocks_until_consumed() {
+        let core = StreamCore::new(1, CancelToken::new());
+        assert!(core.push(vec![0]));
+        let producer = {
+            let core = core.clone();
+            thread::spawn(move || core.push(vec![1]))
+        };
+        let mut s = ResultStream::new(core.clone());
+        assert_eq!(s.next(), Some(vec![0]));
+        assert!(producer.join().unwrap(), "push proceeds once space frees");
+        assert_eq!(s.next(), Some(vec![1]));
+        core.finish(report(ServiceOutcome::Complete));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn dropping_the_stream_cancels_and_unblocks_producers() {
+        let token = CancelToken::new();
+        let core = StreamCore::new(1, token.clone());
+        assert!(core.push(vec![0]));
+        let producer = {
+            let core = core.clone();
+            thread::spawn(move || core.push(vec![1]))
+        };
+        let s = ResultStream::new(core.clone());
+        drop(s);
+        assert!(!producer.join().unwrap(), "push fails after consumer drop");
+        assert_eq!(token.cancelled(), Some(CancelReason::Stopped));
+        assert!(core.client_cancelled.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn deadline_cancel_unblocks_a_full_buffer() {
+        let token = CancelToken::new();
+        let core = StreamCore::new(1, token.clone());
+        assert!(core.push(vec![0]));
+        token.cancel(CancelReason::Deadline);
+        assert!(!core.push(vec![1]), "blocked push observes the deadline");
+    }
+
+    #[test]
+    fn cap_cancel_keeps_delivering_within_cap_matches() {
+        let token = CancelToken::new();
+        let core = StreamCore::new(1, token.clone());
+        // A cap kill (Stopped, not client-initiated) must not drop
+        // embeddings the engine already counted as within-cap.
+        token.cancel(CancelReason::Stopped);
+        assert!(core.push(vec![7]));
+        let mut s = ResultStream::new(core.clone());
+        assert_eq!(s.next(), Some(vec![7]));
+        core.finish(report(ServiceOutcome::CapHit));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn rejected_stream_is_born_terminal() {
+        let mut s = ResultStream::terminal(report(ServiceOutcome::Rejected));
+        assert_eq!(s.next(), None);
+        assert_eq!(s.report().unwrap().outcome, ServiceOutcome::Rejected);
+    }
+
+    #[test]
+    fn wait_drains_and_reports() {
+        let core = StreamCore::new(4, CancelToken::new());
+        assert!(core.push(vec![1]));
+        core.finish(report(ServiceOutcome::Complete));
+        let s = ResultStream::new(core);
+        assert_eq!(s.wait().outcome, ServiceOutcome::Complete);
+    }
+}

@@ -17,16 +17,16 @@ use subgraph_matching::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let dataset = args.next().unwrap_or_else(|| "ye".to_string());
-    let qsize: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let qsize: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
 
     let ds = Dataset::load(&dataset).unwrap_or_else(|| {
         eprintln!("unknown dataset '{dataset}' (try ye, hu, hp, wn, up, yt, db, eu)");
         std::process::exit(2);
     });
-    println!("dataset {} ({}): {}", ds.spec.abbrev, ds.spec.name, ds.stats);
+    println!(
+        "dataset {} ({}): {}",
+        ds.spec.abbrev, ds.spec.name, ds.stats
+    );
     let ctx = DataContext::new(&ds.graph);
 
     let queries = generate_query_set(

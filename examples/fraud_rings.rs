@@ -48,14 +48,16 @@ fn main() {
     let config = MatchConfig::find_all();
     let config_fs = MatchConfig::find_all().with_failing_sets(true);
 
-    for (name, pattern) in [("mule ring (4 vertices)", &ring), ("shell fan-in (8 vertices)", &shell)] {
+    for (name, pattern) in [
+        ("mule ring (4 vertices)", &ring),
+        ("shell fan-in (8 vertices)", &shell),
+    ] {
         let base = Algorithm::GraphQl.optimized().run(pattern, &ctx, &config);
-        let fs = Algorithm::GraphQl.optimized().run(pattern, &ctx, &config_fs);
+        let fs = Algorithm::GraphQl
+            .optimized()
+            .run(pattern, &ctx, &config_fs);
         assert_eq!(base.matches, fs.matches);
-        println!(
-            "\n{name}: {} suspicious instance(s)",
-            base.matches
-        );
+        println!("\n{name}: {} suspicious instance(s)", base.matches);
         println!(
             "  GQL          : {:?} ({} search nodes)",
             base.total_time(),

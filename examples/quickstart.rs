@@ -29,10 +29,8 @@ fn main() {
 
     // The paper's Section-6 recommendation picks components from the
     // data graph's shape.
-    let (rec, rec_cfg) = subgraph_matching::matching::algorithm::recommended(
-        &GraphStats::of(&g),
-        q.num_vertices(),
-    );
+    let (rec, rec_cfg) =
+        subgraph_matching::matching::algorithm::recommended(&GraphStats::of(&g), q.num_vertices());
     let rec_out = rec.run(&q, &ctx, &rec_cfg);
     println!(
         "\nrecommended composite ({}): {} match(es) in {:?}",

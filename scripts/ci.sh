@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
-# Full local gate: release build, workspace tests, clippy with warnings
-# denied, plus the observability smoke checks (trace overhead stays inside
-# the bound; JSONL run profiles round-trip and validate). Run from
-# anywhere; everything executes at the repo root.
+# Full local gate: formatting, release build, workspace tests, clippy with
+# warnings denied, plus the observability smoke checks (trace overhead
+# stays inside the bound; JSONL run profiles round-trip and validate) and
+# the service-layer concurrency smoke (two clients on a shared Service;
+# asserts sequential-vs-concurrent count agreement and a nonzero
+# plan-cache hit rate). Run from anywhere; everything executes at the
+# repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
@@ -14,3 +18,4 @@ cargo clippy --all-targets -- -D warnings
 cargo build --release -p sm-bench
 ./target/release/experiments trace-overhead --queries 2 --threads 4
 ./target/release/experiments check-profile --queries 1 --threads 4
+./target/release/experiments serve --queries 4 --clients 2 --threads 2

@@ -18,6 +18,7 @@
 //! | The matching framework | `sm-match` | [`matching`] |
 //! | Glasgow CP solver | `sm-glasgow` | [`glasgow`] |
 //! | Dataset stand-ins | `sm-datasets` | [`datasets`] |
+//! | Concurrent query service | `sm-service` | [`service`] |
 //!
 //! # Quickstart
 //!
@@ -43,16 +44,18 @@ pub use sm_glasgow as glasgow;
 pub use sm_graph as graph;
 pub use sm_intersect as intersect;
 pub use sm_match as matching;
+pub use sm_service as service;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use sm_graph::builder::graph_from_edges;
     pub use sm_graph::{Graph, GraphBuilder, GraphStats, Label, VertexId};
-    pub use sm_match::{
-        recommended, Algorithm, DataContext, FilterKind, LcMethod, MatchConfig, MatchOutput, OrderKind,
-        Outcome, Pipeline, QueryContext,
-    };
     pub use sm_match::enumerate::{CollectSink, CountSink, MatchSink};
+    pub use sm_match::{
+        recommended, Algorithm, DataContext, FilterKind, LcMethod, MatchConfig, MatchOutput,
+        OrderKind, Outcome, Pipeline, QueryContext,
+    };
+    pub use sm_service::{QueryRequest, Service, ServiceConfig, ServiceOutcome};
 }
 
 #[cfg(test)]
@@ -64,7 +67,9 @@ mod tests {
         let q = graph_from_edges(&[0, 0], &[(0, 1)]);
         let g = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2)]);
         let ctx = DataContext::new(&g);
-        let out = Algorithm::GraphQl.optimized().run(&q, &ctx, &MatchConfig::default());
+        let out = Algorithm::GraphQl
+            .optimized()
+            .run(&q, &ctx, &MatchConfig::default());
         assert_eq!(out.matches, 4); // 2 edges x 2 directions
     }
 }

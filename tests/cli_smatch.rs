@@ -50,7 +50,12 @@ fn framework_algorithms_report_three_matches() {
     let (q, g, _dir) = write_fixtures();
     for alg in ["gql", "dp", "ri", "cfl", "ceci", "qsi", "2pp"] {
         let out = smatch()
-            .args(["--query", q.to_str().unwrap(), "--data", g.to_str().unwrap()])
+            .args([
+                "--query",
+                q.to_str().unwrap(),
+                "--data",
+                g.to_str().unwrap(),
+            ])
             .args(["--algorithm", alg])
             .output()
             .expect("smatch runs");
@@ -65,7 +70,12 @@ fn baselines_and_glasgow_agree() {
     let (q, g, _dir) = write_fixtures();
     for alg in ["glasgow", "vf2", "ullmann"] {
         let out = smatch()
-            .args(["--query", q.to_str().unwrap(), "--data", g.to_str().unwrap()])
+            .args([
+                "--query",
+                q.to_str().unwrap(),
+                "--data",
+                g.to_str().unwrap(),
+            ])
             .args(["--algorithm", alg])
             .output()
             .expect("smatch runs");
@@ -79,7 +89,12 @@ fn baselines_and_glasgow_agree() {
 fn print_flag_lists_embeddings() {
     let (q, g, _dir) = write_fixtures();
     let out = smatch()
-        .args(["--query", q.to_str().unwrap(), "--data", g.to_str().unwrap()])
+        .args([
+            "--query",
+            q.to_str().unwrap(),
+            "--data",
+            g.to_str().unwrap(),
+        ])
         .args(["--print", "10"])
         .output()
         .unwrap();
@@ -91,7 +106,12 @@ fn print_flag_lists_embeddings() {
 fn limit_flag_caps_output() {
     let (q, g, _dir) = write_fixtures();
     let out = smatch()
-        .args(["--query", q.to_str().unwrap(), "--data", g.to_str().unwrap()])
+        .args([
+            "--query",
+            q.to_str().unwrap(),
+            "--data",
+            g.to_str().unwrap(),
+        ])
         .args(["--limit", "1"])
         .output()
         .unwrap();
@@ -104,7 +124,12 @@ fn limit_flag_caps_output() {
 fn explain_prints_the_plan() {
     let (q, g, _dir) = write_fixtures();
     let out = smatch()
-        .args(["--query", q.to_str().unwrap(), "--data", g.to_str().unwrap()])
+        .args([
+            "--query",
+            q.to_str().unwrap(),
+            "--data",
+            g.to_str().unwrap(),
+        ])
         .args(["--explain", "--algorithm", "ri"])
         .output()
         .unwrap();

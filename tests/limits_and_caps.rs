@@ -49,7 +49,11 @@ fn time_limit_kills_pathological_queries() {
     );
     if out.unsolved() {
         // The kill must be prompt (well under 10x the limit).
-        assert!(out.enum_time < Duration::from_millis(500), "{:?}", out.enum_time);
+        assert!(
+            out.enum_time < Duration::from_millis(500),
+            "{:?}",
+            out.enum_time
+        );
     }
 }
 
@@ -58,7 +62,9 @@ fn complete_outcome_counts_are_exact() {
     let ds = Dataset::load("ye").unwrap();
     let ctx = DataContext::new(&ds.graph);
     let q = graph_from_edges(&[0, 1], &[(0, 1)]);
-    let out = Algorithm::QuickSi.optimized().run(&q, &ctx, &MatchConfig::find_all());
+    let out = Algorithm::QuickSi
+        .optimized()
+        .run(&q, &ctx, &MatchConfig::find_all());
     assert_eq!(out.outcome, Outcome::Complete);
     // Count A-B edges directly.
     let want = ds
@@ -87,7 +93,9 @@ fn failing_sets_never_change_complete_counts() {
         3,
     );
     for q in &queries {
-        let plain = Algorithm::DpIso.optimized().run(q, &ctx, &MatchConfig::find_all());
+        let plain = Algorithm::DpIso
+            .optimized()
+            .run(q, &ctx, &MatchConfig::find_all());
         let fs = Algorithm::DpIso.optimized().run(
             q,
             &ctx,

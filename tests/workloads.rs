@@ -65,7 +65,8 @@ fn glasgow_memory_gate_matches_paper_partition() {
         let fits = required <= budget;
         let expected = glasgow_capable().contains(&spec.abbrev);
         assert_eq!(
-            fits, expected,
+            fits,
+            expected,
             "{}: required {} MiB vs budget 64 MiB",
             spec.abbrev,
             required >> 20
@@ -112,8 +113,12 @@ fn pipelines_run_on_every_dataset() {
             1,
         );
         for q in &queries {
-            let a = Algorithm::GraphQl.optimized().run(q, &ctx, &MatchConfig::default());
-            let b = Algorithm::Ri.optimized().run(q, &ctx, &MatchConfig::default());
+            let a = Algorithm::GraphQl
+                .optimized()
+                .run(q, &ctx, &MatchConfig::default());
+            let b = Algorithm::Ri
+                .optimized()
+                .run(q, &ctx, &MatchConfig::default());
             assert_eq!(a.matches, b.matches, "{}", spec.abbrev);
         }
     }
@@ -131,10 +136,10 @@ fn edge_list_import_to_matching_path() {
     // count unlabeled-ish triangles by querying each label combo that the
     // one triangle (10,20,30) actually carries
     let tri_labels: Vec<u32> = vec![g.label(0), g.label(1), g.label(2)];
-    let q = subgraph_matching::graph::builder::graph_from_edges(
-        &tri_labels,
-        &[(0, 1), (1, 2), (0, 2)],
-    );
-    let out = Algorithm::GraphQl.optimized().run(&q, &ctx, &MatchConfig::find_all());
+    let q =
+        subgraph_matching::graph::builder::graph_from_edges(&tri_labels, &[(0, 1), (1, 2), (0, 2)]);
+    let out = Algorithm::GraphQl
+        .optimized()
+        .run(&q, &ctx, &MatchConfig::find_all());
     assert!(out.matches >= 1, "the imported triangle must be found");
 }
