@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--clients N]
-//!             [--full] [--trace] [--profile-out PATH]
+//!             [--seed N] [--full] [--trace] [--profile-out PATH]
 //! ```
 
 use std::time::Duration;
@@ -26,6 +26,9 @@ pub struct HarnessOptions {
     pub threads: usize,
     /// Concurrent client threads for the `serve` experiment.
     pub clients: usize,
+    /// Seed for workload generation (`serve` client schedules, `update`
+    /// streams) — same seed, same workload, run to run.
+    pub seed: u64,
     /// Attach an sm-runtime [`sm_runtime::Trace`] to supported experiments
     /// and print the per-phase span tree after each traced run.
     pub trace: bool,
@@ -44,6 +47,7 @@ impl Default for HarnessOptions {
             orders: 100,
             threads: 1,
             clients: 2,
+            seed: 42,
             trace: false,
             profile_out: None,
         }
@@ -95,6 +99,12 @@ impl HarnessOptions {
                         .and_then(|v| v.parse().ok())
                         .filter(|&c: &usize| c >= 1)
                         .ok_or("--clients needs a positive integer")?;
+                }
+                "--seed" => {
+                    opts.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs an unsigned integer")?;
                 }
                 "--trace" => {
                     opts.trace = true;
@@ -191,6 +201,15 @@ mod tests {
         assert_eq!(o.command, "serve");
         assert_eq!(o.clients, 4);
         assert_eq!(parse(&[]).unwrap().clients, 2);
+    }
+
+    #[test]
+    fn seed_flag() {
+        let o = parse(&["update", "--seed", "7"]).unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(parse(&[]).unwrap().seed, 42);
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
     }
 
     #[test]

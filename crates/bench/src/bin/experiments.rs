@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! experiments <cmd> [--datasets ye,hu,...] [--queries N]
-//!             [--time-limit-ms N] [--orders N] [--threads N] [--full]
-//!             [--trace] [--profile-out PATH]
+//!             [--time-limit-ms N] [--orders N] [--threads N] [--seed N]
+//!             [--full] [--trace] [--profile-out PATH]
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel
-//!      | serve | all
+//!      | serve | update | all
 //!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
 //!      | bench-fig15 | bench-fig16 | bench-all
@@ -34,7 +34,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--full] [--trace] [--profile-out PATH]");
+            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--seed N] [--full] [--trace] [--profile-out PATH]");
             std::process::exit(2);
         }
     };
@@ -61,6 +61,7 @@ fn main() {
         "ablation" => experiments::ablation::run(&opts),
         "parallel" => experiments::parallel::run(&opts),
         "serve" => experiments::serve::run(&opts),
+        "update" => experiments::update::run(&opts),
         "profile" => sm_bench::profile::run(&opts),
         "trace-overhead" => sm_bench::profile::trace_overhead(&opts),
         "check-profile" => sm_bench::profile::check_profile(&opts),

@@ -21,6 +21,7 @@ pub mod serve;
 pub mod table3;
 pub mod table5;
 pub mod table6;
+pub mod update;
 
 use crate::args::HarnessOptions;
 use sm_datasets::{by_abbrev, queries, Dataset, DatasetSpec};

@@ -20,10 +20,11 @@
 //! must observe a nonzero hit rate — violations panic.
 
 use crate::args::HarnessOptions;
+use crate::results::{envelope, write_bench_json, Json};
 use crate::table::{ms, TextTable};
 use sm_graph::gen::query::{Density, QuerySetSpec};
 use sm_match::{DataContext, MatchConfig};
-use sm_runtime::Counter;
+use sm_runtime::{Counter, Rng64};
 use sm_service::{QueryRequest, Service, ServiceConfig, ServiceOutcome};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -66,17 +67,19 @@ pub fn run(opts: &HarnessOptions) {
         .map(|q| pipeline.run(q, &gc, &cfg).matches)
         .collect();
     println!(
-        "\n=== Service: {} clients x {} rounds over {} queries (Q8D) on {} ({} workers) ===",
+        "\n=== Service: {} clients x {} rounds over {} queries (Q8D) on {} ({} workers, seed {}) ===",
         clients,
         ROUNDS,
         queries.len(),
         spec.name,
         opts.threads.max(2),
+        opts.seed,
     );
 
     let mut t = TextTable::new(vec![
         "mode", "queries", "wall ms", "q/s", "p50 ms", "p99 ms", "hit rate", "outcomes",
     ]);
+    let mut rows: Vec<Json> = Vec::new();
     for (mode, cache_capacity) in [("cached", 256usize), ("no-cache", 0)] {
         let svc = Arc::new(Service::new(
             ds.graph.clone(),
@@ -94,11 +97,15 @@ pub fn run(opts: &HarnessOptions) {
                 let svc = svc.clone();
                 let queries = queries.clone();
                 let expected = expected.clone();
+                // Seeded per-client schedule: the same --seed replays the
+                // same submission order run to run, while different
+                // clients still interleave the same plans concurrently.
+                let mut rng = Rng64::seed_from_u64(opts.seed ^ (c as u64).wrapping_mul(0x9e37));
                 std::thread::spawn(move || {
                     let mut lat = Vec::new();
-                    for r in 0..ROUNDS {
-                        for i in 0..queries.len() {
-                            let idx = (c + r + i) % queries.len();
+                    for _ in 0..ROUNDS {
+                        for _ in 0..queries.len() {
+                            let idx = rng.next_u64_below(queries.len() as u64) as usize;
                             let t0 = Instant::now();
                             let report = svc.run_count(queries[idx].clone());
                             lat.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -147,6 +154,23 @@ pub fn run(opts: &HarnessOptions) {
                 counters.get(Counter::QueriesRejected)
             ),
         ]);
+        rows.push(Json::obj(vec![
+            ("mode", Json::str(mode)),
+            ("queries", Json::Int(lat.len() as i64)),
+            ("wall_ms", Json::Num(wall)),
+            ("qps", Json::Num(lat.len() as f64 / (wall / 1e3).max(1e-9))),
+            ("p50_ms", Json::Num(percentile(&lat, 0.5))),
+            ("p99_ms", Json::Num(percentile(&lat, 0.99))),
+            ("cache_hit_rate", Json::Num(hit_rate)),
+            (
+                "admitted",
+                Json::Int(counters.get(Counter::QueriesAdmitted) as i64),
+            ),
+            (
+                "rejected",
+                Json::Int(counters.get(Counter::QueriesRejected) as i64),
+            ),
+        ]));
     }
 
     // Deadline row: every query under a 1-tick budget terminates with an
@@ -186,7 +210,29 @@ pub fn run(opts: &HarnessOptions) {
             "-".to_string(),
             format!("deadline={deadline_hits}/{}", queries.len()),
         ]);
+        rows.push(Json::obj(vec![
+            ("mode", Json::str("deadline-1us")),
+            ("queries", Json::Int(queries.len() as i64)),
+            ("wall_ms", Json::Num(wall)),
+            ("p50_ms", Json::Num(percentile(&lat, 0.5))),
+            ("p99_ms", Json::Num(percentile(&lat, 0.99))),
+            ("deadline_hits", Json::Int(deadline_hits as i64)),
+        ]));
     }
     t.print();
     println!("(per-query counts asserted equal to sequential Pipeline runs; 'cached' must hit the plan cache. hit rate counts plan-cache lookups; q/s is client-observed throughput)");
+    write_bench_json(
+        "serve",
+        &envelope(
+            "serve",
+            vec![
+                ("dataset", Json::str(spec.name)),
+                ("clients", Json::Int(clients as i64)),
+                ("rounds", Json::Int(ROUNDS as i64)),
+                ("workers", Json::Int(opts.threads.max(2) as i64)),
+                ("seed", Json::Int(opts.seed as i64)),
+                ("rows", Json::Arr(rows)),
+            ],
+        ),
+    );
 }

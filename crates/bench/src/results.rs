@@ -1,0 +1,182 @@
+//! Machine-readable bench emission: `BENCH_<name>.json` files tracking
+//! the performance trajectory across PRs.
+//!
+//! The workspace is dependency-free, so this is a minimal hand-rolled
+//! JSON value with **insertion-ordered objects**: the same run always
+//! serializes byte-identically (modulo the measured numbers), which
+//! keeps the files diffable. Every file carries a `schema` tag
+//! ([`SCHEMA`]) so downstream tooling can detect layout changes.
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every bench file. Bump on layout changes.
+pub const SCHEMA: &str = "sm-bench/v1";
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (serialized without a fraction).
+    Int(i64),
+    /// Float; non-finite values serialize as `null`.
+    Num(f64),
+    /// String (escaped on write).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, keys kept in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serialize with 2-space indentation and stable key order.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(f) if f.is_finite() => {
+                let _ = write!(out, "{f}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Wrap per-bench content in the standard envelope:
+/// `{schema, bench, <content pairs…>}`.
+pub fn envelope(bench: &str, content: Vec<(&'static str, Json)>) -> Json {
+    let mut pairs = vec![("schema", Json::str(SCHEMA)), ("bench", Json::str(bench))];
+    pairs.extend(content);
+    Json::obj(pairs)
+}
+
+/// Write `BENCH_<bench>.json` to the current directory. Prints (and
+/// returns) the path so harness logs record where results went; I/O
+/// failure is reported, not fatal — benches still print their tables.
+pub fn write_bench_json(bench: &str, value: &Json) -> Option<String> {
+    let path = format!("BENCH_{bench}.json");
+    match std::fs::write(&path, value.to_pretty()) {
+        Ok(()) => {
+            println!("(wrote {path})");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {path}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_is_stable_and_ordered() {
+        let v = envelope(
+            "demo",
+            vec![
+                ("zeta", Json::Int(1)),
+                ("alpha", Json::Num(2.5)),
+                (
+                    "rows",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("b", Json::Bool(true)),
+                        ("a", Json::str("x\"y")),
+                    ])]),
+                ),
+                ("empty", Json::Arr(vec![])),
+            ],
+        );
+        let s = v.to_pretty();
+        // Insertion order preserved (zeta before alpha), schema stamped.
+        let zeta = s.find("\"zeta\"").unwrap();
+        let alpha = s.find("\"alpha\"").unwrap();
+        assert!(zeta < alpha);
+        assert!(s.starts_with("{\n  \"schema\": \"sm-bench/v1\",\n  \"bench\": \"demo\""));
+        assert!(s.contains("\"a\": \"x\\\"y\""));
+        assert!(s.contains("\"empty\": []"));
+        // Deterministic: same value, same bytes.
+        assert_eq!(s, v.to_pretty());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_pretty(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).to_pretty(), "null\n");
+    }
+}

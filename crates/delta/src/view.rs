@@ -1,0 +1,134 @@
+//! [`GraphView`]: the read surface of a data graph, as a trait.
+//!
+//! The static matching stack works on the concrete CSR
+//! [`sm_graph::Graph`]; the dynamic layer needs the same queries answered
+//! by a [`crate::Snapshot`] (base + overlays) without materializing a new
+//! CSR per epoch. This trait captures exactly the surface the incremental
+//! enumeration engine touches — neighbors, labels, degrees, edge tests,
+//! and the NLF/label-index lookups used for pruning. Neighbor lists are
+//! sorted ascending on every implementor, so `has_edge` stays a binary
+//! search and intersection-style consumers keep their merge invariants.
+
+use sm_graph::{Graph, Label, VertexId};
+
+/// Read-only graph queries shared by [`sm_graph::Graph`] and
+/// [`crate::Snapshot`].
+pub trait GraphView {
+    /// Number of vertices (tombstoned ids included — ids are stable).
+    fn num_vertices(&self) -> usize;
+
+    /// Number of undirected edges currently live.
+    fn num_edges(&self) -> usize;
+
+    /// Label of vertex `v`.
+    fn label(&self, v: VertexId) -> Label;
+
+    /// Degree of `v` (0 for tombstones).
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Sorted neighbor list of `v`.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Whether the undirected edge `(u, v)` exists.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Sorted `(label, count)` pairs describing `N(v)`'s label multiset —
+    /// the NLF row of `v`.
+    fn nlf_entry(&self, v: VertexId) -> &[(Label, u32)];
+
+    /// Count of neighbors of `v` labeled `l`.
+    fn nlf_count(&self, v: VertexId, l: Label) -> u32 {
+        let e = self.nlf_entry(v);
+        match e.binary_search_by_key(&l, |&(ll, _)| ll) {
+            Ok(i) => e[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of live vertices carrying label `l`.
+    fn label_frequency(&self, l: Label) -> usize;
+
+    /// Sorted live vertices carrying label `l`.
+    fn vertices_with_label(&self, l: Label) -> &[VertexId];
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn label(&self, v: VertexId) -> Label {
+        Graph::label(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        Graph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    fn nlf_entry(&self, _v: VertexId) -> &[(Label, u32)] {
+        // The plain CSR graph has no precomputed NLF rows; callers that
+        // need NLF pruning against a bare Graph should build an
+        // `NlfIndex`. The incremental engine always runs against a
+        // Snapshot, whose rows are patched incrementally.
+        &[]
+    }
+
+    fn nlf_count(&self, v: VertexId, l: Label) -> u32 {
+        Graph::count_neighbors_with_label(self, v, l) as u32
+    }
+
+    #[inline]
+    fn label_frequency(&self, l: Label) -> usize {
+        Graph::label_frequency(self, l)
+    }
+
+    #[inline]
+    fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        Graph::vertices_with_label(self, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn graph_implements_the_view() {
+        let g = graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let v: &dyn GraphView = &g;
+        assert_eq!(v.num_vertices(), 3);
+        assert_eq!(v.num_edges(), 2);
+        assert_eq!(v.neighbors(1), &[0, 2]);
+        assert!(v.has_edge(2, 1));
+        assert!(!v.has_edge(0, 2));
+        assert_eq!(v.nlf_count(1, 0), 2);
+        assert_eq!(v.label_frequency(0), 2);
+        assert_eq!(v.vertices_with_label(0), &[0, 2]);
+    }
+}

@@ -47,6 +47,28 @@ impl NlfIndex {
         NlfIndex { offsets, entries }
     }
 
+    /// Assemble an index directly from per-vertex rows (each sorted by
+    /// label). This is the constructor behind *incremental* index
+    /// maintenance in `sm-delta`: untouched rows are copied verbatim from
+    /// an existing index and only patched rows are recomputed, instead of
+    /// re-scanning every adjacency list as [`NlfIndex::build`] does.
+    pub fn from_rows<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [(Label, u32)]>,
+    {
+        let mut offsets = vec![0usize];
+        let mut entries = Vec::new();
+        for row in rows {
+            debug_assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "rows sorted by label"
+            );
+            entries.extend_from_slice(row);
+            offsets.push(entries.len());
+        }
+        NlfIndex { offsets, entries }
+    }
+
     /// Sorted `(label, count)` pairs for `v`'s neighborhood.
     #[inline]
     pub fn entry(&self, v: VertexId) -> &[(Label, u32)] {
@@ -129,6 +151,16 @@ mod tests {
         assert!(gn.check(1, &qn, 1));
         // data v0 does not dominate u1 (u1 needs an A-labeled neighbor)
         assert!(!gn.check(0, &qn, 1));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let g = graph_from_edges(&[9, 1, 1, 2], &[(0, 1), (0, 2), (0, 3)]);
+        let nlf = g.build_nlf();
+        let rebuilt = NlfIndex::from_rows((0..4).map(|v| nlf.entry(v)));
+        for v in 0..4 {
+            assert_eq!(rebuilt.entry(v), nlf.entry(v));
+        }
     }
 
     #[test]

@@ -67,11 +67,23 @@ pub enum Counter {
     QueriesRejected,
     /// Embeddings delivered through service result streams.
     EmbeddingsStreamed,
+    /// Update batches applied to a versioned graph.
+    UpdatesApplied,
+    /// Snapshots pinned against a versioned graph.
+    SnapshotsPinned,
+    /// Overlay compactions folding deltas into a fresh CSR base.
+    Compactions,
+    /// Live overlay edges `|E(view) Δ E(base)|` of the current epoch (a
+    /// gauge: merges take the max).
+    DeltaEdgesLive,
+    /// Embeddings added or retracted by delta-driven incremental
+    /// enumeration (instead of full recomputation).
+    IncrementalEmbeddings,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in schema order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -100,6 +112,11 @@ impl Counter {
         Counter::QueriesAdmitted,
         Counter::QueriesRejected,
         Counter::EmbeddingsStreamed,
+        Counter::UpdatesApplied,
+        Counter::SnapshotsPinned,
+        Counter::Compactions,
+        Counter::DeltaEdgesLive,
+        Counter::IncrementalEmbeddings,
     ];
 
     /// Stable snake_case name — the JSONL field key.
@@ -130,6 +147,11 @@ impl Counter {
             Counter::QueriesAdmitted => "queries_admitted",
             Counter::QueriesRejected => "queries_rejected",
             Counter::EmbeddingsStreamed => "embeddings_streamed",
+            Counter::UpdatesApplied => "updates_applied",
+            Counter::SnapshotsPinned => "snapshots_pinned",
+            Counter::Compactions => "compactions",
+            Counter::DeltaEdgesLive => "delta_edges_live",
+            Counter::IncrementalEmbeddings => "incremental_embeddings",
         }
     }
 
@@ -141,7 +163,7 @@ impl Counter {
     /// Whether merging across workers takes the max (gauge) instead of the
     /// sum.
     pub fn is_gauge(self) -> bool {
-        matches!(self, Counter::PeakDepth)
+        matches!(self, Counter::PeakDepth | Counter::DeltaEdgesLive)
     }
 }
 

@@ -22,6 +22,7 @@
 //! `plan_cache_evictions`).
 
 use sm_graph::canon::CanonicalForm;
+use sm_graph::Label;
 use sm_match::QueryPlan;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,6 +152,72 @@ impl PlanCache {
         shard.map.insert(key, Entry { cached, tick });
     }
 
+    /// Scoped invalidation after an **in-place graph update** (as opposed
+    /// to a wholesale swap): entries compiled under `old_epoch` whose
+    /// query label set is disjoint from the update's `affected_labels`
+    /// (sorted) stay valid — no candidate vertex of theirs gained or lost
+    /// an edge, changed label, or was added/removed — and are re-keyed to
+    /// `new_epoch`. Intersecting entries (and entries from any other
+    /// epoch) are evicted. Returns `(retained, evicted)`.
+    ///
+    /// The label set of a cached entry is read from its canonical code
+    /// (`[n, m, labels…]` — see [`sm_graph::canon`]), so no query graph
+    /// needs to be kept around.
+    pub fn retarget_epoch(
+        &self,
+        old_epoch: u64,
+        new_epoch: u64,
+        affected_labels: &[Label],
+    ) -> (usize, usize) {
+        if self.per_shard == 0 {
+            return (0, 0);
+        }
+        // Drain survivors first: the epoch is part of the shard hash, so a
+        // re-keyed entry generally lands in a *different* shard.
+        let mut moved = Vec::new();
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            let map = std::mem::take(&mut shard.map);
+            for (k, e) in map {
+                let keep =
+                    k.epoch == old_epoch && labels_disjoint(&e.cached.form.code, affected_labels);
+                if keep {
+                    moved.push((
+                        PlanKey {
+                            epoch: new_epoch,
+                            ..k
+                        },
+                        e,
+                    ));
+                } else {
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        let retained = moved.len();
+        for (k, e) in moved {
+            let mut shard = self.shard_of(&k).lock().expect("plan cache poisoned");
+            // Respect per-shard capacity even though re-sharding may pile
+            // survivors onto one shard.
+            while shard.map.len() >= self.per_shard {
+                let victim = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.tick)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty shard");
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.map.insert(k, e);
+        }
+        (retained, evicted)
+    }
+
     /// Drop every entry whose epoch differs from `keep_epoch` — called
     /// after a data-graph swap so stale plans free their memory promptly
     /// instead of waiting to age out. Dropped entries count as evictions.
@@ -193,6 +260,15 @@ impl PlanCache {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+}
+
+/// Whether the query labels embedded in a canonical code (`[n, m,
+/// labels…]`) are disjoint from a sorted label slice.
+fn labels_disjoint(code: &[u64], affected: &[Label]) -> bool {
+    let n = code[0] as usize;
+    code[2..2 + n]
+        .iter()
+        .all(|&l| affected.binary_search(&(l as Label)).is_err())
 }
 
 #[cfg(test)]
@@ -260,6 +336,40 @@ mod tests {
         assert!(cache.lookup(&key(0, 1, 0), &code).is_none());
         assert!(cache.lookup(&key(1, 1, 0), &code).is_some());
         assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn retarget_moves_disjoint_entries_and_evicts_touched_ones() {
+        let cache = PlanCache::new(16, 4);
+        // Labels {0, 1} and labels {2, 3}.
+        let (low, low_code) = entry_for(&[0, 1], &[(0, 1)]);
+        let (high, high_code) = entry_for(&[2, 3], &[(0, 1)]);
+        cache.insert(key(3, low.form.hash, 9), low.clone());
+        cache.insert(key(3, high.form.hash, 9), high.clone());
+        // A stale entry from an even older epoch is dropped outright.
+        cache.insert(key(1, low.form.hash, 9), low.clone());
+        let (retained, evicted) = cache.retarget_epoch(3, 4, &[1, 5]);
+        assert_eq!((retained, evicted), (1, 2));
+        assert_eq!(cache.evictions(), 2);
+        // The label-disjoint plan survives under the new epoch only.
+        assert!(cache
+            .lookup(&key(4, high.form.hash, 9), &high_code)
+            .is_some());
+        assert!(cache
+            .lookup(&key(3, high.form.hash, 9), &high_code)
+            .is_none());
+        assert!(cache.lookup(&key(4, low.form.hash, 9), &low_code).is_none());
+    }
+
+    #[test]
+    fn retarget_respects_shard_capacity() {
+        let cache = PlanCache::new(1, 1);
+        let (e, code) = entry_for(&[4, 4], &[(0, 1)]);
+        cache.insert(key(0, e.form.hash, 0), e.clone());
+        let (retained, _) = cache.retarget_epoch(0, 1, &[0]);
+        assert_eq!(retained, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key(1, e.form.hash, 0), &code).is_some());
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   remapping) and ending in exactly one of five terminal outcomes:
 //!   `Complete`, `CapHit`, `Deadline`, `Cancelled`, `Rejected` — with
 //!   partial counts attached.
+//! - **In-place updates** — [`Service::apply_update`] commits an
+//!   [`sm_delta::UpdateBatch`] against a versioned twin of the data
+//!   graph, installs the materialized result without rebuilding the NLF
+//!   index, invalidates only the cached plans whose labels the batch
+//!   touched, and maintains registered **standing queries** by
+//!   delta-driven incremental enumeration (see [`update`]).
 //!
 //! Zero external dependencies, like the rest of the workspace.
 
@@ -34,10 +40,12 @@
 pub mod cache;
 pub mod service;
 pub mod stream;
+pub mod update;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use service::{GraphData, QueryRequest, Service, ServiceConfig};
 pub use stream::{QueryReport, ResultStream, ServiceOutcome};
+pub use update::{StandingId, UpdateReport};
 
 #[cfg(test)]
 mod asserts {

@@ -38,6 +38,8 @@
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::stream::{QueryReport, ResultStream, ServiceOutcome, StreamCore};
+use crate::update::StandingEntry;
+use sm_delta::VersionedGraph;
 use sm_graph::canon::canonical_form;
 use sm_graph::label_index::LabelPairEdgeCounts;
 use sm_graph::{Graph, NlfIndex, VertexId};
@@ -73,6 +75,13 @@ pub struct GraphData {
 impl GraphData {
     fn build(graph: Graph, epoch: u64) -> Arc<Self> {
         let nlf = graph.build_nlf();
+        GraphData::from_parts(graph, nlf, epoch)
+    }
+
+    /// Assemble from a graph with an already-maintained NLF index (the
+    /// incremental-update path: the overlay keeps the NLF current, so
+    /// only the label-pair counts are rebuilt).
+    pub(crate) fn from_parts(graph: Graph, nlf: NlfIndex, epoch: u64) -> Arc<Self> {
         let label_pairs = LabelPairEdgeCounts::build(&graph);
         Arc::new(GraphData {
             graph,
@@ -261,20 +270,36 @@ struct Admission {
     running: Vec<Arc<QueryRun>>,
 }
 
-struct ServiceCounters {
+pub(crate) struct ServiceCounters {
     admitted: AtomicU64,
     rejected: AtomicU64,
     streamed: AtomicU64,
+    /// Update batches applied through [`Service::apply_update`].
+    pub(crate) updates: AtomicU64,
+    /// Embeddings added/retracted incrementally for standing queries.
+    pub(crate) incremental: AtomicU64,
+    /// Snapshot/compaction totals of versioned graphs retired by
+    /// `swap_graph` — folded in so the counters stay monotonic across
+    /// swaps.
+    pub(crate) snapshots_base: AtomicU64,
+    pub(crate) compactions_base: AtomicU64,
 }
 
-struct ServiceCore {
-    cfg: ServiceConfig,
-    graph: Mutex<Arc<GraphData>>,
-    epoch: AtomicU64,
-    cache: PlanCache,
+pub(crate) struct ServiceCore {
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) graph: Mutex<Arc<GraphData>>,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) cache: PlanCache,
     sched: FairScheduler<Morsel>,
     admission: Mutex<Admission>,
-    counters: ServiceCounters,
+    pub(crate) counters: ServiceCounters,
+    /// The versioned twin of the installed graph: `apply_update` commits
+    /// batches here and installs the materialized result as the new
+    /// `graph`. Replaced wholesale by `swap_graph`.
+    pub(crate) versioned: Mutex<VersionedGraph>,
+    /// Registered standing queries with their incrementally maintained
+    /// embedding sets.
+    pub(crate) standing: Mutex<Vec<StandingEntry>>,
     /// Cache-key component for the service's (pipeline, base config).
     config_fp: u64,
 }
@@ -293,7 +318,7 @@ struct ServiceCore {
 /// assert_eq!(report.matches, 4); // 2 edges x 2 directions
 /// ```
 pub struct Service {
-    core: Arc<ServiceCore>,
+    pub(crate) core: Arc<ServiceCore>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
@@ -303,7 +328,7 @@ impl Service {
         let config_fp = config_fingerprint(&cfg.pipeline, &cfg.base_config);
         let core = Arc::new(ServiceCore {
             cache: PlanCache::new(cfg.cache_capacity, cfg.cache_shards),
-            graph: Mutex::new(GraphData::build(graph, 0)),
+            graph: Mutex::new(GraphData::build(graph.clone(), 0)),
             epoch: AtomicU64::new(0),
             sched: FairScheduler::new(),
             admission: Mutex::new(Admission {
@@ -316,7 +341,13 @@ impl Service {
                 admitted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 streamed: AtomicU64::new(0),
+                updates: AtomicU64::new(0),
+                incremental: AtomicU64::new(0),
+                snapshots_base: AtomicU64::new(0),
+                compactions_base: AtomicU64::new(0),
             },
+            versioned: Mutex::new(VersionedGraph::new(graph)),
+            standing: Mutex::new(Vec::new()),
             config_fp,
             cfg,
         });
@@ -343,14 +374,33 @@ impl Service {
     }
 
     /// Replace the data graph. Bumps the epoch — every cached plan
-    /// compiled against the old graph becomes unreachable and is purged.
-    /// In-flight queries keep the old graph alive (via `Arc`) and finish
-    /// against it.
+    /// compiled against the old graph becomes unreachable and is purged
+    /// (an in-place [`Service::apply_update`], by contrast, keeps plans
+    /// whose labels the batch did not touch). In-flight queries keep the
+    /// old graph alive (via `Arc`) and finish against it. Standing
+    /// queries are re-enumerated from scratch on the new graph.
     pub fn swap_graph(&self, graph: Graph) {
+        let mut vg = self.core.versioned.lock().expect("versioned poisoned");
+        // Fold the retiring overlay's totals into the carried bases so
+        // `counters()` stays monotonic across swaps.
+        let stats = vg.stats();
+        self.core
+            .counters
+            .snapshots_base
+            .fetch_add(stats.snapshots_pinned, Ordering::Relaxed);
+        self.core
+            .counters
+            .compactions_base
+            .fetch_add(stats.compactions, Ordering::Relaxed);
         let epoch = self.core.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        let data = GraphData::build(graph, epoch);
-        *self.core.graph.lock().expect("graph lock poisoned") = data;
+        let data = GraphData::build(graph.clone(), epoch);
+        *self.core.graph.lock().expect("graph lock poisoned") = data.clone();
+        *vg = VersionedGraph::new(graph);
         self.core.cache.purge_other_epochs(epoch);
+        let mut standing = self.core.standing.lock().expect("standing poisoned");
+        for entry in standing.iter_mut() {
+            entry.reenumerate(&data);
+        }
     }
 
     /// Current data-graph epoch (0 for the construction-time graph).
@@ -365,7 +415,9 @@ impl Service {
     }
 
     /// Snapshot of the service counters as a registry [`CounterBlock`]
-    /// (`plan_cache_*`, `queries_*`, `embeddings_streamed`).
+    /// (`plan_cache_*`, `queries_*`, `embeddings_streamed`, plus the
+    /// dynamic-graph counters `updates_applied`, `snapshots_pinned`,
+    /// `compactions`, `delta_edges_live`, `incremental_embeddings`).
     pub fn counters(&self) -> CounterBlock {
         let mut b = CounterBlock::new();
         b.add(Counter::PlanCacheHits, self.core.cache.hits());
@@ -382,6 +434,29 @@ impl Service {
         b.add(
             Counter::EmbeddingsStreamed,
             self.core.counters.streamed.load(Ordering::Relaxed),
+        );
+        let stats = self
+            .core
+            .versioned
+            .lock()
+            .expect("versioned poisoned")
+            .stats();
+        b.add(
+            Counter::UpdatesApplied,
+            self.core.counters.updates.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::SnapshotsPinned,
+            self.core.counters.snapshots_base.load(Ordering::Relaxed) + stats.snapshots_pinned,
+        );
+        b.add(
+            Counter::Compactions,
+            self.core.counters.compactions_base.load(Ordering::Relaxed) + stats.compactions,
+        );
+        b.record_max(Counter::DeltaEdgesLive, stats.delta_edges_live as u64);
+        b.add(
+            Counter::IncrementalEmbeddings,
+            self.core.counters.incremental.load(Ordering::Relaxed),
         );
         b
     }

@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # Full local gate: formatting, release build, workspace tests, clippy with
-# warnings denied, plus the observability smoke checks (trace overhead
-# stays inside the bound; JSONL run profiles round-trip and validate) and
-# the service-layer concurrency smoke (two clients on a shared Service;
-# asserts sequential-vs-concurrent count agreement and a nonzero
-# plan-cache hit rate). Run from anywhere; everything executes at the
-# repo root.
+# warnings denied, rustdoc with warnings denied, plus the observability
+# smoke checks (trace overhead stays inside the bound; JSONL run profiles
+# round-trip and validate), the service-layer concurrency smoke (two
+# clients on a shared Service; asserts sequential-vs-concurrent count
+# agreement and a nonzero plan-cache hit rate) and the dynamic-graph
+# smoke (seeded update stream; asserts incremental standing-query
+# maintenance equals full recompute after every batch). Run from
+# anywhere; everything executes at the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,8 +16,10 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 cargo build --release -p sm-bench
 ./target/release/experiments trace-overhead --queries 2 --threads 4
 ./target/release/experiments check-profile --queries 1 --threads 4
 ./target/release/experiments serve --queries 4 --clients 2 --threads 2
+./target/release/experiments update --queries 2 --threads 2 --seed 42

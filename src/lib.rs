@@ -19,6 +19,7 @@
 //! | Glasgow CP solver | `sm-glasgow` | [`glasgow`] |
 //! | Dataset stand-ins | `sm-datasets` | [`datasets`] |
 //! | Concurrent query service | `sm-service` | [`service`] |
+//! | Dynamic graphs & incremental matching | `sm-delta` | [`delta`] |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use sm_datasets as datasets;
+pub use sm_delta as delta;
 pub use sm_glasgow as glasgow;
 pub use sm_graph as graph;
 pub use sm_intersect as intersect;
