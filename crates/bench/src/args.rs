@@ -3,7 +3,8 @@
 //! ```text
 //! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--clients N]
-//!             [--seed N] [--full] [--trace] [--profile-out PATH]
+//!             [--seed N] [--shards 1,2,4,8] [--partitioner hash|label]
+//!             [--full] [--trace] [--profile-out PATH]
 //! ```
 
 use std::time::Duration;
@@ -27,8 +28,13 @@ pub struct HarnessOptions {
     /// Concurrent client threads for the `serve` experiment.
     pub clients: usize,
     /// Seed for workload generation (`serve` client schedules, `update`
-    /// streams) — same seed, same workload, run to run.
+    /// streams, `shard` client schedules and partitioning) — same seed,
+    /// same workload, run to run.
     pub seed: u64,
+    /// Shard counts for the `shard` experiment's scaling sweep.
+    pub shards: Vec<usize>,
+    /// Partition strategy for the `shard` experiment (`hash` | `label`).
+    pub partitioner: String,
     /// Attach an sm-runtime [`sm_runtime::Trace`] to supported experiments
     /// and print the per-phase span tree after each traced run.
     pub trace: bool,
@@ -48,6 +54,8 @@ impl Default for HarnessOptions {
             threads: 1,
             clients: 2,
             seed: 42,
+            shards: vec![1, 2, 4, 8],
+            partitioner: "label".to_string(),
             trace: false,
             profile_out: None,
         }
@@ -105,6 +113,22 @@ impl HarnessOptions {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or("--seed needs an unsigned integer")?;
+                }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a comma list")?;
+                    let parsed: Result<Vec<usize>, _> =
+                        v.split(',').map(|s| s.trim().parse()).collect();
+                    opts.shards = parsed
+                        .ok()
+                        .filter(|s: &Vec<usize>| !s.is_empty() && s.iter().all(|&k| k >= 1))
+                        .ok_or("--shards needs a comma list of positive integers")?;
+                }
+                "--partitioner" => {
+                    let v = it.next().ok_or("--partitioner needs hash|label")?;
+                    if v != "hash" && v != "label" {
+                        return Err(format!("--partitioner must be hash or label, got {v}"));
+                    }
+                    opts.partitioner = v;
                 }
                 "--trace" => {
                     opts.trace = true;
@@ -210,6 +234,23 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().seed, 42);
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn shards_and_partitioner_flags() {
+        let o = parse(&["shard", "--shards", "1,2,4", "--partitioner", "hash"]).unwrap();
+        assert_eq!(o.command, "shard");
+        assert_eq!(o.shards, vec![1, 2, 4]);
+        assert_eq!(o.partitioner, "hash");
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.shards, vec![1, 2, 4, 8]);
+        assert_eq!(d.partitioner, "label");
+        assert!(parse(&["--shards"]).is_err());
+        assert!(parse(&["--shards", "x"]).is_err());
+        assert!(parse(&["--shards", "2,0"]).is_err());
+        assert!(parse(&["--shards", ""]).is_err());
+        assert!(parse(&["--partitioner", "bogus"]).is_err());
+        assert!(parse(&["--partitioner"]).is_err());
     }
 
     #[test]

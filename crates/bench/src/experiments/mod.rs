@@ -18,6 +18,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod parallel;
 pub mod serve;
+pub mod shard;
 pub mod table3;
 pub mod table5;
 pub mod table6;

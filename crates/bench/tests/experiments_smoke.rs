@@ -15,8 +15,7 @@ fn tiny(datasets: &[&str]) -> HarnessOptions {
         time_limit: Duration::from_millis(100),
         orders: 5,
         threads: 1,
-        trace: false,
-        profile_out: None,
+        ..HarnessOptions::default()
     }
 }
 
@@ -74,4 +73,13 @@ fn ablation_runs() {
 #[test]
 fn parallel_runs() {
     experiments::parallel::run(&tiny(&["ye"]));
+}
+
+#[test]
+fn shard_runs() {
+    let opts = HarnessOptions {
+        shards: vec![1, 2],
+        ..tiny(&["ye"])
+    };
+    experiments::shard::run(&opts);
 }

@@ -126,6 +126,65 @@ impl BfsTree {
     }
 }
 
+/// All vertices within `depth` hops of any source: a multi-source
+/// bounded BFS, returned as a sorted vertex list. `depth = 0` returns
+/// the (deduplicated) sources themselves.
+///
+/// This is the halo-membership primitive of the sharded serving tier:
+/// a shard that owns `sources` replicates exactly `khop_ball(g,
+/// sources, k) \ sources` as ghost vertices.
+pub fn khop_ball(g: &Graph, sources: &[VertexId], depth: u32) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    let mut members: Vec<VertexId> = queue.iter().copied().collect();
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d == depth {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                members.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
+/// Eccentricity of `v`: the maximum BFS depth over every vertex
+/// reachable from `v`. `None` when some vertex of `g` is unreachable
+/// from `v` (the eccentricity would be infinite).
+pub fn eccentricity(g: &Graph, v: VertexId) -> Option<u32> {
+    let t = BfsTree::build(g, v);
+    if t.order.len() < g.num_vertices() {
+        return None;
+    }
+    Some(t.max_depth())
+}
+
+/// Diameter of `g`: the maximum eccentricity over all vertices. `None`
+/// for the empty graph and for disconnected graphs. Runs one BFS per
+/// vertex — meant for query-sized graphs, where it sizes the halo depth
+/// a sharded partition needs to answer the query locally.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    (0..g.num_vertices() as VertexId)
+        .map(|v| eccentricity(g, v))
+        .try_fold(0, |acc, e| e.map(|e| acc.max(e)))
+}
+
 /// Connected components of `g` as vertex lists.
 pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
@@ -203,6 +262,36 @@ mod tests {
         let g = graph_from_edges(&[0; 5], &[(0, 1), (2, 3)]);
         let comps = connected_components(&g);
         assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn khop_ball_bounded_expansion() {
+        // Path 0-1-2-3-4 plus isolated 5.
+        let g = graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(khop_ball(&g, &[0], 0), vec![0]);
+        assert_eq!(khop_ball(&g, &[0], 2), vec![0, 1, 2]);
+        assert_eq!(khop_ball(&g, &[0, 4], 1), vec![0, 1, 3, 4]);
+        assert_eq!(khop_ball(&g, &[5], 3), vec![5]);
+        // Duplicate sources dedup.
+        assert_eq!(khop_ball(&g, &[2, 2], 1), vec![1, 2, 3]);
+        assert!(khop_ball(&g, &[], 2).is_empty());
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let path = graph_from_edges(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(eccentricity(&path, 0), Some(3));
+        assert_eq!(eccentricity(&path, 1), Some(2));
+        assert_eq!(diameter(&path), Some(3));
+        let tri = graph_from_edges(&[0; 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(diameter(&tri), Some(1));
+        let disconnected = graph_from_edges(&[0; 3], &[(0, 1)]);
+        assert_eq!(eccentricity(&disconnected, 0), None);
+        assert_eq!(diameter(&disconnected), None);
+        let empty = graph_from_edges(&[], &[]);
+        assert_eq!(diameter(&empty), None);
+        let single = graph_from_edges(&[0], &[]);
+        assert_eq!(diameter(&single), Some(0));
     }
 
     #[test]

@@ -79,11 +79,23 @@ pub enum Counter {
     /// Embeddings added or retracted by delta-driven incremental
     /// enumeration (instead of full recomputation).
     IncrementalEmbeddings,
+    /// Queries fanned out by a sharded router (one per shard per
+    /// scatter).
+    QueriesFannedOut,
+    /// Boundary-crossing embeddings stitched through the halo and kept
+    /// by the router's ownership filter.
+    BoundaryEmbeddingsStitched,
+    /// Halo (ghost) vertices replicated across all shards (a gauge:
+    /// merges take the max; set from the current partition).
+    HaloVerticesReplicated,
+    /// Partition skew: max per-shard local edge count as a percentage of
+    /// the even share (100 = perfectly balanced; a gauge).
+    ShardSkew,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 34;
 
     /// Every counter, in schema order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -117,6 +129,10 @@ impl Counter {
         Counter::Compactions,
         Counter::DeltaEdgesLive,
         Counter::IncrementalEmbeddings,
+        Counter::QueriesFannedOut,
+        Counter::BoundaryEmbeddingsStitched,
+        Counter::HaloVerticesReplicated,
+        Counter::ShardSkew,
     ];
 
     /// Stable snake_case name — the JSONL field key.
@@ -152,6 +168,10 @@ impl Counter {
             Counter::Compactions => "compactions",
             Counter::DeltaEdgesLive => "delta_edges_live",
             Counter::IncrementalEmbeddings => "incremental_embeddings",
+            Counter::QueriesFannedOut => "queries_fanned_out",
+            Counter::BoundaryEmbeddingsStitched => "boundary_embeddings_stitched",
+            Counter::HaloVerticesReplicated => "halo_vertices_replicated",
+            Counter::ShardSkew => "shard_skew",
         }
     }
 
@@ -163,16 +183,31 @@ impl Counter {
     /// Whether merging across workers takes the max (gauge) instead of the
     /// sum.
     pub fn is_gauge(self) -> bool {
-        matches!(self, Counter::PeakDepth | Counter::DeltaEdgesLive)
+        matches!(
+            self,
+            Counter::PeakDepth
+                | Counter::DeltaEdgesLive
+                | Counter::HaloVerticesReplicated
+                | Counter::ShardSkew
+        )
     }
 }
 
 /// A worker-local block of every registry counter. Plain `u64`s: bumping
 /// one is a single add, so the block can stay on the enumeration hot path
 /// even when tracing is disabled.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterBlock {
     vals: [u64; Counter::COUNT],
+}
+
+// Not derived: std only provides `Default` for arrays up to 32 elements.
+impl Default for CounterBlock {
+    fn default() -> Self {
+        CounterBlock {
+            vals: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl CounterBlock {

@@ -44,7 +44,7 @@ pub mod update;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use service::{GraphData, QueryRequest, Service, ServiceConfig};
-pub use stream::{QueryReport, ResultStream, ServiceOutcome};
+pub use stream::{result_channel, QueryReport, ResultSink, ResultStream, ServiceOutcome};
 pub use update::{StandingId, UpdateReport};
 
 #[cfg(test)]

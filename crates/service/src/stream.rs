@@ -51,6 +51,31 @@ impl ServiceOutcome {
             ServiceOutcome::Rejected => "rejected",
         }
     }
+
+    /// Severity rank for merging the outcomes of fanned-out sub-queries:
+    /// `Complete < CapHit < Deadline < Cancelled < Rejected`. A router
+    /// that scatters one query across shards reports the worst per-shard
+    /// outcome, so a deadline on any shard marks the merged counts
+    /// partial.
+    pub fn severity(self) -> u8 {
+        match self {
+            ServiceOutcome::Complete => 0,
+            ServiceOutcome::CapHit => 1,
+            ServiceOutcome::Deadline => 2,
+            ServiceOutcome::Cancelled => 3,
+            ServiceOutcome::Rejected => 4,
+        }
+    }
+
+    /// The more severe of two outcomes (see
+    /// [`severity`](ServiceOutcome::severity)).
+    pub fn worst(self, other: ServiceOutcome) -> ServiceOutcome {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// Terminal report of one query: the outcome plus whatever was counted
@@ -145,6 +170,64 @@ impl StreamCore {
         self.avail.notify_all();
         self.space.notify_all();
     }
+}
+
+/// The producer half of an externally-driven [`ResultStream`], created
+/// by [`result_channel`]. This is the router hook of the sharded
+/// serving tier: a gather thread that merges per-shard streams pushes
+/// the merged embeddings through a `ResultSink` and the client consumes
+/// an ordinary `ResultStream` with the full service semantics —
+/// backpressure, drop-to-cancel, terminal [`QueryReport`].
+pub struct ResultSink {
+    core: Arc<StreamCore>,
+    /// The run's cancellation token, shared with the stream. The
+    /// producer may cancel it (e.g. on a cross-shard cap hit) and poll
+    /// it for deadline kills.
+    pub cancel: CancelToken,
+}
+
+impl ResultSink {
+    /// Deliver one embedding, blocking while the buffer is full.
+    /// Returns `false` when the embedding was dropped instead (consumer
+    /// gone, client cancelled, or deadline) — the producer should stop.
+    pub fn push(&self, embedding: Vec<VertexId>) -> bool {
+        self.core.push(embedding)
+    }
+
+    /// Install the terminal report and wake the consumer. Call exactly
+    /// once; the stream yields buffered embeddings first, then `None`.
+    pub fn finish(&self, report: QueryReport) {
+        self.core.finish(report);
+    }
+
+    /// Whether the client aborted (cancelled explicitly or dropped the
+    /// stream). Producers of count-only queries never push, so they
+    /// poll this instead of learning it from a failed `push`.
+    pub fn client_cancelled(&self) -> bool {
+        self.core.client_cancelled.load(Ordering::Relaxed)
+            || self
+                .core
+                .inner
+                .lock()
+                .expect("stream poisoned")
+                .consumer_gone
+    }
+}
+
+/// A producer/consumer pair over one bounded stream: the consumer half
+/// behaves exactly like a service-issued [`ResultStream`] (dropping it
+/// cancels `cancel` with [`CancelReason::Stopped`]), while the producer
+/// half is driven externally — by a sharded router's gather thread
+/// rather than by this service's own workers.
+pub fn result_channel(capacity: usize, cancel: CancelToken) -> (ResultSink, ResultStream) {
+    let core = StreamCore::new(capacity, cancel.clone());
+    (
+        ResultSink {
+            core: core.clone(),
+            cancel,
+        },
+        ResultStream { core },
+    )
 }
 
 /// The client half of one submitted query: pull embeddings with
@@ -327,6 +410,37 @@ mod tests {
         let mut s = ResultStream::terminal(report(ServiceOutcome::Rejected));
         assert_eq!(s.next(), None);
         assert_eq!(s.report().unwrap().outcome, ServiceOutcome::Rejected);
+    }
+
+    #[test]
+    fn outcome_severity_merge() {
+        use ServiceOutcome::*;
+        assert_eq!(Complete.worst(Complete), Complete);
+        assert_eq!(Complete.worst(CapHit), CapHit);
+        assert_eq!(Deadline.worst(CapHit), Deadline);
+        assert_eq!(Cancelled.worst(Rejected), Rejected);
+        assert_eq!(Rejected.worst(Complete), Rejected);
+    }
+
+    #[test]
+    fn result_channel_round_trip() {
+        let (sink, mut stream) = result_channel(2, CancelToken::new());
+        assert!(sink.push(vec![1, 2]));
+        assert!(!sink.client_cancelled());
+        sink.finish(report(ServiceOutcome::Complete));
+        assert_eq!(stream.next(), Some(vec![1, 2]));
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.report().unwrap().outcome, ServiceOutcome::Complete);
+    }
+
+    #[test]
+    fn result_channel_drop_cancels_producer_side() {
+        let token = CancelToken::new();
+        let (sink, stream) = result_channel(1, token.clone());
+        drop(stream);
+        assert!(sink.client_cancelled());
+        assert!(!sink.push(vec![0]), "push fails after consumer drop");
+        assert_eq!(token.cancelled(), Some(CancelReason::Stopped));
     }
 
     #[test]

@@ -1,0 +1,892 @@
+//! The scatter-gather router: one [`sm_service::Service`] per shard
+//! behind a single service-shaped front door.
+//!
+//! # Query path
+//!
+//! [`ShardedService::submit`] fans the request out to every shard
+//! (always streaming, always uncapped — see below), then a gather
+//! thread drains the per-shard [`ResultStream`]s, remaps local vertex
+//! ids to global ids, and keeps an embedding **iff the shard that
+//! produced it owns the embedding's minimum global vertex id**. The
+//! halo guarantees the owner shard finds every such embedding locally
+//! (see [`crate::partition`]), and the minimum-id rule guarantees no
+//! other shard double-reports it — the same exactly-once shape as
+//! sm-delta's first-changed-edge attribution. Kept embeddings flow into
+//! an ordinary backpressured [`ResultStream`] via the service's
+//! [`sm_service::result_channel`] producer hook, so clients see the
+//! normal service contract: bounded buffering, drop-to-cancel, one
+//! terminal [`QueryReport`].
+//!
+//! **Caps are exact across shards.** A shard cannot apply a per-query
+//! cap soundly — it cannot know which of its local embeddings the
+//! router will attribute to it. Shards therefore always run uncapped
+//! (per-shard configs get `default_cap = None`) and the router counts
+//! *owned* embeddings, stopping — and cancelling every shard — at
+//! exactly the global cap. Deadlines stay per-shard: any shard's
+//! deadline marks the merged counts partial (`Deadline` outcome), which
+//! preserves deadline-on-empty semantics.
+//!
+//! # Update path
+//!
+//! [`ShardedService::apply_update`] commits the batch once to a
+//! router-level [`VersionedGraph`] (the global source of truth), then
+//! recomputes each shard's k-hop membership on the post-state, diffs it
+//! against the shard's current membership, and applies one local batch
+//! per shard: joined vertices are added (in sorted global-id order, so
+//! predicted local ids match the service's dense assignment), departed
+//! vertices are tombstoned, and edge ops are routed through each
+//! shard's global→local map ([`UpdateBatch::map_vertices`]) — relying
+//! on the versioned graph's commit normalization to ignore duplicates.
+//!
+//! **Epoch coherence**: submissions take the router state's read lock
+//! for the whole fan-out; `apply_update` holds the write lock while
+//! applying every per-shard batch. A query therefore sees all shards
+//! pre-update or all shards post-update, never a torn mix; queries
+//! already in flight keep their admission-time graph via `Arc`, exactly
+//! like a single service.
+
+use crate::partition::{hash_owner, skew_pct, Partition, PartitionStrategy};
+use sm_delta::{GraphView, Snapshot, UpdateBatch, VersionedGraph};
+use sm_graph::traversal::{diameter, khop_ball};
+use sm_graph::{Graph, Label, VertexId};
+use sm_runtime::trace::{Counter, CounterBlock};
+use sm_runtime::CancelToken;
+use sm_service::{
+    result_channel, QueryReport, QueryRequest, ResultSink, ResultStream, Service, ServiceConfig,
+    ServiceOutcome,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Sharded-tier configuration.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Number of shards (each gets its own [`Service`] and worker
+    /// pool). Clamped to at least 1.
+    pub shards: usize,
+    /// How vertices are assigned to owning shards.
+    pub strategy: PartitionStrategy,
+    /// Halo (ghost) replication depth — the maximum query diameter the
+    /// tier can answer. Larger halos support wider queries at the cost
+    /// of more replication.
+    pub halo_depth: u32,
+    /// Seed for the hash partitioner.
+    pub seed: u64,
+    /// Per-shard service configuration. `default_cap` is taken over by
+    /// the router (shards always enumerate uncapped); everything else —
+    /// workers, admission bounds, deadlines, pipeline, trace — applies
+    /// to each shard's own service.
+    pub service: ServiceConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 2,
+            strategy: PartitionStrategy::Hash,
+            halo_depth: 3,
+            seed: 0,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Handle to a standing query registered with
+/// [`ShardedService::register_standing`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStandingId(usize);
+
+/// What one [`ShardedService::apply_update`] call did, merged across
+/// shards. Graph-shape counts (`edges_inserted`, …) are global — a
+/// halo-replicated edge counts once, not once per holding shard.
+#[derive(Clone, Debug)]
+pub struct ShardedUpdateReport {
+    /// Router epoch after the update (unchanged for a no-op batch).
+    pub epoch: u64,
+    /// Whether the batch normalized to nothing.
+    pub noop: bool,
+    /// Edges inserted (global, post-normalization).
+    pub edges_inserted: usize,
+    /// Edges deleted (global, including edges of deleted vertices).
+    pub edges_deleted: usize,
+    /// Vertices added (global).
+    pub vertices_added: usize,
+    /// Vertices tombstoned (global).
+    pub vertices_deleted: usize,
+    /// Cached plans retained, summed over shards.
+    pub plans_retained: usize,
+    /// Cached plans evicted, summed over shards.
+    pub plans_evicted: usize,
+    /// Standing-query embeddings added incrementally, summed over
+    /// shards (halo replicas included — this counts per-shard work).
+    pub incremental_added: u64,
+    /// Standing-query embeddings retracted, summed over shards.
+    pub incremental_removed: u64,
+    /// Shards whose local state actually changed.
+    pub shards_touched: usize,
+    /// Wall-clock time of the whole cross-shard apply.
+    pub elapsed: Duration,
+}
+
+/// Per-shard attribution snapshot (see
+/// [`ShardedService::shard_details`]).
+#[derive(Clone, Debug)]
+pub struct ShardDetail {
+    /// Shard index.
+    pub shard: usize,
+    /// Live vertices this shard owns.
+    pub owned: usize,
+    /// Live halo (ghost) vertices replicated onto this shard.
+    pub halo: usize,
+    /// Live local edges.
+    pub local_edges: usize,
+    /// The shard service's epoch (shards whose region an update missed
+    /// stay on their old epoch — local no-op).
+    pub epoch: u64,
+    /// The shard service's counter block.
+    pub counters: CounterBlock,
+}
+
+struct ShardState {
+    service: Service,
+    /// Local → global id map. Append-only (tombstoned locals keep their
+    /// entry); swapped wholesale under the write lock so gather threads
+    /// capture a consistent `Arc` at submit time.
+    global_of: Arc<Vec<VertexId>>,
+    /// Global → live local id map.
+    local_of: HashMap<VertexId, VertexId>,
+    /// Live local edge count (maintained on update for skew stats).
+    local_edges: usize,
+}
+
+struct RouterState {
+    shards: Vec<ShardState>,
+    /// Global vertex → owning shard. Tombstoned vertices keep their
+    /// owner (ids are never reused).
+    owner: Arc<Vec<u32>>,
+    /// The global source of truth; per-shard graphs are derived views.
+    versioned: VersionedGraph,
+    epoch: u64,
+    /// Per-label owned-vertex counts per shard, for label-aware
+    /// assignment of vertices added later.
+    label_counts: HashMap<Label, Vec<u64>>,
+    /// Live halo vertices across all shards (gauge).
+    halo: u64,
+    /// Local-edge skew across shards in percent (gauge).
+    skew: u64,
+    /// Per-router-standing-id: the per-shard service standing ids.
+    standing: Vec<Vec<sm_service::StandingId>>,
+}
+
+/// A partitioned, scatter-gather sharded query service with the same
+/// client contract as a single [`Service`].
+///
+/// ```
+/// use sm_graph::builder::graph_from_edges;
+/// use sm_service::{QueryRequest, ServiceOutcome};
+/// use sm_shard::{ShardConfig, ShardedService};
+///
+/// let g = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// let svc = ShardedService::new(g, ShardConfig::default());
+/// let tri = graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+/// let report = svc.submit(QueryRequest::count(tri)).wait();
+/// assert_eq!(report.outcome, ServiceOutcome::Complete);
+/// assert_eq!(report.matches, 6); // one triangle, six automorphic mappings
+/// ```
+pub struct ShardedService {
+    state: RwLock<RouterState>,
+    cfg: ShardConfig,
+    shards: usize,
+    fanned: AtomicU64,
+    stitched: Arc<AtomicU64>,
+    rejected: AtomicU64,
+}
+
+impl ShardedService {
+    /// Partition `graph` and start one service per shard.
+    pub fn new(graph: Graph, cfg: ShardConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let part = Partition::build(&graph, cfg.strategy, shards, cfg.halo_depth, cfg.seed);
+        let halo = part.halo_vertices();
+        let skew = part.skew_pct();
+        let Partition { owner, pieces } = part;
+        let mut label_counts: HashMap<Label, Vec<u64>> = HashMap::new();
+        for (v, &o) in owner.iter().enumerate() {
+            label_counts
+                .entry(graph.label(v as VertexId))
+                .or_insert_with(|| vec![0; shards])[o as usize] += 1;
+        }
+        // Shards never cap locally — the router applies the global cap
+        // to the owned embeddings it keeps (see module docs).
+        let mut svc_cfg = cfg.service.clone();
+        svc_cfg.default_cap = None;
+        let shard_states = pieces
+            .into_iter()
+            .map(|p| ShardState {
+                local_edges: p.graph.num_edges(),
+                service: Service::new(p.graph, svc_cfg.clone()),
+                global_of: Arc::new(p.global_of),
+                local_of: p.local_of,
+            })
+            .collect();
+        ShardedService {
+            state: RwLock::new(RouterState {
+                shards: shard_states,
+                owner: Arc::new(owner),
+                versioned: VersionedGraph::new(graph),
+                epoch: 0,
+                label_counts,
+                halo,
+                skew,
+                standing: Vec::new(),
+            }),
+            cfg,
+            shards,
+            fanned: AtomicU64::new(0),
+            stitched: Arc::new(AtomicU64::new(0)),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Router epoch: bumped once per effective cross-shard update.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("state poisoned").epoch
+    }
+
+    /// Whether the sharded tier can answer `query`. With more than one
+    /// shard the query must be connected, have at least one edge, and
+    /// have diameter at most the halo depth — otherwise shard-local
+    /// enumeration would be incomplete and the submission is
+    /// `Rejected`. A single shard holds the whole graph and supports
+    /// anything the underlying service does.
+    pub fn supports(&self, query: &Graph) -> bool {
+        self.shards == 1
+            || (query.num_edges() >= 1 && diameter(query).is_some_and(|d| d <= self.cfg.halo_depth))
+    }
+
+    /// Submit a query; returns immediately with the merged result
+    /// stream. See the module docs for the scatter-gather contract.
+    pub fn submit(&self, req: QueryRequest) -> ResultStream {
+        let started = Instant::now();
+        if !self.supports(&req.query) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            let (sink, stream) = result_channel(1, CancelToken::new());
+            sink.finish(QueryReport {
+                outcome: ServiceOutcome::Rejected,
+                matches: 0,
+                recursions: 0,
+                cache_hit: false,
+                plan_build_ns: 0,
+                elapsed: started.elapsed(),
+            });
+            return stream;
+        }
+        let cap = req.max_matches.or(self.cfg.service.default_cap);
+        let deliver = req.deliver;
+        // Read lock for the whole fan-out: every shard is submitted to
+        // under the same router epoch (no torn scatter).
+        let (streams, owner) = {
+            let state = self.state.read().expect("state poisoned");
+            let streams: Vec<(ResultStream, Arc<Vec<VertexId>>)> = state
+                .shards
+                .iter()
+                .map(|shard| {
+                    let sreq = QueryRequest {
+                        query: req.query.clone(),
+                        deadline: req.deadline,
+                        max_matches: None, // uncapped: the router owns the cap
+                        deliver: true,     // router needs embeddings to attribute
+                    };
+                    (shard.service.submit(sreq), shard.global_of.clone())
+                })
+                .collect();
+            (streams, state.owner.clone())
+        };
+        self.fanned
+            .fetch_add(streams.len() as u64, Ordering::Relaxed);
+        let (sink, stream) = result_channel(self.cfg.service.stream_capacity, CancelToken::new());
+        let stitched = self.stitched.clone();
+        let input = GatherInput {
+            streams,
+            owner,
+            cap,
+            deliver,
+            started,
+        };
+        thread::Builder::new()
+            .name("sm-shard-gather".into())
+            .spawn(move || gather(sink, input, stitched))
+            .expect("spawn gather thread");
+        stream
+    }
+
+    /// Submit and block for the terminal report (count-only helper).
+    pub fn run_count(&self, query: Graph) -> QueryReport {
+        self.submit(QueryRequest::count(query)).wait()
+    }
+
+    /// Apply an update batch atomically across every shard: commit once
+    /// to the global versioned graph, bump the router epoch, and route
+    /// one derived batch to each shard whose membership or edges it
+    /// touches — all under the write lock, so no concurrent submission
+    /// observes a torn (mixed-epoch) scatter.
+    pub fn apply_update(&self, batch: &UpdateBatch) -> ShardedUpdateReport {
+        let started = Instant::now();
+        let mut guard = self.state.write().expect("state poisoned");
+        let state = &mut *guard;
+        let committed = state.versioned.commit(batch);
+        let info = &committed.info;
+        if info.is_noop() {
+            return ShardedUpdateReport {
+                epoch: state.epoch,
+                noop: true,
+                edges_inserted: 0,
+                edges_deleted: 0,
+                vertices_added: 0,
+                vertices_deleted: 0,
+                plans_retained: 0,
+                plans_evicted: 0,
+                incremental_added: 0,
+                incremental_removed: 0,
+                shards_touched: 0,
+                elapsed: started.elapsed(),
+            };
+        }
+        state.epoch += 1;
+        let shards = state.shards.len();
+        // Assign owners to new vertices (ids are dense from the old
+        // vertex count, so plain pushes line up).
+        let mut owner = (*state.owner).clone();
+        for &v in &info.vertices_added {
+            let label = committed.post.label(v);
+            let o = match self.cfg.strategy {
+                PartitionStrategy::Hash => hash_owner(v, self.cfg.seed, shards),
+                PartitionStrategy::LabelAware => {
+                    // Least-loaded shard for this label, lowest index on
+                    // ties — deterministic.
+                    let counts = state
+                        .label_counts
+                        .entry(label)
+                        .or_insert_with(|| vec![0; shards]);
+                    counts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &c)| (c, i))
+                        .map(|(i, _)| i)
+                        .expect("at least one shard") as u32
+                }
+            };
+            if let Some(counts) = state.label_counts.get_mut(&label) {
+                counts[o as usize] += 1;
+            }
+            debug_assert_eq!(owner.len(), v as usize);
+            owner.push(o);
+        }
+        for &v in &info.vertices_deleted {
+            if let Some(counts) = state.label_counts.get_mut(&committed.post.label(v)) {
+                let c = &mut counts[owner[v as usize] as usize];
+                *c = c.saturating_sub(1);
+            }
+        }
+        // The post graph, with tombstones as isolated labeled vertices —
+        // the same shape every shard's local graph mirrors.
+        let (post_g, _) = committed.post.materialize();
+        let mut owned_lists: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
+        for (v, &o) in owner.iter().enumerate() {
+            owned_lists[o as usize].push(v as VertexId);
+        }
+        let mut plans_retained = 0;
+        let mut plans_evicted = 0;
+        let mut incremental_added = 0;
+        let mut incremental_removed = 0;
+        let mut shards_touched = 0;
+        let mut halo = 0u64;
+        let mut edge_loads = vec![0u64; shards];
+        for (si, shard) in state.shards.iter_mut().enumerate() {
+            let members = khop_ball(&post_g, &owned_lists[si], self.cfg.halo_depth);
+            let mut member_set = vec![false; post_g.num_vertices()];
+            for &m in &members {
+                member_set[m as usize] = true;
+            }
+            // Joined vertices get fresh local ids in sorted global order
+            // (matching the service's dense assignment); departed ones
+            // are tombstoned locally.
+            let joined: Vec<VertexId> = members
+                .iter()
+                .copied()
+                .filter(|g| !shard.local_of.contains_key(g))
+                .collect();
+            let mut left: Vec<VertexId> = shard
+                .local_of
+                .keys()
+                .copied()
+                .filter(|&g| !member_set[g as usize])
+                .collect();
+            left.sort_unstable();
+            let mut lb = UpdateBatch::new();
+            let mut new_global_of = (*shard.global_of).clone();
+            for &g in &joined {
+                lb = lb.add_vertex(post_g.label(g));
+                shard.local_of.insert(g, new_global_of.len() as VertexId);
+                new_global_of.push(g);
+            }
+            for &g in &left {
+                let l = shard
+                    .local_of
+                    .remove(&g)
+                    .expect("departed vertex was local");
+                lb = lb.delete_vertex(l);
+            }
+            // Route the global ops through the updated local map; ops
+            // naming vertices this shard doesn't hold drop out, and
+            // duplicates are normalized away by the shard's commit.
+            let gops = UpdateBatch {
+                add_vertices: Vec::new(),
+                delete_vertices: info.vertices_deleted.clone(),
+                add_edges: info.edges_inserted.clone(),
+                delete_edges: info.edges_deleted.clone(),
+            };
+            let mapped = gops.map_vertices(|g| shard.local_of.get(&g).copied());
+            lb.delete_vertices.extend(mapped.delete_vertices);
+            lb.add_edges.extend(mapped.add_edges);
+            lb.delete_edges.extend(mapped.delete_edges);
+            // Pre-existing edges incident to joined vertices enter with
+            // them.
+            for &g in &joined {
+                let lg = shard.local_of[&g];
+                for &w in post_g.neighbors(g) {
+                    if let Some(&lw) = shard.local_of.get(&w) {
+                        lb.add_edges.push((lg, lw));
+                    }
+                }
+            }
+            let rep = shard.service.apply_update(&lb);
+            if !rep.noop {
+                shards_touched += 1;
+            }
+            plans_retained += rep.plans_retained;
+            plans_evicted += rep.plans_evicted;
+            incremental_added += rep.incremental_added;
+            incremental_removed += rep.incremental_removed;
+            shard.global_of = Arc::new(new_global_of);
+            // Stats over live members.
+            halo += members
+                .iter()
+                .filter(|&&g| owner[g as usize] as usize != si)
+                .count() as u64;
+            let local_edges: usize = members
+                .iter()
+                .map(|&m| {
+                    post_g
+                        .neighbors(m)
+                        .iter()
+                        .filter(|&&w| member_set[w as usize])
+                        .count()
+                })
+                .sum::<usize>()
+                / 2;
+            shard.local_edges = local_edges;
+            edge_loads[si] = local_edges as u64;
+        }
+        state.owner = Arc::new(owner);
+        state.halo = halo;
+        state.skew = skew_pct(edge_loads.into_iter());
+        ShardedUpdateReport {
+            epoch: state.epoch,
+            noop: false,
+            edges_inserted: info.edges_inserted.len(),
+            edges_deleted: info.edges_deleted.len(),
+            vertices_added: info.vertices_added.len(),
+            vertices_deleted: info.vertices_deleted.len(),
+            plans_retained,
+            plans_evicted,
+            incremental_added,
+            incremental_removed,
+            shards_touched,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Pin a consistent snapshot of the current global graph version.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state
+            .read()
+            .expect("state poisoned")
+            .versioned
+            .snapshot()
+    }
+
+    /// Register a standing query on every shard; its merged embedding
+    /// set stays current across [`ShardedService::apply_update`] calls.
+    /// Returns `None` for queries the tier does not support.
+    pub fn register_standing(&self, query: &Graph) -> Option<ShardStandingId> {
+        if !self.supports(query) {
+            return None;
+        }
+        // Write lock: the per-shard initial enumerations must all see
+        // the same epoch.
+        let mut state = self.state.write().expect("state poisoned");
+        let ids: Option<Vec<sm_service::StandingId>> = state
+            .shards
+            .iter()
+            .map(|s| s.service.register_standing(query))
+            .collect();
+        // Support depends only on the query, so the shards agree.
+        let ids = ids?;
+        state.standing.push(ids);
+        Some(ShardStandingId(state.standing.len() - 1))
+    }
+
+    /// Current merged embedding set of a standing query, in global
+    /// vertex ids, sorted — each embedding exactly once (minimum-id
+    /// ownership, same rule as the query path).
+    pub fn standing_matches(&self, id: ShardStandingId) -> Vec<Vec<VertexId>> {
+        let state = self.state.read().expect("state poisoned");
+        let ids = &state.standing[id.0];
+        let mut out = Vec::new();
+        for (si, shard) in state.shards.iter().enumerate() {
+            for m in shard.service.standing_matches(ids[si]) {
+                let gm: Vec<VertexId> = m.iter().map(|&l| shard.global_of[l as usize]).collect();
+                let vmin = *gm.iter().min().expect("nonempty embedding");
+                if state.owner[vmin as usize] as usize == si {
+                    out.push(gm);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Current merged embedding count of a standing query.
+    pub fn standing_count(&self, id: ShardStandingId) -> usize {
+        self.standing_matches(id).len()
+    }
+
+    /// Merged counters: every shard service's block plus the router's
+    /// shard-path counters (`queries_fanned_out`,
+    /// `boundary_embeddings_stitched`, the `halo_vertices_replicated`
+    /// and `shard_skew` gauges, and router-level rejections).
+    pub fn counters(&self) -> CounterBlock {
+        let state = self.state.read().expect("state poisoned");
+        let mut b = CounterBlock::new();
+        for s in &state.shards {
+            b.merge(&s.service.counters());
+        }
+        b.add(
+            Counter::QueriesFannedOut,
+            self.fanned.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::BoundaryEmbeddingsStitched,
+            self.stitched.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::QueriesRejected,
+            self.rejected.load(Ordering::Relaxed),
+        );
+        b.record_max(Counter::HaloVerticesReplicated, state.halo);
+        b.record_max(Counter::ShardSkew, state.skew);
+        b
+    }
+
+    /// Per-shard attribution: ownership, replication, load, and each
+    /// shard service's counters.
+    pub fn shard_details(&self) -> Vec<ShardDetail> {
+        let state = self.state.read().expect("state poisoned");
+        state
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let owned = s
+                    .local_of
+                    .keys()
+                    .filter(|&&g| state.owner[g as usize] as usize == si)
+                    .count();
+                ShardDetail {
+                    shard: si,
+                    owned,
+                    halo: s.local_of.len() - owned,
+                    local_edges: s.local_edges,
+                    epoch: s.service.epoch(),
+                    counters: s.service.counters(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        // Shard services flush their own counters; the router adds only
+        // its shard-path block.
+        if self.cfg.service.trace.is_enabled() {
+            let state = self.state.read().expect("state poisoned");
+            let mut b = CounterBlock::new();
+            b.add(
+                Counter::QueriesFannedOut,
+                self.fanned.load(Ordering::Relaxed),
+            );
+            b.add(
+                Counter::BoundaryEmbeddingsStitched,
+                self.stitched.load(Ordering::Relaxed),
+            );
+            b.record_max(Counter::HaloVerticesReplicated, state.halo);
+            b.record_max(Counter::ShardSkew, state.skew);
+            self.cfg.service.trace.flush_counters(0, &b);
+        }
+    }
+}
+
+struct GatherInput {
+    streams: Vec<(ResultStream, Arc<Vec<VertexId>>)>,
+    owner: Arc<Vec<u32>>,
+    cap: Option<u64>,
+    deliver: bool,
+    started: Instant,
+}
+
+/// Drain the per-shard streams into the client sink: remap, attribute,
+/// cap, merge outcomes. Runs on a detached thread per query; terminates
+/// as soon as every shard stream is terminal (shard services terminate
+/// stranded streams on drop, so this never outlives them blocked).
+fn gather(sink: ResultSink, input: GatherInput, stitched: Arc<AtomicU64>) {
+    let GatherInput {
+        streams,
+        owner,
+        cap,
+        deliver,
+        started,
+    } = input;
+    // A shard that refused admission produced a born-terminal stream —
+    // visible now, before any draining. Mirror single-service rejection:
+    // nothing ran, nothing is counted.
+    if streams.iter().any(|(s, _)| {
+        s.report()
+            .is_some_and(|r| r.outcome == ServiceOutcome::Rejected)
+    }) {
+        for (s, _) in &streams {
+            s.cancel();
+        }
+        drop(streams);
+        sink.finish(QueryReport {
+            outcome: ServiceOutcome::Rejected,
+            matches: 0,
+            recursions: 0,
+            cache_hit: false,
+            plan_build_ns: 0,
+            elapsed: started.elapsed(),
+        });
+        return;
+    }
+    let mut queue: VecDeque<(ResultStream, Arc<Vec<VertexId>>)> = streams.into();
+    let mut reports: Vec<QueryReport> = Vec::with_capacity(queue.len());
+    let mut delivered = 0u64;
+    let mut stitched_here = 0u64;
+    let mut cap_hit = false;
+    let mut client_gone = false;
+    let mut si = 0usize;
+    let mut cancel_poll = 0u32;
+    while let Some((mut stream, global_of)) = queue.pop_front() {
+        if cap_hit || client_gone {
+            stream.cancel();
+            reports.push(stream.wait());
+            si += 1;
+            continue;
+        }
+        for local in stream.by_ref() {
+            let gemb: Vec<VertexId> = local.iter().map(|&l| global_of[l as usize]).collect();
+            let vmin = *gemb.iter().min().expect("nonempty embedding");
+            if owner[vmin as usize] as usize != si {
+                continue; // another shard owns (and will report) it
+            }
+            if gemb.iter().any(|&v| owner[v as usize] as usize != si) {
+                stitched_here += 1; // crossed a shard boundary via the halo
+            }
+            delivered += 1;
+            if deliver {
+                if !sink.push(gemb) {
+                    client_gone = true;
+                    break;
+                }
+            } else {
+                cancel_poll += 1;
+                if cancel_poll & 0xFF == 0 && sink.client_cancelled() {
+                    client_gone = true;
+                    break;
+                }
+            }
+            if cap.is_some_and(|c| delivered >= c) {
+                cap_hit = true;
+                break;
+            }
+        }
+        if cap_hit || client_gone {
+            stream.cancel();
+        }
+        reports.push(stream.wait());
+        si += 1;
+    }
+    let mut outcome = ServiceOutcome::Complete;
+    let mut recursions = 0u64;
+    let mut cache_hit = true;
+    let mut plan_build_ns = 0u64;
+    for r in &reports {
+        outcome = outcome.worst(r.outcome);
+        recursions += r.recursions;
+        cache_hit &= r.cache_hit;
+        plan_build_ns = plan_build_ns.max(r.plan_build_ns);
+    }
+    // Router-level overrides: an exact global cap beats the Cancelled
+    // outcomes of the shards it cut short; a client abort beats both.
+    if cap_hit {
+        outcome = ServiceOutcome::CapHit;
+    }
+    if client_gone {
+        outcome = ServiceOutcome::Cancelled;
+    }
+    stitched.fetch_add(stitched_here, Ordering::Relaxed);
+    sink.finish(QueryReport {
+        outcome,
+        matches: delivered,
+        recursions,
+        cache_hit,
+        plan_build_ns,
+        elapsed: started.elapsed(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_graph::builder::graph_from_edges;
+
+    fn two_triangles() -> Graph {
+        // Two disjoint labeled triangles.
+        graph_from_edges(
+            &[0, 0, 0, 0, 0, 0],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+    }
+
+    fn triangle() -> Graph {
+        graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn counts_match_across_shard_counts() {
+        let expected = Service::new(two_triangles(), ServiceConfig::default())
+            .run_count(triangle())
+            .matches;
+        for shards in [1, 2, 3] {
+            let cfg = ShardConfig {
+                shards,
+                ..ShardConfig::default()
+            };
+            let svc = ShardedService::new(two_triangles(), cfg);
+            let rep = svc.run_count(triangle());
+            assert_eq!(rep.outcome, ServiceOutcome::Complete);
+            assert_eq!(rep.matches, expected, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn unsupported_queries_are_rejected() {
+        let svc = ShardedService::new(two_triangles(), ShardConfig::default());
+        // Disconnected.
+        let disconnected = graph_from_edges(&[0, 0, 0, 0], &[(0, 1), (2, 3)]);
+        assert!(!svc.supports(&disconnected));
+        let rep = svc.submit(QueryRequest::count(disconnected)).wait();
+        assert_eq!(rep.outcome, ServiceOutcome::Rejected);
+        // Single vertex (no edges).
+        let single = graph_from_edges(&[0], &[]);
+        assert!(!svc.supports(&single));
+        // Diameter beyond the halo.
+        let path = graph_from_edges(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert!(!svc.supports(&path), "diameter 5 > halo 3");
+        assert!(svc.counters().get(Counter::QueriesRejected) >= 1);
+    }
+
+    #[test]
+    fn exact_cap_across_shards() {
+        let svc = ShardedService::new(
+            two_triangles(),
+            ShardConfig {
+                shards: 2,
+                ..ShardConfig::default()
+            },
+        );
+        let rep = svc
+            .submit(QueryRequest::count(triangle()).with_cap(5))
+            .wait();
+        assert_eq!(rep.outcome, ServiceOutcome::CapHit);
+        assert_eq!(rep.matches, 5, "cap is exact across shards");
+    }
+
+    #[test]
+    fn fan_out_counter_counts_shards() {
+        let svc = ShardedService::new(
+            two_triangles(),
+            ShardConfig {
+                shards: 3,
+                ..ShardConfig::default()
+            },
+        );
+        svc.run_count(triangle());
+        svc.run_count(triangle());
+        assert_eq!(svc.counters().get(Counter::QueriesFannedOut), 6);
+    }
+
+    #[test]
+    fn streaming_delivers_global_ids() {
+        let g = two_triangles();
+        let svc = ShardedService::new(
+            g,
+            ShardConfig {
+                shards: 2,
+                ..ShardConfig::default()
+            },
+        );
+        let mut embs: Vec<Vec<VertexId>> =
+            svc.submit(QueryRequest::streaming(triangle())).collect();
+        embs.sort_unstable();
+        assert_eq!(embs.len(), 12);
+        assert!(embs.iter().all(|e| e.len() == 3));
+        // First triangle's automorphisms land on {0,1,2}, second on {3,4,5}.
+        let mut sets: Vec<Vec<VertexId>> = embs
+            .iter()
+            .map(|e| {
+                let mut s = e.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        sets.dedup();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn shard_details_cover_ownership() {
+        let g = two_triangles();
+        let n = g.num_vertices();
+        let svc = ShardedService::new(
+            g,
+            ShardConfig {
+                shards: 2,
+                strategy: PartitionStrategy::LabelAware,
+                ..ShardConfig::default()
+            },
+        );
+        let details = svc.shard_details();
+        assert_eq!(details.len(), 2);
+        assert_eq!(details.iter().map(|d| d.owned).sum::<usize>(), n);
+    }
+}

@@ -6,7 +6,9 @@
 # clients on a shared Service; asserts sequential-vs-concurrent count
 # agreement and a nonzero plan-cache hit rate) and the dynamic-graph
 # smoke (seeded update stream; asserts incremental standing-query
-# maintenance equals full recompute after every batch). Run from
+# maintenance equals full recompute after every batch) and the sharding
+# smoke (scatter-gather over partitioned shards; asserts sharded counts
+# equal single-service ground truth at every shard count). Run from
 # anywhere; everything executes at the repo root.
 set -eu
 
@@ -23,3 +25,4 @@ cargo build --release -p sm-bench
 ./target/release/experiments check-profile --queries 1 --threads 4
 ./target/release/experiments serve --queries 4 --clients 2 --threads 2
 ./target/release/experiments update --queries 2 --threads 2 --seed 42
+./target/release/experiments shard --queries 2 --clients 2 --threads 2 --seed 42 --shards 1,2
