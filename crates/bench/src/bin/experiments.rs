@@ -7,7 +7,7 @@
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel
-//!      | serve | shard | update | all
+//!      | serve | shard | update | semantics | all
 //!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
 //!      | bench-fig15 | bench-fig16 | bench-all
@@ -62,6 +62,7 @@ fn main() {
         "parallel" => experiments::parallel::run(&opts),
         "serve" => experiments::serve::run(&opts),
         "shard" => experiments::shard::run(&opts),
+        "semantics" => experiments::semantics::run(&opts),
         "update" => experiments::update::run(&opts),
         "profile" => sm_bench::profile::run(&opts),
         "trace-overhead" => sm_bench::profile::trace_overhead(&opts),

@@ -17,6 +17,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod parallel;
+pub mod semantics;
 pub mod serve;
 pub mod shard;
 pub mod table3;

@@ -21,7 +21,7 @@
 use crate::enumerate::control::RunControl;
 use crate::enumerate::failing_sets::{conflict_class, emptyset_class, prunes_siblings, FULL};
 use crate::enumerate::scratch::Scratch;
-use crate::enumerate::{intersect_counter, EnumStats, MatchSink};
+use crate::enumerate::{intersect_counter, EnumStats, Injectivity, MatchSink};
 use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
@@ -73,6 +73,7 @@ pub fn enumerate_adaptive_shared<S: MatchSink>(
         .as_ref()
         .expect("adaptive plan carries its tree")
         .root;
+    let sem = plan.config.semantics;
     let mut eng = AdaptiveEngine {
         plan,
         sc: scratch,
@@ -80,6 +81,8 @@ pub fn enumerate_adaptive_shared<S: MatchSink>(
         extendable: Vec::with_capacity(n),
         ctl: RunControl::new(&plan.config, shared, started, 0x3FF),
         sink,
+        inj: sem.injectivity,
+        emit: sem.emits(),
     };
     // Root is extendable from the start with its full candidate set.
     let root_lc = &mut eng.sc.lc_bufs[root as usize];
@@ -105,13 +108,49 @@ struct AdaptiveEngine<'a, S: MatchSink> {
     extendable: Vec<VertexId>,
     ctl: RunControl<'a>,
     sink: &'a mut S,
+    /// The plan's injectivity mode, copied out of the config once.
+    inj: Injectivity,
+    /// Whether matches are materialized into the sink (`false` for
+    /// count-only runs).
+    emit: bool,
 }
 
 impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
     #[inline]
     fn emit_match(&mut self) {
-        if self.ctl.record_match() {
+        if self.ctl.record_match() && self.emit {
             self.sink.on_match(&self.sc.m);
+        }
+    }
+
+    /// Injectivity check + bookkeeping for `u → v` (see the static
+    /// engine's `claim`). Sound here because a vertex only becomes
+    /// extendable once all its DAG parents are mapped, so the mapped
+    /// neighbors of `u` are exactly `plan.backward(u)` at claim time.
+    #[inline]
+    fn claim(&mut self, u: VertexId, v: VertexId) -> bool {
+        let plan = self.plan;
+        match self.inj {
+            Injectivity::Isomorphism => {
+                if self.sc.visited_by[v as usize] != NO_VERTEX {
+                    return false;
+                }
+                self.sc.visited_by[v as usize] = u;
+                true
+            }
+            Injectivity::Homomorphism => true,
+            Injectivity::EdgeInjective => self.sc.claim_edges(plan.backward(u), v),
+        }
+    }
+
+    /// Undo the bookkeeping of a successful [`AdaptiveEngine::claim`].
+    #[inline]
+    fn release(&mut self, u: VertexId, v: VertexId) {
+        let plan = self.plan;
+        match self.inj {
+            Injectivity::Isomorphism => self.sc.visited_by[v as usize] = NO_VERTEX,
+            Injectivity::Homomorphism => {}
+            Injectivity::EdgeInjective => self.sc.release_edges(plan.backward(u).len()),
         }
     }
 
@@ -180,7 +219,6 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
     fn apply(&mut self, u: VertexId, v: VertexId, pos: u32) -> Vec<VertexId> {
         self.sc.m[u as usize] = v;
         self.sc.mpos[u as usize] = pos;
-        self.sc.visited_by[v as usize] = u;
         // The plan's forward lists are the DAG children; iterating the
         // borrowed slice directly (no per-expansion clone) is fine because
         // `plan` outlives the `&mut self` calls below.
@@ -197,7 +235,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
         activated
     }
 
-    fn undo(&mut self, u: VertexId, v: VertexId, activated: &[VertexId]) {
+    fn undo(&mut self, u: VertexId, _v: VertexId, activated: &[VertexId]) {
         for &c in activated {
             let i = self
                 .extendable
@@ -209,7 +247,6 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
         for &c in self.plan.forward(u) {
             self.mapped_parents[c as usize] -= 1;
         }
-        self.sc.visited_by[v as usize] = NO_VERTEX;
         self.sc.m[u as usize] = NO_VERTEX;
     }
 
@@ -224,7 +261,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
         let lc = std::mem::take(&mut self.sc.lc_bufs[u as usize]);
         for &pos in &lc {
             let v = self.plan.candidates.get(u)[pos as usize];
-            if self.sc.visited_by[v as usize] != NO_VERTEX {
+            if !self.claim(u, v) {
                 continue;
             }
             let activated = self.apply(u, v, pos);
@@ -237,6 +274,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                 self.recurse(depth + 1);
             }
             self.undo(u, v, &activated);
+            self.release(u, v);
             self.ctl.counters.bump(Counter::Backtracks);
             if self.ctl.is_stopped() {
                 break;
@@ -266,6 +304,10 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
             let child_fs = if owner != NO_VERTEX {
                 conflict_class(u, owner)
             } else {
+                // Failing sets are isomorphism-only (asserted at plan
+                // assembly), so the visited map is maintained inline here
+                // rather than through claim/release.
+                self.sc.visited_by[v as usize] = u;
                 let activated = self.apply(u, v, pos);
                 self.ctl
                     .counters
@@ -277,6 +319,7 @@ impl<'a, S: MatchSink> AdaptiveEngine<'a, S> {
                     self.recurse_fs(depth + 1)
                 };
                 self.undo(u, v, &activated);
+                self.sc.visited_by[v as usize] = NO_VERTEX;
                 self.ctl.counters.bump(Counter::Backtracks);
                 fs
             };

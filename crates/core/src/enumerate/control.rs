@@ -48,7 +48,7 @@ impl SharedControl {
         SharedControl {
             cancel: config.run_token(started),
             matches: std::sync::atomic::AtomicU64::new(0),
-            cap: config.max_matches.unwrap_or(u64::MAX),
+            cap: config.effective_cap().unwrap_or(u64::MAX),
         }
     }
 
@@ -85,6 +85,9 @@ pub struct RunControl<'a> {
     cancel: CancelToken,
     stopped: Option<Outcome>,
     shared: Option<&'a SharedControl>,
+    /// The run's termination is a top-k bound — a cap-reached outcome is
+    /// then a top-k early exit, tallied in [`Counter::TopkEarlyExits`].
+    topk: bool,
     trace: Trace,
     /// Control-side event log: cap-hit and cancellation observations.
     /// Flushed (under worker 0 — "the run's control ring") by
@@ -110,7 +113,7 @@ impl<'a> RunControl<'a> {
             counters: CounterBlock::new(),
             cap: match shared {
                 Some(sh) => sh.cap,
-                None => config.max_matches.unwrap_or(u64::MAX),
+                None => config.effective_cap().unwrap_or(u64::MAX),
             },
             poll_mask,
             cancel: match shared {
@@ -119,6 +122,10 @@ impl<'a> RunControl<'a> {
             },
             stopped: None,
             shared,
+            topk: matches!(
+                config.semantics.termination,
+                crate::enumerate::Termination::TopK(_)
+            ),
             trace: config.trace.clone(),
             ring: EventRing::default(),
         }
@@ -211,6 +218,9 @@ impl<'a> RunControl<'a> {
         let mut counters = self.counters;
         counters.add(Counter::Recursions, self.recursions);
         counters.add(Counter::Matches, self.matches);
+        if self.topk && outcome == Outcome::CapReached {
+            counters.add(Counter::TopkEarlyExits, 1);
+        }
         self.trace.flush_ring(0, &self.ring);
         EnumStats {
             matches: self.matches,

@@ -10,7 +10,7 @@
 
 use crate::enumerate::control::{RunControl, SharedControl};
 use crate::enumerate::scratch::Scratch;
-use crate::enumerate::{intersect_counter, EnumStats, LcMethod, MatchSink};
+use crate::enumerate::{intersect_counter, EnumStats, Injectivity, LcMethod, MatchSink};
 use crate::plan::QueryPlan;
 use sm_graph::types::NO_VERTEX;
 use sm_graph::{Graph, VertexId};
@@ -53,6 +53,7 @@ pub fn enumerate_with<S: MatchSink>(
     let started = Instant::now();
     let plan = input.plan;
     scratch.prepare(plan.num_query_vertices(), input.g.num_vertices());
+    let sem = plan.config.semantics;
     let mut eng = Engine {
         plan,
         g: input.g,
@@ -60,6 +61,8 @@ pub fn enumerate_with<S: MatchSink>(
         sc: scratch,
         ctl: RunControl::new(&plan.config, input.shared, started, TIME_CHECK_MASK),
         sink,
+        inj: sem.injectivity,
+        emit: sem.emits(),
     };
     if plan.config.failing_sets {
         eng.recurse_fs(0);
@@ -85,13 +88,51 @@ struct Engine<'a, S: MatchSink> {
     sc: &'a mut Scratch,
     ctl: RunControl<'a>,
     sink: &'a mut S,
+    /// The plan's injectivity mode, copied out of the config once.
+    inj: Injectivity,
+    /// Whether matches are materialized into the sink (`false` for
+    /// count-only runs: the tally rides [`RunControl::record_match`]'s
+    /// accumulators, no embedding buffer is touched).
+    emit: bool,
 }
 
 impl<'a, S: MatchSink> Engine<'a, S> {
     #[inline]
     fn emit_match(&mut self) {
-        if self.ctl.record_match() {
+        if self.ctl.record_match() && self.emit {
             self.sink.on_match(&self.sc.m);
+        }
+    }
+
+    /// Injectivity check + bookkeeping for extending the embedding with
+    /// `u → v`. Returns `false` (claiming nothing) when the extension is
+    /// inadmissible under the plan's mode. Must be called before
+    /// `m[u]` is written; every `true` return must be paired with a
+    /// [`Engine::release`].
+    #[inline]
+    fn claim(&mut self, u: VertexId, v: VertexId) -> bool {
+        let plan = self.plan;
+        match self.inj {
+            Injectivity::Isomorphism => {
+                if self.sc.visited_by[v as usize] != NO_VERTEX {
+                    return false;
+                }
+                self.sc.visited_by[v as usize] = u;
+                true
+            }
+            Injectivity::Homomorphism => true,
+            Injectivity::EdgeInjective => self.sc.claim_edges(plan.backward(u), v),
+        }
+    }
+
+    /// Undo the bookkeeping of a successful [`Engine::claim`].
+    #[inline]
+    fn release(&mut self, u: VertexId, v: VertexId) {
+        let plan = self.plan;
+        match self.inj {
+            Injectivity::Isomorphism => self.sc.visited_by[v as usize] = NO_VERTEX,
+            Injectivity::Homomorphism => {}
+            Injectivity::EdgeInjective => self.sc.release_edges(plan.backward(u).len()),
         }
     }
 
@@ -303,12 +344,11 @@ impl<'a, S: MatchSink> Engine<'a, S> {
         let buf = std::mem::take(&mut self.sc.lc_bufs[depth]);
         for &entry in &buf {
             let (v, pos) = self.resolve(u, entry);
-            if self.sc.visited_by[v as usize] != NO_VERTEX {
+            if !self.claim(u, v) {
                 continue;
             }
             self.sc.m[u as usize] = v;
             self.sc.mpos[u as usize] = pos;
-            self.sc.visited_by[v as usize] = u;
             self.ctl
                 .counters
                 .record_max(Counter::PeakDepth, depth as u64 + 1);
@@ -317,7 +357,7 @@ impl<'a, S: MatchSink> Engine<'a, S> {
             } else {
                 self.recurse(depth + 1);
             }
-            self.sc.visited_by[v as usize] = NO_VERTEX;
+            self.release(u, v);
             self.ctl.counters.bump(Counter::Backtracks);
             if self.ctl.is_stopped() {
                 break;

@@ -19,6 +19,9 @@ pub mod engine;
 pub mod failing_sets;
 pub mod parallel;
 pub mod scratch;
+pub mod semantics;
+
+pub use semantics::{Injectivity, MatchSemantics, OutputMode, Termination};
 
 use sm_graph::VertexId;
 use sm_intersect::IntersectKind;
@@ -89,6 +92,10 @@ pub struct MatchConfig {
     /// [`Outcome::CapReached`] when it is cancelled. `None` = only the
     /// config's own limits apply.
     pub cancel: Option<CancelToken>,
+    /// What counts as a match, what the run produces, and when it stops
+    /// (default: the paper's mode — isomorphism, materialized
+    /// embeddings, exhaustive).
+    pub semantics: MatchSemantics,
     /// Observability handle: spans, counters and event rings flow through
     /// here to every phase of the run. The default
     /// [`Trace::disabled`] handle costs one branch per touch point.
@@ -104,6 +111,7 @@ impl Default for MatchConfig {
             intersect: IntersectKind::Hybrid,
             vf2pp_rule: false,
             cancel: None,
+            semantics: MatchSemantics::default(),
             trace: Trace::disabled(),
         }
     }
@@ -144,6 +152,21 @@ impl MatchConfig {
         self
     }
 
+    /// Builder-style: set the match semantics.
+    pub fn with_semantics(mut self, semantics: MatchSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// The match cap actually in force: `max_matches` composed with a
+    /// [`Termination::TopK`] bound by minimum.
+    pub fn effective_cap(&self) -> Option<u64> {
+        match (self.max_matches, self.semantics.cap()) {
+            (Some(m), Some(k)) => Some(m.min(k)),
+            (m, k) => m.or(k),
+        }
+    }
+
     /// The run-scoped [`CancelToken`] for an enumeration starting at
     /// `started`: the config's deadline, chained under the caller's token
     /// when one is attached (so cancelling the run never cancels the
@@ -166,6 +189,30 @@ pub enum Outcome {
     CapReached,
     /// Killed by the time limit — an *unsolved* query in paper terms.
     TimedOut,
+}
+
+impl Outcome {
+    /// Severity rank for merging per-worker (or per-morsel) outcomes:
+    /// `Complete < CapReached < TimedOut`. One timed-out worker makes the
+    /// whole run partial no matter how many others completed.
+    pub fn severity(self) -> u8 {
+        match self {
+            Outcome::Complete => 0,
+            Outcome::CapReached => 1,
+            Outcome::TimedOut => 2,
+        }
+    }
+
+    /// The more severe of two outcomes (see [`Outcome::severity`]) — the
+    /// single merge rule used by the parallel engine, the service's
+    /// morsel aggregation, and the sharded router.
+    pub fn worst(self, other: Outcome) -> Outcome {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// Counters of one enumeration run.
@@ -229,6 +276,48 @@ pub struct CollectSink {
 impl MatchSink for CollectSink {
     fn on_match(&mut self, m: &[VertexId]) {
         self.matches.push(m.to_vec());
+    }
+}
+
+/// Seeded reservoir sampler over the match stream: after a complete
+/// enumeration, [`SampleSink::samples`] holds a uniform sample of up to
+/// `k` embeddings (exactly `k` when the graph has at least `k` matches).
+/// This implements [`Termination::SampleK`] — uniformity requires seeing
+/// every match, so the enumeration still runs to exhaustion. Sequential
+/// runs only: per-worker reservoirs are not a uniform sample of the
+/// union.
+pub struct SampleSink {
+    k: usize,
+    rng: sm_runtime::rng::Rng64,
+    seen: u64,
+    /// The sampled embeddings (order arbitrary).
+    pub samples: Vec<Vec<VertexId>>,
+}
+
+impl SampleSink {
+    /// Reservoir of capacity `k`, deterministic per `seed`.
+    pub fn new(k: u64, seed: u64) -> Self {
+        SampleSink {
+            k: k as usize,
+            rng: sm_runtime::rng::Rng64::seed_from_u64(seed),
+            seen: 0,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl MatchSink for SampleSink {
+    fn on_match(&mut self, m: &[VertexId]) {
+        self.seen += 1;
+        if self.samples.len() < self.k {
+            self.samples.push(m.to_vec());
+        } else if self.k > 0 {
+            let j = self.rng.next_u64_below(self.seen);
+            if (j as usize) < self.k {
+                self.samples[j as usize].clear();
+                self.samples[j as usize].extend_from_slice(m);
+            }
+        }
     }
 }
 

@@ -124,7 +124,7 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
         matches += w.matches;
         recursions += w.recursions;
         scratch_reuse += m.scratch_reuse;
-        merge_outcome(&mut outcome, w.outcome);
+        outcome = outcome.worst(w.outcome);
         mirror_metrics(&mut w.counters, &m);
         counters.merge(&w.counters);
         trace.flush_counters(wid, &w.counters);
@@ -135,7 +135,7 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
     // never got to observe it themselves.
     match shared.cancel.cancelled() {
         Some(CancelReason::Deadline) => outcome = Outcome::TimedOut,
-        Some(CancelReason::Stopped) => merge_outcome(&mut outcome, Outcome::CapReached),
+        Some(CancelReason::Stopped) => outcome = outcome.worst(Outcome::CapReached),
         None => {}
     }
     // The global counter may have raced slightly past the cap; report the
@@ -153,15 +153,6 @@ pub fn enumerate_parallel_with<S: MatchSink + Default + Send>(
         },
         sinks,
     )
-}
-
-/// TimedOut dominates CapReached dominates Complete.
-fn merge_outcome(acc: &mut Outcome, o: Outcome) {
-    match o {
-        Outcome::TimedOut => *acc = Outcome::TimedOut,
-        Outcome::CapReached if *acc == Outcome::Complete => *acc = Outcome::CapReached,
-        _ => {}
-    }
 }
 
 struct WorkerStats<S> {
@@ -207,7 +198,7 @@ fn run_subset<S: MatchSink>(
     w.matches += stats.matches;
     w.recursions += stats.recursions;
     w.counters.merge(&stats.counters);
-    merge_outcome(&mut w.outcome, stats.outcome);
+    w.outcome = w.outcome.worst(stats.outcome);
     stats.outcome == Outcome::Complete
 }
 

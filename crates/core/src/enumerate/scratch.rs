@@ -34,9 +34,22 @@ pub struct Scratch {
     pub(crate) bsr_a: Vec<BsrSet>,
     /// BSR intersection buffers (B side).
     pub(crate) bsr_b: Vec<BsrSet>,
+    /// Data edges claimed by the current partial embedding, as normalized
+    /// `(lo << 32) | hi` keys — the edge-injective analogue of
+    /// `visited_by`. A stack: each extension pushes its new query edges'
+    /// images, each backtrack pops them. Capacity is bounded by the query
+    /// edge count, so the linear membership scan stays cheap.
+    pub(crate) used_edges: Vec<u64>,
     reuses: u64,
     nq: usize,
     ng: usize,
+}
+
+/// Normalized key of an undirected data edge.
+#[inline]
+fn edge_key(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
 }
 
 impl Scratch {
@@ -59,9 +72,11 @@ impl Scratch {
         if self.nq == nq && self.ng == ng {
             debug_assert!(self.m.iter().all(|&v| v == NO_VERTEX));
             debug_assert!(self.visited_by.iter().all(|&v| v == NO_VERTEX));
+            debug_assert!(self.used_edges.is_empty());
             self.reuses += 1;
             return;
         }
+        self.used_edges.clear();
         self.nq = nq;
         self.ng = ng;
         self.m.clear();
@@ -77,6 +92,35 @@ impl Scratch {
         self.tmp_bufs.resize_with(nq, Vec::new);
         self.bsr_a.resize_with(nq, BsrSet::default);
         self.bsr_b.resize_with(nq, BsrSet::default);
+    }
+
+    /// Edge-injective claim for the extension `u → v`: the new query
+    /// edges are exactly `{(ub, u) : ub ∈ backward(u)}`, whose images
+    /// `(m[ub], v)` must be distinct from every claimed data edge *and*
+    /// from each other. Pushes all of them and returns `true`, or pushes
+    /// nothing and returns `false`. The membership scan covers the
+    /// just-pushed entries too, which is what catches two new query
+    /// edges mapping onto one data edge.
+    #[inline]
+    pub(crate) fn claim_edges(&mut self, backward: &[VertexId], v: VertexId) -> bool {
+        let base = self.used_edges.len();
+        for &ub in backward {
+            let e = edge_key(self.m[ub as usize], v);
+            if self.used_edges.contains(&e) {
+                self.used_edges.truncate(base);
+                return false;
+            }
+            self.used_edges.push(e);
+        }
+        true
+    }
+
+    /// Pop the `n` edges a successful [`Scratch::claim_edges`] pushed.
+    #[inline]
+    pub(crate) fn release_edges(&mut self, n: usize) {
+        let len = self.used_edges.len();
+        debug_assert!(len >= n);
+        self.used_edges.truncate(len - n);
     }
 }
 

@@ -1,0 +1,261 @@
+//! Match semantics: what counts as a match, what the run produces, and
+//! when it stops.
+//!
+//! The paper fixes one semantics — vertex-injective subgraph isomorphism
+//! with full embedding materialization — but a serving stack wants the
+//! modes analytics traffic actually asks for. [`MatchSemantics`] is the
+//! three-axis descriptor carried by [`MatchConfig`](super::MatchConfig)
+//! into every compiled [`QueryPlan`](crate::plan::QueryPlan):
+//!
+//! * [`Injectivity`] — which mappings are admissible: vertex-injective
+//!   isomorphism (the paper's default), edge-injective matching (no two
+//!   query edges share a data edge, data vertices may repeat), or
+//!   unrestricted homomorphism. For any query and data graph the counts
+//!   are ordered `homomorphism ≥ edge-injective ≥ isomorphism`, because
+//!   each mode's admissible mappings are a superset of the next.
+//! * [`OutputMode`] — whether embeddings are materialized into the sink
+//!   or only counted. Count-only runs never touch the sink: the match
+//!   tally lives in the per-worker
+//!   [`RunControl`](super::control::RunControl) accumulators that are
+//!   flushed at morsel end anyway, so counting adds zero per-match work.
+//! * [`Termination`] — run to exhaustion, stop after the first `k`
+//!   matches (top-k, exact across parallel workers via the atomic
+//!   `record_match` slot allocator), or draw a uniform seeded sample of
+//!   `k` matches (reservoir over the full enumeration; sequential only).
+//!
+//! Failing-set pruning and the VF2++ runtime rule reason about
+//! *injectivity conflicts* — both are only sound under
+//! [`Injectivity::Isomorphism`] and are rejected by
+//! [`QueryPlan::assemble`](crate::plan::QueryPlan::assemble) for the
+//! relaxed modes (the service disables them automatically when
+//! compiling a relaxed-mode plan).
+
+/// Which mappings of query vertices to data vertices are admissible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Injectivity {
+    /// Vertex-injective subgraph isomorphism (the paper's semantics):
+    /// no two query vertices map to the same data vertex.
+    Isomorphism,
+    /// Edge-injective matching: no two query edges map to the same data
+    /// edge, but data *vertices* may be reused.
+    EdgeInjective,
+    /// Unrestricted homomorphism: any label- and edge-preserving
+    /// mapping.
+    Homomorphism,
+}
+
+impl Injectivity {
+    /// Stable display name (bench tables, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Injectivity::Isomorphism => "iso",
+            Injectivity::EdgeInjective => "edge-inj",
+            Injectivity::Homomorphism => "homo",
+        }
+    }
+}
+
+/// What an enumeration run produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OutputMode {
+    /// Materialize every embedding into the run's sink.
+    Embeddings,
+    /// Count matches without writing any embedding buffer: the engines
+    /// skip the sink entirely and the count rides the per-worker
+    /// accumulators that exist anyway.
+    CountOnly,
+}
+
+/// When an enumeration run stops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Termination {
+    /// Exhaust the search space (subject to caps/limits in
+    /// [`MatchConfig`](super::MatchConfig)).
+    All,
+    /// Stop after the first `k` matches. Composes with
+    /// `max_matches` by taking the minimum; exact under parallel
+    /// execution via the shared atomic slot allocator.
+    TopK(u64),
+    /// Uniform sample of `k` matches, seeded: reservoir sampling over
+    /// the complete enumeration (the run does **not** stop early — a
+    /// uniform sample requires seeing every match). Sequential
+    /// executor paths only; see the supported matrix in DESIGN.md.
+    SampleK(u64, u64),
+}
+
+/// The full three-axis semantics descriptor of a run. `Default` is the
+/// paper's mode: isomorphism, materialized embeddings, run to
+/// exhaustion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatchSemantics {
+    /// Which mappings are admissible.
+    pub injectivity: Injectivity,
+    /// Materialize embeddings or count only.
+    pub output: OutputMode,
+    /// Exhaustive, top-k, or sampled termination.
+    pub termination: Termination,
+}
+
+impl Default for MatchSemantics {
+    fn default() -> Self {
+        MatchSemantics {
+            injectivity: Injectivity::Isomorphism,
+            output: OutputMode::Embeddings,
+            termination: Termination::All,
+        }
+    }
+}
+
+impl MatchSemantics {
+    /// The paper's default semantics (same as `Default`).
+    pub fn isomorphism() -> Self {
+        Self::default()
+    }
+
+    /// Homomorphism counting/matching.
+    pub fn homomorphism() -> Self {
+        MatchSemantics {
+            injectivity: Injectivity::Homomorphism,
+            ..Self::default()
+        }
+    }
+
+    /// Edge-injective matching.
+    pub fn edge_injective() -> Self {
+        MatchSemantics {
+            injectivity: Injectivity::EdgeInjective,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: switch to count-only output.
+    pub fn count_only(mut self) -> Self {
+        self.output = OutputMode::CountOnly;
+        self
+    }
+
+    /// Builder-style: stop after the first `k` matches.
+    pub fn top_k(mut self, k: u64) -> Self {
+        self.termination = Termination::TopK(k);
+        self
+    }
+
+    /// Builder-style: uniform seeded sample of `k` matches.
+    pub fn sample_k(mut self, k: u64, seed: u64) -> Self {
+        self.termination = Termination::SampleK(k, seed);
+        self
+    }
+
+    /// Whether the engines deliver embeddings to the sink.
+    #[inline]
+    pub fn emits(&self) -> bool {
+        self.output == OutputMode::Embeddings
+    }
+
+    /// The match cap this semantics imposes on its own (`TopK`), if any.
+    /// `SampleK` imposes none — a uniform sample needs the full
+    /// enumeration.
+    pub fn cap(&self) -> Option<u64> {
+        match self.termination {
+            Termination::TopK(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Stable 64-bit fingerprint of the descriptor, used to extend the
+    /// canonical code and the plan-cache key: plans are shared within a
+    /// mode, never across modes. Hand-rolled (splitmix64 over a fixed
+    /// field encoding) so it is stable across processes, unlike
+    /// `DefaultHasher`.
+    pub fn fingerprint(&self) -> u64 {
+        let inj = match self.injectivity {
+            Injectivity::Isomorphism => 0u64,
+            Injectivity::EdgeInjective => 1,
+            Injectivity::Homomorphism => 2,
+        };
+        let out = match self.output {
+            OutputMode::Embeddings => 0u64,
+            OutputMode::CountOnly => 1,
+        };
+        let (term, a, b) = match self.termination {
+            Termination::All => (0u64, 0u64, 0u64),
+            Termination::TopK(k) => (1, k, 0),
+            Termination::SampleK(k, seed) => (2, k, seed),
+        };
+        let mut state = 0x53_4d_53_45_4d_00_00_01u64; // "SMSEM" tag + version
+        let mut h = 0u64;
+        for w in [inj, out, term, a, b] {
+            state ^= w;
+            h = sm_runtime::rng::splitmix64(&mut state);
+        }
+        h
+    }
+
+    /// Short mode label for tables: `"iso"`, `"homo+count"`, …
+    pub fn label(&self) -> String {
+        let mut s = self.injectivity.name().to_string();
+        if self.output == OutputMode::CountOnly {
+            s.push_str("+count");
+        }
+        match self.termination {
+            Termination::All => {}
+            Termination::TopK(k) => s.push_str(&format!("+top{k}")),
+            Termination::SampleK(k, _) => s.push_str(&format!("+sample{k}")),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_mode() {
+        let s = MatchSemantics::default();
+        assert_eq!(s.injectivity, Injectivity::Isomorphism);
+        assert_eq!(s.output, OutputMode::Embeddings);
+        assert_eq!(s.termination, Termination::All);
+        assert!(s.emits());
+        assert_eq!(s.cap(), None);
+        assert_eq!(s, MatchSemantics::isomorphism());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = MatchSemantics::homomorphism().count_only().top_k(7);
+        assert_eq!(s.injectivity, Injectivity::Homomorphism);
+        assert!(!s.emits());
+        assert_eq!(s.cap(), Some(7));
+        assert_eq!(s.label(), "homo+count+top7");
+        let t = MatchSemantics::edge_injective().sample_k(3, 99);
+        assert_eq!(t.cap(), None);
+        assert_eq!(t.label(), "edge-inj+sample3");
+    }
+
+    #[test]
+    fn fingerprints_separate_modes() {
+        let modes = [
+            MatchSemantics::default(),
+            MatchSemantics::homomorphism(),
+            MatchSemantics::edge_injective(),
+            MatchSemantics::default().count_only(),
+            MatchSemantics::default().top_k(10),
+            MatchSemantics::default().top_k(11),
+            MatchSemantics::default().sample_k(10, 1),
+            MatchSemantics::default().sample_k(10, 2),
+            MatchSemantics::homomorphism().count_only(),
+        ];
+        let fps: Vec<u64> = modes.iter().map(|m| m.fingerprint()).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "modes {i} and {j} collide");
+            }
+        }
+        // stable across calls
+        assert_eq!(
+            MatchSemantics::default().fingerprint(),
+            MatchSemantics::default().fingerprint()
+        );
+    }
+}

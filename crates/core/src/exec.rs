@@ -12,9 +12,10 @@ use crate::enumerate::control::SharedControl;
 use crate::enumerate::engine::{enumerate_with, EngineInput};
 use crate::enumerate::parallel::{enumerate_parallel_with, ParallelStrategy};
 use crate::enumerate::scratch::Scratch;
-use crate::enumerate::{EnumStats, MatchSink};
+use crate::enumerate::{EnumStats, MatchSink, SampleSink, Termination};
 use crate::plan::QueryPlan;
-use sm_graph::Graph;
+use sm_graph::{Graph, VertexId};
+use sm_runtime::Counter;
 
 /// Executes a [`QueryPlan`] against one data graph.
 pub struct Executor<'a> {
@@ -44,7 +45,7 @@ impl<'a> Executor<'a> {
     pub fn run_with_scratch<S: MatchSink>(&self, scratch: &mut Scratch, sink: &mut S) -> EnumStats {
         let trace = self.plan.config.trace.clone();
         let span = trace.is_enabled().then(|| trace.span("execute"));
-        let stats = if self.plan.adaptive {
+        let mut stats = if self.plan.adaptive {
             enumerate_adaptive_with(self.plan, self.g, scratch, sink)
         } else {
             enumerate_with(
@@ -58,6 +59,9 @@ impl<'a> Executor<'a> {
                 sink,
             )
         };
+        if !self.plan.config.semantics.emits() {
+            stats.counters.bump(Counter::CountOnlyRuns);
+        }
         trace.flush_counters(0, &stats.counters);
         drop(span);
         stats
@@ -108,7 +112,7 @@ impl<'a> Executor<'a> {
             let stats = self.run(&mut sink);
             return (stats, vec![sink]);
         }
-        enumerate_parallel_with(
+        let (mut stats, sinks) = enumerate_parallel_with(
             &EngineInput {
                 plan: self.plan,
                 g: self.g,
@@ -117,7 +121,28 @@ impl<'a> Executor<'a> {
             },
             threads,
             strategy,
-        )
+        );
+        if !self.plan.config.semantics.emits() {
+            stats.counters.bump(Counter::CountOnlyRuns);
+        }
+        (stats, sinks)
+    }
+
+    /// Execute a plan whose termination is [`Termination::SampleK`]:
+    /// enumerates to exhaustion (uniformity requires seeing every match)
+    /// while reservoir-sampling the stream, and returns the sampled
+    /// embeddings alongside the stats. Deterministic per the semantics'
+    /// seed; sequential by construction — per-worker reservoirs would not
+    /// be a uniform sample of the union.
+    ///
+    /// Panics if the plan's termination is not `SampleK`.
+    pub fn run_sample(&self) -> (EnumStats, Vec<Vec<VertexId>>) {
+        let Termination::SampleK(k, seed) = self.plan.config.semantics.termination else {
+            panic!("run_sample requires SampleK termination semantics");
+        };
+        let mut sink = SampleSink::new(k, seed);
+        let stats = self.run(&mut sink);
+        (stats, sink.samples)
     }
 }
 

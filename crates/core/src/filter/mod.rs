@@ -28,6 +28,7 @@ pub mod steady;
 use crate::candidates::Candidates;
 use crate::context::{DataContext, QueryContext};
 use sm_graph::traversal::BfsTree;
+use sm_graph::VertexId;
 
 /// Which filtering method to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -84,6 +85,27 @@ pub struct FilterOutput {
     pub candidates: Candidates,
     /// BFS tree used during filtering (CFL / CECI / DP-iso), if any.
     pub bfs_tree: Option<BfsTree>,
+}
+
+/// Label-only candidate sets — the sound baseline under homomorphism
+/// semantics. Every real filter prunes on degree or neighborhood
+/// frequency (`d(v) >= d(u)`, NLF counts, refinement rounds), which is
+/// only valid when distinct query neighbors need distinct images;
+/// homomorphisms may fold them onto one data vertex. Returns `None`
+/// when some candidate set is empty.
+pub fn label_only_filter(q: &QueryContext<'_>, g: &DataContext<'_>) -> Option<FilterOutput> {
+    let sets = (0..q.num_vertices() as VertexId)
+        .map(|u| g.graph.vertices_with_label(q.graph.label(u)).to_vec())
+        .collect();
+    let out = FilterOutput {
+        candidates: Candidates::new(sets),
+        bfs_tree: None,
+    };
+    if out.candidates.any_empty() {
+        None
+    } else {
+        Some(out)
+    }
 }
 
 /// Run the chosen filter. Returns `None` when some candidate set is empty,

@@ -64,7 +64,10 @@ pub use candidate_space::CandidateSpace;
 pub use candidates::Candidates;
 pub use context::{DataContext, QueryContext};
 pub use enumerate::scratch::Scratch;
-pub use enumerate::{EnumStats, LcMethod, MatchConfig, Outcome, DEFAULT_MATCH_CAP};
+pub use enumerate::{
+    EnumStats, Injectivity, LcMethod, MatchConfig, MatchSemantics, Outcome, OutputMode,
+    Termination, DEFAULT_MATCH_CAP,
+};
 pub use exec::Executor;
 pub use filter::FilterKind;
 pub use order::OrderKind;

@@ -162,13 +162,32 @@ impl Pipeline {
         if self.vf2pp_rule {
             config.vf2pp_rule = true;
         }
+        if config.semantics.injectivity != crate::enumerate::Injectivity::Isomorphism {
+            // Failing sets and the VF2++ rule prune on vertex-injectivity
+            // conflicts; under relaxed semantics those conflicts don't
+            // exist, so the optimizations are silently dropped rather than
+            // tripping the assembly-time isomorphism assertions.
+            config.failing_sets = false;
+            config.vf2pp_rule = false;
+        }
         let trace = config.trace.clone();
         let plan_span = trace.is_enabled().then(|| trace.span("plan"));
 
         // Phase 1: filtering.
         let t0 = Instant::now();
         let filter_span = trace.is_enabled().then(|| trace.span("filter"));
-        let filtered = run_filter_traced(self.filter, &qc, g, &trace);
+        let filtered =
+            if config.semantics.injectivity == crate::enumerate::Injectivity::Homomorphism {
+                // Degree/frequency pruning is unsound under homomorphism
+                // (distinct query neighbors may fold onto one data
+                // vertex), so the configured filter is bypassed in favor
+                // of the label-only baseline. Edge-injective matching
+                // keeps the full filters: incident edges map injectively,
+                // so neighbor images stay distinct.
+                crate::filter::label_only_filter(&qc, g)
+            } else {
+                run_filter_traced(self.filter, &qc, g, &trace)
+            };
         drop(filter_span);
         let filter_time = t0.elapsed();
         let Some(out) = filtered else {

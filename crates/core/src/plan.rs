@@ -141,6 +141,20 @@ impl QueryPlan {
             !(config.failing_sets && config.vf2pp_rule),
             "failing sets are incompatible with VF2++'s extra runtime rule"
         );
+        // Failing-set classes and the VF2++ rule both reason about
+        // injectivity conflicts; neither is sound under the relaxed
+        // (homomorphism / edge-injective) modes. Callers compiling a
+        // relaxed-mode plan must disable them (the service does so
+        // automatically).
+        let iso = config.semantics.injectivity == crate::enumerate::Injectivity::Isomorphism;
+        assert!(
+            iso || !config.failing_sets,
+            "failing sets require isomorphism semantics"
+        );
+        assert!(
+            iso || !config.vf2pp_rule,
+            "the VF2++ rule requires isomorphism semantics"
+        );
 
         let parents = order::derive_parents(q, &order, tree.as_ref());
         let backward_lists = order::backward_neighbors(q, &order);

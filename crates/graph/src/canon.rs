@@ -87,6 +87,21 @@ impl CanonicalForm {
                 .collect(),
         )
     }
+
+    /// Extend the canonical code with a semantics fingerprint: one extra
+    /// word appended *after* the edge list (the `[n, m, labels…, edges…]`
+    /// prefix keeps its layout, so readers that index labels at
+    /// `code[2..2+n]` are unaffected) and the hash recomputed over the
+    /// extended code. Two forms extended with different fingerprints never
+    /// compare code-equal, which is what keeps plan caches from sharing a
+    /// plan across match-semantics modes while permuted twins within one
+    /// mode still share (`map_onto` works unchanged — the labelings are
+    /// untouched).
+    pub fn with_semantics(mut self, fp: u64) -> CanonicalForm {
+        self.code.push(fp);
+        self.hash = hash_code(&self.code);
+        self
+    }
 }
 
 /// Compute the canonical form of `g`. Deterministic; invariant under any

@@ -91,11 +91,21 @@ pub enum Counter {
     /// Partition skew: max per-shard local edge count as a percentage of
     /// the even share (100 = perfectly balanced; a gauge).
     ShardSkew,
+    /// Count-only runs executed (no embedding materialization; the match
+    /// tally rides the per-worker accumulators).
+    CountOnlyRuns,
+    /// Enumeration runs (and served queries) cut short by a top-k bound.
+    TopkEarlyExits,
+    /// Plan compilations forced by a semantics mismatch: the same query
+    /// under the same graph epoch and base config was already cached
+    /// under a *different* semantics fingerprint (plans are shared within
+    /// a mode, never across modes).
+    SemanticsCacheSplits,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 37;
 
     /// Every counter, in schema order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -133,6 +143,9 @@ impl Counter {
         Counter::BoundaryEmbeddingsStitched,
         Counter::HaloVerticesReplicated,
         Counter::ShardSkew,
+        Counter::CountOnlyRuns,
+        Counter::TopkEarlyExits,
+        Counter::SemanticsCacheSplits,
     ];
 
     /// Stable snake_case name — the JSONL field key.
@@ -172,6 +185,9 @@ impl Counter {
             Counter::BoundaryEmbeddingsStitched => "boundary_embeddings_stitched",
             Counter::HaloVerticesReplicated => "halo_vertices_replicated",
             Counter::ShardSkew => "shard_skew",
+            Counter::CountOnlyRuns => "count_only_runs",
+            Counter::TopkEarlyExits => "topk_early_exits",
+            Counter::SemanticsCacheSplits => "semantics_cache_splits",
         }
     }
 

@@ -34,12 +34,19 @@ pub struct PlanKey {
     /// Data-graph epoch — bumped by [`crate::Service::swap_graph`], so
     /// plans compiled against a replaced graph can never be returned.
     pub epoch: u64,
-    /// Canonical-form hash of the query ([`sm_graph::canon::fingerprint`]).
+    /// Canonical-form hash of the *base* query (before the semantics
+    /// word is appended) — all semantics modes of one query share this
+    /// component, so they shard together and splits are detectable.
     pub query: u64,
     /// Fingerprint of the pipeline + match-config knobs that are folded
     /// into a compiled plan (filter, order, method, vf2++ rule,
     /// failing sets, intersection kernel).
     pub config: u64,
+    /// [`MatchSemantics`](sm_match::MatchSemantics) fingerprint. Plans
+    /// are shared within one semantics mode (a permuted twin of an iso
+    /// query hits the iso plan) but never across modes — a homomorphism
+    /// plan omits injectivity machinery an isomorphism run requires.
+    pub semantics: u64,
 }
 
 /// One cached compilation: the plan (or the verdict that the query is
@@ -74,6 +81,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    splits: AtomicU64,
 }
 
 impl PlanCache {
@@ -94,11 +102,15 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
         }
     }
 
     fn shard_of(&self, key: &PlanKey) -> &Mutex<Shard> {
-        // Mix all three components so epochs don't collapse onto one shard.
+        // Mix the epoch/query/config components so epochs don't collapse
+        // onto one shard. `semantics` is deliberately left out: all modes
+        // of one base query land on the same shard, which is what lets
+        // `insert` detect a semantics split with a single-shard scan.
         let mut state = key.query ^ key.config.rotate_left(21) ^ key.epoch.rotate_left(42);
         let h = sm_runtime::rng::splitmix64(&mut state);
         &self.shards[(h % self.shards.len() as u64) as usize]
@@ -132,11 +144,24 @@ impl PlanCache {
     /// (a 64-bit collision) is replaced — at most one plan per key, and
     /// later lookups of the displaced query simply miss again. When the
     /// shard is full, its least-recently-used entry is evicted.
+    ///
+    /// When the shard already holds the same base query + config under a
+    /// *different* semantics mode, a **semantics split** is counted: the
+    /// cache is now storing more than one plan for one query shape because
+    /// clients ask for it under several match semantics.
     pub fn insert(&self, key: PlanKey, cached: Arc<CachedPlan>) {
         if self.per_shard == 0 {
             return;
         }
         let mut shard = self.shard_of(&key).lock().expect("plan cache poisoned");
+        if shard.map.keys().any(|k| {
+            k.epoch == key.epoch
+                && k.query == key.query
+                && k.config == key.config
+                && k.semantics != key.semantics
+        }) {
+            self.splits.fetch_add(1, Ordering::Relaxed);
+        }
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
             if let Some(victim) = shard
@@ -260,6 +285,12 @@ impl PlanCache {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Inserts that found the same base query + config cached under a
+    /// different semantics mode (`semantics_cache_splits`).
+    pub fn splits(&self) -> u64 {
+        self.splits.load(Ordering::Relaxed)
+    }
 }
 
 /// Whether the query labels embedded in a canonical code (`[n, m,
@@ -289,6 +320,7 @@ mod tests {
             epoch,
             query,
             config,
+            semantics: 0,
         }
     }
 
@@ -370,6 +402,62 @@ mod tests {
         assert_eq!(retained, 1);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&key(1, e.form.hash, 0), &code).is_some());
+    }
+
+    #[test]
+    fn semantics_split_is_counted_and_modes_never_share() {
+        use sm_match::MatchSemantics;
+        let cache = PlanCache::new(8, 4);
+        let g = graph_from_edges(&[0, 1], &[(0, 1)]);
+        let iso = MatchSemantics::isomorphism();
+        let homo = MatchSemantics::homomorphism();
+        let base = canonical_form(&g);
+        let base_hash = base.hash;
+        let iso_form = base.clone().with_semantics(iso.fingerprint());
+        let homo_form = canonical_form(&g).with_semantics(homo.fingerprint());
+        let iso_code = iso_form.code.clone();
+        let homo_code = homo_form.code.clone();
+        let k_iso = PlanKey {
+            epoch: 0,
+            query: base_hash,
+            config: 7,
+            semantics: iso.fingerprint(),
+        };
+        let k_homo = PlanKey {
+            semantics: homo.fingerprint(),
+            ..k_iso
+        };
+        cache.insert(
+            k_iso,
+            Arc::new(CachedPlan {
+                plan: None,
+                form: iso_form,
+            }),
+        );
+        assert_eq!(cache.splits(), 0);
+        // The homo probe never hits the iso entry (different key *and*
+        // different code), even though the base query is identical.
+        assert!(cache.lookup(&k_homo, &homo_code).is_none());
+        cache.insert(
+            k_homo,
+            Arc::new(CachedPlan {
+                plan: None,
+                form: homo_form,
+            }),
+        );
+        assert_eq!(cache.splits(), 1);
+        // Both modes now resolve independently.
+        assert!(cache.lookup(&k_iso, &iso_code).is_some());
+        assert!(cache.lookup(&k_homo, &homo_code).is_some());
+        // Re-inserting the same mode is not a split.
+        cache.insert(
+            k_iso,
+            Arc::new(CachedPlan {
+                plan: None,
+                form: canonical_form(&g).with_semantics(iso.fingerprint()),
+            }),
+        );
+        assert_eq!(cache.splits(), 2); // homo entry still present → counted again
     }
 
     #[test]

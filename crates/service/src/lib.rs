@@ -43,9 +43,9 @@ pub mod stream;
 pub mod update;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
-pub use service::{GraphData, QueryRequest, Service, ServiceConfig};
+pub use service::{CountFilter, GraphData, QueryRequest, Service, ServiceConfig};
 pub use stream::{result_channel, QueryReport, ResultSink, ResultStream, ServiceOutcome};
-pub use update::{StandingId, UpdateReport};
+pub use update::{StandingError, StandingId, UpdateReport};
 
 #[cfg(test)]
 mod asserts {

@@ -45,7 +45,9 @@ use sm_graph::label_index::LabelPairEdgeCounts;
 use sm_graph::{Graph, NlfIndex, VertexId};
 use sm_match::enumerate::control::SharedControl;
 use sm_match::enumerate::engine::{enumerate_with, EngineInput};
-use sm_match::enumerate::{LcMethod, MatchConfig, MatchSink, Outcome};
+use sm_match::enumerate::{
+    LcMethod, MatchConfig, MatchSemantics, MatchSink, Outcome, OutputMode, Termination,
+};
 use sm_match::{DataContext, Executor, Pipeline, QueryPlan, Scratch};
 use sm_runtime::pool::morsel_size_for;
 use sm_runtime::trace::{Counter, CounterBlock, Trace};
@@ -144,6 +146,10 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Predicate applied to each (remapped) embedding before it is counted —
+/// the sharded router's exactly-once ownership hook.
+pub type CountFilter = Arc<dyn Fn(&[VertexId]) -> bool + Send + Sync>;
+
 /// One query submission.
 #[derive(Clone)]
 pub struct QueryRequest {
@@ -155,16 +161,33 @@ pub struct QueryRequest {
     pub max_matches: Option<u64>,
     /// Stream embeddings to the client (`false` = count only).
     pub deliver: bool,
+    /// Match semantics the query runs under. The injectivity and output
+    /// mode are compiled into the (cached) plan; a `TopK` termination is
+    /// folded into the per-run cap. `SampleK` is rejected at submission —
+    /// uniform sampling needs a sequential exhaustive pass, which the
+    /// morsel-parallel service deliberately does not offer (use
+    /// [`sm_match::Executor::run_sample`] directly).
+    pub semantics: MatchSemantics,
+    /// When set, the reported `matches` is the number of embeddings this
+    /// predicate accepted (evaluated on client vertex ids) instead of the
+    /// raw enumeration count. Forces the engine to materialize embeddings
+    /// internally even for count-only semantics — the predicate has to
+    /// see them.
+    pub count_filter: Option<CountFilter>,
 }
 
 impl QueryRequest {
-    /// Count matches of `query`; no embeddings are delivered.
+    /// Count matches of `query`; no embeddings are delivered. Runs under
+    /// count-only semantics: the engine skips embedding materialization
+    /// entirely and only the per-worker counters are maintained.
     pub fn count(query: Graph) -> Self {
         QueryRequest {
             query,
             deadline: None,
             max_matches: None,
             deliver: false,
+            semantics: MatchSemantics::default().count_only(),
+            count_filter: None,
         }
     }
 
@@ -172,6 +195,7 @@ impl QueryRequest {
     pub fn streaming(query: Graph) -> Self {
         QueryRequest {
             deliver: true,
+            semantics: MatchSemantics::default(),
             ..QueryRequest::count(query)
         }
     }
@@ -185,6 +209,22 @@ impl QueryRequest {
     /// Set an embedding cap.
     pub fn with_cap(mut self, cap: u64) -> Self {
         self.max_matches = Some(cap);
+        self
+    }
+
+    /// Run under explicit match semantics (injectivity / output /
+    /// termination). The request's `deliver` flag is unchanged: a
+    /// count-only semantics on a streaming request simply streams
+    /// nothing.
+    pub fn with_semantics(mut self, semantics: MatchSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Count only embeddings accepted by `filter` (see
+    /// [`QueryRequest::count_filter`]).
+    pub fn with_count_filter(mut self, filter: CountFilter) -> Self {
+        self.count_filter = Some(filter);
         self
     }
 }
@@ -212,20 +252,12 @@ struct RunAgg {
 }
 
 impl RunAgg {
-    /// Keep the most severe outcome (`TimedOut` > `CapReached` >
-    /// `Complete`) — one timed-out morsel makes the query partial no
-    /// matter how many others completed.
+    /// Keep the most severe outcome — one timed-out morsel makes the
+    /// query partial no matter how many others completed. The ordering
+    /// lives in [`Outcome::worst`], the same rule the parallel engine
+    /// and the sharded router merge with.
     fn merge_outcome(&mut self, o: Outcome) {
-        fn rank(o: Outcome) -> u8 {
-            match o {
-                Outcome::Complete => 0,
-                Outcome::CapReached => 1,
-                Outcome::TimedOut => 2,
-            }
-        }
-        if rank(o) > rank(self.outcome) {
-            self.outcome = o;
-        }
+        self.outcome = self.outcome.worst(o);
     }
 }
 
@@ -245,6 +277,14 @@ struct QueryRun {
     /// permuted queries: `delivered[u] = m[remap[u]]`.
     remap: Option<Vec<VertexId>>,
     deliver: bool,
+    /// Ownership predicate: when set, `filtered` (not the raw count) is
+    /// reported as the query's `matches`.
+    count_filter: Option<CountFilter>,
+    /// Embeddings accepted by `count_filter`, across all morsels.
+    filtered: AtomicU64,
+    /// Whether the request asked for top-k termination — a cap hit then
+    /// counts as a `topk_early_exits` event, not an overflow.
+    topk: bool,
     stream: Arc<StreamCore>,
     agg: Mutex<RunAgg>,
     cache_hit: bool,
@@ -274,6 +314,11 @@ pub(crate) struct ServiceCounters {
     admitted: AtomicU64,
     rejected: AtomicU64,
     streamed: AtomicU64,
+    /// Queries admitted under count-only semantics (no embedding
+    /// materialization anywhere in their execution).
+    count_only: AtomicU64,
+    /// Top-k queries that terminated by filling their k slots.
+    topk_exits: AtomicU64,
     /// Update batches applied through [`Service::apply_update`].
     pub(crate) updates: AtomicU64,
     /// Embeddings added/retracted incrementally for standing queries.
@@ -341,6 +386,8 @@ impl Service {
                 admitted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 streamed: AtomicU64::new(0),
+                count_only: AtomicU64::new(0),
+                topk_exits: AtomicU64::new(0),
                 updates: AtomicU64::new(0),
                 incremental: AtomicU64::new(0),
                 snapshots_base: AtomicU64::new(0),
@@ -458,6 +505,15 @@ impl Service {
             Counter::IncrementalEmbeddings,
             self.core.counters.incremental.load(Ordering::Relaxed),
         );
+        b.add(
+            Counter::CountOnlyRuns,
+            self.core.counters.count_only.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::TopkEarlyExits,
+            self.core.counters.topk_exits.load(Ordering::Relaxed),
+        );
+        b.add(Counter::SemanticsCacheSplits, self.core.cache.splits());
         b
     }
 }
@@ -497,6 +553,20 @@ impl Drop for Service {
 impl ServiceCore {
     fn submit(&self, req: QueryRequest) -> ResultStream {
         let started = Instant::now();
+        // Uniform sampling requires one sequential exhaustive pass — the
+        // morsel-parallel service cannot honor it, so it refuses rather
+        // than silently returning a biased sample.
+        if matches!(req.semantics.termination, Termination::SampleK(..)) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return ResultStream::terminal(QueryReport {
+                outcome: ServiceOutcome::Rejected,
+                matches: 0,
+                recursions: 0,
+                cache_hit: false,
+                plan_build_ns: 0,
+                elapsed: started.elapsed(),
+            });
+        }
         // Admission: reserve a slot in the bounded system or reject now.
         {
             let mut adm = self.admission.lock().expect("admission poisoned");
@@ -516,10 +586,25 @@ impl ServiceCore {
         }
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
 
+        // What the engine actually runs under: termination is a per-run
+        // budget (TopK folds into the cap below), so the cached plan is
+        // keyed on injectivity + output only; a count filter needs to see
+        // embeddings, so it forces materializing output.
+        let mut engine_semantics = MatchSemantics {
+            termination: Termination::All,
+            ..req.semantics
+        };
+        if req.count_filter.is_some() {
+            engine_semantics.output = OutputMode::Embeddings;
+        }
+        if engine_semantics.output == OutputMode::CountOnly {
+            self.counters.count_only.fetch_add(1, Ordering::Relaxed);
+        }
+
         let graph = self.graph.lock().expect("graph lock poisoned").clone();
-        let (cached, cache_hit) = self.plan_for(&req.query, &graph);
+        let (cached, cache_hit) = self.plan_for(&req.query, &graph, engine_semantics);
         let remap = if cache_hit {
-            let form = canonical_form(&req.query);
+            let form = canonical_form(&req.query).with_semantics(engine_semantics.fingerprint());
             Some(
                 form.map_onto(&cached.form)
                     .expect("cache hit verified equal canonical codes"),
@@ -534,8 +619,17 @@ impl ServiceCore {
         };
 
         // Per-request budget on a fresh token: deadline + embedding cap.
+        // A TopK termination is exactly a cap — `record_match`'s atomic
+        // slot allocation already makes capped counts exact across
+        // workers, so the k returned embeddings are exact, not "about k".
         let deadline = req.deadline.or(self.cfg.default_deadline);
-        let cap = req.max_matches.or(self.cfg.default_cap);
+        let cap = match (
+            req.max_matches.or(self.cfg.default_cap),
+            req.semantics.cap(),
+        ) {
+            (Some(m), Some(k)) => Some(m.min(k)),
+            (m, k) => m.or(k),
+        };
         let token = CancelToken::deadline_after(started, deadline);
         let stream = StreamCore::new(self.cfg.stream_capacity, token.clone());
         let (entries, adaptive) = match &cached.plan {
@@ -551,6 +645,9 @@ impl ServiceCore {
             adaptive,
             remap,
             deliver: req.deliver,
+            count_filter: req.count_filter.clone(),
+            filtered: AtomicU64::new(0),
+            topk: matches!(req.semantics.termination, Termination::TopK(_)),
             stream: stream.clone(),
             agg: Mutex::new(RunAgg {
                 matches: 0,
@@ -604,14 +701,25 @@ impl ServiceCore {
     }
 
     /// Cache lookup, compiling (and populating) on a miss. The returned
-    /// flag is true on a hit.
-    fn plan_for(&self, query: &Graph, graph: &Arc<GraphData>) -> (Arc<CachedPlan>, bool) {
-        let form = canonical_form(query);
+    /// flag is true on a hit. Plans are shared within one semantics mode
+    /// (permuted twins hit) and never across modes: the key carries the
+    /// semantics fingerprint and the stored canonical form is
+    /// semantics-extended, so even a hash collision across modes fails
+    /// code verification.
+    fn plan_for(
+        &self,
+        query: &Graph,
+        graph: &Arc<GraphData>,
+        semantics: MatchSemantics,
+    ) -> (Arc<CachedPlan>, bool) {
+        let base = canonical_form(query);
         let key = PlanKey {
             epoch: graph.epoch,
-            query: form.hash,
+            query: base.hash,
             config: self.config_fp,
+            semantics: semantics.fingerprint(),
         };
+        let form = base.with_semantics(semantics.fingerprint());
         if let Some(hit) = self.cache.lookup(&key, &form.code) {
             return (hit, true);
         }
@@ -619,8 +727,11 @@ impl ServiceCore {
             DataContext::from_parts(&graph.graph, graph.nlf.clone(), graph.label_pairs.clone());
         // Cached plans carry a canonical compile config: per-run budget
         // fields are neutralized so one plan serves every request budget
-        // (applied via SharedControl at execution time).
+        // (applied via SharedControl at execution time). The semantics'
+        // injectivity and output mode *are* compile-relevant — the
+        // pipeline drops iso-only optimizations for relaxed injectivity.
         let mut compile_cfg = self.cfg.base_config.clone();
+        compile_cfg.semantics = semantics;
         compile_cfg.max_matches = None;
         compile_cfg.time_limit = None;
         compile_cfg.cancel = None;
@@ -675,8 +786,16 @@ impl ServiceCore {
                     Outcome::TimedOut => ServiceOutcome::Deadline,
                 }
             };
-            (agg.matches, agg.recursions, outcome)
+            let matches = if run.count_filter.is_some() {
+                run.filtered.load(Ordering::Relaxed)
+            } else {
+                agg.matches
+            };
+            (matches, agg.recursions, outcome)
         };
+        if run.topk && outcome == ServiceOutcome::CapHit {
+            self.counters.topk_exits.fetch_add(1, Ordering::Relaxed);
+        }
         run.stream.finish(QueryReport {
             outcome,
             matches,
@@ -725,6 +844,7 @@ impl ServiceCore {
             run,
             out: Vec::new(),
             streamed: 0,
+            passed: 0,
         };
         let stats = match &morsel.kind {
             MorselKind::Whole => Executor::new(plan, &run.graph.graph).run_with_shared(
@@ -748,6 +868,9 @@ impl ServiceCore {
                 .streamed
                 .fetch_add(sink.streamed, Ordering::Relaxed);
         }
+        if sink.passed > 0 {
+            run.filtered.fetch_add(sink.passed, Ordering::Relaxed);
+        }
         let mut agg = run.agg.lock().expect("agg poisoned");
         agg.matches += stats.matches;
         agg.recursions += stats.recursions;
@@ -767,24 +890,34 @@ fn depth0_entries(plan: &QueryPlan) -> Vec<u32> {
 }
 
 /// Sink delivering remapped embeddings into the run's stream (counting
-/// happens in `RunControl`; a count-only run just drops the match here).
+/// happens in `RunControl`; count-only plans never call a sink at all).
+/// When a count filter is attached, every match is remapped and tallied
+/// against the predicate whether or not it is delivered.
 struct DeliverSink<'a> {
     run: &'a QueryRun,
     out: Vec<VertexId>,
     streamed: u64,
+    /// Matches this morsel that the run's `count_filter` accepted.
+    passed: u64,
 }
 
 impl MatchSink for DeliverSink<'_> {
     fn on_match(&mut self, m: &[VertexId]) {
-        if !self.run.deliver {
+        let run = self.run;
+        if !run.deliver && run.count_filter.is_none() {
             return;
         }
         self.out.clear();
-        match &self.run.remap {
+        match &run.remap {
             Some(map) => self.out.extend(map.iter().map(|&p| m[p as usize])),
             None => self.out.extend_from_slice(m),
         }
-        if self.run.stream.push(std::mem::take(&mut self.out)) {
+        if let Some(filter) = &run.count_filter {
+            if filter(&self.out) {
+                self.passed += 1;
+            }
+        }
+        if run.deliver && run.stream.push(std::mem::take(&mut self.out)) {
             self.streamed += 1;
         }
     }

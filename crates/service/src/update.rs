@@ -18,7 +18,9 @@ use crate::service::{GraphData, Service};
 use sm_delta::{delta_matches, Snapshot, StandingQuery, UpdateBatch};
 use sm_graph::{Graph, VertexId};
 use sm_match::enumerate::CollectSink;
-use sm_match::{DataContext, FilterKind, LcMethod, MatchConfig, OrderKind, Pipeline};
+use sm_match::{
+    DataContext, FilterKind, LcMethod, MatchConfig, MatchSemantics, OrderKind, Pipeline,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,6 +29,20 @@ use std::time::{Duration, Instant};
 /// [`Service::register_standing`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StandingId(pub(crate) usize);
+
+/// Why [`Service::register_standing_with`] refused a registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StandingError {
+    /// The incremental engine does not support the query shape (no
+    /// edges, or disconnected).
+    UnsupportedQuery,
+    /// Standing queries maintain a *complete, materialized, isomorphic*
+    /// embedding set — the only representation delta-driven maintenance
+    /// can keep consistent. Relaxed injectivity, count-only output, and
+    /// early-terminating modes are all rejected here, explicitly, rather
+    /// than silently coerced.
+    UnsupportedSemantics,
+}
 
 /// What one [`Service::apply_update`] call did.
 #[derive(Clone, Debug)]
@@ -211,6 +227,24 @@ impl Service {
         let mut standing = self.core.standing.lock().expect("standing poisoned");
         standing.push(StandingEntry { sq, matches });
         Some(StandingId(standing.len() - 1))
+    }
+
+    /// [`Service::register_standing`] with an explicit semantics check:
+    /// only the paper's default mode (isomorphic, materializing,
+    /// run-to-completion) is maintainable incrementally, and anything
+    /// else is a typed [`StandingError::UnsupportedSemantics`] — the
+    /// supported matrix is enforced at registration, not discovered at
+    /// the first update.
+    pub fn register_standing_with(
+        &self,
+        query: &Graph,
+        semantics: MatchSemantics,
+    ) -> Result<StandingId, StandingError> {
+        if semantics != MatchSemantics::default() {
+            return Err(StandingError::UnsupportedSemantics);
+        }
+        self.register_standing(query)
+            .ok_or(StandingError::UnsupportedQuery)
     }
 
     /// Current embedding set of a standing query (sorted, in query

@@ -49,11 +49,12 @@ use crate::partition::{hash_owner, skew_pct, Partition, PartitionStrategy};
 use sm_delta::{GraphView, Snapshot, UpdateBatch, VersionedGraph};
 use sm_graph::traversal::{diameter, khop_ball};
 use sm_graph::{Graph, Label, VertexId};
+use sm_match::{MatchSemantics, OutputMode, Termination};
 use sm_runtime::trace::{Counter, CounterBlock};
 use sm_runtime::CancelToken;
 use sm_service::{
-    result_channel, QueryReport, QueryRequest, ResultSink, ResultStream, Service, ServiceConfig,
-    ServiceOutcome,
+    result_channel, CountFilter, QueryReport, QueryRequest, ResultSink, ResultStream, Service,
+    ServiceConfig, ServiceOutcome, StandingError,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -203,6 +204,8 @@ pub struct ShardedService {
     fanned: AtomicU64,
     stitched: Arc<AtomicU64>,
     rejected: AtomicU64,
+    /// Top-k queries whose gather terminated by filling all k slots.
+    topk_exits: Arc<AtomicU64>,
 }
 
 impl ShardedService {
@@ -248,6 +251,7 @@ impl ShardedService {
             fanned: AtomicU64::new(0),
             stitched: Arc::new(AtomicU64::new(0)),
             rejected: AtomicU64::new(0),
+            topk_exits: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -276,7 +280,11 @@ impl ShardedService {
     /// stream. See the module docs for the scatter-gather contract.
     pub fn submit(&self, req: QueryRequest) -> ResultStream {
         let started = Instant::now();
-        if !self.supports(&req.query) {
+        // SampleK needs a sequential exhaustive pass (see the single
+        // service's rejection) and additionally cannot be merged from
+        // per-shard reservoirs uniformly — reject before any fan-out.
+        let unsupported_semantics = matches!(req.semantics.termination, Termination::SampleK(..));
+        if unsupported_semantics || !self.supports(&req.query) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             let (sink, stream) = result_channel(1, CancelToken::new());
             sink.finish(QueryReport {
@@ -289,8 +297,28 @@ impl ShardedService {
             });
             return stream;
         }
-        let cap = req.max_matches.or(self.cfg.service.default_cap);
+        // A TopK termination is exactly a global cap; the router's owned
+        // count is exact across shards, so the k results are exact too.
+        let cap = match (
+            req.max_matches.or(self.cfg.service.default_cap),
+            req.semantics.cap(),
+        ) {
+            (Some(m), Some(k)) => Some(m.min(k)),
+            (m, k) => m.or(k),
+        };
         let deliver = req.deliver;
+        // Count-only with no cap: no embedding ever needs to reach the
+        // router. Each shard counts its *owned* embeddings locally (the
+        // min-global-id ownership rule, pushed down as a count filter)
+        // and the gather step just sums the per-shard reports — no
+        // per-embedding streaming, no gather-side drain loop.
+        if req.semantics.output == OutputMode::CountOnly
+            && cap.is_none()
+            && !deliver
+            && req.count_filter.is_none()
+        {
+            return self.submit_count_pushdown(req, started);
+        }
         // Read lock for the whole fan-out: every shard is submitted to
         // under the same router epoch (no torn scatter).
         let (streams, owner) = {
@@ -304,6 +332,16 @@ impl ShardedService {
                         deadline: req.deadline,
                         max_matches: None, // uncapped: the router owns the cap
                         deliver: true,     // router needs embeddings to attribute
+                        // Injectivity is the shard's to enforce (a halo
+                        // ball covers every homomorphic image too — its
+                        // diameter never exceeds the query's); output and
+                        // termination are the router's.
+                        semantics: MatchSemantics {
+                            injectivity: req.semantics.injectivity,
+                            output: OutputMode::Embeddings,
+                            termination: Termination::All,
+                        },
+                        count_filter: None,
                     };
                     (shard.service.submit(sreq), shard.global_of.clone())
                 })
@@ -314,17 +352,105 @@ impl ShardedService {
             .fetch_add(streams.len() as u64, Ordering::Relaxed);
         let (sink, stream) = result_channel(self.cfg.service.stream_capacity, CancelToken::new());
         let stitched = self.stitched.clone();
+        let topk_exits = self.topk_exits.clone();
         let input = GatherInput {
             streams,
             owner,
             cap,
+            topk: matches!(req.semantics.termination, Termination::TopK(_)),
+            filter: req.count_filter,
             deliver,
             started,
         };
         thread::Builder::new()
             .name("sm-shard-gather".into())
-            .spawn(move || gather(sink, input, stitched))
+            .spawn(move || gather(sink, input, stitched, topk_exits))
             .expect("spawn gather thread");
+        stream
+    }
+
+    /// The count-only pushdown path: fan out per-shard **count** requests
+    /// carrying the min-global-id ownership rule as a count filter, then
+    /// sum the per-shard owned counts. Exactly-once by the same argument
+    /// as the streaming path — ownership is decided per embedding by data
+    /// the shard already has (`global_of`, `owner`), just evaluated where
+    /// the embedding is found instead of where it would be merged.
+    fn submit_count_pushdown(&self, req: QueryRequest, started: Instant) -> ResultStream {
+        let streams: Vec<ResultStream> = {
+            let state = self.state.read().expect("state poisoned");
+            let owner = state.owner.clone();
+            state
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(si, shard)| {
+                    let global_of = shard.global_of.clone();
+                    let owner = owner.clone();
+                    let stitched = self.stitched.clone();
+                    let filter: CountFilter = Arc::new(move |m: &[VertexId]| {
+                        let vmin = m
+                            .iter()
+                            .map(|&l| global_of[l as usize])
+                            .min()
+                            .expect("nonempty embedding");
+                        if owner[vmin as usize] as usize != si {
+                            return false;
+                        }
+                        if m.iter()
+                            .any(|&l| owner[global_of[l as usize] as usize] as usize != si)
+                        {
+                            stitched.fetch_add(1, Ordering::Relaxed);
+                        }
+                        true
+                    });
+                    let sreq = QueryRequest {
+                        query: req.query.clone(),
+                        deadline: req.deadline,
+                        max_matches: None,
+                        deliver: false,
+                        semantics: MatchSemantics {
+                            injectivity: req.semantics.injectivity,
+                            output: OutputMode::CountOnly,
+                            termination: Termination::All,
+                        },
+                        count_filter: Some(filter),
+                    };
+                    shard.service.submit(sreq)
+                })
+                .collect()
+        };
+        self.fanned
+            .fetch_add(streams.len() as u64, Ordering::Relaxed);
+        let (sink, stream) = result_channel(1, CancelToken::new());
+        thread::Builder::new()
+            .name("sm-shard-count".into())
+            .spawn(move || {
+                let mut matches = 0u64;
+                let mut recursions = 0u64;
+                let mut outcome = ServiceOutcome::Complete;
+                let mut cache_hit = true;
+                let mut plan_build_ns = 0u64;
+                for s in streams {
+                    if sink.client_cancelled() {
+                        s.cancel();
+                    }
+                    let r = s.wait();
+                    matches += r.matches;
+                    recursions += r.recursions;
+                    outcome = outcome.worst(r.outcome);
+                    cache_hit &= r.cache_hit;
+                    plan_build_ns = plan_build_ns.max(r.plan_build_ns);
+                }
+                sink.finish(QueryReport {
+                    outcome,
+                    matches,
+                    recursions,
+                    cache_hit,
+                    plan_build_ns,
+                    elapsed: started.elapsed(),
+                });
+            })
+            .expect("spawn count-gather thread");
         stream
     }
 
@@ -545,6 +671,23 @@ impl ShardedService {
         Some(ShardStandingId(state.standing.len() - 1))
     }
 
+    /// [`ShardedService::register_standing`] with an explicit semantics
+    /// check, mirroring [`Service::register_standing_with`]: standing
+    /// queries are isomorphic, materializing and run-to-completion only,
+    /// and anything else is a typed
+    /// [`StandingError::UnsupportedSemantics`].
+    pub fn register_standing_with(
+        &self,
+        query: &Graph,
+        semantics: MatchSemantics,
+    ) -> Result<ShardStandingId, StandingError> {
+        if semantics != MatchSemantics::default() {
+            return Err(StandingError::UnsupportedSemantics);
+        }
+        self.register_standing(query)
+            .ok_or(StandingError::UnsupportedQuery)
+    }
+
     /// Current merged embedding set of a standing query, in global
     /// vertex ids, sorted — each embedding exactly once (minimum-id
     /// ownership, same rule as the query path).
@@ -591,6 +734,10 @@ impl ShardedService {
         b.add(
             Counter::QueriesRejected,
             self.rejected.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::TopkEarlyExits,
+            self.topk_exits.load(Ordering::Relaxed),
         );
         b.record_max(Counter::HaloVerticesReplicated, state.halo);
         b.record_max(Counter::ShardSkew, state.skew);
@@ -650,6 +797,12 @@ struct GatherInput {
     streams: Vec<(ResultStream, Arc<Vec<VertexId>>)>,
     owner: Arc<Vec<u32>>,
     cap: Option<u64>,
+    /// Whether the cap came from a `TopK` termination — a cap hit is
+    /// then a successful top-k exit, not an overflow event.
+    topk: bool,
+    /// Client count filter, applied to owned embeddings (global ids)
+    /// before they are counted or delivered.
+    filter: Option<CountFilter>,
     deliver: bool,
     started: Instant,
 }
@@ -658,11 +811,18 @@ struct GatherInput {
 /// cap, merge outcomes. Runs on a detached thread per query; terminates
 /// as soon as every shard stream is terminal (shard services terminate
 /// stranded streams on drop, so this never outlives them blocked).
-fn gather(sink: ResultSink, input: GatherInput, stitched: Arc<AtomicU64>) {
+fn gather(
+    sink: ResultSink,
+    input: GatherInput,
+    stitched: Arc<AtomicU64>,
+    topk_exits: Arc<AtomicU64>,
+) {
     let GatherInput {
         streams,
         owner,
         cap,
+        topk,
+        filter,
         deliver,
         started,
     } = input;
@@ -708,6 +868,9 @@ fn gather(sink: ResultSink, input: GatherInput, stitched: Arc<AtomicU64>) {
             if owner[vmin as usize] as usize != si {
                 continue; // another shard owns (and will report) it
             }
+            if filter.as_ref().is_some_and(|f| !f(&gemb)) {
+                continue; // owned, but the client's count filter said no
+            }
             if gemb.iter().any(|&v| owner[v as usize] as usize != si) {
                 stitched_here += 1; // crossed a shard boundary via the halo
             }
@@ -749,6 +912,9 @@ fn gather(sink: ResultSink, input: GatherInput, stitched: Arc<AtomicU64>) {
     // outcomes of the shards it cut short; a client abort beats both.
     if cap_hit {
         outcome = ServiceOutcome::CapHit;
+        if topk {
+            topk_exits.fetch_add(1, Ordering::Relaxed);
+        }
     }
     if client_gone {
         outcome = ServiceOutcome::Cancelled;

@@ -8,7 +8,9 @@
 # smoke (seeded update stream; asserts incremental standing-query
 # maintenance equals full recompute after every batch) and the sharding
 # smoke (scatter-gather over partitioned shards; asserts sharded counts
-# equal single-service ground truth at every shard count). Run from
+# equal single-service ground truth at every shard count) and the match-
+# semantics smoke (asserts count-only == materialized length per mode and
+# the homo >= edge-injective >= iso containment chain). Run from
 # anywhere; everything executes at the repo root.
 set -eu
 
@@ -26,3 +28,4 @@ cargo build --release -p sm-bench
 ./target/release/experiments serve --queries 4 --clients 2 --threads 2
 ./target/release/experiments update --queries 2 --threads 2 --seed 42
 ./target/release/experiments shard --queries 2 --clients 2 --threads 2 --seed 42 --shards 1,2
+./target/release/experiments semantics --queries 2 --threads 2 --seed 42
