@@ -4,6 +4,7 @@
 //! experiments <subcommand> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--clients N]
 //!             [--seed N] [--shards 1,2,4,8] [--partitioner hash|label]
+//!             [--duration-ms N] [--refresh-ms N]
 //!             [--full] [--trace] [--profile-out PATH]
 //! ```
 
@@ -35,6 +36,10 @@ pub struct HarnessOptions {
     pub shards: Vec<usize>,
     /// Partition strategy for the `shard` experiment (`hash` | `label`).
     pub partitioner: String,
+    /// How long the `top` live view keeps its workload running.
+    pub duration: Duration,
+    /// Refresh interval of the `top` live view.
+    pub refresh: Duration,
     /// Attach an sm-runtime [`sm_runtime::Trace`] to supported experiments
     /// and print the per-phase span tree after each traced run.
     pub trace: bool,
@@ -56,6 +61,8 @@ impl Default for HarnessOptions {
             seed: 42,
             shards: vec![1, 2, 4, 8],
             partitioner: "label".to_string(),
+            duration: Duration::from_millis(2000),
+            refresh: Duration::from_millis(500),
             trace: false,
             profile_out: None,
         }
@@ -129,6 +136,22 @@ impl HarnessOptions {
                         return Err(format!("--partitioner must be hash or label, got {v}"));
                     }
                     opts.partitioner = v;
+                }
+                "--duration-ms" => {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&d| d >= 1)
+                        .ok_or("--duration-ms needs a positive integer")?;
+                    opts.duration = Duration::from_millis(ms);
+                }
+                "--refresh-ms" => {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&d| d >= 1)
+                        .ok_or("--refresh-ms needs a positive integer")?;
+                    opts.refresh = Duration::from_millis(ms);
                 }
                 "--trace" => {
                     opts.trace = true;
@@ -251,6 +274,20 @@ mod tests {
         assert!(parse(&["--shards", ""]).is_err());
         assert!(parse(&["--partitioner", "bogus"]).is_err());
         assert!(parse(&["--partitioner"]).is_err());
+    }
+
+    #[test]
+    fn duration_and_refresh_flags() {
+        let o = parse(&["top", "--duration-ms", "800", "--refresh-ms", "100"]).unwrap();
+        assert_eq!(o.command, "top");
+        assert_eq!(o.duration, Duration::from_millis(800));
+        assert_eq!(o.refresh, Duration::from_millis(100));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.duration, Duration::from_millis(2000));
+        assert_eq!(d.refresh, Duration::from_millis(500));
+        assert!(parse(&["--duration-ms"]).is_err());
+        assert!(parse(&["--duration-ms", "0"]).is_err());
+        assert!(parse(&["--refresh-ms", "x"]).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel
-//!      | serve | shard | update | semantics | all
+//!      | serve | shard | update | semantics | top | metrics-overhead | all
 //!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
 //!      | bench-fig15 | bench-fig16 | bench-all
@@ -18,6 +18,11 @@
 //! `trace-overhead` smoke-checks the cost of enabling tracing;
 //! `check-profile` round-trips a JSONL profile and validates its schema.
 //! `--trace` also works on `parallel` for per-run span trees.
+//! `top` renders live per-shard telemetry (q/s, p99, hit rate, skew)
+//! under a client workload for `--duration-ms`, refreshed every
+//! `--refresh-ms`; `metrics-overhead` gates the cost of the always-on
+//! telemetry (enabled vs disabled service) and round-trips the
+//! Prometheus exposition.
 //!
 //! The `bench-*` subcommands are the timer-based micro-benchmarks that
 //! replaced the former Criterion benches (min/median/mean per case).
@@ -34,7 +39,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--seed N] [--full] [--trace] [--profile-out PATH]");
+            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--seed N] [--duration-ms N] [--refresh-ms N] [--full] [--trace] [--profile-out PATH]");
             std::process::exit(2);
         }
     };
@@ -64,6 +69,10 @@ fn main() {
         "shard" => experiments::shard::run(&opts),
         "semantics" => experiments::semantics::run(&opts),
         "update" => experiments::update::run(&opts),
+        "top" => experiments::metrics::top(&opts),
+        "metrics-overhead" => {
+            experiments::metrics::overhead(&opts, Some(experiments::metrics::OVERHEAD_BOUND))
+        }
         "profile" => sm_bench::profile::run(&opts),
         "trace-overhead" => sm_bench::profile::trace_overhead(&opts),
         "check-profile" => sm_bench::profile::check_profile(&opts),

@@ -16,6 +16,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod metrics;
 pub mod parallel;
 pub mod semantics;
 pub mod serve;

@@ -20,7 +20,7 @@
 //! must observe a nonzero hit rate — violations panic.
 
 use crate::args::HarnessOptions;
-use crate::results::{envelope, write_bench_json, Json};
+use crate::results::{envelope, latency_obj, write_bench_json, Json};
 use crate::table::{ms, TextTable};
 use sm_graph::gen::query::{Density, QuerySetSpec};
 use sm_match::{DataContext, MatchConfig};
@@ -77,7 +77,8 @@ pub fn run(opts: &HarnessOptions) {
     );
 
     let mut t = TextTable::new(vec![
-        "mode", "queries", "wall ms", "q/s", "p50 ms", "p99 ms", "hit rate", "outcomes",
+        "mode", "queries", "wall ms", "q/s", "p50 ms", "p99 ms", "svc p50", "svc p99", "hit rate",
+        "outcomes",
     ]);
     let mut rows: Vec<Json> = Vec::new();
     for (mode, cache_capacity) in [("cached", 256usize), ("no-cache", 0)] {
@@ -140,6 +141,16 @@ pub fn run(opts: &HarnessOptions) {
                 "cached mode must observe plan-cache hits (got {hits}/{misses})"
             );
         }
+        // Service-side (submit→terminal) latency from the always-on
+        // telemetry histograms — the cross-check for the client-observed
+        // percentiles above.
+        let report = svc.metrics_report();
+        let total = report.total();
+        assert_eq!(
+            total.count(),
+            lat.len() as u64,
+            "telemetry saw every submission"
+        );
         t.row(vec![
             mode.to_string(),
             lat.len().to_string(),
@@ -147,6 +158,8 @@ pub fn run(opts: &HarnessOptions) {
             format!("{:.0}", lat.len() as f64 / (wall / 1e3).max(1e-9)),
             ms(percentile(&lat, 0.5)),
             ms(percentile(&lat, 0.99)),
+            ms(total.quantile(0.50) as f64 / 1e6),
+            ms(total.quantile(0.99) as f64 / 1e6),
             format!("{:.0}%", hit_rate * 100.0),
             format!(
                 "admitted={} rejected={}",
@@ -161,6 +174,7 @@ pub fn run(opts: &HarnessOptions) {
             ("qps", Json::Num(lat.len() as f64 / (wall / 1e3).max(1e-9))),
             ("p50_ms", Json::Num(percentile(&lat, 0.5))),
             ("p99_ms", Json::Num(percentile(&lat, 0.99))),
+            ("latency", latency_obj(&total)),
             ("cache_hit_rate", Json::Num(hit_rate)),
             (
                 "admitted",
@@ -200,6 +214,7 @@ pub fn run(opts: &HarnessOptions) {
         }
         let wall = started.elapsed().as_secs_f64() * 1e3;
         lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let total = svc.metrics_report().total();
         t.row(vec![
             "deadline-1µs".to_string(),
             queries.len().to_string(),
@@ -207,6 +222,8 @@ pub fn run(opts: &HarnessOptions) {
             format!("{:.0}", queries.len() as f64 / (wall / 1e3).max(1e-9)),
             ms(percentile(&lat, 0.5)),
             ms(percentile(&lat, 0.99)),
+            ms(total.quantile(0.50) as f64 / 1e6),
+            ms(total.quantile(0.99) as f64 / 1e6),
             "-".to_string(),
             format!("deadline={deadline_hits}/{}", queries.len()),
         ]);
@@ -216,6 +233,7 @@ pub fn run(opts: &HarnessOptions) {
             ("wall_ms", Json::Num(wall)),
             ("p50_ms", Json::Num(percentile(&lat, 0.5))),
             ("p99_ms", Json::Num(percentile(&lat, 0.99))),
+            ("latency", latency_obj(&total)),
             ("deadline_hits", Json::Int(deadline_hits as i64)),
         ]));
     }

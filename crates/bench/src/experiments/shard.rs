@@ -20,7 +20,7 @@
 //! counter must equal submissions x shards — violations panic.
 
 use crate::args::HarnessOptions;
-use crate::results::{envelope, write_bench_json, Json};
+use crate::results::{envelope, latency_obj, write_bench_json, Json};
 use crate::table::{ms, TextTable};
 use sm_graph::builder::graph_from_edges;
 use sm_graph::gen::query::{generate_query_set, Density, QuerySetSpec};
@@ -47,7 +47,7 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 /// Queries the sharded tier supports: connected, at least one edge.
 /// The halo depth is then sized to the largest surviving diameter, so
 /// every kept query is answerable at any shard count.
-fn supported_queries(g: &Graph, count: usize, seed: u64) -> (Vec<Graph>, u32) {
+pub(crate) fn supported_queries(g: &Graph, count: usize, seed: u64) -> (Vec<Graph>, u32) {
     let mut qs: Vec<Graph> = generate_query_set(
         g,
         QuerySetSpec {
@@ -93,8 +93,8 @@ pub fn run(opts: &HarnessOptions) {
         clients, ROUNDS, strategy.name(), opts.shards, total_workers, opts.seed,
     );
     let mut t = TextTable::new(vec![
-        "dataset", "shards", "queries", "wall ms", "q/s", "p50 ms", "p99 ms", "halo", "skew",
-        "stitched",
+        "dataset", "shards", "queries", "wall ms", "q/s", "p50 ms", "p99 ms", "svc p99", "halo",
+        "skew", "stitched",
     ]);
     let mut rows: Vec<Json> = Vec::new();
 
@@ -174,6 +174,11 @@ pub fn run(opts: &HarnessOptions) {
             let wall = started.elapsed().as_secs_f64() * 1e3;
             lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
+            // Merged shard-side telemetry: per-shard submit→terminal
+            // latency folded across shards (the shard services see one
+            // fan-out submission per client query each).
+            let tier = svc.metrics_report();
+            let total = tier.merged.total();
             let counters = svc.counters();
             let fanned = counters.get(Counter::QueriesFannedOut);
             let stitched = counters.get(Counter::BoundaryEmbeddingsStitched);
@@ -214,6 +219,7 @@ pub fn run(opts: &HarnessOptions) {
                 format!("{:.0}", lat.len() as f64 / (wall / 1e3).max(1e-9)),
                 ms(percentile(&lat, 0.5)),
                 ms(percentile(&lat, 0.99)),
+                ms(total.quantile(0.99) as f64 / 1e6),
                 halo_vertices.to_string(),
                 format!("{skew}%"),
                 stitched.to_string(),
@@ -227,6 +233,7 @@ pub fn run(opts: &HarnessOptions) {
                 ("qps", Json::Num(lat.len() as f64 / (wall / 1e3).max(1e-9))),
                 ("p50_ms", Json::Num(percentile(&lat, 0.5))),
                 ("p99_ms", Json::Num(percentile(&lat, 0.99))),
+                ("latency", latency_obj(&total)),
                 ("fanned_out", Json::Int(fanned as i64)),
                 ("stitched", Json::Int(stitched as i64)),
                 ("halo_vertices", Json::Int(halo_vertices as i64)),

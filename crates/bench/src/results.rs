@@ -10,7 +10,9 @@
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every bench file. Bump on layout changes.
-pub const SCHEMA: &str = "sm-bench/v1";
+/// v2: `serve` and `shard` rows carry a `latency` object sourced from
+/// the service-side telemetry histograms (see [`latency_obj`]).
+pub const SCHEMA: &str = "sm-bench/v2";
 
 /// A JSON value with insertion-ordered object keys.
 #[derive(Clone, Debug, PartialEq)]
@@ -116,6 +118,24 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// The standard `latency` object of a nanosecond telemetry histogram
+/// ([`sm_runtime::metrics::HistSnapshot`]): count plus
+/// p50/p90/p99/p999/max/mean in milliseconds. Service-side
+/// (submit→terminal) latency, as opposed to the client-observed
+/// percentiles the experiments also report.
+pub fn latency_obj(h: &sm_runtime::metrics::HistSnapshot) -> Json {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    Json::obj(vec![
+        ("count", Json::Int(h.count() as i64)),
+        ("p50_ms", Json::Num(ms(h.quantile(0.50)))),
+        ("p90_ms", Json::Num(ms(h.quantile(0.90)))),
+        ("p99_ms", Json::Num(ms(h.quantile(0.99)))),
+        ("p999_ms", Json::Num(ms(h.quantile(0.999)))),
+        ("max_ms", Json::Num(ms(h.max()))),
+        ("mean_ms", Json::Num(h.mean() / 1e6)),
+    ])
+}
+
 /// Wrap per-bench content in the standard envelope:
 /// `{schema, bench, <content pairs…>}`.
 pub fn envelope(bench: &str, content: Vec<(&'static str, Json)>) -> Json {
@@ -167,11 +187,35 @@ mod tests {
         let zeta = s.find("\"zeta\"").unwrap();
         let alpha = s.find("\"alpha\"").unwrap();
         assert!(zeta < alpha);
-        assert!(s.starts_with("{\n  \"schema\": \"sm-bench/v1\",\n  \"bench\": \"demo\""));
+        assert!(s.starts_with("{\n  \"schema\": \"sm-bench/v2\",\n  \"bench\": \"demo\""));
         assert!(s.contains("\"a\": \"x\\\"y\""));
         assert!(s.contains("\"empty\": []"));
         // Deterministic: same value, same bytes.
         assert_eq!(s, v.to_pretty());
+    }
+
+    #[test]
+    fn latency_obj_reports_quantiles_in_ms() {
+        let h = sm_runtime::metrics::Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000_000); // 1 ms
+        }
+        h.record(100_000_000); // 100 ms tail
+        let j = latency_obj(&h.snapshot());
+        let s = j.to_pretty();
+        assert!(s.contains("\"count\": 100"));
+        // p50 sits in the 1 ms bucket (≤12.5% relative error), max exact.
+        match &j {
+            Json::Obj(pairs) => {
+                let p50 = pairs.iter().find(|(k, _)| k == "p50_ms").unwrap();
+                if let Json::Num(v) = p50.1 {
+                    assert!((0.8..=1.2).contains(&v), "p50 {v} not ~1ms");
+                }
+                let max = pairs.iter().find(|(k, _)| k == "max_ms").unwrap();
+                assert_eq!(max.1, Json::Num(100.0));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

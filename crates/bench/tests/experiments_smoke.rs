@@ -83,3 +83,22 @@ fn shard_runs() {
     };
     experiments::shard::run(&opts);
 }
+
+#[test]
+fn top_runs() {
+    let opts = HarnessOptions {
+        shards: vec![2],
+        duration: Duration::from_millis(300),
+        refresh: Duration::from_millis(100),
+        ..tiny(&["ye"])
+    };
+    experiments::metrics::top(&opts);
+}
+
+#[test]
+fn metrics_overhead_runs() {
+    // The smoke only exercises the wiring (measurement, parse-back,
+    // JSON emission); the 2% bound is enforced when CI runs the real
+    // subcommand via scripts/ci.sh, at a scale where it is measurable.
+    experiments::metrics::overhead(&tiny(&["ye"]), None);
+}

@@ -38,7 +38,7 @@ pub mod sched;
 pub mod trace;
 
 pub use cancel::{CancelReason, CancelToken};
-pub use metrics::{PoolMetrics, WorkerMetrics};
+pub use metrics::{HistSnapshot, Histogram, PoolMetrics, Registry, RollingWindow, WorkerMetrics};
 pub use pool::{morsel_size_for, MorselQueue, Popped};
 pub use rng::Rng64;
 pub use sched::{Claim, FairScheduler, SourceId};

@@ -1,0 +1,252 @@
+//! Prometheus-style text exposition: render a registry snapshot to the
+//! classic `name{label="v"} value` line format, and parse such text back
+//! into samples. The parser exists so CI can prove the rendered output
+//! is machine-readable (render → parse → compare), not just eyeballable.
+//!
+//! Histograms render as summaries — `{quantile="0.5"}` … series plus
+//! `_sum`/`_count`/`_min`/`_max` — because log-linear buckets are this
+//! library's internal scheme, while quantiles are what the serving-tier
+//! tables actually consume.
+
+use super::hist::HistSnapshot;
+use super::registry::{FamilySnapshot, Kind, Labels, Value};
+
+/// Every metric name is exported under this prefix.
+pub const PREFIX: &str = "sm_";
+
+/// The quantiles every histogram exposes.
+pub const QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_hist(out: &mut String, name: &str, labels: &Labels, h: &HistSnapshot) {
+    for (q, qs) in QUANTILES {
+        out.push_str(&format!(
+            "{name}{} {}\n",
+            render_labels(labels, Some(("quantile", qs))),
+            h.quantile(q)
+        ));
+    }
+    let plain = render_labels(labels, None);
+    out.push_str(&format!("{name}_sum{plain} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{plain} {}\n", h.count()));
+    out.push_str(&format!("{name}_min{plain} {}\n", h.min()));
+    out.push_str(&format!("{name}_max{plain} {}\n", h.max()));
+}
+
+/// Render a registry snapshot as Prometheus-style text.
+pub fn render(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for f in families {
+        let name = format!("{PREFIX}{}", f.name);
+        let kind = match f.kind {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "summary",
+        };
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for s in &f.series {
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    out.push_str(&format!("{name}{} {v}\n", render_labels(&s.labels, None)));
+                }
+                Value::Float(v) => {
+                    out.push_str(&format!(
+                        "{name}{} {v:.6}\n",
+                        render_labels(&s.labels, None)
+                    ));
+                }
+                Value::Histogram(h) => render_hist(&mut out, &name, &s.labels, h),
+            }
+        }
+    }
+    out
+}
+
+/// One parsed exposition line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name, prefix included.
+    pub name: String,
+    /// Labels sorted by key.
+    pub labels: Labels,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse Prometheus-style text back into samples. Comment and blank
+/// lines are skipped; any other malformed line is an error naming the
+/// line — this is the CI smoke's teeth.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line).map_err(|e| format!("line {}: {e}: {line:?}", no + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "missing value".to_string())?;
+    let value: f64 = value.parse().map_err(|_| "bad value".to_string())?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = labels;
+    labels.sort();
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Labels, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label missing '='".to_string())?;
+        let key = rest[..eq].to_string();
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| "label value not quoted".to_string())?;
+        // Find the closing quote, honoring backslash escapes.
+        let mut val = String::new();
+        let mut chars = after.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| "unterminated label value".to_string())?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => val.push('\n'),
+                    Some((_, e)) => val.push(e),
+                    None => return Err("dangling escape".to_string()),
+                },
+                c => val.push(c),
+            }
+        };
+        labels.push((key, val));
+        rest = &after[close + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let r = Registry::new();
+        r.counter("queries_total", &[("outcome", "complete")])
+            .add(42);
+        r.counter("queries_total", &[("outcome", "rejected")])
+            .add(3);
+        r.gauge("shard_skew", &[("shard", "0")]).set(117);
+        let h = r.histogram("latency_ns", &[("phase", "execute")]);
+        for v in [100u64, 200, 300, 4000] {
+            h.record(v);
+        }
+        let text = render(&r.snapshot());
+        let samples = parse(&text).unwrap();
+        // counters + gauge + (4 quantiles + sum/count/min/max)
+        assert_eq!(samples.len(), 2 + 1 + 8);
+        let get = |name: &str, labels: &[(&str, &str)]| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels
+                            == labels
+                                .iter()
+                                .map(|(k, v)| (k.to_string(), v.to_string()))
+                                .collect::<Vec<_>>()
+                })
+                .unwrap_or_else(|| panic!("missing {name} {labels:?}"))
+                .value
+        };
+        assert_eq!(get("sm_queries_total", &[("outcome", "complete")]), 42.0);
+        assert_eq!(get("sm_shard_skew", &[("shard", "0")]), 117.0);
+        assert_eq!(get("sm_latency_ns_count", &[("phase", "execute")]), 4.0);
+        assert_eq!(get("sm_latency_ns_sum", &[("phase", "execute")]), 4600.0);
+        let p50 = get(
+            "sm_latency_ns",
+            &[("phase", "execute"), ("quantile", "0.5")],
+        );
+        assert!((p50 - 200.0).abs() / 200.0 <= 0.125, "p50={p50}");
+    }
+
+    #[test]
+    fn escaped_label_values_survive() {
+        let r = Registry::new();
+        r.counter("odd", &[("q", "a\"b\\c\nd")]).bump();
+        let text = render(&r.snapshot());
+        let samples = parse(&text).unwrap();
+        assert_eq!(
+            samples[0].labels,
+            vec![("q".to_string(), "a\"b\\c\nd".to_string())]
+        );
+    }
+
+    #[test]
+    fn type_lines_announce_families() {
+        let r = Registry::new();
+        r.counter("a_total", &[]).bump();
+        r.histogram("b_ns", &[]).record(1);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE sm_a_total counter"));
+        assert!(text.contains("# TYPE sm_b_ns summary"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("novalue").is_err());
+        assert!(parse("x{unclosed 1").is_err());
+        assert!(parse("x{k=unquoted} 1").is_err());
+        assert!(parse("x 1\n\n# comment\ny 2").is_ok());
+    }
+}

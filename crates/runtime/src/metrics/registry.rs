@@ -1,0 +1,308 @@
+//! A registry of named instruments with labeled dimensions.
+//!
+//! The registry is the *naming* layer: callers register
+//! `(name, labels)` series once at setup (or lazily on first touch) and
+//! get back `Arc` handles — [`CounterCell`], [`GaugeCell`], or a shared
+//! [`Histogram`] — whose hot-path operations are single relaxed atomics
+//! with no registry lock in sight. The registry lock is only taken at
+//! registration and at [`Registry::snapshot`] time.
+//!
+//! A snapshot is a plain, ordered value tree ([`FamilySnapshot`] →
+//! [`SeriesSnapshot`]) that the exposition layer renders to
+//! Prometheus-style text or JSON without touching live atomics twice.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::hist::{HistSnapshot, Histogram};
+
+/// A monotonically increasing counter series.
+#[derive(Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time gauge series (set, not accumulated).
+#[derive(Default)]
+pub struct GaugeCell(AtomicU64);
+
+impl GaugeCell {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v`.
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instrument kind of a family. One name maps to exactly one kind;
+/// registering the same name under a different kind panics (a
+/// programming error, caught by the first snapshot in any test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic sum.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Log-linear distribution.
+    Histogram,
+}
+
+enum Instrument {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> Kind {
+        match self {
+            Instrument::Counter(_) => Kind::Counter,
+            Instrument::Gauge(_) => Kind::Gauge,
+            Instrument::Histogram(_) => Kind::Histogram,
+        }
+    }
+}
+
+/// Label set of one series, sorted by key. Kept small and ordered so it
+/// can key a `BTreeMap` and render deterministically.
+pub type Labels = Vec<(String, String)>;
+
+fn label_vec(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Snapshot value of one series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(u64),
+    /// Fractional gauge level (rates, ratios). Never produced by live
+    /// registry instruments — synthesized by reporting layers that
+    /// derive rates from windows at snapshot time.
+    Float(f64),
+    /// Histogram distribution.
+    Histogram(HistSnapshot),
+}
+
+/// One `(labels, value)` pair of a family snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    /// The series' label set, sorted by key.
+    pub labels: Labels,
+    /// The series' value at snapshot time.
+    pub value: Value,
+}
+
+/// All series of one named instrument, at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    /// Instrument name (`snake_case`, no product prefix — the renderer
+    /// adds one).
+    pub name: String,
+    /// Instrument kind shared by every series of the family.
+    pub kind: Kind,
+    /// Series ordered by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+#[derive(Default)]
+struct Families {
+    // name -> (labels -> instrument); BTreeMaps for deterministic order.
+    map: BTreeMap<String, BTreeMap<Labels, Instrument>>,
+}
+
+/// The registry. Cheap to clone (it is an `Arc` internally); all clones
+/// see the same instruments.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Families>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+        project: impl Fn(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let family = inner.map.entry(name.to_string()).or_default();
+        let inst = family.entry(label_vec(labels)).or_insert_with(make);
+        project(inst)
+            .unwrap_or_else(|| panic!("instrument {name:?} registered as {:?}", inst.kind()))
+    }
+
+    /// Get or create the counter series `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<CounterCell> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Instrument::Counter(Arc::new(CounterCell::default())),
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the gauge series `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<GaugeCell> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Instrument::Gauge(Arc::new(GaugeCell::default())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the histogram series `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A coherent, ordered copy of every registered series.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .map
+            .iter()
+            .map(|(name, series)| FamilySnapshot {
+                name: name.clone(),
+                kind: series
+                    .values()
+                    .next()
+                    .map(Instrument::kind)
+                    .unwrap_or(Kind::Counter),
+                series: series
+                    .iter()
+                    .map(|(labels, inst)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match inst {
+                            Instrument::Counter(c) => Value::Counter(c.get()),
+                            Instrument::Gauge(g) => Value::Gauge(g.get()),
+                            Instrument::Histogram(h) => Value::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_shared_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("queries", &[("outcome", "complete")]);
+        let b = r.counter("queries", &[("outcome", "complete")]);
+        let other = r.counter("queries", &[("outcome", "rejected")]);
+        a.add(2);
+        b.bump();
+        other.bump();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", &[("b", "2"), ("a", "1")]);
+        a.bump();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_typed() {
+        let r = Registry::new();
+        r.gauge("zz_depth", &[]).set(4);
+        r.counter("aa_total", &[("shard", "1")]).add(7);
+        r.histogram("mm_latency", &[]).record(5);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["aa_total", "mm_latency", "zz_depth"]);
+        assert_eq!(snap[0].kind, Kind::Counter);
+        assert_eq!(snap[0].series[0].labels, vec![("shard".into(), "1".into())]);
+        assert_eq!(snap[0].series[0].value, Value::Counter(7));
+        match &snap[1].series[0].value {
+            Value::Histogram(h) => assert_eq!(h.count(), 1),
+            v => panic!("expected histogram, got {v:?}"),
+        }
+        assert_eq!(snap[2].series[0].value, Value::Gauge(4));
+    }
+
+    #[test]
+    fn gauge_raise_takes_max() {
+        let r = Registry::new();
+        let g = r.gauge("peak", &[]);
+        g.raise(3);
+        g.raise(2);
+        assert_eq!(g.get(), 3);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x", &[]);
+        r.gauge("x", &[]);
+    }
+}

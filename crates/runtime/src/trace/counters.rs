@@ -8,187 +8,142 @@
 //! flush the block into the [`crate::trace::Trace`] once per run/worker.
 //! Totals across workers are a *merge*: sum counters add, the peak-depth
 //! gauge takes the max.
+//!
+//! The registry is defined **once**, in the [`define_counters!`] table
+//! below: variant, wire name, and doc line live side by side, so the
+//! enum, [`Counter::ALL`], and [`Counter::NAMES`] cannot drift apart (a
+//! unit test additionally pins name uniqueness, and a doc-sync test pins
+//! every name into OBSERVABILITY.md's registry table).
 
-/// One named counter of the registry. The numbering is the wire schema of
-/// the JSONL profile — append new counters at the end, never reorder.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum Counter {
-    /// Merge-kernel set intersections performed.
-    IntersectMerge,
-    /// Galloping-kernel set intersections performed.
-    IntersectGalloping,
-    /// Hybrid-kernel set intersections performed.
-    IntersectHybrid,
-    /// QFilter (BSR block-bitmap) set intersections performed.
-    IntersectQfilter,
-    /// Candidate vertices removed by filter refinement (all rounds).
-    CandidatesPruned,
-    /// Filter refinement rounds executed.
-    FilterRounds,
-    /// Backtracks: partial assignments undone by the enumeration engines.
-    Backtracks,
-    /// Peak partial-embedding depth reached (a max gauge, not a sum).
-    PeakDepth,
-    /// Local-candidate reads served from a prebuilt space list instead of
-    /// a fresh intersection/scan (TreeIndex tree-edge lists, adaptive LC
-    /// cache).
-    LcCacheHits,
-    /// Search-tree nodes visited (recursive engine invocations).
-    Recursions,
-    /// Matches emitted.
-    Matches,
-    /// Morsels executed by the worker pool.
-    MorselsExecuted,
-    /// Of those, morsels stolen from another worker's queue.
-    MorselsStolen,
-    /// Runs/morsels that hit the zero-allocation scratch fast path.
-    ScratchReuses,
-    /// Wall-clock nanoseconds spent executing morsels.
-    BusyNs,
-    /// Wall-clock nanoseconds spent looking for work (poll + steal).
-    IdleNs,
-    /// Of `IdleNs`, nanoseconds spent on polls that ended in a steal —
-    /// the steal *latency* the parallel table reports.
-    StealWaitNs,
-    /// Glasgow CP search nodes explored.
-    GlasgowNodes,
-    /// Glasgow domain-propagation passes on assignment.
-    GlasgowPropagations,
-    /// Service plan-cache lookups that returned a cached plan.
-    PlanCacheHits,
-    /// Service plan-cache lookups that had to compile a plan.
-    PlanCacheMisses,
-    /// Cached plans evicted by the LRU policy (capacity or epoch).
-    PlanCacheEvictions,
-    /// Queries admitted by the service (queued or started).
-    QueriesAdmitted,
-    /// Queries rejected by admission control (submission queue full).
-    QueriesRejected,
-    /// Embeddings delivered through service result streams.
-    EmbeddingsStreamed,
-    /// Update batches applied to a versioned graph.
-    UpdatesApplied,
-    /// Snapshots pinned against a versioned graph.
-    SnapshotsPinned,
-    /// Overlay compactions folding deltas into a fresh CSR base.
-    Compactions,
-    /// Live overlay edges `|E(view) Δ E(base)|` of the current epoch (a
-    /// gauge: merges take the max).
-    DeltaEdgesLive,
-    /// Embeddings added or retracted by delta-driven incremental
-    /// enumeration (instead of full recomputation).
-    IncrementalEmbeddings,
-    /// Queries fanned out by a sharded router (one per shard per
-    /// scatter).
-    QueriesFannedOut,
-    /// Boundary-crossing embeddings stitched through the halo and kept
-    /// by the router's ownership filter.
-    BoundaryEmbeddingsStitched,
-    /// Halo (ghost) vertices replicated across all shards (a gauge:
-    /// merges take the max; set from the current partition).
-    HaloVerticesReplicated,
-    /// Partition skew: max per-shard local edge count as a percentage of
-    /// the even share (100 = perfectly balanced; a gauge).
-    ShardSkew,
-    /// Count-only runs executed (no embedding materialization; the match
-    /// tally rides the per-worker accumulators).
-    CountOnlyRuns,
-    /// Enumeration runs (and served queries) cut short by a top-k bound.
-    TopkEarlyExits,
-    /// Plan compilations forced by a semantics mismatch: the same query
-    /// under the same graph epoch and base config was already cached
-    /// under a *different* semantics fingerprint (plans are shared within
-    /// a mode, never across modes).
-    SemanticsCacheSplits,
+/// Generates [`Counter`], [`Counter::ALL`] and [`Counter::NAMES`] from a
+/// single `(Variant, "wire_name", "doc")` table — the registry's single
+/// source of truth. The table order is the wire schema of the JSONL
+/// profile: append new counters at the end, never reorder.
+macro_rules! define_counters {
+    ($(($variant:ident, $name:literal, $doc:literal),)+) => {
+        /// One named counter of the registry. The numbering is the wire
+        /// schema of the JSONL profile — append new counters at the end,
+        /// never reorder.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Counter {
+            $(#[doc = $doc] $variant,)+
+        }
+
+        impl Counter {
+            /// Number of counters in the registry.
+            pub const COUNT: usize = [$(Counter::$variant),+].len();
+
+            /// Every counter, in schema order.
+            pub const ALL: [Counter; Counter::COUNT] = [$(Counter::$variant),+];
+
+            /// Every counter's stable snake_case name, in schema order —
+            /// `NAMES[c as usize]` is `c`'s JSONL field key and the name
+            /// OBSERVABILITY.md's registry table documents.
+            pub const NAMES: [&'static str; Counter::COUNT] = [$($name),+];
+        }
+    };
+}
+
+define_counters! {
+    (IntersectMerge, "intersect_merge",
+     "Merge-kernel set intersections performed."),
+    (IntersectGalloping, "intersect_galloping",
+     "Galloping-kernel set intersections performed."),
+    (IntersectHybrid, "intersect_hybrid",
+     "Hybrid-kernel set intersections performed."),
+    (IntersectQfilter, "intersect_qfilter",
+     "QFilter (BSR block-bitmap) set intersections performed."),
+    (CandidatesPruned, "candidates_pruned",
+     "Candidate vertices removed by filter refinement (all rounds)."),
+    (FilterRounds, "filter_rounds",
+     "Filter refinement rounds executed."),
+    (Backtracks, "backtracks",
+     "Backtracks: partial assignments undone by the enumeration engines."),
+    (PeakDepth, "peak_depth",
+     "Peak partial-embedding depth reached (a max gauge, not a sum)."),
+    (LcCacheHits, "lc_cache_hits",
+     "Local-candidate reads served from a prebuilt space list instead of \
+      a fresh intersection/scan (TreeIndex tree-edge lists, adaptive LC \
+      cache)."),
+    (Recursions, "recursions",
+     "Search-tree nodes visited (recursive engine invocations)."),
+    (Matches, "matches",
+     "Matches emitted."),
+    (MorselsExecuted, "morsels_executed",
+     "Morsels executed by the worker pool."),
+    (MorselsStolen, "morsels_stolen",
+     "Of those, morsels stolen from another worker's queue."),
+    (ScratchReuses, "scratch_reuses",
+     "Runs/morsels that hit the zero-allocation scratch fast path."),
+    (BusyNs, "busy_ns",
+     "Wall-clock nanoseconds spent executing morsels."),
+    (IdleNs, "idle_ns",
+     "Wall-clock nanoseconds spent looking for work (poll + steal)."),
+    (StealWaitNs, "steal_wait_ns",
+     "Of `IdleNs`, nanoseconds spent on polls that ended in a steal — \
+      the steal *latency* the parallel table reports."),
+    (GlasgowNodes, "glasgow_nodes",
+     "Glasgow CP search nodes explored."),
+    (GlasgowPropagations, "glasgow_propagations",
+     "Glasgow domain-propagation passes on assignment."),
+    (PlanCacheHits, "plan_cache_hits",
+     "Service plan-cache lookups that returned a cached plan."),
+    (PlanCacheMisses, "plan_cache_misses",
+     "Service plan-cache lookups that had to compile a plan."),
+    (PlanCacheEvictions, "plan_cache_evictions",
+     "Cached plans evicted by the LRU policy (capacity or epoch)."),
+    (QueriesAdmitted, "queries_admitted",
+     "Queries admitted by the service (queued or started)."),
+    (QueriesRejected, "queries_rejected",
+     "Queries rejected by admission control (submission queue full)."),
+    (EmbeddingsStreamed, "embeddings_streamed",
+     "Embeddings delivered through service result streams."),
+    (UpdatesApplied, "updates_applied",
+     "Update batches applied to a versioned graph."),
+    (SnapshotsPinned, "snapshots_pinned",
+     "Snapshots pinned against a versioned graph."),
+    (Compactions, "compactions",
+     "Overlay compactions folding deltas into a fresh CSR base."),
+    (DeltaEdgesLive, "delta_edges_live",
+     "Live overlay edges `|E(view) Δ E(base)|` of the current epoch (a \
+      gauge: merges take the max)."),
+    (IncrementalEmbeddings, "incremental_embeddings",
+     "Embeddings added or retracted by delta-driven incremental \
+      enumeration (instead of full recomputation)."),
+    (QueriesFannedOut, "queries_fanned_out",
+     "Queries fanned out by a sharded router (one per shard per \
+      scatter)."),
+    (BoundaryEmbeddingsStitched, "boundary_embeddings_stitched",
+     "Boundary-crossing embeddings stitched through the halo and kept \
+      by the router's ownership filter."),
+    (HaloVerticesReplicated, "halo_vertices_replicated",
+     "Halo (ghost) vertices replicated across all shards (a gauge: \
+      merges take the max; set from the current partition)."),
+    (ShardSkew, "shard_skew",
+     "Partition skew: max per-shard local edge count as a percentage of \
+      the even share (100 = perfectly balanced; a gauge)."),
+    (CountOnlyRuns, "count_only_runs",
+     "Count-only runs executed (no embedding materialization; the match \
+      tally rides the per-worker accumulators)."),
+    (TopkEarlyExits, "topk_early_exits",
+     "Enumeration runs (and served queries) cut short by a top-k bound."),
+    (SemanticsCacheSplits, "semantics_cache_splits",
+     "Plan compilations forced by a semantics mismatch: the same query \
+      under the same graph epoch and base config was already cached \
+      under a *different* semantics fingerprint (plans are shared within \
+      a mode, never across modes)."),
+    (QueriesCancelledByDrop, "queries_cancelled_by_drop",
+     "Queries whose terminal `Cancelled` outcome came from the client \
+      side — a dropped/cancelled `ResultStream`, including per-shard \
+      streams a sharded router cut short after its global cap filled."),
 }
 
 impl Counter {
-    /// Number of counters in the registry.
-    pub const COUNT: usize = 37;
-
-    /// Every counter, in schema order.
-    pub const ALL: [Counter; Counter::COUNT] = [
-        Counter::IntersectMerge,
-        Counter::IntersectGalloping,
-        Counter::IntersectHybrid,
-        Counter::IntersectQfilter,
-        Counter::CandidatesPruned,
-        Counter::FilterRounds,
-        Counter::Backtracks,
-        Counter::PeakDepth,
-        Counter::LcCacheHits,
-        Counter::Recursions,
-        Counter::Matches,
-        Counter::MorselsExecuted,
-        Counter::MorselsStolen,
-        Counter::ScratchReuses,
-        Counter::BusyNs,
-        Counter::IdleNs,
-        Counter::StealWaitNs,
-        Counter::GlasgowNodes,
-        Counter::GlasgowPropagations,
-        Counter::PlanCacheHits,
-        Counter::PlanCacheMisses,
-        Counter::PlanCacheEvictions,
-        Counter::QueriesAdmitted,
-        Counter::QueriesRejected,
-        Counter::EmbeddingsStreamed,
-        Counter::UpdatesApplied,
-        Counter::SnapshotsPinned,
-        Counter::Compactions,
-        Counter::DeltaEdgesLive,
-        Counter::IncrementalEmbeddings,
-        Counter::QueriesFannedOut,
-        Counter::BoundaryEmbeddingsStitched,
-        Counter::HaloVerticesReplicated,
-        Counter::ShardSkew,
-        Counter::CountOnlyRuns,
-        Counter::TopkEarlyExits,
-        Counter::SemanticsCacheSplits,
-    ];
-
     /// Stable snake_case name — the JSONL field key.
+    #[inline]
     pub fn name(self) -> &'static str {
-        match self {
-            Counter::IntersectMerge => "intersect_merge",
-            Counter::IntersectGalloping => "intersect_galloping",
-            Counter::IntersectHybrid => "intersect_hybrid",
-            Counter::IntersectQfilter => "intersect_qfilter",
-            Counter::CandidatesPruned => "candidates_pruned",
-            Counter::FilterRounds => "filter_rounds",
-            Counter::Backtracks => "backtracks",
-            Counter::PeakDepth => "peak_depth",
-            Counter::LcCacheHits => "lc_cache_hits",
-            Counter::Recursions => "recursions",
-            Counter::Matches => "matches",
-            Counter::MorselsExecuted => "morsels_executed",
-            Counter::MorselsStolen => "morsels_stolen",
-            Counter::ScratchReuses => "scratch_reuses",
-            Counter::BusyNs => "busy_ns",
-            Counter::IdleNs => "idle_ns",
-            Counter::StealWaitNs => "steal_wait_ns",
-            Counter::GlasgowNodes => "glasgow_nodes",
-            Counter::GlasgowPropagations => "glasgow_propagations",
-            Counter::PlanCacheHits => "plan_cache_hits",
-            Counter::PlanCacheMisses => "plan_cache_misses",
-            Counter::PlanCacheEvictions => "plan_cache_evictions",
-            Counter::QueriesAdmitted => "queries_admitted",
-            Counter::QueriesRejected => "queries_rejected",
-            Counter::EmbeddingsStreamed => "embeddings_streamed",
-            Counter::UpdatesApplied => "updates_applied",
-            Counter::SnapshotsPinned => "snapshots_pinned",
-            Counter::Compactions => "compactions",
-            Counter::DeltaEdgesLive => "delta_edges_live",
-            Counter::IncrementalEmbeddings => "incremental_embeddings",
-            Counter::QueriesFannedOut => "queries_fanned_out",
-            Counter::BoundaryEmbeddingsStitched => "boundary_embeddings_stitched",
-            Counter::HaloVerticesReplicated => "halo_vertices_replicated",
-            Counter::ShardSkew => "shard_skew",
-            Counter::CountOnlyRuns => "count_only_runs",
-            Counter::TopkEarlyExits => "topk_early_exits",
-            Counter::SemanticsCacheSplits => "semantics_cache_splits",
-        }
+        Counter::NAMES[self as usize]
     }
 
     /// Look a counter up by its JSONL field key.
@@ -307,6 +262,50 @@ mod tests {
         }
         assert_eq!(Counter::from_name("bogus"), None);
         assert_eq!(Counter::ALL.len(), Counter::COUNT);
+    }
+
+    /// The single-source-of-truth guarantees: the name table covers every
+    /// variant exactly once (no duplicates, no drift), and schema order
+    /// is the enum's discriminant order.
+    #[test]
+    fn name_table_is_consistent() {
+        assert_eq!(Counter::NAMES.len(), Counter::COUNT);
+        let mut seen = std::collections::HashSet::new();
+        for name in Counter::NAMES {
+            assert!(!name.is_empty());
+            assert!(seen.insert(name), "duplicate counter name {name:?}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "counter name {name:?} is not snake_case"
+            );
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "ALL is not in discriminant order");
+            assert_eq!(c.name(), Counter::NAMES[i]);
+        }
+    }
+
+    /// OBSERVABILITY.md's registry table must document every counter by
+    /// its exact wire name — the 30→34 doc drift fixed in PR 6 is the
+    /// kind of rot this pins down.
+    #[test]
+    fn observability_doc_lists_every_counter() {
+        let doc = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../OBSERVABILITY.md"
+        ));
+        for name in Counter::NAMES {
+            assert!(
+                doc.contains(&format!("`{name}`")),
+                "OBSERVABILITY.md does not document counter `{name}`"
+            );
+        }
+        // The doc's advertised registry size must match the code.
+        assert!(
+            doc.contains(&format!("{} variants", Counter::COUNT)),
+            "OBSERVABILITY.md does not state the registry size {}",
+            Counter::COUNT
+        );
     }
 
     #[test]

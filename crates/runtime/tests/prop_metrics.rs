@@ -1,0 +1,190 @@
+//! Randomized invariants for the metrics histograms: quantiles agree
+//! with a sorted-sample oracle within one bucket's relative error
+//! (12.5% for the 8-sub-bucket log-linear scheme), merging behaves like
+//! recording the combined sample set, quantiles are monotone in `q`,
+//! and concurrent recording loses nothing.
+
+use sm_runtime::check::Check;
+use sm_runtime::metrics::{HistSnapshot, Histogram};
+use sm_runtime::rng::Rng64;
+use sm_runtime::{ensure, ensure_eq};
+use std::sync::Arc;
+
+/// One bucket's relative error: values land in buckets at most 1/8 of
+/// their magnitude wide (plus 1 for the integer edges).
+const REL_ERR: f64 = 0.125;
+
+fn sample(rng: &mut Rng64, size: u32) -> Vec<u64> {
+    let len = 1 + rng.gen_range(0..(3 * size as usize + 2));
+    // Mix magnitudes so both the exact (<8) and log-linear regimes get
+    // exercised in one sample set.
+    (0..len)
+        .map(|_| {
+            let shift = rng.gen_range(0u32..40);
+            rng.gen_range(0u64..1 << shift)
+        })
+        .collect()
+}
+
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn within_one_bucket(est: u64, exact: u64) -> bool {
+    let tol = (exact as f64 * REL_ERR) + 1.0;
+    (est as f64 - exact as f64).abs() <= tol
+}
+
+fn record_all(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+#[test]
+fn quantiles_agree_with_sorted_sample_oracle() {
+    Check::new("quantiles_agree_with_sorted_sample_oracle")
+        .cases(64)
+        .run(sample, |values| {
+            let snap = record_all(values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            ensure_eq!(snap.count(), sorted.len() as u64);
+            ensure_eq!(snap.sum(), sorted.iter().sum::<u64>());
+            ensure_eq!(snap.min(), sorted[0]);
+            ensure_eq!(snap.max(), *sorted.last().unwrap());
+            for q in QS {
+                let est = snap.quantile(q);
+                let exact = oracle_quantile(&sorted, q);
+                ensure!(
+                    within_one_bucket(est, exact),
+                    "q={q}: est {est} vs exact {exact} (n={})",
+                    sorted.len()
+                );
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    Check::new("merge_equals_recording_the_union")
+        .cases(48)
+        .run(
+            |rng, size| (sample(rng, size), sample(rng, size)),
+            |(a, b)| {
+                let sa = record_all(a);
+                let sb = record_all(b);
+                let mut merged = sa.clone();
+                merged.merge(&sb);
+
+                // Merging snapshots is exactly recording the union.
+                let mut union = a.clone();
+                union.extend_from_slice(b);
+                ensure_eq!(&merged, &record_all(&union));
+
+                // And each merged quantile is bracketed by the inputs'
+                // quantiles, up to one bucket of slack per side.
+                for q in QS {
+                    let m = merged.quantile(q) as f64;
+                    let lo = sa.quantile(q).min(sb.quantile(q)) as f64;
+                    let hi = sa.quantile(q).max(sb.quantile(q)) as f64;
+                    ensure!(
+                        m >= lo - (lo * REL_ERR + 1.0) && m <= hi + (hi * REL_ERR + 1.0),
+                        "q={q}: merged {m} outside [{lo}, {hi}]"
+                    );
+                }
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    Check::new("quantiles_are_monotone_in_q")
+        .cases(48)
+        .run(sample, |values| {
+            let snap = record_all(values);
+            let mut prev = snap.quantile(0.0);
+            for i in 1..=100 {
+                let cur = snap.quantile(i as f64 / 100.0);
+                ensure!(
+                    cur >= prev,
+                    "quantile({}) = {cur} < {prev}",
+                    i as f64 / 100.0
+                );
+                prev = cur;
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn recording_more_never_lowers_the_max_quantile() {
+    Check::new("recording_more_never_lowers_the_max_quantile")
+        .cases(32)
+        .run(sample, |values| {
+            let h = Histogram::new();
+            let mut prev = 0u64;
+            for &v in values {
+                h.record(v);
+                let top = h.snapshot().quantile(1.0);
+                ensure!(top >= prev, "quantile(1.0) fell {prev} -> {top}");
+                prev = top;
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn cross_thread_recording_equals_single_thread() {
+    Check::new("cross_thread_recording_equals_single_thread")
+        .cases(12)
+        .max_size(40)
+        .run(
+            |rng, size| {
+                let mut v = sample(rng, size);
+                // Pad so every thread gets work.
+                while v.len() < 8 {
+                    v.push(v.len() as u64);
+                }
+                v
+            },
+            |values| {
+                // All threads record into ONE shared histogram...
+                let shared = Arc::new(Histogram::new());
+                // ...and each also into its own, merged afterwards.
+                let locals: Vec<_> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..4)
+                        .map(|t| {
+                            let shared = shared.clone();
+                            let chunk: Vec<u64> =
+                                values.iter().skip(t).step_by(4).copied().collect();
+                            s.spawn(move || {
+                                let local = Histogram::new();
+                                for v in chunk {
+                                    shared.record(v);
+                                    local.record(v);
+                                }
+                                local.snapshot()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let expect = record_all(values);
+                ensure_eq!(&shared.snapshot(), &expect, "shared recording diverged");
+                let mut merged = HistSnapshot::empty();
+                for l in &locals {
+                    merged.merge(l);
+                }
+                ensure_eq!(&merged, &expect, "worker-local merge diverged");
+                Ok(())
+            },
+        );
+}

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod service;
 pub mod stream;
 pub mod update;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use metrics::{MetricsConfig, MetricsReport, SlowQuery};
 pub use service::{CountFilter, GraphData, QueryRequest, Service, ServiceConfig};
 pub use stream::{result_channel, QueryReport, ResultSink, ResultStream, ServiceOutcome};
 pub use update::{StandingError, StandingId, UpdateReport};

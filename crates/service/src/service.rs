@@ -37,6 +37,7 @@
 //! that does not exist.
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::metrics::{MetricsConfig, MetricsReport, ServiceMetrics, SlowQuery};
 use crate::stream::{QueryReport, ResultStream, ServiceOutcome, StreamCore};
 use crate::update::StandingEntry;
 use sm_delta::VersionedGraph;
@@ -50,7 +51,8 @@ use sm_match::enumerate::{
 };
 use sm_match::{DataContext, Executor, Pipeline, QueryPlan, Scratch};
 use sm_runtime::pool::morsel_size_for;
-use sm_runtime::trace::{Counter, CounterBlock, Trace};
+use sm_runtime::trace::profile::RunMeta;
+use sm_runtime::trace::{Counter, CounterBlock, RunProfile, Trace};
 use sm_runtime::{CancelReason, CancelToken, Claim, FairScheduler, SourceId};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -126,6 +128,9 @@ pub struct ServiceConfig {
     pub base_config: MatchConfig,
     /// Observability handle; service counters are flushed here on drop.
     pub trace: Trace,
+    /// Always-on telemetry: latency histograms, rolling-window rates,
+    /// slow-query log, adaptive tail capture (see [`crate::metrics`]).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -142,6 +147,7 @@ impl Default for ServiceConfig {
             pipeline: sm_match::Algorithm::GraphQl.optimized(),
             base_config: MatchConfig::default(),
             trace: Trace::disabled(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -249,6 +255,10 @@ struct RunAgg {
     matches: u64,
     recursions: u64,
     outcome: Outcome,
+    /// Merged registry-counter deltas of this query's own morsels — the
+    /// slow-query log's per-query explanation (intersections, backtracks,
+    /// peak depth, …).
+    counters: CounterBlock,
 }
 
 impl RunAgg {
@@ -290,6 +300,16 @@ struct QueryRun {
     cache_hit: bool,
     plan_build_ns: u64,
     started: Instant,
+    /// Canonical-form fingerprint of the query — the slow-query log and
+    /// adaptive-capture key.
+    canon_hash: u64,
+    /// Nanoseconds from admission to activation (0 until activated) —
+    /// the queue-wait phase boundary the metrics layer records.
+    activated_ns: AtomicU64,
+    /// Tail-capture trace attached to this run's (freshly compiled)
+    /// plan; its rendered profile lands in the slow-query log at
+    /// finalize.
+    capture: Option<Trace>,
 }
 
 impl QueryRun {
@@ -314,6 +334,10 @@ pub(crate) struct ServiceCounters {
     admitted: AtomicU64,
     rejected: AtomicU64,
     streamed: AtomicU64,
+    /// Terminal `Cancelled` outcomes caused by the client side — an
+    /// explicit `ResultStream::cancel` or a dropped stream (including
+    /// per-shard streams a router cut short after its global cap).
+    cancelled_by_drop: AtomicU64,
     /// Queries admitted under count-only semantics (no embedding
     /// materialization anywhere in their execution).
     count_only: AtomicU64,
@@ -338,6 +362,8 @@ pub(crate) struct ServiceCore {
     sched: FairScheduler<Morsel>,
     admission: Mutex<Admission>,
     pub(crate) counters: ServiceCounters,
+    /// Always-on telemetry sink (see [`crate::metrics`]).
+    pub(crate) metrics: ServiceMetrics,
     /// The versioned twin of the installed graph: `apply_update` commits
     /// batches here and installs the materialized result as the new
     /// `graph`. Replaced wholesale by `swap_graph`.
@@ -371,6 +397,7 @@ impl Service {
     /// Start a service over `graph` with `cfg.workers` worker threads.
     pub fn new(graph: Graph, cfg: ServiceConfig) -> Self {
         let config_fp = config_fingerprint(&cfg.pipeline, &cfg.base_config);
+        let metrics = ServiceMetrics::new(cfg.metrics.clone());
         let core = Arc::new(ServiceCore {
             cache: PlanCache::new(cfg.cache_capacity, cfg.cache_shards),
             graph: Mutex::new(GraphData::build(graph.clone(), 0)),
@@ -382,10 +409,12 @@ impl Service {
                 pending: VecDeque::new(),
                 running: Vec::new(),
             }),
+            metrics,
             counters: ServiceCounters {
                 admitted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 streamed: AtomicU64::new(0),
+                cancelled_by_drop: AtomicU64::new(0),
                 count_only: AtomicU64::new(0),
                 topk_exits: AtomicU64::new(0),
                 updates: AtomicU64::new(0),
@@ -482,6 +511,10 @@ impl Service {
             Counter::EmbeddingsStreamed,
             self.core.counters.streamed.load(Ordering::Relaxed),
         );
+        b.add(
+            Counter::QueriesCancelledByDrop,
+            self.core.counters.cancelled_by_drop.load(Ordering::Relaxed),
+        );
         let stats = self
             .core
             .versioned
@@ -515,6 +548,14 @@ impl Service {
         );
         b.add(Counter::SemanticsCacheSplits, self.core.cache.splits());
         b
+    }
+
+    /// A coherent telemetry snapshot: per-phase and per-outcome latency
+    /// histograms, rolling-window rates, the registry counters, and the
+    /// slow-query log. Render with [`MetricsReport::to_prometheus`] or
+    /// fold into `sm-bench` JSON. Cheap enough to poll every second.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.core.metrics.report(self.counters())
     }
 }
 
@@ -551,6 +592,25 @@ impl Drop for Service {
 }
 
 impl ServiceCore {
+    /// A born-terminal `Rejected` stream, recorded in telemetry.
+    fn reject(&self, started: Instant) -> ResultStream {
+        self.metrics.observe_terminal(
+            ServiceOutcome::Rejected,
+            started.elapsed().as_nanos() as u64,
+            0,
+            0,
+            None,
+        );
+        ResultStream::terminal(QueryReport {
+            outcome: ServiceOutcome::Rejected,
+            matches: 0,
+            recursions: 0,
+            cache_hit: false,
+            plan_build_ns: 0,
+            elapsed: started.elapsed(),
+        })
+    }
+
     fn submit(&self, req: QueryRequest) -> ResultStream {
         let started = Instant::now();
         // Uniform sampling requires one sequential exhaustive pass — the
@@ -558,14 +618,7 @@ impl ServiceCore {
         // than silently returning a biased sample.
         if matches!(req.semantics.termination, Termination::SampleK(..)) {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return ResultStream::terminal(QueryReport {
-                outcome: ServiceOutcome::Rejected,
-                matches: 0,
-                recursions: 0,
-                cache_hit: false,
-                plan_build_ns: 0,
-                elapsed: started.elapsed(),
-            });
+            return self.reject(started);
         }
         // Admission: reserve a slot in the bounded system or reject now.
         {
@@ -573,14 +626,7 @@ impl ServiceCore {
             if adm.in_system >= self.cfg.max_active + self.cfg.queue_capacity {
                 drop(adm);
                 self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return ResultStream::terminal(QueryReport {
-                    outcome: ServiceOutcome::Rejected,
-                    matches: 0,
-                    recursions: 0,
-                    cache_hit: false,
-                    plan_build_ns: 0,
-                    elapsed: started.elapsed(),
-                });
+                return self.reject(started);
             }
             adm.in_system += 1;
         }
@@ -602,8 +648,9 @@ impl ServiceCore {
         }
 
         let graph = self.graph.lock().expect("graph lock poisoned").clone();
-        let (cached, cache_hit) = self.plan_for(&req.query, &graph, engine_semantics);
-        let remap = if cache_hit {
+        let plan_started = Instant::now();
+        let (cached, cache_hit, canon_hash) = self.plan_for(&req.query, &graph, engine_semantics);
+        let mut remap = if cache_hit {
             let form = canonical_form(&req.query).with_semantics(engine_semantics.fingerprint());
             Some(
                 form.map_onto(&cached.form)
@@ -612,6 +659,25 @@ impl ServiceCore {
         } else {
             None
         };
+        let mut plan = cached.plan.clone();
+        // Adaptive tail capture: a prior occurrence of this canonical
+        // form crossed the slow threshold, so this one runs under a full
+        // sm-trace profile. The traced plan is compiled fresh against the
+        // client's own query (no remap needed) and never cached.
+        let capture = if self.metrics.take_armed(canon_hash) {
+            match self.compile_traced(&req.query, &graph, engine_semantics) {
+                Some((traced_plan, trace)) => {
+                    plan = Some(traced_plan);
+                    remap = None;
+                    Some(trace)
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        self.metrics
+            .observe_plan(plan_started.elapsed().as_nanos() as u64, cache_hit);
         let plan_build_ns = if cache_hit {
             0
         } else {
@@ -631,14 +697,18 @@ impl ServiceCore {
             (m, k) => m.or(k),
         };
         let token = CancelToken::deadline_after(started, deadline);
-        let stream = StreamCore::new(self.cfg.stream_capacity, token.clone());
-        let (entries, adaptive) = match &cached.plan {
+        let stream = StreamCore::new(
+            self.cfg.stream_capacity,
+            token.clone(),
+            self.metrics.drain_hist(),
+        );
+        let (entries, adaptive) = match &plan {
             None => (Vec::new(), false),
             Some(p) if p.adaptive => (Vec::new(), true),
             Some(p) => (depth0_entries(p), false),
         };
         let run = Arc::new(QueryRun {
-            plan: cached.plan.clone(),
+            plan,
             graph,
             shared: SharedControl::with_token(token.clone(), cap),
             entries,
@@ -653,10 +723,14 @@ impl ServiceCore {
                 matches: 0,
                 recursions: 0,
                 outcome: Outcome::Complete,
+                counters: CounterBlock::new(),
             }),
             cache_hit,
             plan_build_ns,
             started,
+            canon_hash,
+            activated_ns: AtomicU64::new(0),
+            capture,
         });
 
         if !run.has_work() {
@@ -672,6 +746,8 @@ impl ServiceCore {
             let mut adm = self.admission.lock().expect("admission poisoned");
             adm.in_system -= 1;
             drop(adm);
+            self.metrics
+                .observe_terminal(outcome, started.elapsed().as_nanos() as u64, 0, 0, None);
             stream.finish(QueryReport {
                 outcome,
                 matches: 0,
@@ -711,8 +787,9 @@ impl ServiceCore {
         query: &Graph,
         graph: &Arc<GraphData>,
         semantics: MatchSemantics,
-    ) -> (Arc<CachedPlan>, bool) {
+    ) -> (Arc<CachedPlan>, bool, u64) {
         let base = canonical_form(query);
+        let canon_hash = base.hash;
         let key = PlanKey {
             epoch: graph.epoch,
             query: base.hash,
@@ -721,7 +798,7 @@ impl ServiceCore {
         };
         let form = base.with_semantics(semantics.fingerprint());
         if let Some(hit) = self.cache.lookup(&key, &form.code) {
-            return (hit, true);
+            return (hit, true, canon_hash);
         }
         let ctx =
             DataContext::from_parts(&graph.graph, graph.nlf.clone(), graph.label_pairs.clone());
@@ -744,11 +821,39 @@ impl ServiceCore {
             .map(Arc::new);
         let entry = Arc::new(CachedPlan { plan, form });
         self.cache.insert(key, entry.clone());
-        (entry, false)
+        (entry, false, canon_hash)
+    }
+
+    /// Compile `query` with a live trace attached — the adaptive
+    /// tail-capture path. Cached plans deliberately carry a disabled
+    /// trace (one plan serves every request), so a profiled occurrence
+    /// needs its own compilation; the result is used once and never
+    /// cached. Returns `None` when the query is unsatisfiable.
+    fn compile_traced(
+        &self,
+        query: &Graph,
+        graph: &Arc<GraphData>,
+        semantics: MatchSemantics,
+    ) -> Option<(Arc<QueryPlan>, Trace)> {
+        let ctx =
+            DataContext::from_parts(&graph.graph, graph.nlf.clone(), graph.label_pairs.clone());
+        let trace = Trace::enabled();
+        let mut compile_cfg = self.cfg.base_config.clone();
+        compile_cfg.semantics = semantics;
+        compile_cfg.max_matches = None;
+        compile_cfg.time_limit = None;
+        compile_cfg.cancel = None;
+        compile_cfg.trace = trace.clone();
+        let plan = self.cfg.pipeline.plan(query, &ctx, &compile_cfg).ok()?;
+        Some((Arc::new(plan), trace))
     }
 
     /// Register a runnable query's morsels with the fair scheduler.
     fn activate(&self, run: Arc<QueryRun>) {
+        // Queue-wait phase ends here: admission → activation.
+        let waited_ns = run.started.elapsed().as_nanos() as u64;
+        run.activated_ns.store(waited_ns, Ordering::Relaxed);
+        self.metrics.observe_queue_wait(waited_ns);
         let morsels: Vec<Morsel> = if run.adaptive {
             vec![Morsel {
                 run: run.clone(),
@@ -775,7 +880,7 @@ impl ServiceCore {
     /// Terminal transition: build the report, finish the stream, release
     /// the admission slot and promote a pending query if any.
     fn finalize(&self, run: &Arc<QueryRun>) {
-        let (matches, recursions, outcome) = {
+        let (matches, recursions, outcome, slow_counters) = {
             let agg = run.agg.lock().expect("agg poisoned");
             let outcome = if run.stream.client_cancelled.load(Ordering::Relaxed) {
                 ServiceOutcome::Cancelled
@@ -791,11 +896,67 @@ impl ServiceCore {
             } else {
                 agg.matches
             };
-            (matches, agg.recursions, outcome)
+            // The per-query counter block only feeds the slow-query
+            // log; the floor prefilter decides — before any copying or
+            // allocation — whether this query can change it. Captured
+            // (traced) occurrences always log so the profile attaches.
+            let slow_counters = if run.capture.is_some()
+                || self.metrics.should_log(outcome, run.started.elapsed())
+            {
+                Some(agg.counters.clone())
+            } else {
+                None
+            };
+            (matches, agg.recursions, outcome, slow_counters)
         };
         if run.topk && outcome == ServiceOutcome::CapHit {
             self.counters.topk_exits.fetch_add(1, Ordering::Relaxed);
         }
+        if outcome == ServiceOutcome::Cancelled
+            && run.stream.client_cancelled.load(Ordering::Relaxed)
+        {
+            self.counters
+                .cancelled_by_drop
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let total_ns = run.started.elapsed().as_nanos() as u64;
+        let slow = slow_counters.map(|counters| {
+            let profile = run.capture.as_ref().map(|trace| {
+                if run.shared.cancel.poll().is_some() {
+                    trace.mark_cancelled();
+                }
+                RunProfile::from_snapshot(
+                    RunMeta {
+                        dataset: "service".to_string(),
+                        query: format!("{:016x}", run.canon_hash),
+                        config: plan_choice(&run.plan),
+                        threads: self.cfg.workers,
+                        cancelled: trace.was_cancelled(),
+                    },
+                    &trace.snapshot(),
+                )
+                .render_tree()
+            });
+            SlowQuery {
+                canon_hash: run.canon_hash,
+                outcome,
+                elapsed: run.started.elapsed(),
+                matches,
+                recursions,
+                cache_hit: run.cache_hit,
+                plan_build_ns: run.plan_build_ns,
+                plan: plan_choice(&run.plan),
+                counters,
+                profile,
+            }
+        });
+        self.metrics.observe_terminal(
+            outcome,
+            total_ns,
+            total_ns.saturating_sub(run.activated_ns.load(Ordering::Relaxed)),
+            matches,
+            slow,
+        );
         run.stream.finish(QueryReport {
             outcome,
             matches,
@@ -874,7 +1035,17 @@ impl ServiceCore {
         let mut agg = run.agg.lock().expect("agg poisoned");
         agg.matches += stats.matches;
         agg.recursions += stats.recursions;
+        agg.counters.merge(&stats.counters);
         agg.merge_outcome(stats.outcome);
+    }
+}
+
+/// Human-readable plan choice for the slow-query log.
+fn plan_choice(plan: &Option<Arc<QueryPlan>>) -> String {
+    match plan {
+        None => "unsatisfiable".to_string(),
+        Some(p) if p.adaptive => format!("{:?} (adaptive)", p.method),
+        Some(p) => format!("{:?}", p.method),
     }
 }
 

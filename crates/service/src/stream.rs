@@ -15,11 +15,12 @@
 //! that point, so a deadline kill still tells the client how far it got.
 
 use sm_graph::VertexId;
+use sm_runtime::metrics::Histogram;
 use sm_runtime::{CancelReason, CancelToken};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocked producer sleeps between cancellation re-checks.
 /// Bounds the time a deadline/cancel takes to unblock a full buffer.
@@ -100,6 +101,12 @@ struct StreamInner {
     buf: VecDeque<Vec<VertexId>>,
     report: Option<QueryReport>,
     consumer_gone: bool,
+    /// When the terminal report was installed — the start of the drain
+    /// phase the metrics layer measures.
+    finished_at: Option<Instant>,
+    /// Metrics histogram receiving the drain duration once the consumer
+    /// reaches the terminal `None` (absent when metrics are disabled).
+    drain_hist: Option<Arc<Histogram>>,
 }
 
 /// Shared state between the service's workers (producers) and one
@@ -120,12 +127,22 @@ pub(crate) struct StreamCore {
 }
 
 impl StreamCore {
-    pub(crate) fn new(capacity: usize, cancel: CancelToken) -> Arc<Self> {
+    /// `drain_hist` is the metrics histogram the drain duration is
+    /// recorded into when the consumer reaches the terminal `None`
+    /// (`None` when metrics are disabled) — taken at construction so the
+    /// submit path pays no extra lock to install it.
+    pub(crate) fn new(
+        capacity: usize,
+        cancel: CancelToken,
+        drain_hist: Option<Arc<Histogram>>,
+    ) -> Arc<Self> {
         Arc::new(StreamCore {
             inner: Mutex::new(StreamInner {
                 buf: VecDeque::new(),
                 report: None,
                 consumer_gone: false,
+                finished_at: None,
+                drain_hist,
             }),
             avail: Condvar::new(),
             space: Condvar::new(),
@@ -167,6 +184,7 @@ impl StreamCore {
     pub(crate) fn finish(&self, report: QueryReport) {
         let mut inner = self.inner.lock().expect("stream poisoned");
         inner.report = Some(report);
+        inner.finished_at = Some(Instant::now());
         self.avail.notify_all();
         self.space.notify_all();
     }
@@ -220,7 +238,7 @@ impl ResultSink {
 /// half is driven externally — by a sharded router's gather thread
 /// rather than by this service's own workers.
 pub fn result_channel(capacity: usize, cancel: CancelToken) -> (ResultSink, ResultStream) {
-    let core = StreamCore::new(capacity, cancel.clone());
+    let core = StreamCore::new(capacity, cancel.clone(), None);
     (
         ResultSink {
             core: core.clone(),
@@ -244,7 +262,7 @@ impl ResultStream {
 
     /// A stream that is born terminal (admission rejection).
     pub(crate) fn terminal(report: QueryReport) -> Self {
-        let core = StreamCore::new(1, CancelToken::new());
+        let core = StreamCore::new(1, CancelToken::new(), None);
         core.finish(report);
         ResultStream { core }
     }
@@ -297,6 +315,12 @@ impl Iterator for ResultStream {
                 return Some(e);
             }
             if inner.report.is_some() {
+                // First terminal read closes the drain phase.
+                if let Some(hist) = inner.drain_hist.take() {
+                    if let Some(at) = inner.finished_at {
+                        hist.record(at.elapsed().as_nanos() as u64);
+                    }
+                }
                 return None;
             }
             inner = self.core.avail.wait(inner).expect("stream poisoned");
@@ -339,7 +363,7 @@ mod tests {
 
     #[test]
     fn push_then_pull_then_terminal() {
-        let core = StreamCore::new(4, CancelToken::new());
+        let core = StreamCore::new(4, CancelToken::new(), None);
         assert!(core.push(vec![1, 2]));
         assert!(core.push(vec![3, 4]));
         core.finish(report(ServiceOutcome::Complete));
@@ -352,7 +376,7 @@ mod tests {
 
     #[test]
     fn full_buffer_blocks_until_consumed() {
-        let core = StreamCore::new(1, CancelToken::new());
+        let core = StreamCore::new(1, CancelToken::new(), None);
         assert!(core.push(vec![0]));
         let producer = {
             let core = core.clone();
@@ -369,7 +393,7 @@ mod tests {
     #[test]
     fn dropping_the_stream_cancels_and_unblocks_producers() {
         let token = CancelToken::new();
-        let core = StreamCore::new(1, token.clone());
+        let core = StreamCore::new(1, token.clone(), None);
         assert!(core.push(vec![0]));
         let producer = {
             let core = core.clone();
@@ -385,7 +409,7 @@ mod tests {
     #[test]
     fn deadline_cancel_unblocks_a_full_buffer() {
         let token = CancelToken::new();
-        let core = StreamCore::new(1, token.clone());
+        let core = StreamCore::new(1, token.clone(), None);
         assert!(core.push(vec![0]));
         token.cancel(CancelReason::Deadline);
         assert!(!core.push(vec![1]), "blocked push observes the deadline");
@@ -394,7 +418,7 @@ mod tests {
     #[test]
     fn cap_cancel_keeps_delivering_within_cap_matches() {
         let token = CancelToken::new();
-        let core = StreamCore::new(1, token.clone());
+        let core = StreamCore::new(1, token.clone(), None);
         // A cap kill (Stopped, not client-initiated) must not drop
         // embeddings the engine already counted as within-cap.
         token.cancel(CancelReason::Stopped);
@@ -445,7 +469,7 @@ mod tests {
 
     #[test]
     fn wait_drains_and_reports() {
-        let core = StreamCore::new(4, CancelToken::new());
+        let core = StreamCore::new(4, CancelToken::new(), None);
         assert!(core.push(vec![1]));
         core.finish(report(ServiceOutcome::Complete));
         let s = ResultStream::new(core);

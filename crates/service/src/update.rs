@@ -185,6 +185,7 @@ impl Service {
             }
         }
         core.counters.updates.fetch_add(1, Ordering::Relaxed);
+        core.metrics.observe_update();
         if added + removed > 0 {
             core.counters
                 .incremental

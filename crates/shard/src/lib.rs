@@ -30,7 +30,10 @@ pub mod partition;
 pub mod router;
 
 pub use partition::{assign_owners, Partition, PartitionStrategy, ShardPiece};
-pub use router::{ShardConfig, ShardDetail, ShardStandingId, ShardedService, ShardedUpdateReport};
+pub use router::{
+    ShardConfig, ShardDetail, ShardStandingId, ShardedMetricsReport, ShardedService,
+    ShardedUpdateReport,
+};
 
 #[cfg(test)]
 mod asserts {

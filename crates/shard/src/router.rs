@@ -50,11 +50,12 @@ use sm_delta::{GraphView, Snapshot, UpdateBatch, VersionedGraph};
 use sm_graph::traversal::{diameter, khop_ball};
 use sm_graph::{Graph, Label, VertexId};
 use sm_match::{MatchSemantics, OutputMode, Termination};
+use sm_runtime::metrics::prom;
 use sm_runtime::trace::{Counter, CounterBlock};
 use sm_runtime::CancelToken;
 use sm_service::{
-    result_channel, CountFilter, QueryReport, QueryRequest, ResultSink, ResultStream, Service,
-    ServiceConfig, ServiceOutcome, StandingError,
+    result_channel, CountFilter, MetricsReport, QueryReport, QueryRequest, ResultSink,
+    ResultStream, Service, ServiceConfig, ServiceOutcome, StandingError,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +131,45 @@ pub struct ShardedUpdateReport {
     pub shards_touched: usize,
     /// Wall-clock time of the whole cross-shard apply.
     pub elapsed: Duration,
+}
+
+/// Telemetry snapshot of the whole sharded tier (see
+/// [`ShardedService::metrics_report`]).
+///
+/// `merged` is exactly what a single-service report would look like if
+/// one service had done all the work: shard histograms merged,
+/// rolling-window totals summed, counters combined under the registry's
+/// sum/gauge rules with the router's own shard-path counters
+/// (`queries_fanned_out`, `boundary_embeddings_stitched`, router-level
+/// rejections, `topk_early_exits`) and gauges
+/// (`halo_vertices_replicated`, `shard_skew`) folded in. `per_shard`
+/// keeps each shard's unmerged report for skew diagnosis — a balanced
+/// merged p99 can hide one hot shard.
+#[derive(Clone, Debug)]
+pub struct ShardedMetricsReport {
+    /// Cross-shard merge, router counters included.
+    pub merged: MetricsReport,
+    /// Each shard's own report, indexed by shard id.
+    pub per_shard: Vec<MetricsReport>,
+}
+
+impl ShardedMetricsReport {
+    /// Prometheus-style text exposition: the merged families (no
+    /// `shard` label) plus every shard's series tagged `shard="i"`,
+    /// folded into the same metric families.
+    pub fn to_prometheus(&self) -> String {
+        let mut fams = self.merged.families(&[]);
+        for (i, r) in self.per_shard.iter().enumerate() {
+            let shard = i.to_string();
+            for f in r.families(&[("shard", shard.as_str())]) {
+                match fams.iter_mut().find(|m| m.name == f.name) {
+                    Some(m) => m.series.extend(f.series),
+                    None => fams.push(f),
+                }
+            }
+        }
+        prom::render(&fams)
+    }
 }
 
 /// Per-shard attribution snapshot (see
@@ -742,6 +782,49 @@ impl ShardedService {
         b.record_max(Counter::HaloVerticesReplicated, state.halo);
         b.record_max(Counter::ShardSkew, state.skew);
         b
+    }
+
+    /// A coherent telemetry snapshot of the tier: every shard's
+    /// [`sm_service::Service::metrics_report`] taken under one read
+    /// lock (no torn epoch), merged into a single cross-shard report
+    /// with the router's shard-path counters and gauges folded in,
+    /// plus the per-shard reports for skew diagnosis. Cheap enough to
+    /// poll every second — this is what `experiments top` renders live.
+    pub fn metrics_report(&self) -> ShardedMetricsReport {
+        let state = self.state.read().expect("state poisoned");
+        let per_shard: Vec<MetricsReport> = state
+            .shards
+            .iter()
+            .map(|s| s.service.metrics_report())
+            .collect();
+        let mut iter = per_shard.iter();
+        let mut merged = iter.next().expect("at least one shard").clone();
+        for r in iter {
+            merged.merge_from(r);
+        }
+        // The router's own shard-path counters live outside any shard
+        // service — fold them in exactly as `counters()` does.
+        merged.counters.add(
+            Counter::QueriesFannedOut,
+            self.fanned.load(Ordering::Relaxed),
+        );
+        merged.counters.add(
+            Counter::BoundaryEmbeddingsStitched,
+            self.stitched.load(Ordering::Relaxed),
+        );
+        merged.counters.add(
+            Counter::QueriesRejected,
+            self.rejected.load(Ordering::Relaxed),
+        );
+        merged.counters.add(
+            Counter::TopkEarlyExits,
+            self.topk_exits.load(Ordering::Relaxed),
+        );
+        merged
+            .counters
+            .record_max(Counter::HaloVerticesReplicated, state.halo);
+        merged.counters.record_max(Counter::ShardSkew, state.skew);
+        ShardedMetricsReport { merged, per_shard }
     }
 
     /// Per-shard attribution: ownership, replication, load, and each

@@ -1,0 +1,147 @@
+//! Sharded-tier telemetry tests: the tier report is the merge of its
+//! shards, the router's cap enforcement shows up as drop-cancels on the
+//! shards it cut short, and the shard-labeled Prometheus exposition
+//! round-trips.
+
+use sm_graph::builder::graph_from_edges;
+use sm_graph::gen::random::erdos_renyi;
+use sm_graph::Graph;
+use sm_runtime::metrics::prom;
+use sm_runtime::Counter;
+use sm_service::{QueryRequest, ServiceOutcome};
+use sm_shard::{ShardConfig, ShardedService};
+use std::time::{Duration, Instant};
+
+fn triangle() -> Graph {
+    graph_from_edges(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])
+}
+
+/// Single-label graph with many triangles spread across shards.
+fn busy_graph() -> Graph {
+    erdos_renyi(400, 4_000, 1, 0x5EED)
+}
+
+fn tier(shards: usize) -> ShardedService {
+    ShardedService::new(
+        busy_graph(),
+        ShardConfig {
+            shards,
+            halo_depth: 2,
+            seed: 11,
+            ..ShardConfig::default()
+        },
+    )
+}
+
+/// Poll `get` until it returns true or `timeout` passes — shard
+/// finalization runs on worker threads and can land after the router's
+/// merged report is first observable.
+fn eventually(timeout: Duration, get: impl Fn() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if get() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    get()
+}
+
+#[test]
+fn tier_report_is_merge_of_shards() {
+    let svc = tier(3);
+    let n = 4;
+    for _ in 0..n {
+        let rep = svc.run_count(triangle());
+        assert_eq!(rep.outcome, ServiceOutcome::Complete);
+        assert!(rep.matches > 0);
+    }
+    // Every shard executed every fanned-out query.
+    assert!(eventually(Duration::from_secs(5), || {
+        svc.metrics_report().merged.total().count() == 3 * n
+    }));
+    let r = svc.metrics_report();
+    assert_eq!(r.per_shard.len(), 3);
+    // The merged histogram is exactly the shard histograms combined.
+    let mut manual = sm_runtime::metrics::HistSnapshot::empty();
+    for s in &r.per_shard {
+        manual.merge(&s.total());
+    }
+    assert_eq!(manual.count(), r.merged.total().count());
+    assert_eq!(manual.sum(), r.merged.total().sum());
+    // Router-path counters fold into the merged block only.
+    assert_eq!(r.merged.counters.get(Counter::QueriesFannedOut), 3 * n);
+    for s in &r.per_shard {
+        assert_eq!(s.counters.get(Counter::QueriesFannedOut), 0);
+        assert_eq!(s.counters.get(Counter::QueriesAdmitted), n);
+    }
+    // The partition gauges ride along on the merged report.
+    assert!(r.merged.counters.get(Counter::HaloVerticesReplicated) > 0);
+}
+
+#[test]
+fn router_cap_cancel_counts_as_drop_cancel_on_shards() {
+    let svc = tier(3);
+    // Cap 1 on a triangle-rich graph: the gather thread stops at the
+    // first owned embedding and cancels every still-running shard
+    // stream — each cancelled shard service counts a drop-cancel, the
+    // same counter a walked-away client would bump.
+    let rep = svc
+        .submit(QueryRequest::count(triangle()).with_cap(1))
+        .wait();
+    assert_eq!(rep.outcome, ServiceOutcome::CapHit);
+    assert_eq!(rep.matches, 1, "router cap is exact");
+    assert!(
+        eventually(Duration::from_secs(5), || {
+            svc.metrics_report()
+                .merged
+                .counters
+                .get(Counter::QueriesCancelledByDrop)
+                >= 1
+        }),
+        "cap-cut shard streams are counted as drop-cancels"
+    );
+    // The cancelled runs appear in the merged per-outcome histograms.
+    let r = svc.metrics_report();
+    let cancelled: u64 = r
+        .merged
+        .total_by_outcome
+        .iter()
+        .filter(|(o, _)| *o == "cancelled")
+        .map(|(_, h)| h.count())
+        .sum();
+    assert!(cancelled >= 1);
+}
+
+#[test]
+fn sharded_prometheus_exposition_round_trips() {
+    let svc = tier(2);
+    let n = 3;
+    for _ in 0..n {
+        svc.run_count(triangle());
+    }
+    assert!(eventually(Duration::from_secs(5), || {
+        svc.metrics_report().merged.total().count() == 2 * n
+    }));
+    let text = svc.metrics_report().to_prometheus();
+    let samples = prom::parse(&text).expect("sharded exposition parses back");
+    // The merged series (no shard label) and both per-shard series
+    // coexist in the same family.
+    let admitted: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "sm_queries_admitted")
+        .collect();
+    assert_eq!(admitted.len(), 3, "merged + one series per shard");
+    let merged = admitted
+        .iter()
+        .find(|s| s.labels.is_empty())
+        .expect("unlabeled merged series");
+    assert_eq!(merged.value, (2 * n) as f64);
+    for shard in ["0", "1"] {
+        let s = admitted
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, v)| k == "shard" && v == shard))
+            .unwrap_or_else(|| panic!("shard {shard} series missing"));
+        assert_eq!(s.value, n as f64);
+    }
+}

@@ -29,3 +29,4 @@ cargo build --release -p sm-bench
 ./target/release/experiments update --queries 2 --threads 2 --seed 42
 ./target/release/experiments shard --queries 2 --clients 2 --threads 2 --seed 42 --shards 1,2
 ./target/release/experiments semantics --queries 2 --threads 2 --seed 42
+./target/release/experiments metrics-overhead --threads 4
