@@ -7,7 +7,8 @@
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel
-//!      | serve | shard | update | semantics | top | metrics-overhead | all
+//!      | serve | shard | update | semantics | durability | top
+//!      | metrics-overhead | all
 //!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
 //!      | bench-fig15 | bench-fig16 | bench-all
@@ -69,6 +70,7 @@ fn main() {
         "shard" => experiments::shard::run(&opts),
         "semantics" => experiments::semantics::run(&opts),
         "update" => experiments::update::run(&opts),
+        "durability" => experiments::durability::run(&opts),
         "top" => experiments::metrics::top(&opts),
         "metrics-overhead" => {
             experiments::metrics::overhead(&opts, Some(experiments::metrics::OVERHEAD_BOUND))

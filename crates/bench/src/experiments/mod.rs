@@ -4,6 +4,7 @@
 //! absolute times — the data graphs are scaled stand-ins (see DESIGN.md).
 
 pub mod ablation;
+pub mod durability;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;

@@ -32,7 +32,7 @@
 
 use crate::batch::UpdateBatch;
 use crate::view::GraphView;
-use sm_graph::{Graph, GraphBuilder, Label, NlfIndex, VertexId};
+use sm_graph::{Graph, Label, NlfIndex, VertexId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -163,20 +163,90 @@ impl Snapshot {
     /// assembled row-by-row from the view — untouched rows are copied
     /// from the base index rather than recomputed from adjacency.
     pub fn materialize(&self) -> (Graph, NlfIndex) {
+        let layer = &*self.layer;
         let n = self.num_vertices();
-        let mut b = GraphBuilder::with_capacity(n, self.num_edges());
-        for v in 0..n as VertexId {
-            b.add_vertex(self.layer.label_of(v));
-        }
-        for v in 0..n as VertexId {
-            for &w in self.neighbors(v) {
-                if v < w {
-                    b.add_edge(v, w);
-                }
+        let base_n = layer.base_n();
+        let (base_off, base_adj, base_labels) = layer.base.graph.csr();
+        let (bn_off, bn_entries) = layer.base.nlf.csr();
+
+        // Every per-vertex row of the view is already a sorted adjacency
+        // slice (base CSR row or patched overlay row), so the CSR is
+        // assembled by splicing: maximal runs of untouched base vertices
+        // are bulk-copied, only patched rows are written individually.
+        // With a small overlay this is a handful of memcpys over the base
+        // arrays, which is what keeps installs, snapshot writes, and
+        // recovery cheap.
+        let mut touched: Vec<usize> = layer
+            .adj
+            .keys()
+            .map(|&v| v as usize)
+            .filter(|&v| v < base_n)
+            .collect();
+        touched.sort_unstable();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(layer.num_edges * 2);
+        let mut nlf_offsets = Vec::with_capacity(n + 1);
+        nlf_offsets.push(0usize);
+        let mut entries: Vec<(Label, u32)> = Vec::with_capacity(bn_entries.len() + 64);
+
+        // Bulk-copy the untouched base run [a, b): row contents are
+        // identical, so the new offsets are the base offsets plus however
+        // far this view has drifted from the base so far.
+        let copy_run = |a: usize,
+                        b: usize,
+                        offsets: &mut Vec<usize>,
+                        neighbors: &mut Vec<VertexId>,
+                        nlf_offsets: &mut Vec<usize>,
+                        entries: &mut Vec<(Label, u32)>| {
+            if a >= b {
+                return;
             }
+            let shift = neighbors.len().wrapping_sub(base_off[a]);
+            neighbors.extend_from_slice(&base_adj[base_off[a]..base_off[b]]);
+            offsets.extend(base_off[a + 1..=b].iter().map(|&o| o.wrapping_add(shift)));
+            let nshift = entries.len().wrapping_sub(bn_off[a]);
+            entries.extend_from_slice(&bn_entries[bn_off[a]..bn_off[b]]);
+            nlf_offsets.extend(bn_off[a + 1..=b].iter().map(|&o| o.wrapping_add(nshift)));
+        };
+
+        let mut prev = 0usize;
+        for &t in &touched {
+            copy_run(
+                prev,
+                t,
+                &mut offsets,
+                &mut neighbors,
+                &mut nlf_offsets,
+                &mut entries,
+            );
+            neighbors.extend_from_slice(layer.neighbors_of(t as VertexId));
+            offsets.push(neighbors.len());
+            entries.extend_from_slice(layer.nlf_of(t as VertexId));
+            nlf_offsets.push(entries.len());
+            prev = t + 1;
         }
-        let g = b.build();
-        let nlf = NlfIndex::from_rows((0..n as VertexId).map(|v| self.nlf_entry(v)));
+        copy_run(
+            prev,
+            base_n,
+            &mut offsets,
+            &mut neighbors,
+            &mut nlf_offsets,
+            &mut entries,
+        );
+        for v in base_n..n {
+            neighbors.extend_from_slice(layer.neighbors_of(v as VertexId));
+            offsets.push(neighbors.len());
+            entries.extend_from_slice(layer.nlf_of(v as VertexId));
+            nlf_offsets.push(entries.len());
+        }
+
+        let mut labels = Vec::with_capacity(n);
+        labels.extend_from_slice(base_labels);
+        labels.extend_from_slice(&layer.added_labels);
+        let g = Graph::from_csr_unchecked(offsets, neighbors, labels);
+        let nlf = NlfIndex::from_csr_unchecked(nlf_offsets, entries);
         (g, nlf)
     }
 }
@@ -343,6 +413,47 @@ impl VersionedGraph {
             }),
             threshold,
         }
+    }
+
+    /// Wrap an already-materialized CSR + NLF pair as epoch 0 — the
+    /// recovery path of `sm-durable`, where the snapshot file stores both
+    /// arrays and neither index should be recomputed. Uses the default
+    /// compaction threshold.
+    pub fn from_materialized(graph: Graph, nlf: NlfIndex) -> Self {
+        let threshold = (graph.num_edges() / 4).max(1024);
+        let num_edges = graph.num_edges();
+        let layer = LayerData {
+            base: Arc::new(Base { graph, nlf }),
+            epoch: 0,
+            adj: HashMap::new(),
+            nlf: HashMap::new(),
+            label_buckets: HashMap::new(),
+            added_labels: Arc::new(Vec::new()),
+            tombstones: Arc::new(HashSet::new()),
+            num_edges,
+            delta_edges_live: 0,
+        };
+        VersionedGraph {
+            inner: Mutex::new(Inner {
+                layer: Arc::new(layer),
+                commits: 0,
+                compactions: 0,
+                snapshots_pinned: 0,
+            }),
+            threshold,
+        }
+    }
+
+    /// Materialize the current head into a standalone CSR graph and NLF
+    /// index without pinning a snapshot — the export hook the durability
+    /// layer uses when writing an on-disk snapshot. Returns the head
+    /// epoch alongside the folded arrays; `snapshots_pinned` is not
+    /// bumped because nothing stays pinned after the fold.
+    pub fn export_head(&self) -> (u64, Graph, NlfIndex) {
+        let layer = self.inner.lock().unwrap().layer.clone();
+        let epoch = layer.epoch;
+        let (graph, nlf) = Snapshot { layer }.materialize();
+        (epoch, graph, nlf)
     }
 
     /// Current epoch.

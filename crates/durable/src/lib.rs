@@ -1,0 +1,34 @@
+//! # sm-durable
+//!
+//! Durability for the service tier: an append-only, checksummed
+//! write-ahead log for update batches and standing-query registrations,
+//! an mmap-friendly on-disk CSR snapshot store, and the recovery scan
+//! that turns "snapshot page-in + WAL-tail replay" into an instant
+//! restart — no text parse, no NLF rebuild.
+//!
+//! The crate is deliberately engine-agnostic: it knows about
+//! [`sm_delta::UpdateBatch`], [`sm_delta::VersionedGraph`] and
+//! [`sm_graph::Graph`], nothing else. `sm-service` and `sm-shard` wire
+//! it behind `Service::open` / `ShardedService::open`, both funneling
+//! every update through the single [`commit_batch`] commit point so
+//! neither tier can bypass the log.
+//!
+//! - [`codec`] — CRC-32 and the little-endian record codec.
+//! - [`wal`] — segmented WAL writer and torn-tail-tolerant scanner.
+//! - [`snapshot`] — the `snapshot-<epoch>.csr` file format.
+//! - [`store`] — [`DurableStore`]: lifecycle, pruning, recovery.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use codec::{crc32, crc32_combine, crc32_parallel, CodecError, Crc32};
+pub use snapshot::{
+    list_snapshots, read_snapshot, snapshot_path, write_snapshot, SnapshotData, SnapshotError,
+    StandingSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use store::{commit_batch, DurabilityOptions, DurableStore, RecoveryReport};
+pub use wal::{scan_wal, FsyncPolicy, WalRecord, WalScan};

@@ -1,0 +1,410 @@
+//! [`DurableStore`]: one directory holding a snapshot lineage plus the
+//! WAL tail after the newest snapshot — everything a service tier needs
+//! to come back exactly where it crashed.
+//!
+//! The lifecycle is: [`DurableStore::create`] seeds a fresh directory
+//! with snapshot 0; every effective update flows through
+//! [`commit_batch`] (the single commit point shared by `Service` and the
+//! sharded router); [`DurableStore::write_snapshot`] absorbs the log
+//! into a new snapshot and prunes everything older; and
+//! [`DurableStore::open`] recovers — newest valid snapshot, then the WAL
+//! records the snapshot has not absorbed, in append order, with a torn
+//! tail dropped.
+
+use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot, SnapshotData};
+use crate::wal::{list_segments, scan_wal, FsyncPolicy, WalRecord, WalWriter};
+use sm_delta::{Committed, UpdateBatch, VersionedGraph};
+use sm_graph::Graph;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Tuning knobs of a durable directory.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptions {
+    /// When WAL appends reach the disk (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Segment size bound: the WAL rotates to a fresh file once the
+    /// current one reaches this many bytes.
+    pub segment_bytes: u64,
+    /// WAL bytes accumulated since the last snapshot that trigger a new
+    /// threshold snapshot. `0` disables the threshold (manual snapshots
+    /// only).
+    pub snapshot_threshold_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::PerBatch,
+            segment_bytes: 8 << 20,
+            snapshot_threshold_bytes: 4 << 20,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Group-commit preset: sync at most once per `window`.
+    pub fn grouped(window: Duration) -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::Interval(window),
+            ..Default::default()
+        }
+    }
+}
+
+/// What a recovery found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Update batches replayed from the WAL tail.
+    pub replayed_batches: u64,
+    /// Standing-query registrations replayed from the WAL tail.
+    pub replayed_registrations: u64,
+    /// Bytes dropped from the torn/corrupt end of the log.
+    pub dropped_bytes: u64,
+}
+
+/// A durable directory: snapshot lineage + WAL, with counters.
+pub struct DurableStore {
+    dir: PathBuf,
+    opts: DurabilityOptions,
+    wal: WalWriter,
+    wal_bytes_since_snapshot: u64,
+    snapshots_written: u64,
+}
+
+impl DurableStore {
+    /// Seed a fresh durable directory with `initial` as its first
+    /// snapshot. Fails with `AlreadyExists` if the directory already
+    /// holds a snapshot — an existing store must go through
+    /// [`DurableStore::open`], never be silently clobbered.
+    pub fn create(
+        dir: &Path,
+        opts: DurabilityOptions,
+        initial: &SnapshotData,
+    ) -> io::Result<DurableStore> {
+        fs::create_dir_all(dir)?;
+        if !list_snapshots(dir)?.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "directory already holds a durable store; use open()",
+            ));
+        }
+        write_snapshot(dir, initial)?;
+        let next_seq = list_segments(dir)?.last().map(|&(s, _)| s + 1).unwrap_or(1);
+        let wal = WalWriter::create(dir, opts.fsync, opts.segment_bytes, next_seq)?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            opts,
+            wal,
+            wal_bytes_since_snapshot: 0,
+            snapshots_written: 1,
+        })
+    }
+
+    /// Recover from `dir`: load the newest valid snapshot, scan the WAL,
+    /// and return the records the snapshot has not absorbed — batch
+    /// records stamped with an epoch above the snapshot's, registration
+    /// records stamped with an index at or above the snapshot's standing
+    /// count — in append order. New appends go to a fresh segment above
+    /// everything scanned, so a torn tail is never appended into.
+    pub fn open(
+        dir: &Path,
+        opts: DurabilityOptions,
+    ) -> io::Result<(DurableStore, SnapshotData, Vec<WalRecord>, RecoveryReport)> {
+        let mut snaps = list_snapshots(dir)?;
+        snaps.reverse();
+        if snaps.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no snapshot in durable directory",
+            ));
+        }
+        // Newest first; fall back past corrupt files (the atomic
+        // tmp+rename write makes these rare, but recovery must not wedge
+        // on one).
+        let mut snapshot = None;
+        for (_, path) in &snaps {
+            match read_snapshot(path) {
+                Ok(data) => {
+                    snapshot = Some(data);
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        let Some(snapshot) = snapshot else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "every snapshot in the durable directory is corrupt",
+            ));
+        };
+
+        let scan = scan_wal(dir)?;
+        let standing_count = snapshot.standing.len() as u64;
+        let mut tail = Vec::new();
+        let mut report = RecoveryReport {
+            snapshot_epoch: snapshot.epoch,
+            dropped_bytes: scan.dropped_bytes,
+            ..Default::default()
+        };
+        for rec in scan.records {
+            match &rec {
+                WalRecord::Batch { epoch, .. } if *epoch > snapshot.epoch => {
+                    report.replayed_batches += 1;
+                    tail.push(rec);
+                }
+                WalRecord::Standing { index, .. } if *index >= standing_count => {
+                    report.replayed_registrations += 1;
+                    tail.push(rec);
+                }
+                _ => {} // absorbed by the snapshot
+            }
+        }
+        let next_seq = scan.segments.last().map(|&s| s + 1).unwrap_or(1);
+        let wal = WalWriter::create(dir, opts.fsync, opts.segment_bytes, next_seq)?;
+        let store = DurableStore {
+            dir: dir.to_path_buf(),
+            opts,
+            wal,
+            wal_bytes_since_snapshot: 0,
+            snapshots_written: 0,
+        };
+        Ok((store, snapshot, tail, report))
+    }
+
+    /// Append an effective update batch, stamped with the tier epoch its
+    /// commit installs. Returns the framed byte count.
+    pub fn append_batch(&mut self, epoch: u64, batch: &UpdateBatch) -> io::Result<u64> {
+        let n = self.wal.append(&WalRecord::Batch {
+            epoch,
+            batch: batch.clone(),
+        })?;
+        self.wal_bytes_since_snapshot += n;
+        Ok(n)
+    }
+
+    /// Append a standing-query registration, stamped with its index in
+    /// the tier's append-only standing vector.
+    pub fn append_standing(&mut self, index: u64, query: &Graph) -> io::Result<u64> {
+        let n = self.wal.append(&WalRecord::Standing {
+            index,
+            query: query.clone(),
+        })?;
+        self.wal_bytes_since_snapshot += n;
+        Ok(n)
+    }
+
+    /// Whether the WAL has grown past the snapshot threshold since the
+    /// last snapshot.
+    pub fn should_snapshot(&self) -> bool {
+        self.opts.snapshot_threshold_bytes > 0
+            && self.wal_bytes_since_snapshot >= self.opts.snapshot_threshold_bytes
+    }
+
+    /// Write a new snapshot absorbing everything logged so far, rotate
+    /// the WAL to a fresh segment, and prune the older segments and
+    /// snapshot files. After this returns, recovery starts from `data`.
+    pub fn write_snapshot(&mut self, data: &SnapshotData) -> io::Result<u64> {
+        let (path, bytes) = write_snapshot(&self.dir, data)?;
+        self.wal.rotate()?;
+        self.wal.remove_segments_below(self.wal.seq())?;
+        for (_, old) in list_snapshots(&self.dir)? {
+            if old != path {
+                fs::remove_file(old)?;
+            }
+        }
+        self.wal_bytes_since_snapshot = 0;
+        self.snapshots_written += 1;
+        Ok(bytes)
+    }
+
+    /// Force an `fsync` of the WAL now (used on clean shutdown under the
+    /// interval/off policies).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the store was opened with.
+    pub fn options(&self) -> DurabilityOptions {
+        self.opts
+    }
+
+    /// Records appended since this store was opened.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal.appends()
+    }
+
+    /// Framed bytes appended since this store was opened.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Snapshots written since this store was opened (`create` counts
+    /// its seed snapshot).
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written
+    }
+}
+
+/// The single durability commit point shared by `Service::apply_update`
+/// and `ShardedService::apply_update`: commit `batch` against the tier's
+/// global [`VersionedGraph`] and, iff the commit was effective, append
+/// it to the WAL stamped with `next_epoch` — the tier epoch the caller
+/// will install. Because both tiers call this one helper, neither can
+/// bypass the log; and because the append (and its policy `fsync`)
+/// completes before the caller publishes the new graph, no client ever
+/// observes state the log cannot reproduce.
+pub fn commit_batch(
+    versioned: &VersionedGraph,
+    store: Option<&mut DurableStore>,
+    next_epoch: u64,
+    batch: &UpdateBatch,
+) -> io::Result<Committed> {
+    let committed = versioned.commit(batch);
+    if !committed.info.is_noop() {
+        if let Some(store) = store {
+            store.append_batch(next_epoch, batch)?;
+        }
+    }
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::StandingSnapshot;
+    use sm_graph::builder::graph_from_edges;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sm-durable-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed() -> SnapshotData {
+        let graph = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]);
+        let nlf = graph.build_nlf();
+        let label_pairs = sm_graph::label_index::LabelPairEdgeCounts::build(&graph);
+        SnapshotData {
+            epoch: 0,
+            graph,
+            nlf,
+            label_pairs,
+            standing: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = tmpdir("clobber");
+        let _store = DurableStore::create(&dir, DurabilityOptions::default(), &seed()).unwrap();
+        let err = DurableStore::create(&dir, DurabilityOptions::default(), &seed())
+            .err()
+            .expect("second create must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_replays_only_what_the_snapshot_missed() {
+        let dir = tmpdir("filter");
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            ..Default::default()
+        };
+        let mut store = DurableStore::create(&dir, opts, &seed()).unwrap();
+        store
+            .append_batch(1, &UpdateBatch::new().add_edge(0, 2))
+            .unwrap();
+        store
+            .append_standing(0, &graph_from_edges(&[0, 1], &[(0, 1)]))
+            .unwrap();
+        store
+            .append_batch(2, &UpdateBatch::new().add_edge(0, 3))
+            .unwrap();
+        // Snapshot at epoch 2 with the one standing query absorbed.
+        let mut absorbed = seed();
+        absorbed.epoch = 2;
+        absorbed.standing.push(StandingSnapshot {
+            query: graph_from_edges(&[0, 1], &[(0, 1)]),
+            matches: Vec::new(),
+        });
+        store.write_snapshot(&absorbed).unwrap();
+        store
+            .append_batch(3, &UpdateBatch::new().delete_edge(1, 2))
+            .unwrap();
+        drop(store);
+
+        let (_store, snap, tail, report) = DurableStore::open(&dir, opts).unwrap();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.standing.len(), 1);
+        assert_eq!(tail.len(), 1, "only the post-snapshot batch replays");
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(report.replayed_registrations, 0);
+        assert_eq!(report.dropped_bytes, 0);
+        match &tail[0] {
+            WalRecord::Batch { epoch, batch } => {
+                assert_eq!(*epoch, 3);
+                assert_eq!(batch.delete_edges, vec![(1, 2)]);
+            }
+            other => panic!("unexpected tail record {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_prunes_wal_and_old_snapshots() {
+        let dir = tmpdir("prune");
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            segment_bytes: 1, // rotate on every append
+            snapshot_threshold_bytes: 1,
+        };
+        let mut store = DurableStore::create(&dir, opts, &seed()).unwrap();
+        store
+            .append_batch(1, &UpdateBatch::new().add_edge(0, 2))
+            .unwrap();
+        assert!(store.should_snapshot());
+        let mut next = seed();
+        next.epoch = 1;
+        store.write_snapshot(&next).unwrap();
+        assert!(!store.should_snapshot());
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 1);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        assert_eq!(store.snapshots_written(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_helper_logs_effective_batches_only() {
+        let dir = tmpdir("helper");
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            ..Default::default()
+        };
+        let mut store = DurableStore::create(&dir, opts, &seed()).unwrap();
+        let vg = VersionedGraph::new(seed().graph);
+        let c = commit_batch(&vg, Some(&mut store), 1, &UpdateBatch::new().add_edge(0, 2)).unwrap();
+        assert!(!c.info.is_noop());
+        assert_eq!(store.wal_appends(), 1);
+        // A no-op batch commits but never reaches the log.
+        let c = commit_batch(&vg, Some(&mut store), 2, &UpdateBatch::new().add_edge(0, 2)).unwrap();
+        assert!(c.info.is_noop());
+        assert_eq!(store.wal_appends(), 1);
+        // And a non-durable tier passes `None` through the same path.
+        let c = commit_batch(&vg, None, 2, &UpdateBatch::new().delete_edge(0, 1)).unwrap();
+        assert!(!c.info.is_noop());
+        assert_eq!(store.wal_appends(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -215,6 +215,67 @@ impl Graph {
     pub fn adjacency_len(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// The raw CSR arrays `(offsets, neighbors, labels)` — the
+    /// serialization surface of the on-disk snapshot format (`sm-durable`
+    /// writes these sections verbatim, little-endian).
+    #[inline]
+    pub fn csr(&self) -> (&[usize], &[VertexId], &[Label]) {
+        (&self.offsets, &self.neighbors, &self.labels)
+    }
+
+    /// Rebuild a graph from raw CSR arrays — the snapshot-load path,
+    /// which skips the `GraphBuilder` sort entirely. The shape is
+    /// validated (monotone offsets covering `neighbors`, per-row sorted
+    /// adjacency with in-range endpoints) so a corrupt or truncated
+    /// snapshot body cannot produce a graph that violates the CSR
+    /// invariants the matching engines rely on.
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        labels: Vec<Label>,
+    ) -> Result<Self, &'static str> {
+        let n = labels.len();
+        if offsets.len() != n + 1 {
+            return Err("offsets length must be labels length + 1");
+        }
+        if offsets[0] != 0 || offsets[n] != neighbors.len() {
+            return Err("offsets must span the neighbor array");
+        }
+        for v in 0..n {
+            if offsets[v] > offsets[v + 1] {
+                return Err("offsets must be monotone");
+            }
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err("adjacency rows must be strictly ascending");
+            }
+            if row.last().is_some_and(|&w| w as usize >= n) {
+                return Err("neighbor id out of range");
+            }
+        }
+        Ok(Graph::from_parts(offsets, neighbors, labels))
+    }
+
+    /// [`Graph::from_csr`] without the release-build validation pass, for
+    /// arrays assembled by code that upholds the CSR invariants by
+    /// construction (the overlay materializer). Untrusted input — disk,
+    /// network — must go through [`Graph::from_csr`] instead. Debug
+    /// builds still validate.
+    pub fn from_csr_unchecked(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        labels: Vec<Label>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Graph::from_csr(offsets, neighbors, labels).expect("invalid CSR")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Graph::from_parts(offsets, neighbors, labels)
+        }
+    }
 }
 
 #[cfg(test)]

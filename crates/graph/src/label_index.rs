@@ -78,9 +78,39 @@ impl LabelPairEdgeCounts {
     /// Scan all edges of `g` once. `O(|E|)`.
     pub fn build(g: &Graph) -> Self {
         let mut counts = std::collections::HashMap::new();
-        for (u, v) in g.edges() {
-            let key = Self::key(g.label(u), g.label(v));
-            *counts.entry(key).or_insert(0u64) += 1;
+        // Dense counting for realistic label universes: one array
+        // increment per edge instead of a hash probe. The build sits on
+        // every service (re)start, including snapshot recovery.
+        let lmax = (0..g.num_vertices() as VertexId)
+            .map(|v| g.label(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if lmax > 0 && lmax <= 512 {
+            let mut dense = vec![0u64; lmax * lmax];
+            for u in 0..g.num_vertices() as VertexId {
+                let lu = g.label(u) as usize;
+                for &v in g.neighbors(u) {
+                    if v <= u {
+                        continue;
+                    }
+                    let lv = g.label(v) as usize;
+                    let (a, b) = if lu <= lv { (lu, lv) } else { (lv, lu) };
+                    dense[a * lmax + b] += 1;
+                }
+            }
+            for a in 0..lmax {
+                for b in a..lmax {
+                    let c = dense[a * lmax + b];
+                    if c > 0 {
+                        counts.insert((a as Label, b as Label), c);
+                    }
+                }
+            }
+        } else {
+            for (u, v) in g.edges() {
+                let key = Self::key(g.label(u), g.label(v));
+                *counts.entry(key).or_insert(0u64) += 1;
+            }
         }
         LabelPairEdgeCounts { counts }
     }
@@ -98,6 +128,50 @@ impl LabelPairEdgeCounts {
     #[inline]
     pub fn count(&self, a: Label, b: Label) -> u64 {
         self.counts.get(&Self::key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Record one more edge between labels `a` and `b` — incremental
+    /// maintenance under graph updates, so installs patch the previous
+    /// counts instead of rescanning every edge.
+    #[inline]
+    pub fn insert_pair(&mut self, a: Label, b: Label) {
+        *self.counts.entry(Self::key(a, b)).or_insert(0) += 1;
+    }
+
+    /// Every tracked pair with its count, keys normalized (`a <= b`) and
+    /// ascending — a deterministic order for serialization.
+    pub fn sorted_pairs(&self) -> Vec<((Label, Label), u64)> {
+        let mut out: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Rebuild from serialized pairs. Returns `None` if any pair is
+    /// denormalized (`a > b`) or has a zero count — shapes
+    /// [`LabelPairEdgeCounts::build`] never produces.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = ((Label, Label), u64)>) -> Option<Self> {
+        let mut counts = std::collections::HashMap::new();
+        for ((a, b), c) in pairs {
+            if a > b || c == 0 || counts.insert((a, b), c).is_some() {
+                return None;
+            }
+        }
+        Some(LabelPairEdgeCounts { counts })
+    }
+
+    /// Record one fewer edge between labels `a` and `b`. The pair must be
+    /// tracked; removing the last edge drops the entry so the map stays
+    /// equal to a fresh [`LabelPairEdgeCounts::build`].
+    #[inline]
+    pub fn remove_pair(&mut self, a: Label, b: Label) {
+        let k = Self::key(a, b);
+        match self.counts.get_mut(&k) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(&k);
+            }
+            None => debug_assert!(false, "removing an untracked label pair"),
+        }
     }
 }
 
@@ -130,6 +204,23 @@ mod tests {
         let idx = LabelIndex::build(&[0, 2]);
         assert_eq!(idx.num_labels(), 2);
         assert!(idx.vertices_with_label(1).is_empty());
+    }
+
+    #[test]
+    fn pair_adjustments_match_a_fresh_build() {
+        let g = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (2, 3), (1, 3)]);
+        let mut c = LabelPairEdgeCounts::build(&g);
+        // Mirror deleting (2,3) and inserting (0,2): A-B loses one, A-A
+        // gains one — exactly what a rebuild of the updated graph shows.
+        c.remove_pair(0, 1);
+        c.insert_pair(0, 0);
+        let g2 = graph_from_edges(&[0, 1, 0, 1], &[(0, 1), (0, 2), (1, 3)]);
+        let fresh = LabelPairEdgeCounts::build(&g2);
+        for (a, b) in [(0, 0), (0, 1), (1, 1)] {
+            assert_eq!(c.count(a, b), fresh.count(a, b));
+        }
+        c.remove_pair(1, 1);
+        assert_eq!(c.count(1, 1), 0);
     }
 
     #[test]

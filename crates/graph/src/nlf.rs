@@ -69,6 +69,49 @@ impl NlfIndex {
         NlfIndex { offsets, entries }
     }
 
+    /// Assemble directly from raw CSR arrays — `offsets` spanning
+    /// `entries`, each row strictly label-sorted — without the per-row
+    /// copy of [`NlfIndex::from_rows`]. This is the recovery-path
+    /// constructor: an on-disk snapshot already stores the index in this
+    /// exact shape. Returns `None` if the shape is invalid.
+    pub fn from_csr(offsets: Vec<usize>, entries: Vec<(Label, u32)>) -> Option<Self> {
+        if offsets.first() != Some(&0) || offsets.last() != Some(&entries.len()) {
+            return None;
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return None;
+            }
+            if !entries[w[0]..w[1]].windows(2).all(|p| p[0].0 < p[1].0) {
+                return None;
+            }
+        }
+        Some(NlfIndex { offsets, entries })
+    }
+
+    /// [`NlfIndex::from_csr`] without the release-build validation pass,
+    /// for arrays assembled by code that upholds the invariants by
+    /// construction (the overlay materializer). Untrusted input must go
+    /// through [`NlfIndex::from_csr`]. Debug builds still validate.
+    pub fn from_csr_unchecked(offsets: Vec<usize>, entries: Vec<(Label, u32)>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            NlfIndex::from_csr(offsets, entries).expect("invalid NLF CSR")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            NlfIndex { offsets, entries }
+        }
+    }
+
+    /// The raw CSR arrays: per-vertex offsets spanning the flat entry
+    /// list. The counterpart of [`NlfIndex::from_csr`], used for bulk
+    /// copies (snapshot encoding, overlay materialization).
+    #[inline]
+    pub fn csr(&self) -> (&[usize], &[(Label, u32)]) {
+        (&self.offsets, &self.entries)
+    }
+
     /// Sorted `(label, count)` pairs for `v`'s neighborhood.
     #[inline]
     pub fn entry(&self, v: VertexId) -> &[(Label, u32)] {

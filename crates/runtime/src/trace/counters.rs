@@ -137,6 +137,19 @@ define_counters! {
      "Queries whose terminal `Cancelled` outcome came from the client \
       side — a dropped/cancelled `ResultStream`, including per-shard \
       streams a sharded router cut short after its global cap filled."),
+    (WalAppends, "wal_appends",
+     "Update-batch and standing-registration records appended to a \
+      durability write-ahead log."),
+    (WalBytes, "wal_bytes",
+     "Bytes appended to durability write-ahead logs, framing included."),
+    (SnapshotsWritten, "snapshots_written",
+     "On-disk CSR snapshots written by threshold-triggered or manual \
+      compaction."),
+    (Recoveries, "recoveries",
+     "Services opened from a durable directory (snapshot page-in plus \
+      WAL-tail replay)."),
+    (ReplayedBatches, "replayed_batches",
+     "WAL-tail update batches replayed during recovery."),
 }
 
 impl Counter {

@@ -32,18 +32,25 @@
 //!   index, invalidates only the cached plans whose labels the batch
 //!   touched, and maintains registered **standing queries** by
 //!   delta-driven incremental enumeration (see [`update`]).
+//! - **Durability** — [`Service::new_durable`] / [`Service::open`] put
+//!   an `sm-durable` write-ahead log and CSR snapshot store behind the
+//!   update path: every effective batch is logged before it is
+//!   installed, and restart is snapshot page-in plus WAL-tail replay
+//!   (see [`durable`]).
 //!
 //! Zero external dependencies, like the rest of the workspace.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod durable;
 pub mod metrics;
 pub mod service;
 pub mod stream;
 pub mod update;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use durable::{DurabilityOptions, FsyncPolicy, RecoveryReport};
 pub use metrics::{MetricsConfig, MetricsReport, SlowQuery};
 pub use service::{CountFilter, GraphData, QueryRequest, Service, ServiceConfig};
 pub use stream::{result_channel, QueryReport, ResultSink, ResultStream, ServiceOutcome};

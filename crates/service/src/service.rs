@@ -87,12 +87,46 @@ impl GraphData {
     /// only the label-pair counts are rebuilt).
     pub(crate) fn from_parts(graph: Graph, nlf: NlfIndex, epoch: u64) -> Arc<Self> {
         let label_pairs = LabelPairEdgeCounts::build(&graph);
+        GraphData::from_parts_with_pairs(graph, nlf, label_pairs, epoch)
+    }
+
+    /// Assemble with every index already maintained — the install path
+    /// for updates and WAL replay, where the label-pair counts are
+    /// patched from the commit delta instead of rebuilt by an edge scan.
+    pub(crate) fn from_parts_with_pairs(
+        graph: Graph,
+        nlf: NlfIndex,
+        label_pairs: LabelPairEdgeCounts,
+        epoch: u64,
+    ) -> Arc<Self> {
         Arc::new(GraphData {
             graph,
             nlf,
             label_pairs,
             epoch,
         })
+    }
+
+    /// The previous epoch's label-pair counts patched by one commit's
+    /// normalized edge delta — exactly equal to a fresh
+    /// [`LabelPairEdgeCounts::build`] of the post graph.
+    pub(crate) fn patched_pairs(&self, committed: &sm_delta::Committed) -> LabelPairEdgeCounts {
+        let mut pairs = self.label_pairs.clone();
+        patch_pairs(&mut pairs, committed);
+        pairs
+    }
+}
+
+/// Patch label-pair edge counts by one commit's normalized delta.
+/// Tombstones keep their label, so endpoint labels resolve on the post
+/// view for insertions and deletions alike.
+pub(crate) fn patch_pairs(pairs: &mut LabelPairEdgeCounts, committed: &sm_delta::Committed) {
+    use sm_delta::GraphView;
+    for &(u, v) in &committed.info.edges_inserted {
+        pairs.insert_pair(committed.post.label(u), committed.post.label(v));
+    }
+    for &(u, v) in &committed.info.edges_deleted {
+        pairs.remove_pair(committed.post.label(u), committed.post.label(v));
     }
 }
 
@@ -352,6 +386,10 @@ pub(crate) struct ServiceCounters {
     /// swaps.
     pub(crate) snapshots_base: AtomicU64,
     pub(crate) compactions_base: AtomicU64,
+    /// Recoveries performed by [`Service::open`] (0 or 1 per service).
+    pub(crate) recoveries: AtomicU64,
+    /// WAL-tail update batches replayed during recovery.
+    pub(crate) replayed: AtomicU64,
 }
 
 pub(crate) struct ServiceCore {
@@ -371,6 +409,12 @@ pub(crate) struct ServiceCore {
     /// Registered standing queries with their incrementally maintained
     /// embedding sets.
     pub(crate) standing: Mutex<Vec<StandingEntry>>,
+    /// Durable store when the service was created via
+    /// [`Service::new_durable`] / [`Service::open`]; `None` for purely
+    /// in-memory services. Always the innermost lock.
+    pub(crate) durable: Mutex<Option<sm_durable::DurableStore>>,
+    /// Report of the recovery that produced this service, if any.
+    pub(crate) recovery: Mutex<Option<sm_durable::RecoveryReport>>,
     /// Cache-key component for the service's (pipeline, base config).
     config_fp: u64,
 }
@@ -396,12 +440,26 @@ pub struct Service {
 impl Service {
     /// Start a service over `graph` with `cfg.workers` worker threads.
     pub fn new(graph: Graph, cfg: ServiceConfig) -> Self {
+        let data = GraphData::build(graph.clone(), 0);
+        Service::boot(data, VersionedGraph::new(graph), cfg)
+    }
+
+    /// Shared constructor: wire a prebuilt [`GraphData`] and its
+    /// versioned twin into a running service. [`Service::new`] builds
+    /// both from a graph; the recovery path ([`Service::open`]) hands in
+    /// the snapshot's materialized arrays so no index is recomputed.
+    pub(crate) fn boot(
+        data: Arc<GraphData>,
+        versioned: VersionedGraph,
+        cfg: ServiceConfig,
+    ) -> Self {
+        let epoch = data.epoch;
         let config_fp = config_fingerprint(&cfg.pipeline, &cfg.base_config);
         let metrics = ServiceMetrics::new(cfg.metrics.clone());
         let core = Arc::new(ServiceCore {
             cache: PlanCache::new(cfg.cache_capacity, cfg.cache_shards),
-            graph: Mutex::new(GraphData::build(graph.clone(), 0)),
-            epoch: AtomicU64::new(0),
+            graph: Mutex::new(data),
+            epoch: AtomicU64::new(epoch),
             sched: FairScheduler::new(),
             admission: Mutex::new(Admission {
                 in_system: 0,
@@ -421,9 +479,13 @@ impl Service {
                 incremental: AtomicU64::new(0),
                 snapshots_base: AtomicU64::new(0),
                 compactions_base: AtomicU64::new(0),
+                recoveries: AtomicU64::new(0),
+                replayed: AtomicU64::new(0),
             },
-            versioned: Mutex::new(VersionedGraph::new(graph)),
+            versioned: Mutex::new(versioned),
             standing: Mutex::new(Vec::new()),
+            durable: Mutex::new(None),
+            recovery: Mutex::new(None),
             config_fp,
             cfg,
         });
@@ -473,10 +535,17 @@ impl Service {
         *self.core.graph.lock().expect("graph lock poisoned") = data.clone();
         *vg = VersionedGraph::new(graph);
         self.core.cache.purge_other_epochs(epoch);
-        let mut standing = self.core.standing.lock().expect("standing poisoned");
-        for entry in standing.iter_mut() {
-            entry.reenumerate(&data);
+        {
+            let mut standing = self.core.standing.lock().expect("standing poisoned");
+            for entry in standing.iter_mut() {
+                entry.reenumerate(&data);
+            }
         }
+        // A durable service absorbs the swap into a fresh snapshot: the
+        // retired WAL describes a lineage the new graph did not come
+        // from, so it is pruned along with the old snapshots.
+        self.write_durable_snapshot()
+            .expect("durable snapshot after swap_graph failed");
     }
 
     /// Current data-graph epoch (0 for the construction-time graph).
@@ -547,6 +616,22 @@ impl Service {
             self.core.counters.topk_exits.load(Ordering::Relaxed),
         );
         b.add(Counter::SemanticsCacheSplits, self.core.cache.splits());
+        {
+            let durable = self.core.durable.lock().expect("durable poisoned");
+            if let Some(store) = durable.as_ref() {
+                b.add(Counter::WalAppends, store.wal_appends());
+                b.add(Counter::WalBytes, store.wal_bytes());
+                b.add(Counter::SnapshotsWritten, store.snapshots_written());
+            }
+        }
+        b.add(
+            Counter::Recoveries,
+            self.core.counters.recoveries.load(Ordering::Relaxed),
+        );
+        b.add(
+            Counter::ReplayedBatches,
+            self.core.counters.replayed.load(Ordering::Relaxed),
+        );
         b
     }
 

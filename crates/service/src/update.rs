@@ -78,8 +78,8 @@ pub struct UpdateReport {
 /// One registered standing query: the seed programs plus the maintained
 /// embedding set.
 pub(crate) struct StandingEntry {
-    sq: StandingQuery,
-    matches: Vec<Vec<VertexId>>,
+    pub(crate) sq: StandingQuery,
+    pub(crate) matches: Vec<Vec<VertexId>>,
 }
 
 impl StandingEntry {
@@ -113,7 +113,7 @@ fn enumerate_full(data: &GraphData, q: &Graph) -> Vec<Vec<VertexId>> {
 /// query graph *itself* as data graph: a query always matches itself, so
 /// compilation cannot fail for satisfiability reasons, and the
 /// incremental engine only reads the plan's query graph anyway.
-fn standing_query(q: &Graph) -> Option<StandingQuery> {
+pub(crate) fn standing_query(q: &Graph) -> Option<StandingQuery> {
     let ctx = DataContext::new(q);
     let order: Vec<VertexId> = (0..q.num_vertices() as VertexId).collect();
     let p = Pipeline::new(
@@ -140,10 +140,36 @@ impl Service {
     /// [`Service::swap_graph`]; queries submitted concurrently run
     /// against whichever graph version they were admitted under.
     pub fn apply_update(&self, batch: &UpdateBatch) -> UpdateReport {
+        self.apply_update_inner(batch, true)
+    }
+
+    /// [`Service::apply_update`] body with an explicit durability switch.
+    ///
+    /// `log == true` is the live path: the batch is committed and — if it
+    /// was effective — appended to the WAL (when the service is durable)
+    /// *before* the post graph is installed, so no client can observe
+    /// state that recovery cannot reproduce. `log == false` is the
+    /// recovery replay path: WAL records must not be re-appended while
+    /// they are being replayed. Both routes funnel through
+    /// [`sm_durable::commit_batch`], the single commit point the log
+    /// cannot be bypassed around.
+    pub(crate) fn apply_update_inner(&self, batch: &UpdateBatch, log: bool) -> UpdateReport {
         let started = Instant::now();
         let core = &self.core;
         let vg = core.versioned.lock().expect("versioned poisoned");
-        let committed = vg.commit(batch);
+        // Epoch only moves under the versioned lock, so this read is the
+        // epoch the commit will install (+1) if the batch is effective.
+        let old_epoch = core.epoch.load(Ordering::Relaxed);
+        let committed = {
+            let mut durable = core.durable.lock().expect("durable poisoned");
+            sm_durable::commit_batch(
+                &vg,
+                if log { durable.as_mut() } else { None },
+                old_epoch + 1,
+                batch,
+            )
+            .expect("WAL append failed: durability contract cannot be upheld")
+        };
         let info = &committed.info;
         if info.is_noop() {
             return UpdateReport {
@@ -161,13 +187,16 @@ impl Service {
             };
         }
         // Install the post graph under a fresh service epoch. The NLF
-        // comes from the overlay's incremental maintenance — only the
-        // label-pair counts are rebuilt.
-        let old_epoch = core.epoch.load(Ordering::Relaxed);
+        // comes from the overlay's incremental maintenance and the
+        // label-pair counts are patched from the commit delta — no index
+        // is rebuilt by scanning the graph.
         let new_epoch = old_epoch + 1;
         let (graph, nlf) = committed.post.materialize();
-        let data = GraphData::from_parts(graph, nlf, new_epoch);
-        *core.graph.lock().expect("graph lock poisoned") = data;
+        {
+            let mut slot = core.graph.lock().expect("graph lock poisoned");
+            let pairs = slot.patched_pairs(&committed);
+            *slot = GraphData::from_parts_with_pairs(graph, nlf, pairs, new_epoch);
+        }
         core.epoch.store(new_epoch, Ordering::Relaxed);
         let (plans_retained, plans_evicted) =
             core.cache
@@ -190,6 +219,13 @@ impl Service {
             core.counters
                 .incremental
                 .fetch_add(added + removed, Ordering::Relaxed);
+        }
+        // Compact the log into a fresh snapshot once enough WAL bytes
+        // accumulated (still under the versioned lock, so the snapshot
+        // sees exactly this epoch). Replay never triggers this: the
+        // store is not installed until recovery finishes.
+        if log {
+            self.maybe_threshold_snapshot();
         }
         UpdateReport {
             epoch: new_epoch,
@@ -222,12 +258,31 @@ impl Service {
     /// [`Service::apply_update`]. Returns `None` for queries the
     /// incremental engine does not support (no edges, or disconnected).
     pub fn register_standing(&self, query: &Graph) -> Option<StandingId> {
+        self.register_standing_impl(query, true)
+    }
+
+    /// [`Service::register_standing`] body with a durability switch:
+    /// the live path (`log == true`) appends a `Standing` WAL record so
+    /// the registration survives a crash before the next snapshot; the
+    /// recovery replay path must not re-append the record it is
+    /// replaying.
+    pub(crate) fn register_standing_impl(&self, query: &Graph, log: bool) -> Option<StandingId> {
         let sq = standing_query(query)?;
         let data = self.core.graph.lock().expect("graph lock poisoned").clone();
         let matches = enumerate_full(&data, sq.plan().query());
         let mut standing = self.core.standing.lock().expect("standing poisoned");
         standing.push(StandingEntry { sq, matches });
-        Some(StandingId(standing.len() - 1))
+        let index = standing.len() - 1;
+        drop(standing);
+        if log {
+            let mut durable = self.core.durable.lock().expect("durable poisoned");
+            if let Some(store) = durable.as_mut() {
+                store
+                    .append_standing(index as u64, query)
+                    .expect("WAL append failed: durability contract cannot be upheld");
+            }
+        }
+        Some(StandingId(index))
     }
 
     /// [`Service::register_standing`] with an explicit semantics check:

@@ -1,0 +1,313 @@
+//! Kill-and-recover equivalence for the durable service: a recovered
+//! [`Service`] must be indistinguishable — epoch, full sorted embedding
+//! sets, standing-query sets — from an uninterrupted twin that applied
+//! the same batches in memory, including when the crash tears the final
+//! WAL record at an arbitrary byte.
+
+use sm_delta::{UpdateBatch, UpdateStream, UpdateStreamSpec};
+use sm_graph::builder::graph_from_edges;
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_graph::{Graph, VertexId};
+use sm_runtime::trace::Counter;
+use sm_service::{DurabilityOptions, FsyncPolicy, QueryRequest, Service, ServiceConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sm-service-durable-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read durable dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+    }
+}
+
+fn base_graph() -> Graph {
+    rmat_graph(150, 4.0, 3, RmatParams::PAPER, 17)
+}
+
+fn edge_query() -> Graph {
+    graph_from_edges(&[0, 0], &[(0, 1)])
+}
+
+fn wedge_query() -> Graph {
+    graph_from_edges(&[0, 1, 0], &[(0, 1), (1, 2)])
+}
+
+fn no_snapshot_opts() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync: FsyncPolicy::Off,
+        snapshot_threshold_bytes: 0, // manual snapshots only
+        ..Default::default()
+    }
+}
+
+fn sorted_embeddings(svc: &Service, q: &Graph) -> Vec<Vec<VertexId>> {
+    let mut m: Vec<Vec<VertexId>> = svc.submit(QueryRequest::streaming(q.clone())).collect();
+    m.sort_unstable();
+    m
+}
+
+/// Generate `n` batches by running a seeded stream against `svc`'s own
+/// evolving graph, applying each as it is generated. Returns the batches
+/// so a second service can replay the identical sequence.
+fn drive(svc: &Service, n: usize, seed: u64) -> Vec<UpdateBatch> {
+    let mut stream = UpdateStream::new(
+        UpdateStreamSpec {
+            batch_size: 6,
+            ..Default::default()
+        },
+        seed,
+    );
+    (0..n)
+        .map(|_| {
+            let b = stream.next_batch(&svc.snapshot());
+            svc.apply_update(&b);
+            b
+        })
+        .collect()
+}
+
+fn assert_equivalent(recovered: &Service, twin: &Service) {
+    assert_eq!(recovered.epoch(), twin.epoch(), "epoch");
+    for q in [edge_query(), wedge_query()] {
+        assert_eq!(
+            sorted_embeddings(recovered, &q),
+            sorted_embeddings(twin, &q),
+            "query embedding sets"
+        );
+    }
+}
+
+#[test]
+fn kill_and_recover_matches_uninterrupted_twin() {
+    let dir = tmp_dir("twin");
+    let cfg = ServiceConfig::default();
+    let twin = Service::new(base_graph(), cfg.clone());
+    let durable =
+        Service::new_durable(base_graph(), cfg.clone(), &dir, no_snapshot_opts()).unwrap();
+    assert!(durable.is_durable() && !twin.is_durable());
+
+    // Standing query registered mid-stream: its registration record sits
+    // between batch records in the WAL.
+    let twin_batches = drive(&twin, 8, 99);
+    let sid_twin = twin.register_standing(&wedge_query()).unwrap();
+    let twin_batches_tail = drive(&twin, 8, 100);
+
+    for b in &twin_batches {
+        durable.apply_update(b);
+    }
+    let sid = durable.register_standing(&wedge_query()).unwrap();
+    for b in &twin_batches_tail {
+        durable.apply_update(b);
+    }
+    let effective = durable.counters().get(Counter::UpdatesApplied);
+    assert!(effective > 0, "stream produced effective batches");
+    drop(durable); // kill
+
+    let recovered = Service::open(&dir, cfg, no_snapshot_opts()).unwrap();
+    assert_equivalent(&recovered, &twin);
+    assert_eq!(
+        recovered.standing_matches(sid),
+        twin.standing_matches(sid_twin),
+        "standing sets"
+    );
+    let report = recovered.recovery_report().unwrap();
+    assert_eq!(report.snapshot_epoch, 0, "no compaction happened");
+    assert_eq!(report.replayed_batches, effective);
+    assert_eq!(report.replayed_registrations, 1);
+    let c = recovered.counters();
+    assert_eq!(c.get(Counter::Recoveries), 1);
+    assert_eq!(c.get(Counter::ReplayedBatches), effective);
+
+    // The recovered service keeps logging: one more batch survives a
+    // second crash.
+    let more = drive(&recovered, 1, 101);
+    for b in &more {
+        twin.apply_update(b);
+    }
+    drop(recovered);
+    let again = Service::open(&dir, ServiceConfig::default(), no_snapshot_opts()).unwrap();
+    assert_equivalent(&again, &twin);
+}
+
+/// Frame-walk a WAL segment: byte offset where the final record starts.
+fn last_record_start(seg: &[u8]) -> usize {
+    let mut pos = 0usize;
+    let mut last = 0usize;
+    while pos + 8 <= seg.len() {
+        let len = u32::from_le_bytes(seg[pos..pos + 4].try_into().unwrap()) as usize;
+        if pos + 8 + len > seg.len() {
+            break;
+        }
+        last = pos;
+        pos += 8 + len;
+    }
+    assert_eq!(pos, seg.len(), "writer left no torn tail of its own");
+    last
+}
+
+#[test]
+fn recovery_lands_on_last_committed_epoch_at_every_cut() {
+    let dir = tmp_dir("cuts");
+    let cfg = ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    // Small graph and batches keep the final record short enough to cut
+    // at every byte without the test crawling.
+    let g = rmat_graph(60, 3.0, 3, RmatParams::PAPER, 5);
+    let twin = Service::new(g.clone(), cfg.clone());
+    let durable = Service::new_durable(g, cfg.clone(), &dir, no_snapshot_opts()).unwrap();
+    let mut stream = UpdateStream::new(
+        UpdateStreamSpec {
+            batch_size: 3,
+            ..Default::default()
+        },
+        21,
+    );
+    // Twin states after each effective batch: epoch + probe embeddings.
+    let mut prefix_states = vec![(twin.epoch(), sorted_embeddings(&twin, &edge_query()))];
+    let mut applied = 0;
+    while applied < 5 {
+        let b = stream.next_batch(&twin.snapshot());
+        let r = twin.apply_update(&b);
+        durable.apply_update(&b);
+        if !r.noop {
+            prefix_states.push((twin.epoch(), sorted_embeddings(&twin, &edge_query())));
+            applied += 1;
+        }
+    }
+    drop(durable);
+
+    let seg_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "seg"))
+        .expect("one WAL segment");
+    let seg = std::fs::read(&seg_path).unwrap();
+    let last = last_record_start(&seg);
+    let full_state = prefix_states.last().unwrap();
+    let cut_state = &prefix_states[prefix_states.len() - 2];
+
+    for cut in last..=seg.len() {
+        // Truncate the final record at `cut` bytes...
+        let scratch = tmp_dir("cut-case");
+        copy_dir(&dir, &scratch);
+        std::fs::write(
+            seg_path.file_name().map(|f| scratch.join(f)).unwrap(),
+            &seg[..cut],
+        )
+        .unwrap();
+        let rec = Service::open(&scratch, cfg.clone(), no_snapshot_opts()).unwrap();
+        let expect = if cut == seg.len() {
+            full_state
+        } else {
+            cut_state
+        };
+        assert_eq!(rec.epoch(), expect.0, "epoch after cut at byte {cut}");
+        assert_eq!(
+            sorted_embeddings(&rec, &edge_query()),
+            expect.1,
+            "embeddings after cut at byte {cut}"
+        );
+        drop(rec);
+        // ...and corrupt one byte there instead (skip cut == len: no
+        // byte to flip).
+        if cut < seg.len() {
+            let mut bad = seg.clone();
+            bad[cut] ^= 0x5A;
+            let scratch = tmp_dir("flip-case");
+            copy_dir(&dir, &scratch);
+            std::fs::write(seg_path.file_name().map(|f| scratch.join(f)).unwrap(), &bad).unwrap();
+            let rec = Service::open(&scratch, cfg.clone(), no_snapshot_opts()).unwrap();
+            assert_eq!(rec.epoch(), cut_state.0, "epoch after flip at byte {cut}");
+            assert_eq!(
+                sorted_embeddings(&rec, &edge_query()),
+                cut_state.1,
+                "embeddings after flip at byte {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_snapshot_compacts_wal() {
+    let dir = tmp_dir("threshold");
+    let cfg = ServiceConfig::default();
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::Off,
+        snapshot_threshold_bytes: 1, // every effective batch compacts
+        ..Default::default()
+    };
+    let twin = Service::new(base_graph(), cfg.clone());
+    let durable = Service::new_durable(base_graph(), cfg.clone(), &dir, opts).unwrap();
+    durable.register_standing(&wedge_query()).unwrap();
+    twin.register_standing(&wedge_query()).unwrap();
+    for b in drive(&twin, 6, 7) {
+        durable.apply_update(&b);
+    }
+    let snaps = durable.counters().get(Counter::SnapshotsWritten);
+    assert!(snaps > 1, "threshold snapshots were written: {snaps}");
+    drop(durable);
+
+    let recovered = Service::open(&dir, cfg, opts).unwrap();
+    let report = recovered.recovery_report().unwrap();
+    assert_eq!(
+        report.replayed_batches, 0,
+        "the snapshot absorbed the whole log"
+    );
+    assert_eq!(report.snapshot_epoch, recovered.epoch());
+    assert_equivalent(&recovered, &twin);
+}
+
+#[test]
+fn manual_snapshot_and_swap_graph_reset_the_lineage() {
+    let dir = tmp_dir("swap");
+    let cfg = ServiceConfig::default();
+    let opts = no_snapshot_opts();
+    let durable = Service::new_durable(base_graph(), cfg.clone(), &dir, opts).unwrap();
+    let sid = durable.register_standing(&wedge_query()).unwrap();
+    drive(&durable, 4, 3);
+    assert!(durable.snapshot_now().unwrap());
+
+    // swap_graph starts a new lineage: fresh snapshot, WAL pruned.
+    let other = rmat_graph(80, 3.0, 3, RmatParams::PAPER, 23);
+    durable.swap_graph(other.clone());
+    let expect_standing = durable.standing_matches(sid);
+    let expect_epoch = durable.epoch();
+    drop(durable);
+
+    let recovered = Service::open(&dir, cfg.clone(), opts).unwrap();
+    assert_eq!(recovered.epoch(), expect_epoch);
+    assert_eq!(recovered.recovery_report().unwrap().replayed_batches, 0);
+    assert_eq!(recovered.standing_matches(sid), expect_standing);
+    // A fresh service over the swapped-in graph answers identically
+    // (epochs differ by construction: the twin never saw the updates).
+    let twin = Service::new(other, cfg);
+    for q in [edge_query(), wedge_query()] {
+        assert_eq!(
+            sorted_embeddings(&recovered, &q),
+            sorted_embeddings(&twin, &q),
+            "query embedding sets after swap"
+        );
+    }
+
+    // A fresh `new_durable` refuses to clobber the directory.
+    let err = Service::new_durable(base_graph(), ServiceConfig::default(), &dir, opts)
+        .err()
+        .expect("create over existing lineage must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+}

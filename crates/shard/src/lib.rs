@@ -21,6 +21,12 @@
 //!   per-shard delta batches under a write lock, so a concurrent query
 //!   never observes a torn (mixed-epoch) scatter; standing queries stay
 //!   exactly-once correct across cross-shard insertions and deletions.
+//! - **Durability** — [`ShardedService::new_durable`] /
+//!   [`ShardedService::open`] hang an `sm-durable` WAL + snapshot store
+//!   off the router's single global commit point: one WAL record per
+//!   cross-shard batch (per-shard state is derived and never
+//!   persisted), and recovery repartitions the recovered global graph
+//!   under whatever shard layout it is reopened with.
 //!
 //! Zero external dependencies, like the rest of the workspace.
 

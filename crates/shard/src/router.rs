@@ -47,6 +47,9 @@
 
 use crate::partition::{hash_owner, skew_pct, Partition, PartitionStrategy};
 use sm_delta::{GraphView, Snapshot, UpdateBatch, VersionedGraph};
+use sm_durable::{
+    DurabilityOptions, DurableStore, RecoveryReport, SnapshotData, StandingSnapshot, WalRecord,
+};
 use sm_graph::traversal::{diameter, khop_ball};
 use sm_graph::{Graph, Label, VertexId};
 use sm_match::{MatchSemantics, OutputMode, Termination};
@@ -58,6 +61,8 @@ use sm_service::{
     ResultStream, Service, ServiceConfig, ServiceOutcome, StandingError,
 };
 use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread;
@@ -220,6 +225,21 @@ struct RouterState {
     skew: u64,
     /// Per-router-standing-id: the per-shard service standing ids.
     standing: Vec<Vec<sm_service::StandingId>>,
+    /// The registered standing queries themselves (index-aligned with
+    /// `standing`) — what a durable snapshot persists.
+    standing_queries: Vec<Graph>,
+    /// Durable store when the tier was created via
+    /// [`ShardedService::new_durable`] / [`ShardedService::open`]. The
+    /// router's single global commit point means per-shard services stay
+    /// in-memory: one WAL record per cross-shard batch, not one per
+    /// shard.
+    durable: Option<DurableStore>,
+    /// Report of the recovery that produced this tier, if any.
+    recovery: Option<RecoveryReport>,
+    /// Recoveries performed (0 or 1) and WAL batches replayed — router
+    /// counter state, mutated under the write lock.
+    recoveries: u64,
+    replayed: u64,
 }
 
 /// A partitioned, scatter-gather sharded query service with the same
@@ -285,6 +305,11 @@ impl ShardedService {
                 halo,
                 skew,
                 standing: Vec::new(),
+                standing_queries: Vec::new(),
+                durable: None,
+                recovery: None,
+                recoveries: 0,
+                replayed: 0,
             }),
             cfg,
             shards,
@@ -292,6 +317,116 @@ impl ShardedService {
             stitched: Arc::new(AtomicU64::new(0)),
             rejected: AtomicU64::new(0),
             topk_exits: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Start a durable sharded tier over `graph` in a fresh directory:
+    /// writes the epoch-0 snapshot of the global graph, then opens the
+    /// WAL. Durability lives at the router's single global commit point
+    /// — per-shard services stay purely in-memory (their state is
+    /// derived), so one cross-shard batch costs one WAL record. Fails
+    /// with `AlreadyExists` if `dir` already holds a snapshot.
+    pub fn new_durable(
+        graph: Graph,
+        cfg: ShardConfig,
+        dir: &Path,
+        opts: DurabilityOptions,
+    ) -> io::Result<Self> {
+        let svc = ShardedService::new(graph, cfg);
+        {
+            let mut state = svc.state.write().expect("state poisoned");
+            let initial = snapshot_data(&state);
+            state.durable = Some(DurableStore::create(dir, opts, &initial)?);
+        }
+        Ok(svc)
+    }
+
+    /// Recover a durable sharded tier from `dir`: page in the newest
+    /// valid snapshot of the global graph, repartition it across
+    /// `cfg.shards`, re-register the snapshot's standing queries, replay
+    /// the WAL tail through the normal cross-shard update path, and
+    /// resume the router epoch. The shard layout need not match the
+    /// crashed tier's — ownership attribution affects which shard
+    /// reports an embedding, never the merged result.
+    pub fn open(dir: &Path, cfg: ShardConfig, opts: DurabilityOptions) -> io::Result<Self> {
+        let (store, snap, tail, report) = DurableStore::open(dir, opts)?;
+        let svc = ShardedService::new(snap.graph, cfg);
+        svc.state.write().expect("state poisoned").epoch = snap.epoch;
+        let unsupported = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "persisted standing query is not supported by this shard configuration",
+            )
+        };
+        for s in &snap.standing {
+            svc.register_standing_impl(&s.query, false)
+                .ok_or_else(unsupported)?;
+        }
+        let mut replayed = 0u64;
+        for rec in tail {
+            match rec {
+                WalRecord::Batch { epoch, batch } => {
+                    let r = svc.apply_update_inner(&batch, false);
+                    if r.noop || r.epoch != epoch {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "WAL replay diverged from the logged epoch",
+                        ));
+                    }
+                    replayed += 1;
+                }
+                WalRecord::Standing { query, .. } => {
+                    svc.register_standing_impl(&query, false)
+                        .ok_or_else(unsupported)?;
+                }
+            }
+        }
+        // Install the store only now: replay must never re-append the
+        // records it is replaying.
+        let mut state = svc.state.write().expect("state poisoned");
+        state.durable = Some(store);
+        state.recovery = Some(report);
+        state.recoveries = 1;
+        state.replayed = replayed;
+        drop(state);
+        Ok(svc)
+    }
+
+    /// Whether this tier persists updates (created via
+    /// [`ShardedService::new_durable`] / [`ShardedService::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.state.read().expect("state poisoned").durable.is_some()
+    }
+
+    /// What recovery did, when this tier came from
+    /// [`ShardedService::open`].
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.state.read().expect("state poisoned").recovery
+    }
+
+    /// Force a snapshot now (manual compaction) of the global graph and
+    /// standing sets; rotates the WAL and prunes what the new snapshot
+    /// supersedes. Returns `Ok(false)` on a non-durable tier.
+    pub fn snapshot_now(&self) -> io::Result<bool> {
+        let mut guard = self.state.write().expect("state poisoned");
+        let state = &mut *guard;
+        if state.durable.is_none() {
+            return Ok(false);
+        }
+        let data = snapshot_data(state);
+        state
+            .durable
+            .as_mut()
+            .expect("durable present")
+            .write_snapshot(&data)?;
+        Ok(true)
+    }
+
+    /// Flush the WAL to disk regardless of the fsync policy.
+    pub fn sync_durable(&self) -> io::Result<()> {
+        match self.state.write().expect("state poisoned").durable.as_mut() {
+            Some(store) => store.sync(),
+            None => Ok(()),
         }
     }
 
@@ -505,10 +640,28 @@ impl ShardedService {
     /// touches — all under the write lock, so no concurrent submission
     /// observes a torn (mixed-epoch) scatter.
     pub fn apply_update(&self, batch: &UpdateBatch) -> ShardedUpdateReport {
+        self.apply_update_inner(batch, true)
+    }
+
+    /// [`ShardedService::apply_update`] body with a durability switch
+    /// (`log == false` is the recovery replay path, which must not
+    /// re-append the records it replays). The batch is committed — and,
+    /// when durable and effective, WAL-appended — through
+    /// [`sm_durable::commit_batch`], the same single commit point
+    /// [`Service::apply_update`] uses: the per-tier durability rides on
+    /// the router's one global [`VersionedGraph`], so per-shard derived
+    /// batches are never logged.
+    fn apply_update_inner(&self, batch: &UpdateBatch, log: bool) -> ShardedUpdateReport {
         let started = Instant::now();
         let mut guard = self.state.write().expect("state poisoned");
         let state = &mut *guard;
-        let committed = state.versioned.commit(batch);
+        let committed = sm_durable::commit_batch(
+            &state.versioned,
+            if log { state.durable.as_mut() } else { None },
+            state.epoch + 1,
+            batch,
+        )
+        .expect("WAL append failed: durability contract cannot be upheld");
         let info = &committed.info;
         if info.is_noop() {
             return ShardedUpdateReport {
@@ -665,6 +818,18 @@ impl ShardedService {
         state.owner = Arc::new(owner);
         state.halo = halo;
         state.skew = skew_pct(edge_loads.into_iter());
+        // Threshold compaction, still under the write lock so the
+        // snapshot captures exactly this epoch. Replay never triggers
+        // it: the store is not installed until recovery finishes.
+        if log && state.durable.as_ref().is_some_and(|s| s.should_snapshot()) {
+            let data = snapshot_data(state);
+            state
+                .durable
+                .as_mut()
+                .expect("durable present")
+                .write_snapshot(&data)
+                .expect("threshold snapshot failed");
+        }
         ShardedUpdateReport {
             epoch: state.epoch,
             noop: false,
@@ -694,6 +859,14 @@ impl ShardedService {
     /// set stays current across [`ShardedService::apply_update`] calls.
     /// Returns `None` for queries the tier does not support.
     pub fn register_standing(&self, query: &Graph) -> Option<ShardStandingId> {
+        self.register_standing_impl(query, true)
+    }
+
+    /// [`ShardedService::register_standing`] body with a durability
+    /// switch: the live path logs one `Standing` WAL record at the
+    /// router (never per shard); the recovery replay path must not
+    /// re-append the record it is replaying.
+    fn register_standing_impl(&self, query: &Graph, log: bool) -> Option<ShardStandingId> {
         if !self.supports(query) {
             return None;
         }
@@ -708,7 +881,16 @@ impl ShardedService {
         // Support depends only on the query, so the shards agree.
         let ids = ids?;
         state.standing.push(ids);
-        Some(ShardStandingId(state.standing.len() - 1))
+        state.standing_queries.push(query.clone());
+        let index = state.standing.len() - 1;
+        if log {
+            if let Some(store) = state.durable.as_mut() {
+                store
+                    .append_standing(index as u64, query)
+                    .expect("WAL append failed: durability contract cannot be upheld");
+            }
+        }
+        Some(ShardStandingId(index))
     }
 
     /// [`ShardedService::register_standing`] with an explicit semantics
@@ -733,19 +915,7 @@ impl ShardedService {
     /// ownership, same rule as the query path).
     pub fn standing_matches(&self, id: ShardStandingId) -> Vec<Vec<VertexId>> {
         let state = self.state.read().expect("state poisoned");
-        let ids = &state.standing[id.0];
-        let mut out = Vec::new();
-        for (si, shard) in state.shards.iter().enumerate() {
-            for m in shard.service.standing_matches(ids[si]) {
-                let gm: Vec<VertexId> = m.iter().map(|&l| shard.global_of[l as usize]).collect();
-                let vmin = *gm.iter().min().expect("nonempty embedding");
-                if state.owner[vmin as usize] as usize == si {
-                    out.push(gm);
-                }
-            }
-        }
-        out.sort_unstable();
-        out
+        merged_standing(&state, id.0)
     }
 
     /// Current merged embedding count of a standing query.
@@ -781,6 +951,13 @@ impl ShardedService {
         );
         b.record_max(Counter::HaloVerticesReplicated, state.halo);
         b.record_max(Counter::ShardSkew, state.skew);
+        if let Some(store) = state.durable.as_ref() {
+            b.add(Counter::WalAppends, store.wal_appends());
+            b.add(Counter::WalBytes, store.wal_bytes());
+            b.add(Counter::SnapshotsWritten, store.snapshots_written());
+        }
+        b.add(Counter::Recoveries, state.recoveries);
+        b.add(Counter::ReplayedBatches, state.replayed);
         b
     }
 
@@ -873,6 +1050,51 @@ impl Drop for ShardedService {
             b.record_max(Counter::ShardSkew, state.skew);
             self.cfg.service.trace.flush_counters(0, &b);
         }
+    }
+}
+
+/// Merged embedding set of standing query `idx` in global vertex ids,
+/// sorted, each embedding exactly once (minimum-id ownership) — callable
+/// under either lock mode.
+fn merged_standing(state: &RouterState, idx: usize) -> Vec<Vec<VertexId>> {
+    let ids = &state.standing[idx];
+    let mut out = Vec::new();
+    for (si, shard) in state.shards.iter().enumerate() {
+        for m in shard.service.standing_matches(ids[si]) {
+            let gm: Vec<VertexId> = m.iter().map(|&l| shard.global_of[l as usize]).collect();
+            let vmin = *gm.iter().min().expect("nonempty embedding");
+            if state.owner[vmin as usize] as usize == si {
+                out.push(gm);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The tier's durable state: the *global* graph (from the router's
+/// versioned source of truth — per-shard graphs are derived and never
+/// persisted) plus every standing query with its merged global
+/// embedding set. The epoch is the router epoch, not the versioned
+/// graph's internal one — the two diverge after a recovery resets the
+/// overlay.
+fn snapshot_data(state: &RouterState) -> SnapshotData {
+    let (_, graph, nlf) = state.versioned.export_head();
+    let label_pairs = sm_graph::label_index::LabelPairEdgeCounts::build(&graph);
+    SnapshotData {
+        epoch: state.epoch,
+        graph,
+        nlf,
+        label_pairs,
+        standing: state
+            .standing_queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| StandingSnapshot {
+                query: q.clone(),
+                matches: merged_standing(state, i),
+            })
+            .collect(),
     }
 }
 

@@ -10,8 +10,11 @@
 # smoke (scatter-gather over partitioned shards; asserts sharded counts
 # equal single-service ground truth at every shard count) and the match-
 # semantics smoke (asserts count-only == materialized length per mode and
-# the homo >= edge-injective >= iso containment chain). Run from
-# anywhere; everything executes at the repo root.
+# the homo >= edge-injective >= iso containment chain) and the
+# durability smoke (WAL + snapshot kill-and-recover; asserts the
+# recovered service answers identically to the pre-crash one and the
+# post-compaction reopen replays zero batches). Run from anywhere;
+# everything executes at the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,3 +33,4 @@ cargo build --release -p sm-bench
 ./target/release/experiments shard --queries 2 --clients 2 --threads 2 --seed 42 --shards 1,2
 ./target/release/experiments semantics --queries 2 --threads 2 --seed 42
 ./target/release/experiments metrics-overhead --threads 4
+./target/release/experiments durability --threads 2 --seed 42

@@ -20,6 +20,7 @@
 //! | Dataset stand-ins | `sm-datasets` | [`datasets`] |
 //! | Concurrent query service | `sm-service` | [`service`] |
 //! | Dynamic graphs & incremental matching | `sm-delta` | [`delta`] |
+//! | Durability: WAL, snapshots, recovery | `sm-durable` | [`durable`] |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@
 
 pub use sm_datasets as datasets;
 pub use sm_delta as delta;
+pub use sm_durable as durable;
 pub use sm_glasgow as glasgow;
 pub use sm_graph as graph;
 pub use sm_intersect as intersect;
