@@ -30,5 +30,5 @@ pub use snapshot::{
     list_snapshots, read_snapshot, snapshot_path, write_snapshot, SnapshotData, SnapshotError,
     StandingSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use store::{commit_batch, DurabilityOptions, DurableStore, RecoveryReport};
-pub use wal::{scan_wal, FsyncPolicy, WalRecord, WalScan};
+pub use store::{commit_batch, durable_io, DurabilityOptions, DurableStore, RecoveryReport};
+pub use wal::{scan_wal, truncate_torn_tail, FsyncPolicy, TornTail, WalRecord, WalScan};

@@ -31,8 +31,11 @@
 //!               arity u32, row_count u32, rows (arity x u32 each), pad8
 //! ```
 //!
-//! Writes go to a `.tmp` sibling, `fsync`, then rename — a crash during
-//! a snapshot write can never shadow the previous valid snapshot.
+//! Writes go to a `.tmp` sibling, `fsync`, rename, then `fsync` of the
+//! directory — a crash during a snapshot write can never shadow the
+//! previous valid snapshot, and once `write_snapshot` returns the
+//! rename itself is durable, so the caller may safely prune the older
+//! snapshots and WAL segments the new one supersedes.
 
 use crate::codec::{
     crc32, crc32_combine, crc32_parallel, decode_graph, encode_graph, CodecError, Dec, Enc,
@@ -199,8 +202,10 @@ fn nlf_entry_count(data: &SnapshotData) -> u64 {
         .sum()
 }
 
-/// Write `data` as `snapshot-<epoch>.csr` under `dir` (atomically, via a
-/// `.tmp` sibling and rename). Returns the final path and byte size.
+/// Write `data` as `snapshot-<epoch>.csr` under `dir` (atomically, via
+/// a `.tmp` sibling and rename, with the directory `fsync`ed after the
+/// rename so the new name survives power loss before anything older is
+/// pruned). Returns the final path and byte size.
 pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> io::Result<(PathBuf, u64)> {
     let body = encode_body(data);
     let mut tail = Enc::new();
@@ -229,6 +234,10 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> io::Result<(PathBuf, u
         f.sync_data()?;
     }
     fs::rename(&tmp, &path)?;
+    // Without this, a power failure can persist the caller's subsequent
+    // unlinks of the old snapshot and WAL segments while losing the
+    // rename — leaving a directory with no valid snapshot at all.
+    crate::wal::sync_dir(dir)?;
     Ok((path, (header.len() + body.len()) as u64))
 }
 

@@ -9,10 +9,10 @@
 //! into a new snapshot and prunes everything older; and
 //! [`DurableStore::open`] recovers — newest valid snapshot, then the WAL
 //! records the snapshot has not absorbed, in append order, with a torn
-//! tail dropped.
+//! tail truncated off disk so it can never shadow later appends.
 
 use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot, SnapshotData};
-use crate::wal::{list_segments, scan_wal, FsyncPolicy, WalRecord, WalWriter};
+use crate::wal::{list_segments, scan_wal, truncate_torn_tail, FsyncPolicy, WalRecord, WalWriter};
 use sm_delta::{Committed, UpdateBatch, VersionedGraph};
 use sm_graph::Graph;
 use std::fs;
@@ -109,8 +109,12 @@ impl DurableStore {
     /// and return the records the snapshot has not absorbed — batch
     /// records stamped with an epoch above the snapshot's, registration
     /// records stamped with an index at or above the snapshot's standing
-    /// count — in append order. New appends go to a fresh segment above
-    /// everything scanned, so a torn tail is never appended into.
+    /// count — in append order. A torn/corrupt tail is not just skipped
+    /// but removed from disk (the torn segment truncated at its last
+    /// intact record, later segments deleted) before the new writer
+    /// opens: otherwise the next recovery's scan would stop at the same
+    /// bad bytes and silently discard everything acknowledged after this
+    /// one. New appends go to a fresh segment above everything scanned.
     pub fn open(
         dir: &Path,
         opts: DurabilityOptions,
@@ -144,6 +148,7 @@ impl DurableStore {
         };
 
         let scan = scan_wal(dir)?;
+        truncate_torn_tail(dir, &scan)?;
         let standing_count = snapshot.standing.len() as u64;
         let mut tail = Vec::new();
         let mut report = RecoveryReport {
@@ -278,6 +283,27 @@ pub fn commit_batch(
     Ok(committed)
 }
 
+/// Unwrap a durability-critical I/O result; on failure, print a clear
+/// message and abort the process. The service tiers call this while
+/// holding their graph/versioned/durable locks: a `panic!` there would
+/// poison the locks and turn one failed `fsync` (say, a transiently
+/// full disk) into an opaque cascade of "poisoned" panics on every
+/// later call. The durability contract — acknowledged means logged —
+/// leaves no correct way to keep serving once the log can't be written,
+/// so the process exits loudly and recovery restarts from the last
+/// durable state.
+pub fn durable_io<T>(what: &str, res: io::Result<T>) -> T {
+    match res {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "sm-durable: fatal: {what} failed, durability contract cannot be upheld: {e}"
+            );
+            std::process::abort();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +381,55 @@ mod tests {
         match &tail[0] {
             WalRecord::Batch { epoch, batch } => {
                 assert_eq!(*epoch, 3);
+                assert_eq!(batch.delete_edges, vec![(1, 2)]);
+            }
+            other => panic!("unexpected tail record {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_removes_torn_tail_so_post_crash_appends_survive_a_second_crash() {
+        let dir = tmpdir("torn-tail");
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            ..Default::default()
+        };
+        let mut store = DurableStore::create(&dir, opts, &seed()).unwrap();
+        store
+            .append_batch(1, &UpdateBatch::new().add_edge(0, 2))
+            .unwrap();
+        store
+            .append_batch(2, &UpdateBatch::new().add_edge(0, 3))
+            .unwrap();
+        drop(store);
+        // Crash tore the second record mid-write.
+        let (_, seg) = list_segments(&dir).unwrap().pop().unwrap();
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 3]).unwrap();
+
+        let (mut store, _, tail, report) = DurableStore::open(&dir, opts).unwrap();
+        assert_eq!(report.replayed_batches, 1);
+        assert!(report.dropped_bytes > 0);
+        // The torn bytes are gone from disk, not just skipped.
+        assert!(fs::metadata(&seg).unwrap().len() < (full.len() - 3) as u64);
+        assert_eq!(tail.len(), 1);
+        // A batch acknowledged after recovery must survive the NEXT
+        // restart — before the tail was truncated, the second scan
+        // stopped at the stale torn bytes and dropped this record.
+        store
+            .append_batch(2, &UpdateBatch::new().delete_edge(1, 2))
+            .unwrap();
+        drop(store);
+        let (_store, _snap, tail, report) = DurableStore::open(&dir, opts).unwrap();
+        assert_eq!(report.dropped_bytes, 0, "no torn bytes left behind");
+        assert_eq!(
+            report.replayed_batches, 2,
+            "both the pre-crash and post-recovery batches replay"
+        );
+        match &tail[1] {
+            WalRecord::Batch { epoch, batch } => {
+                assert_eq!(*epoch, 2);
                 assert_eq!(batch.delete_edges, vec![(1, 2)]);
             }
             other => panic!("unexpected tail record {other:?}"),

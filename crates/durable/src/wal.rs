@@ -22,6 +22,9 @@
 //! or undecodable record onward — a torn final record from a crash
 //! mid-append is tolerated by construction, and the dropped byte count
 //! is reported so recovery can say what it discarded.
+//! [`truncate_torn_tail`] then removes the dropped bytes from disk, so
+//! a later scan never stops at stale torn bytes and discards records
+//! appended after the recovery that skipped them.
 
 use crate::codec::{
     crc32, decode_batch, decode_graph, encode_batch, encode_graph, CodecError, Dec, Enc,
@@ -143,6 +146,17 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
+/// Where a scan stopped on a torn/corrupt record: the segment holding
+/// it and how many bytes of intact records precede it there. Everything
+/// from this point on (including later segments) was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Seq of the segment the first bad record lives in.
+    pub seq: u64,
+    /// Byte offset of the end of the last intact record in that segment.
+    pub valid_bytes: u64,
+}
+
 /// The outcome of scanning a WAL directory: the longest prefix of fully
 /// committed records, plus what was discarded after it.
 pub struct WalScan {
@@ -152,6 +166,8 @@ pub struct WalScan {
     pub dropped_bytes: u64,
     /// Segment seqs present, ascending.
     pub segments: Vec<u64>,
+    /// Where scanning stopped, if a torn/corrupt record was hit.
+    pub torn: Option<TornTail>,
 }
 
 /// Read every segment under `dir` in seq order and return the longest
@@ -165,9 +181,10 @@ pub fn scan_wal(dir: &Path) -> io::Result<WalScan> {
         records: Vec::new(),
         dropped_bytes: 0,
         segments: segments.iter().map(|&(seq, _)| seq).collect(),
+        torn: None,
     };
     let mut stopped = false;
-    for (_, path) in &segments {
+    for &(seq, ref path) in &segments {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
         if stopped {
@@ -195,6 +212,10 @@ pub fn scan_wal(dir: &Path) -> io::Result<WalScan> {
                 }
                 None => {
                     scan.dropped_bytes += (bytes.len() - pos) as u64;
+                    scan.torn = Some(TornTail {
+                        seq,
+                        valid_bytes: pos as u64,
+                    });
                     stopped = true;
                     break;
                 }
@@ -202,6 +223,40 @@ pub fn scan_wal(dir: &Path) -> io::Result<WalScan> {
         }
     }
     Ok(scan)
+}
+
+/// `fsync` the directory itself, making renames, file creations, and
+/// unlinks inside it durable. A no-op where directories cannot be
+/// opened as files.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Remove the bytes a scan dropped from disk: truncate the torn segment
+/// at its last intact record and delete every segment after it, then
+/// `fsync` the directory. Without this, the torn bytes sit below any
+/// segment recovery appends into, and the *next* scan stops at them
+/// again — silently discarding records durably committed after the
+/// crash. A scan with no torn tail is a no-op.
+pub fn truncate_torn_tail(dir: &Path, scan: &WalScan) -> io::Result<()> {
+    let Some(torn) = scan.torn else {
+        return Ok(());
+    };
+    let file = OpenOptions::new()
+        .write(true)
+        .open(segment_path(dir, torn.seq))?;
+    file.set_len(torn.valid_bytes)?;
+    file.sync_all()?;
+    for (seq, path) in list_segments(dir)? {
+        if seq > torn.seq {
+            fs::remove_file(path)?;
+        }
+    }
+    sync_dir(dir)
 }
 
 /// The appending half of the WAL: writes framed records to the current
@@ -233,6 +288,9 @@ impl WalWriter {
             .write(true)
             .create_new(true)
             .open(segment_path(dir, seq))?;
+        // The segment's directory entry must survive power loss along
+        // with its contents.
+        sync_dir(dir)?;
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             policy,
@@ -289,6 +347,7 @@ impl WalWriter {
             .write(true)
             .create_new(true)
             .open(segment_path(&self.dir, next))?;
+        sync_dir(&self.dir)?;
         self.file = file;
         self.seq = next;
         self.current_bytes = 0;
@@ -421,6 +480,15 @@ mod tests {
             let scan = scan_wal(&dir).unwrap();
             assert_eq!(scan.records.len(), 2, "cut at byte {cut}");
             assert_eq!(scan.dropped_bytes, (cut - keep_two) as u64);
+            if cut > keep_two {
+                assert_eq!(
+                    scan.torn,
+                    Some(TornTail {
+                        seq: 1,
+                        valid_bytes: keep_two as u64
+                    })
+                );
+            }
         }
         // Corrupt (rather than truncate) one byte of the final record.
         let mut corrupt = full.clone();
@@ -429,6 +497,43 @@ mod tests {
         let scan = scan_wal(&dir).unwrap();
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.dropped_bytes, last_len as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_repair_truncates_and_deletes_later_segments() {
+        let dir = tmpdir("repair");
+        // Tiny segment bound: every record lands in its own segment.
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1, 1).unwrap();
+        for e in 1..=3 {
+            w.append(&batch_rec(e)).unwrap();
+        }
+        drop(w);
+        // Corrupt the record in the *second* segment: the scan stops
+        // there and drops segment 3 as well.
+        let p2 = segment_path(&dir, 2);
+        let mut bytes = fs::read(&p2).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        fs::write(&p2, &bytes).unwrap();
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(
+            scan.torn,
+            Some(TornTail {
+                seq: 2,
+                valid_bytes: 0
+            })
+        );
+        assert!(scan.dropped_bytes > bytes.len() as u64);
+
+        truncate_torn_tail(&dir, &scan).unwrap();
+        assert_eq!(fs::metadata(&p2).unwrap().len(), 0);
+        assert!(!segment_path(&dir, 3).exists());
+        // Idempotent: a rescan finds nothing left to drop.
+        let rescan = scan_wal(&dir).unwrap();
+        assert_eq!(rescan.records.len(), 1);
+        assert_eq!(rescan.dropped_bytes, 0);
+        assert_eq!(rescan.torn, None);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -177,8 +177,9 @@ impl Service {
             durable.as_ref().is_some_and(|s| s.should_snapshot())
         };
         if should {
-            self.write_durable_snapshot()
-                .expect("threshold snapshot failed");
+            // Abort, not panic: a panic here would poison the versioned
+            // lock the caller holds (see `sm_durable::durable_io`).
+            sm_durable::durable_io("threshold snapshot", self.write_durable_snapshot());
         }
     }
 

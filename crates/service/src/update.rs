@@ -162,13 +162,15 @@ impl Service {
         let old_epoch = core.epoch.load(Ordering::Relaxed);
         let committed = {
             let mut durable = core.durable.lock().expect("durable poisoned");
-            sm_durable::commit_batch(
-                &vg,
-                if log { durable.as_mut() } else { None },
-                old_epoch + 1,
-                batch,
+            sm_durable::durable_io(
+                "WAL batch append",
+                sm_durable::commit_batch(
+                    &vg,
+                    if log { durable.as_mut() } else { None },
+                    old_epoch + 1,
+                    batch,
+                ),
             )
-            .expect("WAL append failed: durability contract cannot be upheld")
         };
         let info = &committed.info;
         if info.is_noop() {
@@ -273,15 +275,22 @@ impl Service {
         let mut standing = self.core.standing.lock().expect("standing poisoned");
         standing.push(StandingEntry { sq, matches });
         let index = standing.len() - 1;
-        drop(standing);
+        // The WAL append happens while the standing lock is still held
+        // (lock order graph → standing → durable keeps `durable`
+        // innermost): recovery replays registrations in log order and
+        // reassigns indices by push order, so two concurrent
+        // registrations logged out of index order would swap their
+        // StandingIds after a restart.
         if log {
             let mut durable = self.core.durable.lock().expect("durable poisoned");
             if let Some(store) = durable.as_mut() {
-                store
-                    .append_standing(index as u64, query)
-                    .expect("WAL append failed: durability contract cannot be upheld");
+                sm_durable::durable_io(
+                    "WAL standing-registration append",
+                    store.append_standing(index as u64, query),
+                );
             }
         }
+        drop(standing);
         Some(StandingId(index))
     }
 

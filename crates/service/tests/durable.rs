@@ -244,6 +244,57 @@ fn recovery_lands_on_last_committed_epoch_at_every_cut() {
 }
 
 #[test]
+fn updates_acknowledged_after_a_torn_tail_recovery_survive_a_second_crash() {
+    let dir = tmp_dir("torn-then-crash");
+    let cfg = ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    let g = rmat_graph(60, 3.0, 3, RmatParams::PAPER, 5);
+    let twin = Service::new(g.clone(), cfg.clone());
+    let durable = Service::new_durable(g, cfg.clone(), &dir, no_snapshot_opts()).unwrap();
+    for b in drive(&twin, 4, 31) {
+        durable.apply_update(&b);
+    }
+    drop(durable);
+    // Crash tears the final WAL record mid-write.
+    let seg_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "seg"))
+        .expect("one WAL segment");
+    let seg = std::fs::read(&seg_path).unwrap();
+    let cut = last_record_start(&seg) + 5;
+    std::fs::write(&seg_path, &seg[..cut]).unwrap();
+
+    // First recovery drops the torn record; updates it acknowledges
+    // afterwards must survive the NEXT crash — before recovery truncated
+    // the torn bytes off disk, the second scan stopped at them and
+    // silently discarded everything logged after the first crash.
+    let recovered = Service::open(&dir, cfg.clone(), no_snapshot_opts()).unwrap();
+    assert!(recovered.recovery_report().unwrap().dropped_bytes > 0);
+    let post = drive(&recovered, 3, 57);
+    let expect_epoch = recovered.epoch();
+    let expect = sorted_embeddings(&recovered, &edge_query());
+    drop(recovered);
+
+    let again = Service::open(&dir, cfg, no_snapshot_opts()).unwrap();
+    let report = again.recovery_report().unwrap();
+    assert_eq!(
+        report.dropped_bytes, 0,
+        "first recovery removed the torn bytes"
+    );
+    assert_eq!(
+        again.epoch(),
+        expect_epoch,
+        "post-recovery batches replayed"
+    );
+    assert_eq!(sorted_embeddings(&again, &edge_query()), expect);
+    assert!(!post.is_empty());
+}
+
+#[test]
 fn threshold_snapshot_compacts_wal() {
     let dir = tmp_dir("threshold");
     let cfg = ServiceConfig::default();

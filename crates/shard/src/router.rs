@@ -655,13 +655,17 @@ impl ShardedService {
         let started = Instant::now();
         let mut guard = self.state.write().expect("state poisoned");
         let state = &mut *guard;
-        let committed = sm_durable::commit_batch(
-            &state.versioned,
-            if log { state.durable.as_mut() } else { None },
-            state.epoch + 1,
-            batch,
-        )
-        .expect("WAL append failed: durability contract cannot be upheld");
+        // Abort (not panic) on WAL I/O failure: a panic would poison the
+        // state lock held here (see `sm_durable::durable_io`).
+        let committed = sm_durable::durable_io(
+            "WAL batch append",
+            sm_durable::commit_batch(
+                &state.versioned,
+                if log { state.durable.as_mut() } else { None },
+                state.epoch + 1,
+                batch,
+            ),
+        );
         let info = &committed.info;
         if info.is_noop() {
             return ShardedUpdateReport {
@@ -823,12 +827,14 @@ impl ShardedService {
         // it: the store is not installed until recovery finishes.
         if log && state.durable.as_ref().is_some_and(|s| s.should_snapshot()) {
             let data = snapshot_data(state);
-            state
-                .durable
-                .as_mut()
-                .expect("durable present")
-                .write_snapshot(&data)
-                .expect("threshold snapshot failed");
+            sm_durable::durable_io(
+                "threshold snapshot",
+                state
+                    .durable
+                    .as_mut()
+                    .expect("durable present")
+                    .write_snapshot(&data),
+            );
         }
         ShardedUpdateReport {
             epoch: state.epoch,
@@ -885,9 +891,10 @@ impl ShardedService {
         let index = state.standing.len() - 1;
         if log {
             if let Some(store) = state.durable.as_mut() {
-                store
-                    .append_standing(index as u64, query)
-                    .expect("WAL append failed: durability contract cannot be upheld");
+                sm_durable::durable_io(
+                    "WAL standing-registration append",
+                    store.append_standing(index as u64, query),
+                );
             }
         }
         Some(ShardStandingId(index))
