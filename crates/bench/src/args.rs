@@ -8,7 +8,49 @@
 //!             [--full] [--trace] [--profile-out PATH]
 //! ```
 
+use sm_planner::PlanCombo;
 use std::time::Duration;
+
+/// Plan selection for the service-tier experiments (`serve`, `shard`,
+/// `update`, `top`): keep each experiment's built-in pipeline, let the
+/// self-tuning planner choose per canonical form (`auto`), or force one
+/// specific combo (`fixed:<filter>/<order>/<kernel>`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum PlanChoice {
+    /// The experiment's built-in fixed pipeline (no `--plan` flag).
+    #[default]
+    Default,
+    /// `--plan auto`: the sm-planner cost model picks the combo.
+    Auto,
+    /// `--plan fixed:<combo>`: one forced combo, e.g. `fixed:GQL/RI/Hybrid`.
+    Fixed(PlanCombo),
+}
+
+impl PlanChoice {
+    /// Parse a `--plan` value.
+    pub fn parse(v: &str) -> Result<PlanChoice, String> {
+        if v.eq_ignore_ascii_case("auto") {
+            return Ok(PlanChoice::Auto);
+        }
+        if let Some(label) = v.strip_prefix("fixed:") {
+            return PlanCombo::parse(label)
+                .map(PlanChoice::Fixed)
+                .ok_or_else(|| {
+                    format!("--plan fixed:<combo> wants <filter>/<order>/<kernel>, got {label}")
+                });
+        }
+        Err(format!("--plan must be auto or fixed:<combo>, got {v}"))
+    }
+
+    /// Display label for experiment headers.
+    pub fn label(&self) -> String {
+        match self {
+            PlanChoice::Default => "default".to_string(),
+            PlanChoice::Auto => "auto".to_string(),
+            PlanChoice::Fixed(c) => format!("fixed:{}", c.label()),
+        }
+    }
+}
 
 /// Parsed harness options with laptop-friendly defaults.
 #[derive(Clone, Debug)]
@@ -46,6 +88,9 @@ pub struct HarnessOptions {
     /// Write machine-readable JSONL run profiles here (implies tracing in
     /// the experiments that support it).
     pub profile_out: Option<String>,
+    /// Plan selection for the service-tier experiments (`--plan
+    /// auto|fixed:<combo>`).
+    pub plan: PlanChoice,
 }
 
 impl Default for HarnessOptions {
@@ -65,6 +110,7 @@ impl Default for HarnessOptions {
             refresh: Duration::from_millis(500),
             trace: false,
             profile_out: None,
+            plan: PlanChoice::Default,
         }
     }
 }
@@ -152,6 +198,10 @@ impl HarnessOptions {
                         .filter(|&d| d >= 1)
                         .ok_or("--refresh-ms needs a positive integer")?;
                     opts.refresh = Duration::from_millis(ms);
+                }
+                "--plan" => {
+                    let v = it.next().ok_or("--plan needs auto or fixed:<combo>")?;
+                    opts.plan = PlanChoice::parse(&v)?;
                 }
                 "--trace" => {
                     opts.trace = true;
@@ -288,6 +338,24 @@ mod tests {
         assert!(parse(&["--duration-ms"]).is_err());
         assert!(parse(&["--duration-ms", "0"]).is_err());
         assert!(parse(&["--refresh-ms", "x"]).is_err());
+    }
+
+    #[test]
+    fn plan_flag() {
+        assert_eq!(parse(&[]).unwrap().plan, PlanChoice::Default);
+        assert_eq!(
+            parse(&["serve", "--plan", "auto"]).unwrap().plan,
+            PlanChoice::Auto
+        );
+        let o = parse(&["serve", "--plan", "fixed:GQL/RI/Hybrid"]).unwrap();
+        match o.plan {
+            PlanChoice::Fixed(c) => assert_eq!(c.label(), "GQL/RI/Hybrid"),
+            other => panic!("expected fixed combo, got {other:?}"),
+        }
+        assert!(parse(&["--plan"]).is_err());
+        assert!(parse(&["--plan", "bogus"]).is_err());
+        assert!(parse(&["--plan", "fixed:GQL/RI"]).is_err());
+        assert!(parse(&["--plan", "fixed:NOPE/RI/Hybrid"]).is_err());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! ```text
 //! experiments <cmd> [--datasets ye,hu,...] [--queries N]
 //!             [--time-limit-ms N] [--orders N] [--threads N] [--seed N]
+//!             [--plan auto|fixed:<combo>]
 //!             [--full] [--trace] [--profile-out PATH]
 //!
 //! cmd: table3 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 |
 //!      fig14 | table5 | table6 | fig15 | fig16 | fig17 | fig18 | ablation | parallel
-//!      | serve | shard | update | semantics | durability | top
+//!      | planner | serve | shard | update | semantics | durability | top
 //!      | metrics-overhead | all
 //!      | profile | trace-overhead | check-profile
 //!      | bench-fig7 | bench-fig8 | bench-fig9 | bench-fig10 | bench-fig11
@@ -25,6 +26,11 @@
 //! telemetry (enabled vs disabled service) and round-trips the
 //! Prometheus exposition.
 //!
+//! `planner` evaluates the self-tuning cost-model planner (auto vs a
+//! fixed-combo panel, cross-run feedback, a forced jump-redo replan);
+//! `--plan auto|fixed:<combo>` switches the `serve`, `shard`, `update`
+//! and `top` experiments onto planner-selected or forced plans.
+//!
 //! The `bench-*` subcommands are the timer-based micro-benchmarks that
 //! replaced the former Criterion benches (min/median/mean per case).
 //!
@@ -40,7 +46,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--seed N] [--duration-ms N] [--refresh-ms N] [--full] [--trace] [--profile-out PATH]");
+            eprintln!("usage: experiments <cmd> [--datasets ye,hu] [--queries N] [--time-limit-ms N] [--orders N] [--threads N] [--clients N] [--seed N] [--plan auto|fixed:<combo>] [--duration-ms N] [--refresh-ms N] [--full] [--trace] [--profile-out PATH]");
             std::process::exit(2);
         }
     };
@@ -66,6 +72,7 @@ fn main() {
         "fig18" => experiments::fig18::run(&opts),
         "ablation" => experiments::ablation::run(&opts),
         "parallel" => experiments::parallel::run(&opts),
+        "planner" => experiments::planner::run(&opts),
         "serve" => experiments::serve::run(&opts),
         "shard" => experiments::shard::run(&opts),
         "semantics" => experiments::semantics::run(&opts),

@@ -84,10 +84,14 @@ pub fn top(opts: &HarnessOptions) {
             strategy,
             halo_depth,
             seed: opts.seed,
-            service: ServiceConfig {
-                workers: (opts.threads.max(2) + shards - 1) / shards,
-                max_active: clients.max(2),
-                ..ServiceConfig::default()
+            service: {
+                let mut svc_cfg = ServiceConfig {
+                    workers: (opts.threads.max(2) + shards - 1) / shards,
+                    max_active: clients.max(2),
+                    ..ServiceConfig::default()
+                };
+                super::apply_plan(&mut svc_cfg, &opts.plan);
+                svc_cfg
             },
         },
     ));
@@ -147,6 +151,17 @@ pub fn top(opts: &HarnessOptions) {
         .into_iter()
         .map(|h| h.join().expect("client thread panicked"))
         .sum();
+    // Planner activity (nonzero under `--plan auto`): how many plans the
+    // cost model picked, how many live runs it abandoned mid-flight, and
+    // how much feedback it folded back.
+    let counters = svc.counters();
+    println!(
+        "planner: autotuned={} replans={} feedback={} evals={}",
+        counters.get(Counter::PlansAutotuned),
+        counters.get(Counter::ReplansTriggered),
+        counters.get(Counter::FeedbackRecords),
+        counters.get(Counter::EstimatorEvals),
+    );
     let tier = svc.metrics_report();
     assert!(
         tier.merged.enabled && tier.merged.total().count() >= total_done,

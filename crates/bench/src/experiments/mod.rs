@@ -19,6 +19,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod metrics;
 pub mod parallel;
+pub mod planner;
 pub mod semantics;
 pub mod serve;
 pub mod shard;
@@ -27,11 +28,12 @@ pub mod table5;
 pub mod table6;
 pub mod update;
 
-use crate::args::HarnessOptions;
+use crate::args::{HarnessOptions, PlanChoice};
 use sm_datasets::{by_abbrev, queries, Dataset, DatasetSpec};
 use sm_graph::gen::query::{Density, QuerySetSpec};
 use sm_graph::Graph;
-use sm_match::MatchConfig;
+use sm_match::{MatchConfig, PlanSelection};
+use sm_service::ServiceConfig;
 
 /// Resolve the dataset list for an experiment: the `--datasets` override,
 /// else the experiment's default abbreviations.
@@ -85,6 +87,21 @@ pub fn query_set(ds: &Dataset, set: QuerySetSpec) -> Vec<Graph> {
 /// harness's per-query time limit.
 pub fn measure_config(opts: &HarnessOptions) -> MatchConfig {
     MatchConfig::default().with_time_limit(opts.time_limit)
+}
+
+/// Apply the `--plan` flag to a service configuration: `auto` switches
+/// plan selection to the self-tuning planner, `fixed:<combo>` swaps in
+/// that combo's pipeline and kernel; `default` leaves the experiment's
+/// own choice alone.
+pub fn apply_plan(cfg: &mut ServiceConfig, plan: &PlanChoice) {
+    match plan {
+        PlanChoice::Default => {}
+        PlanChoice::Auto => cfg.base_config.plan = PlanSelection::Auto,
+        PlanChoice::Fixed(combo) => {
+            cfg.pipeline = combo.pipeline();
+            cfg.base_config.intersect = combo.kernel;
+        }
+    }
 }
 
 /// The dense query-size sweep of a dataset (`Q8D..Q32D` or `..Q20D`).

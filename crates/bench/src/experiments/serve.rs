@@ -67,13 +67,14 @@ pub fn run(opts: &HarnessOptions) {
         .map(|q| pipeline.run(q, &gc, &cfg).matches)
         .collect();
     println!(
-        "\n=== Service: {} clients x {} rounds over {} queries (Q8D) on {} ({} workers, seed {}) ===",
+        "\n=== Service: {} clients x {} rounds over {} queries (Q8D) on {} ({} workers, seed {}, plan {}) ===",
         clients,
         ROUNDS,
         queries.len(),
         spec.name,
         opts.threads.max(2),
         opts.seed,
+        opts.plan.label(),
     );
 
     let mut t = TextTable::new(vec![
@@ -82,16 +83,15 @@ pub fn run(opts: &HarnessOptions) {
     ]);
     let mut rows: Vec<Json> = Vec::new();
     for (mode, cache_capacity) in [("cached", 256usize), ("no-cache", 0)] {
-        let svc = Arc::new(Service::new(
-            ds.graph.clone(),
-            ServiceConfig {
-                workers: opts.threads.max(2),
-                max_active: clients.max(2),
-                cache_capacity,
-                pipeline: pipeline.clone(),
-                ..ServiceConfig::default()
-            },
-        ));
+        let mut svc_cfg = ServiceConfig {
+            workers: opts.threads.max(2),
+            max_active: clients.max(2),
+            cache_capacity,
+            pipeline: pipeline.clone(),
+            ..ServiceConfig::default()
+        };
+        super::apply_plan(&mut svc_cfg, &opts.plan);
+        let svc = Arc::new(Service::new(ds.graph.clone(), svc_cfg));
         let started = Instant::now();
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -190,15 +190,14 @@ pub fn run(opts: &HarnessOptions) {
     // Deadline row: every query under a 1-tick budget terminates with an
     // explicit Deadline outcome (or completes if it truly was that fast).
     {
-        let svc = Service::new(
-            ds.graph.clone(),
-            ServiceConfig {
-                workers: opts.threads.max(2),
-                pipeline: pipeline.clone(),
-                default_deadline: Some(Duration::from_micros(1)),
-                ..ServiceConfig::default()
-            },
-        );
+        let mut svc_cfg = ServiceConfig {
+            workers: opts.threads.max(2),
+            pipeline: pipeline.clone(),
+            default_deadline: Some(Duration::from_micros(1)),
+            ..ServiceConfig::default()
+        };
+        super::apply_plan(&mut svc_cfg, &opts.plan);
+        let svc = Service::new(ds.graph.clone(), svc_cfg);
         let started = Instant::now();
         let mut deadline_hits = 0usize;
         let mut lat = Vec::new();

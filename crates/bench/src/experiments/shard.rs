@@ -119,10 +119,14 @@ pub fn run(opts: &HarnessOptions) {
                     strategy,
                     halo_depth,
                     seed: opts.seed,
-                    service: ServiceConfig {
-                        workers: per_shard_workers.max(1),
-                        max_active: clients.max(2),
-                        ..ServiceConfig::default()
+                    service: {
+                        let mut svc_cfg = ServiceConfig {
+                            workers: per_shard_workers.max(1),
+                            max_active: clients.max(2),
+                            ..ServiceConfig::default()
+                        };
+                        super::apply_plan(&mut svc_cfg, &opts.plan);
+                        svc_cfg
                     },
                 },
             ));

@@ -229,13 +229,14 @@ pub fn run(opts: &HarnessOptions) {
     // End-to-end service path on the same stream (fresh seed replay):
     // apply_update = commit + materialize/install + scoped cache
     // retargeting + standing maintenance.
-    let svc = Service::new(
-        g0.clone(),
-        ServiceConfig {
+    let svc = {
+        let mut svc_cfg = ServiceConfig {
             workers: threads.max(1),
             ..ServiceConfig::default()
-        },
-    );
+        };
+        super::apply_plan(&mut svc_cfg, &opts.plan);
+        Service::new(g0.clone(), svc_cfg)
+    };
     for q in &raw {
         let _ = svc.register_standing(q);
     }

@@ -7,7 +7,66 @@
 use crate::enumerate::{EnumStats, MatchConfig, Outcome};
 use sm_runtime::trace::{Counter, CounterBlock, EventKind, EventRing, Trace};
 use sm_runtime::{CancelReason, CancelToken};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Cross-worker misprediction guard for the planner's jump-redo path: a
+/// backtrack budget derived from the cost model's prediction for the
+/// chosen plan. Engines flush their live backtrack counts here at every
+/// cancellation-poll boundary (so the hot path pays nothing between
+/// polls); the observation that pushes the shared total past the budget
+/// cancels the run token with [`CancelReason::Stopped`] and latches
+/// [`BailoutMonitor::triggered`] — which is how the planner distinguishes
+/// "the model mispredicted, replan with the next-best combo" from an
+/// ordinary cap hit.
+#[derive(Debug)]
+pub struct BailoutMonitor {
+    budget: u64,
+    backtracks: AtomicU64,
+    triggered: AtomicBool,
+}
+
+impl BailoutMonitor {
+    /// A monitor that bails out once the run's total backtracks exceed
+    /// `budget`.
+    pub fn new(budget: u64) -> Arc<Self> {
+        Arc::new(BailoutMonitor {
+            budget,
+            backtracks: AtomicU64::new(0),
+            triggered: AtomicBool::new(false),
+        })
+    }
+
+    /// Fold `delta` freshly observed backtracks into the shared total and
+    /// cancel `cancel` if the budget is now exceeded. Called by
+    /// [`RunControl::tick`] at poll boundaries.
+    #[inline]
+    pub fn observe(&self, delta: u64, cancel: &CancelToken) {
+        if delta == 0 {
+            return;
+        }
+        let total = self.backtracks.fetch_add(delta, Ordering::Relaxed) + delta;
+        if total > self.budget && !self.triggered.swap(true, Ordering::Relaxed) {
+            cancel.cancel(CancelReason::Stopped);
+        }
+    }
+
+    /// Whether the budget was exceeded and the run cancelled.
+    pub fn triggered(&self) -> bool {
+        self.triggered.load(Ordering::Relaxed)
+    }
+
+    /// Backtracks observed so far (across all workers of the run).
+    pub fn observed(&self) -> u64 {
+        self.backtracks.load(Ordering::Relaxed)
+    }
+
+    /// The backtrack budget this monitor enforces.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
 
 /// Shared state coordinating the worker engines of a parallel run: a
 /// global match counter (so the 10^5 cap applies to the *sum*), the cap
@@ -24,18 +83,22 @@ pub struct SharedControl {
     /// Cancellation shared by every worker of the run.
     pub cancel: CancelToken,
     /// Total matches across workers.
-    pub matches: std::sync::atomic::AtomicU64,
+    pub matches: AtomicU64,
     /// Match cap applied to the cross-worker total (`u64::MAX` = none).
     /// Overrides the plan config's `max_matches` for this run.
     pub cap: u64,
+    /// Jump-redo misprediction guard shared by every worker (see
+    /// [`BailoutMonitor`]); `None` = no bailout for this run.
+    pub bailout: Option<Arc<BailoutMonitor>>,
 }
 
 impl Default for SharedControl {
     fn default() -> Self {
         SharedControl {
             cancel: CancelToken::default(),
-            matches: std::sync::atomic::AtomicU64::new(0),
+            matches: AtomicU64::new(0),
             cap: u64::MAX,
+            bailout: None,
         }
     }
 }
@@ -43,12 +106,14 @@ impl Default for SharedControl {
 impl SharedControl {
     /// Shared state for a run of `config` that started at `started`:
     /// carries the config's deadline (and caller token, when attached) so
-    /// every worker observes the same cancellation, and the config's cap.
+    /// every worker observes the same cancellation, the config's cap, and
+    /// the config's bailout monitor when one is attached.
     pub fn for_run(config: &MatchConfig, started: Instant) -> Self {
         SharedControl {
             cancel: config.run_token(started),
-            matches: std::sync::atomic::AtomicU64::new(0),
+            matches: AtomicU64::new(0),
             cap: config.effective_cap().unwrap_or(u64::MAX),
+            bailout: config.bailout.clone(),
         }
     }
 
@@ -58,8 +123,9 @@ impl SharedControl {
     pub fn with_token(cancel: CancelToken, cap: Option<u64>) -> Self {
         SharedControl {
             cancel,
-            matches: std::sync::atomic::AtomicU64::new(0),
+            matches: AtomicU64::new(0),
             cap: cap.unwrap_or(u64::MAX),
+            bailout: None,
         }
     }
 }
@@ -85,6 +151,11 @@ pub struct RunControl<'a> {
     cancel: CancelToken,
     stopped: Option<Outcome>,
     shared: Option<&'a SharedControl>,
+    /// Jump-redo guard: local backtracks are flushed here at poll
+    /// boundaries; `bt_flushed` remembers how many were already folded
+    /// into the shared total.
+    bailout: Option<Arc<BailoutMonitor>>,
+    bt_flushed: u64,
     /// The run's termination is a top-k bound — a cap-reached outcome is
     /// then a top-k early exit, tallied in [`Counter::TopkEarlyExits`].
     topk: bool,
@@ -121,6 +192,11 @@ impl<'a> RunControl<'a> {
                 None => config.run_token(started),
             },
             stopped: None,
+            bailout: match shared {
+                Some(sh) => sh.bailout.clone(),
+                None => config.bailout.clone(),
+            },
+            bt_flushed: 0,
             shared,
             topk: matches!(
                 config.semantics.termination,
@@ -131,11 +207,18 @@ impl<'a> RunControl<'a> {
         }
     }
 
-    /// Count one search-tree node and periodically poll cancellation.
+    /// Count one search-tree node and periodically poll cancellation
+    /// (flushing live backtracks into the jump-redo monitor first, so a
+    /// blown budget is observed at the same boundary).
     #[inline]
     pub fn tick(&mut self) {
         self.recursions += 1;
         if self.recursions & self.poll_mask == 0 {
+            if let Some(monitor) = &self.bailout {
+                let seen = self.counters.get(Counter::Backtracks);
+                monitor.observe(seen - self.bt_flushed, &self.cancel);
+                self.bt_flushed = seen;
+            }
             if let Some(reason) = self.cancel.poll() {
                 let newly = self.stopped.is_none();
                 self.stopped = Some(match reason {
@@ -278,6 +361,69 @@ mod tests {
         }
         assert!(b.is_stopped());
         assert_eq!(b.outcome(), Outcome::CapReached);
+    }
+
+    #[test]
+    fn bailout_monitor_cancels_past_budget() {
+        let monitor = BailoutMonitor::new(10);
+        let cfg = MatchConfig {
+            bailout: Some(monitor.clone()),
+            ..MatchConfig::find_all()
+        };
+        // Solo run: the monitor rides the config into the control.
+        let mut ctl = RunControl::new(&cfg, None, Instant::now(), 0x3);
+        for _ in 0..8 {
+            ctl.counters.bump(Counter::Backtracks);
+        }
+        for _ in 0..4 {
+            ctl.tick();
+        }
+        assert!(!monitor.triggered(), "8 <= 10: within budget");
+        assert!(!ctl.is_stopped());
+        for _ in 0..5 {
+            ctl.counters.bump(Counter::Backtracks);
+        }
+        for _ in 0..4 {
+            ctl.tick();
+        }
+        assert!(monitor.triggered(), "13 > 10: budget blown");
+        assert_eq!(monitor.observed(), 13);
+        // The cancellation lands at the *next* poll boundary.
+        for _ in 0..4 {
+            ctl.tick();
+        }
+        assert!(ctl.is_stopped());
+        assert_eq!(ctl.outcome(), Outcome::CapReached);
+    }
+
+    #[test]
+    fn bailout_monitor_shared_across_workers() {
+        let monitor = BailoutMonitor::new(5);
+        let cfg = MatchConfig {
+            bailout: Some(monitor.clone()),
+            ..MatchConfig::find_all()
+        };
+        let started = Instant::now();
+        let shared = SharedControl::for_run(&cfg, started);
+        assert!(shared.bailout.is_some());
+        let mut a = RunControl::new(&cfg, Some(&shared), started, 0);
+        let mut b = RunControl::new(&cfg, Some(&shared), started, 0);
+        for _ in 0..4 {
+            a.counters.bump(Counter::Backtracks);
+        }
+        a.tick();
+        assert!(!monitor.triggered());
+        for _ in 0..4 {
+            b.counters.bump(Counter::Backtracks);
+        }
+        b.tick();
+        // 4 + 4 > 5: the cross-worker sum blows the budget and the shared
+        // token is cancelled, stopping both workers.
+        assert!(monitor.triggered());
+        b.tick();
+        assert!(b.is_stopped());
+        a.tick();
+        assert!(a.is_stopped());
     }
 
     #[test]

@@ -73,6 +73,26 @@ impl LcMethod {
     }
 }
 
+/// Who picks the filter/order/kernel composition a query runs under.
+///
+/// The enumeration engines never read this flag — a compiled
+/// [`crate::QueryPlan`] is always concrete. It is the *plan-selection*
+/// contract between a caller and a planning layer: [`PlanSelection::Fixed`]
+/// means "run exactly the pipeline I configured", while
+/// [`PlanSelection::Auto`] asks a hosting layer (the `sm-planner` crate's
+/// cost model, via the service or the bench harness) to score
+/// filter × order × kernel combinations against graph statistics and pick
+/// the plan itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlanSelection {
+    /// The caller's configured pipeline is used verbatim (the default).
+    #[default]
+    Fixed,
+    /// A self-tuning planner chooses the filter/order/kernel combo per
+    /// query from cardinality estimates and cross-run feedback.
+    Auto,
+}
+
 /// Runtime knobs of an enumeration run.
 #[derive(Clone, Debug)]
 pub struct MatchConfig {
@@ -100,6 +120,16 @@ pub struct MatchConfig {
     /// here to every phase of the run. The default
     /// [`Trace::disabled`] handle costs one branch per touch point.
     pub trace: Trace,
+    /// Plan-selection mode: `Fixed` (default) runs the caller's
+    /// configured pipeline; `Auto` asks a hosting planner layer to pick
+    /// the filter/order/kernel combo (see [`PlanSelection`]).
+    pub plan: PlanSelection,
+    /// Mid-run misprediction guard: when set, the engines flush their
+    /// live backtrack count into this monitor at every cancellation-poll
+    /// boundary, and the monitor cancels the run token once the count
+    /// exceeds its budget — the bailout half of the planner's jump-redo
+    /// path. `None` (default) costs nothing.
+    pub bailout: Option<std::sync::Arc<control::BailoutMonitor>>,
 }
 
 impl Default for MatchConfig {
@@ -113,6 +143,8 @@ impl Default for MatchConfig {
             cancel: None,
             semantics: MatchSemantics::default(),
             trace: Trace::disabled(),
+            plan: PlanSelection::default(),
+            bailout: None,
         }
     }
 }
@@ -155,6 +187,20 @@ impl MatchConfig {
     /// Builder-style: set the match semantics.
     pub fn with_semantics(mut self, semantics: MatchSemantics) -> Self {
         self.semantics = semantics;
+        self
+    }
+
+    /// Builder-style: set the plan-selection mode (see [`PlanSelection`]).
+    pub fn with_plan(mut self, plan: PlanSelection) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builder-style: attach a jump-redo bailout monitor. Engines flush
+    /// live backtrack counts into it at poll boundaries; the monitor
+    /// cancels the run when its budget is exceeded.
+    pub fn with_bailout(mut self, monitor: std::sync::Arc<control::BailoutMonitor>) -> Self {
+        self.bailout = Some(monitor);
         self
     }
 

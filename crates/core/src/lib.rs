@@ -63,10 +63,11 @@ pub use algorithm::{recommended, Algorithm};
 pub use candidate_space::CandidateSpace;
 pub use candidates::Candidates;
 pub use context::{DataContext, QueryContext};
+pub use enumerate::control::BailoutMonitor;
 pub use enumerate::scratch::Scratch;
 pub use enumerate::{
     EnumStats, Injectivity, LcMethod, MatchConfig, MatchSemantics, Outcome, OutputMode,
-    Termination, DEFAULT_MATCH_CAP,
+    PlanSelection, Termination, DEFAULT_MATCH_CAP,
 };
 pub use exec::Executor;
 pub use filter::FilterKind;

@@ -20,6 +20,10 @@ pub struct SpectrumPoint {
     pub enum_time: Option<Duration>,
     /// Matches found within the budget.
     pub matches: u64,
+    /// Search-tree nodes visited — the deterministic cost of the order
+    /// (wall time is the same quantity scaled by machine noise), which is
+    /// what rank-agreement tests against the planner's cost model use.
+    pub recursions: u64,
 }
 
 /// Result of a spectrum run for one query.
@@ -41,6 +45,44 @@ impl SpectrumResult {
     /// Number of orders that completed within the budget.
     pub fn completed(&self) -> usize {
         self.points.iter().filter(|p| p.enum_time.is_some()).count()
+    }
+
+    /// Machine-readable export of the sweep: one JSON object with the
+    /// run's provenance (`dataset`, `query`, `seed`) and a `points` array
+    /// carrying each order, its enumeration time in nanoseconds (`null`
+    /// when the per-order budget killed it), its match count and its
+    /// recursion count. This is the fixture format the planner's
+    /// rank-agreement test and `experiments planner` consume — fields are
+    /// append-only.
+    pub fn to_json(&self, dataset: &str, query: &str, seed: u64) -> String {
+        let mut s = String::with_capacity(64 + self.points.len() * 64);
+        s.push_str("{\"schema\":\"sm-spectrum/v1\",");
+        s.push_str(&format!(
+            "\"dataset\":\"{dataset}\",\"query\":\"{query}\",\"seed\":{seed},\"points\":["
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"order\":[");
+            for (j, u) in p.order.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&u.to_string());
+            }
+            s.push_str("],\"enum_ns\":");
+            match p.enum_time {
+                Some(d) => s.push_str(&(d.as_nanos() as u64).to_string()),
+                None => s.push_str("null"),
+            }
+            s.push_str(&format!(
+                ",\"matches\":{},\"recursions\":{}}}",
+                p.matches, p.recursions
+            ));
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -70,6 +112,7 @@ pub fn spectrum_analysis(
             order,
             enum_time: (!out.unsolved()).then_some(out.enum_time),
             matches: out.matches,
+            recursions: out.recursions,
         });
     }
     SpectrumResult { points }
@@ -97,7 +140,25 @@ mod tests {
         assert_eq!(res.completed(), 20); // tiny query: all complete
                                          // every order finds the single match
         assert!(res.points.iter().all(|p| p.matches == 1));
+        assert!(res.points.iter().all(|p| p.recursions > 0));
         assert!(res.best().is_some());
+    }
+
+    #[test]
+    fn json_export_is_machine_readable() {
+        let q = paper_query();
+        let g = paper_data();
+        let gc = DataContext::new(&g);
+        let res = spectrum_analysis(&q, &gc, 3, Duration::from_secs(5), 7);
+        let json = res.to_json("fixture", "paper_query", 7);
+        assert!(json.starts_with("{\"schema\":\"sm-spectrum/v1\""));
+        assert!(json.contains("\"dataset\":\"fixture\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"recursions\":"));
+        assert_eq!(json.matches("\"order\":[").count(), 3);
+        // completed points carry a numeric enum_ns, never "null"
+        assert!(!json.contains("\"enum_ns\":null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

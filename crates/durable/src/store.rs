@@ -258,7 +258,63 @@ impl DurableStore {
     pub fn snapshots_written(&self) -> u64 {
         self.snapshots_written
     }
+
+    /// Persist an opaque sidecar payload (the self-tuning planner's
+    /// feedback image) alongside the snapshot lineage. Written
+    /// atomically — `.tmp` sibling, `fsync`, rename, directory `fsync` —
+    /// with a magic + length + CRC32 frame, so a torn write is detected
+    /// on read and reported as absent rather than garbage. The payload
+    /// is advisory state: losing it costs re-learning, never
+    /// correctness, which is why it rides outside the snapshot format
+    /// (old stores open unchanged).
+    pub fn write_feedback(&mut self, payload: &[u8]) -> io::Result<()> {
+        let path = self.dir.join(FEEDBACK_FILE);
+        let tmp = self.dir.join(FEEDBACK_TMP);
+        let mut framed = Vec::with_capacity(16 + payload.len());
+        framed.extend_from_slice(&FEEDBACK_MAGIC);
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&crate::codec::crc32(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &framed)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        crate::wal::sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Read back the sidecar payload written by
+    /// [`DurableStore::write_feedback`]. Returns `Ok(None)` when the
+    /// file is absent *or* fails validation — advisory state degrades to
+    /// "nothing learned yet", it never fails recovery.
+    pub fn read_feedback(dir: &Path) -> io::Result<Option<Vec<u8>>> {
+        let path = dir.join(FEEDBACK_FILE);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < 16 || bytes[..4] != FEEDBACK_MAGIC {
+            return Ok(None);
+        }
+        let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let Some(payload) = bytes.get(16..16 + len) else {
+            return Ok(None);
+        };
+        if bytes.len() != 16 + len || crate::codec::crc32(payload) != crc {
+            return Ok(None);
+        }
+        Ok(Some(payload.to_vec()))
+    }
 }
+
+/// Sidecar file holding the planner's serialized feedback store.
+const FEEDBACK_FILE: &str = "feedback.bin";
+const FEEDBACK_TMP: &str = "feedback.bin.tmp";
+const FEEDBACK_MAGIC: [u8; 4] = *b"SMFB";
 
 /// The single durability commit point shared by `Service::apply_update`
 /// and `ShardedService::apply_update`: commit `batch` against the tier's
@@ -480,6 +536,34 @@ mod tests {
         let c = commit_batch(&vg, None, 2, &UpdateBatch::new().delete_edge(0, 1)).unwrap();
         assert!(!c.info.is_noop());
         assert_eq!(store.wal_appends(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn feedback_sidecar_roundtrips_and_rejects_corruption() {
+        let dir = tmpdir("feedback");
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            ..Default::default()
+        };
+        let mut store = DurableStore::create(&dir, opts, &seed()).unwrap();
+        // absent before the first write
+        assert_eq!(DurableStore::read_feedback(&dir).unwrap(), None);
+        let payload = vec![7u8; 300];
+        store.write_feedback(&payload).unwrap();
+        assert_eq!(DurableStore::read_feedback(&dir).unwrap(), Some(payload));
+        // overwrites replace
+        store.write_feedback(&[1, 2, 3]).unwrap();
+        assert_eq!(
+            DurableStore::read_feedback(&dir).unwrap(),
+            Some(vec![1, 2, 3])
+        );
+        // a flipped payload byte fails the CRC → reported absent
+        let path = dir.join(super::FEEDBACK_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(DurableStore::read_feedback(&dir).unwrap(), None);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,166 @@
+//! The cost model: turns an [`crate::estimate::OrderWalk`] into predicted
+//! nanoseconds per combo.
+//!
+//! Parameters start at calibrated defaults and are nudged by observed
+//! runs (the per-node cost learns from `enum_ns / recursions` of every
+//! completed enumeration), so the model self-tunes toward the host
+//! machine without ever being trained offline.
+
+use crate::combo::PlanCombo;
+use crate::estimate::{OrderWalk, NUM_KERNELS};
+use sm_intersect::IntersectKind;
+use sm_match::FilterKind;
+
+/// Tunable model parameters. All costs are nanoseconds.
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    /// Cost per search-tree node (bookkeeping, injectivity checks,
+    /// sink dispatch). Learned online from completed runs.
+    pub node_ns: f64,
+    /// Cost per intersection element-op, per kernel
+    /// (`[Merge, Galloping, Hybrid, Bsr]`).
+    pub op_ns: [f64; NUM_KERNELS],
+    /// Cost per candidate per filter refinement pass.
+    pub filter_pass_ns: f64,
+    /// Cost per pruned candidate for building the intersection method's
+    /// auxiliary candidate space.
+    pub build_ns: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            node_ns: 55.0,
+            op_ns: [1.2, 2.2, 1.0, 0.7],
+            filter_pass_ns: 7.0,
+            build_ns: 14.0,
+        }
+    }
+}
+
+/// How many refinement passes a filter performs over the candidate sets —
+/// fixed structural knowledge of the seven filtering methods.
+pub fn filter_rounds(f: FilterKind) -> f64 {
+    match f {
+        FilterKind::Ldf => 1.0,
+        FilterKind::Nlf => 1.5,
+        FilterKind::GraphQl => 4.0,
+        FilterKind::Cfl => 3.0,
+        FilterKind::Ceci => 2.5,
+        FilterKind::DpIso => 3.0,
+        FilterKind::Steady => 4.5,
+    }
+}
+
+/// How much of the LDF candidate set survives each filter — the model's
+/// prior on pruning power (Figure 5 of the study: stronger filters keep
+/// roughly half to two-thirds of LDF's candidates on the benchmark
+/// datasets).
+pub fn filter_prune(f: FilterKind) -> f64 {
+    match f {
+        FilterKind::Ldf => 1.0,
+        FilterKind::Nlf => 0.85,
+        FilterKind::GraphQl => 0.62,
+        FilterKind::Cfl => 0.66,
+        FilterKind::Ceci => 0.66,
+        FilterKind::DpIso => 0.64,
+        FilterKind::Steady => 0.55,
+    }
+}
+
+fn kernel_slot(k: IntersectKind) -> usize {
+    match k {
+        IntersectKind::Merge => 0,
+        IntersectKind::Galloping => 1,
+        IntersectKind::Hybrid => 2,
+        IntersectKind::Bsr => 3,
+    }
+}
+
+/// One scored combo: the model's prediction, possibly overridden by
+/// per-form feedback.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanScore {
+    /// The combo scored.
+    pub combo: PlanCombo,
+    /// Predicted end-to-end cost (filter + build + enumeration).
+    pub est_ns: f64,
+    /// Predicted search-tree nodes.
+    pub est_nodes: f64,
+    /// Predicted backtracks — the jump-redo budget is set against this.
+    pub est_backtracks: f64,
+    /// Whether a per-canonical-form observation replaced the model's
+    /// cost (cross-run feedback hit).
+    pub from_feedback: bool,
+}
+
+impl ModelParams {
+    /// Score one (filter, order-walk, kernel) point. `ldf_total` is the
+    /// unpruned candidate total the filter itself must scan.
+    pub fn score(&self, combo: PlanCombo, walk: &OrderWalk, ldf_total: f64) -> PlanScore {
+        let filter_ns = ldf_total * filter_rounds(combo.filter) * self.filter_pass_ns;
+        let build_ns = walk.pruned_candidates * self.build_ns;
+        let enum_ns = walk.nodes * self.node_ns
+            + walk.kernel_ops[kernel_slot(combo.kernel)] * self.op_ns[kernel_slot(combo.kernel)];
+        PlanScore {
+            combo,
+            est_ns: filter_ns + build_ns + enum_ns,
+            est_nodes: walk.nodes,
+            est_backtracks: walk.backtracks,
+            from_feedback: false,
+        }
+    }
+
+    /// Fold one observed `(enum_ns, recursions)` pair into the per-node
+    /// cost (EMA, ignoring tiny runs where fixed overheads dominate).
+    pub fn learn_node_cost(&mut self, enum_ns: u64, recursions: u64) {
+        if recursions < 512 {
+            return;
+        }
+        let observed = enum_ns as f64 / recursions as f64;
+        // Half the per-node wall time is intersection work already billed
+        // to op_ns; attribute the rest to the node itself.
+        self.node_ns = 0.8 * self.node_ns + 0.2 * (observed * 0.5).clamp(5.0, 5_000.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combo::ComboOrder;
+
+    fn walk() -> OrderWalk {
+        OrderWalk {
+            nodes: 1_000.0,
+            backtracks: 1_000.0,
+            matches: 10.0,
+            kernel_ops: [4_000.0, 2_000.0, 2_500.0, 3_000.0],
+            pruned_candidates: 200.0,
+        }
+    }
+
+    #[test]
+    fn stronger_filters_cost_more_up_front() {
+        let m = ModelParams::default();
+        let mk = |f| PlanCombo {
+            filter: f,
+            order: ComboOrder::GraphQl,
+            kernel: IntersectKind::Hybrid,
+        };
+        let w = walk();
+        let ldf = m.score(mk(FilterKind::Ldf), &w, 10_000.0);
+        let steady = m.score(mk(FilterKind::Steady), &w, 10_000.0);
+        assert!(steady.est_ns > ldf.est_ns);
+    }
+
+    #[test]
+    fn node_cost_learns_toward_observations() {
+        let mut m = ModelParams::default();
+        let before = m.node_ns;
+        m.learn_node_cost(10_000_000, 10_000); // 1000 ns/node observed
+        assert!(m.node_ns > before);
+        let drifted = m.node_ns;
+        m.learn_node_cost(100, 10); // tiny run: ignored
+        assert_eq!(m.node_ns, drifted);
+    }
+}

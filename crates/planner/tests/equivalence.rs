@@ -1,0 +1,160 @@
+//! Cross-plan equivalence property: on the same query, the planner's
+//! auto path and every fixed combo must produce identical sorted
+//! embedding sets — across the three injectivity modes, at one and four
+//! threads, and when a jump-redo bailout abandons an attempt mid-run.
+
+use sm_graph::gen::query::{extract_query, Density};
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_graph::{Graph, VertexId};
+use sm_match::enumerate::parallel::ParallelStrategy;
+use sm_match::enumerate::CollectSink;
+use sm_match::{DataContext, Executor, Injectivity, MatchConfig, Outcome};
+use sm_planner::{FeedbackStore, PlanCombo, Planner, PlannerConfig};
+use sm_runtime::rng::Rng64;
+use std::sync::Arc;
+
+fn sorted(mut v: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+    v.sort();
+    v
+}
+
+/// Run one fixed combo, collecting embeddings. `Err` filters (query
+/// proven unsatisfiable) return the empty set — filters are complete, so
+/// that *is* the exact answer.
+fn collect_fixed(
+    combo: PlanCombo,
+    q: &Graph,
+    ctx: &DataContext<'_>,
+    cfg: &MatchConfig,
+    threads: usize,
+) -> (Outcome, u64, Vec<Vec<VertexId>>) {
+    let mut run_cfg = cfg.clone();
+    run_cfg.intersect = combo.kernel;
+    let plan = match combo.pipeline().plan(q, ctx, &run_cfg) {
+        Ok(p) => p,
+        Err(_) => return (Outcome::Complete, 0, Vec::new()),
+    };
+    let exec = Executor::new(&plan, ctx.graph);
+    if threads <= 1 {
+        let mut sink = CollectSink::default();
+        let stats = exec.run(&mut sink);
+        (stats.outcome, stats.recursions, sink.matches)
+    } else {
+        let (stats, sinks) = exec.run_parallel::<CollectSink>(threads, ParallelStrategy::Morsel);
+        (
+            stats.outcome,
+            stats.recursions,
+            sinks.into_iter().flat_map(|s| s.matches).collect(),
+        )
+    }
+}
+
+/// A seeded workload whose reference enumeration completes under the
+/// default cap in every injectivity mode (embedding sets are only
+/// comparable on completed runs).
+fn workload() -> (Graph, Graph) {
+    let g = rmat_graph(400, 5.0, 3, RmatParams::PAPER, 21);
+    let mut rng = Rng64::seed_from_u64(6);
+    let q = (0..64)
+        .find_map(|_| extract_query(&g, 5, Density::Dense, &mut rng))
+        .expect("query extraction succeeds");
+    (g, q)
+}
+
+fn mode_config(mode: Injectivity) -> MatchConfig {
+    let mut cfg = MatchConfig::default();
+    cfg.semantics.injectivity = mode;
+    cfg
+}
+
+#[test]
+fn every_fixed_combo_and_auto_agree_across_modes_and_threads() {
+    let (g, q) = workload();
+    let ctx = DataContext::new(&g);
+    for mode in [
+        Injectivity::Isomorphism,
+        Injectivity::EdgeInjective,
+        Injectivity::Homomorphism,
+    ] {
+        let cfg = mode_config(mode);
+        let (outcome, _, reference) = collect_fixed(PlanCombo::all()[0], &q, &ctx, &cfg, 1);
+        assert_eq!(
+            outcome,
+            Outcome::Complete,
+            "{mode:?}: reference must complete for set comparison"
+        );
+        let reference = sorted(reference);
+        for combo in PlanCombo::all() {
+            let (out, _, got) = collect_fixed(combo, &q, &ctx, &cfg, 1);
+            assert_eq!(out, Outcome::Complete, "{mode:?}/{}", combo.label());
+            assert_eq!(
+                sorted(got),
+                reference,
+                "{mode:?}: fixed {} diverges from reference",
+                combo.label()
+            );
+        }
+        for threads in [1usize, 4] {
+            let planner = Planner::new();
+            let (run, got) = planner.collect_auto(&q, &ctx, &cfg, threads);
+            assert_eq!(run.outcome, Outcome::Complete, "{mode:?} auto t{threads}");
+            assert_eq!(
+                sorted(got),
+                reference,
+                "{mode:?}: auto at {threads} thread(s) diverges"
+            );
+        }
+        // Fixed parallel spot-check: one combo per filter family.
+        for combo in PlanCombo::all().into_iter().step_by(26) {
+            let (out, _, got) = collect_fixed(combo, &q, &ctx, &cfg, 4);
+            assert_eq!(out, Outcome::Complete);
+            assert_eq!(
+                sorted(got),
+                reference,
+                "{mode:?}: fixed {} at 4 threads diverges",
+                combo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn jump_redo_bailout_preserves_embedding_set() {
+    // A workload big enough that enumeration crosses the engine's poll
+    // boundary, so a 1-backtrack budget genuinely cancels mid-run.
+    let g = rmat_graph(2_000, 6.0, 4, RmatParams::PAPER, 11);
+    let ctx = DataContext::new(&g);
+    let mut rng = Rng64::seed_from_u64(3);
+    let cfg = MatchConfig::default();
+    // Find a query whose reference run completes (embedding sets are
+    // only comparable on completed runs) yet is deep enough to bail.
+    let (q, reference) = (0..64)
+        .find_map(|_| {
+            let q = extract_query(&g, 6, Density::Sparse, &mut rng)?;
+            let (out, recursions, matches) = collect_fixed(PlanCombo::all()[0], &q, &ctx, &cfg, 1);
+            (out == Outcome::Complete && recursions > 8_192 && !matches.is_empty())
+                .then(|| (q, sorted(matches)))
+        })
+        .expect("a completing query exists");
+    for threads in [1usize, 4] {
+        let planner = Planner::with_feedback(
+            PlannerConfig {
+                margin: 0.0,
+                min_budget: 1,
+                max_attempts: 2,
+            },
+            Arc::new(FeedbackStore::new()),
+        );
+        let (run, got) = planner.collect_auto(&q, &ctx, &cfg, threads);
+        assert!(
+            run.replanned(),
+            "the 1-backtrack budget must actually force a mid-run bailout"
+        );
+        assert_eq!(run.outcome, Outcome::Complete);
+        assert_eq!(
+            sorted(got),
+            reference,
+            "bailed-and-redone run at {threads} thread(s) diverges"
+        );
+    }
+}

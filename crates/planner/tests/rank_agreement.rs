@@ -1,0 +1,114 @@
+//! Rank agreement between the planner's cost model and the measured
+//! order spectrum (satellite of the self-tuning planner): run
+//! `spectrum_analysis`, round-trip its JSON fixture export, score every
+//! sampled order with `QueryEstimate::walk`, and require a positive rank
+//! correlation between estimated and measured search-tree size.
+
+use sm_graph::gen::query::{extract_query, Density};
+use sm_graph::gen::rmat::{rmat_graph, RmatParams};
+use sm_match::spectrum::spectrum_analysis;
+use sm_match::{DataContext, FilterKind};
+use sm_planner::model::filter_prune;
+use sm_planner::QueryEstimate;
+use sm_runtime::rng::Rng64;
+use std::time::Duration;
+
+/// Minimal parser for the `sm-spectrum/v1` fixture: extracts each
+/// point's `order` array and `recursions` count. Deliberately consumes
+/// the JSON export (not the in-memory structs) so the fixture format
+/// itself is under test.
+fn parse_points(json: &str) -> Vec<(Vec<u32>, u64)> {
+    assert!(
+        json.starts_with("{\"schema\":\"sm-spectrum/v1\""),
+        "fixture schema tag missing"
+    );
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"order\":[") {
+        rest = &rest[i + 10..];
+        let end = rest.find(']').expect("order array closes");
+        let order: Vec<u32> = rest[..end]
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().expect("vertex id"))
+            .collect();
+        let ri = rest.find("\"recursions\":").expect("recursions field");
+        let after = &rest[ri + 13..];
+        let rend = after.find('}').expect("point object closes");
+        let recursions: u64 = after[..rend].parse().expect("recursion count");
+        out.push((order, recursions));
+        rest = after;
+    }
+    out
+}
+
+/// Average rank of a value's position (midrank for ties).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut r = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = mid;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Spearman rank correlation.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..a.len() {
+        let (da, db) = (ra[i] - mean, rb[i] - mean);
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+#[test]
+fn estimator_ranking_correlates_with_measured_spectrum() {
+    let g = rmat_graph(1_000, 6.0, 3, RmatParams::PAPER, 5);
+    let ctx = DataContext::new(&g);
+    let mut rng = Rng64::seed_from_u64(17);
+    let q = (0..64)
+        .find_map(|_| extract_query(&g, 6, Density::Dense, &mut rng))
+        .expect("query extraction succeeds");
+
+    let spectrum = spectrum_analysis(&q, &ctx, 40, Duration::from_secs(5), 9);
+    let fixture = spectrum.to_json("rmat-1k", "q6d", 9);
+    let points = parse_points(&fixture);
+    assert_eq!(points.len(), spectrum.points.len(), "fixture round-trip");
+    assert!(points.len() >= 20, "need enough orders to rank");
+
+    // Score each measured order with the same estimator the planner's
+    // cost model uses, at the spectrum engine's filter strength.
+    let est = QueryEstimate::build(&q, &ctx);
+    let prune = filter_prune(FilterKind::GraphQl);
+    let mut predicted = Vec::with_capacity(points.len());
+    let mut measured = Vec::with_capacity(points.len());
+    for (order, recursions) in &points {
+        let walk = est.walk(&q, order, prune, Some(100_000));
+        predicted.push(walk.nodes.max(1.0).ln());
+        measured.push((*recursions as f64).max(1.0).ln());
+    }
+
+    let rho = spearman(&predicted, &measured);
+    println!("spearman(est nodes, measured recursions) = {rho:.3}");
+    assert!(
+        rho > 0.2,
+        "cost model should rank orders in rough agreement with the \
+         measured spectrum (spearman = {rho:.3})"
+    );
+}

@@ -150,6 +150,20 @@ define_counters! {
       WAL-tail replay)."),
     (ReplayedBatches, "replayed_batches",
      "WAL-tail update batches replayed during recovery."),
+    (PlansAutotuned, "plans_autotuned",
+     "Plans selected by the self-tuning planner's cost model (Auto \
+      mode) instead of a caller-fixed pipeline."),
+    (ReplansTriggered, "replans_triggered",
+     "Jump-redo replans: enumerations bailed out mid-run because the \
+      live backtrack count exceeded the model's prediction, then \
+      restarted under the next-best combo."),
+    (FeedbackRecords, "feedback_records",
+     "Completed-run observations (cost, backtracks, per-kernel \
+      intersections) folded into the planner's per-canonical-form \
+      feedback store."),
+    (EstimatorEvals, "estimator_evals",
+     "Filter/order/kernel combos scored by the planner's cardinality \
+      estimator and cost model."),
 }
 
 impl Counter {

@@ -59,6 +59,12 @@ pub struct CachedPlan {
     /// Canonical form of the plan's own query — composed with a
     /// submitting client's form to remap embeddings.
     pub form: CanonicalForm,
+    /// The combo the self-tuning planner chose for this entry (`None`
+    /// for fixed-pipeline services). Completed runs of the entry fold
+    /// their counters back into the planner's feedback store under this
+    /// combo, so recompilations (eviction, epoch bump) re-rank with
+    /// observed costs.
+    pub combo: Option<sm_planner::PlanCombo>,
 }
 
 struct Entry {
@@ -312,7 +318,14 @@ mod tests {
         let g = graph_from_edges(labels, edges);
         let form = canonical_form(&g);
         let code = form.code.clone();
-        (Arc::new(CachedPlan { plan: None, form }), code)
+        (
+            Arc::new(CachedPlan {
+                plan: None,
+                form,
+                combo: None,
+            }),
+            code,
+        )
     }
 
     fn key(epoch: u64, query: u64, config: u64) -> PlanKey {
@@ -432,6 +445,7 @@ mod tests {
             Arc::new(CachedPlan {
                 plan: None,
                 form: iso_form,
+                combo: None,
             }),
         );
         assert_eq!(cache.splits(), 0);
@@ -443,6 +457,7 @@ mod tests {
             Arc::new(CachedPlan {
                 plan: None,
                 form: homo_form,
+                combo: None,
             }),
         );
         assert_eq!(cache.splits(), 1);
@@ -455,6 +470,7 @@ mod tests {
             Arc::new(CachedPlan {
                 plan: None,
                 form: canonical_form(&g).with_semantics(iso.fingerprint()),
+                combo: None,
             }),
         );
         assert_eq!(cache.splits(), 2); // homo entry still present → counted again

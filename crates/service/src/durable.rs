@@ -122,6 +122,14 @@ impl Service {
         if let Some(pairs) = pending_pairs.take() {
             svc.install_head(pairs);
         }
+        // Restore the planner's learned feedback (written as a sidecar by
+        // snapshots). Advisory state: a missing or corrupt image means
+        // the planner re-learns, never that recovery fails.
+        if let Some(planner) = &svc.core.planner {
+            if let Some(bytes) = DurableStore::read_feedback(dir)? {
+                let _ = planner.feedback().merge_bytes(&bytes);
+            }
+        }
         // Install the store only now: replay must never re-append the
         // records it is replaying.
         *svc.core.durable.lock().expect("durable poisoned") = Some(store);
@@ -194,6 +202,12 @@ impl Service {
         match durable.as_mut() {
             Some(store) => {
                 store.write_snapshot(&data)?;
+                // Carry the planner's learned costs through the snapshot:
+                // a restart then plans with everything this incarnation
+                // observed instead of starting from the cold model.
+                if let Some(planner) = &self.core.planner {
+                    store.write_feedback(&planner.feedback().to_bytes())?;
+                }
                 Ok(true)
             }
             None => Ok(false),

@@ -49,7 +49,7 @@ use sm_match::enumerate::engine::{enumerate_with, EngineInput};
 use sm_match::enumerate::{
     LcMethod, MatchConfig, MatchSemantics, MatchSink, Outcome, OutputMode, Termination,
 };
-use sm_match::{DataContext, Executor, Pipeline, QueryPlan, Scratch};
+use sm_match::{DataContext, Executor, Pipeline, PlanSelection, QueryPlan, Scratch};
 use sm_runtime::pool::morsel_size_for;
 use sm_runtime::trace::profile::RunMeta;
 use sm_runtime::trace::{Counter, CounterBlock, RunProfile, Trace};
@@ -165,6 +165,12 @@ pub struct ServiceConfig {
     /// Always-on telemetry: latency histograms, rolling-window rates,
     /// slow-query log, adaptive tail capture (see [`crate::metrics`]).
     pub metrics: MetricsConfig,
+    /// Cross-run feedback store for the self-tuning planner. Only
+    /// consulted when `base_config.plan` is [`PlanSelection::Auto`]:
+    /// `None` gives the service a private store; a sharded deployment
+    /// passes one shared store to every shard so all of them learn from
+    /// every observation. Ignored under fixed plan selection.
+    pub planner_feedback: Option<Arc<sm_planner::FeedbackStore>>,
 }
 
 impl Default for ServiceConfig {
@@ -182,6 +188,7 @@ impl Default for ServiceConfig {
             base_config: MatchConfig::default(),
             trace: Trace::disabled(),
             metrics: MetricsConfig::default(),
+            planner_feedback: None,
         }
     }
 }
@@ -337,6 +344,10 @@ struct QueryRun {
     /// Canonical-form fingerprint of the query — the slow-query log and
     /// adaptive-capture key.
     canon_hash: u64,
+    /// The planner-chosen combo this run executes (`None` under fixed
+    /// plan selection or when a tail-capture recompiled the plan) — the
+    /// feedback key finalize records observations under.
+    combo: Option<sm_planner::PlanCombo>,
     /// Nanoseconds from admission to activation (0 until activated) —
     /// the queue-wait phase boundary the metrics layer records.
     activated_ns: AtomicU64,
@@ -417,6 +428,12 @@ pub(crate) struct ServiceCore {
     pub(crate) recovery: Mutex<Option<sm_durable::RecoveryReport>>,
     /// Cache-key component for the service's (pipeline, base config).
     config_fp: u64,
+    /// Self-tuning planner, present when `base_config.plan` is
+    /// [`PlanSelection::Auto`]: plan-cache misses ask it for the
+    /// cheapest filter × order × kernel combo instead of compiling the
+    /// fixed `cfg.pipeline`, and every finished run folds its counters
+    /// back into its feedback store.
+    pub(crate) planner: Option<Arc<sm_planner::Planner>>,
 }
 
 /// A concurrent subgraph-query service over one data graph.
@@ -456,6 +473,16 @@ impl Service {
         let epoch = data.epoch;
         let config_fp = config_fingerprint(&cfg.pipeline, &cfg.base_config);
         let metrics = ServiceMetrics::new(cfg.metrics.clone());
+        let planner = (cfg.base_config.plan == PlanSelection::Auto).then(|| {
+            let feedback = cfg
+                .planner_feedback
+                .clone()
+                .unwrap_or_else(|| Arc::new(sm_planner::FeedbackStore::new()));
+            Arc::new(sm_planner::Planner::with_feedback(
+                sm_planner::PlannerConfig::default(),
+                feedback,
+            ))
+        });
         let core = Arc::new(ServiceCore {
             cache: PlanCache::new(cfg.cache_capacity, cfg.cache_shards),
             graph: Mutex::new(data),
@@ -487,6 +514,7 @@ impl Service {
             durable: Mutex::new(None),
             recovery: Mutex::new(None),
             config_fp,
+            planner,
             cfg,
         });
         let workers = (0..core.cfg.workers.max(1))
@@ -632,7 +660,22 @@ impl Service {
             Counter::ReplayedBatches,
             self.core.counters.replayed.load(Ordering::Relaxed),
         );
+        if let Some(planner) = &self.core.planner {
+            let pc = planner.counters();
+            b.add(Counter::PlansAutotuned, pc.plans_autotuned);
+            b.add(Counter::ReplansTriggered, pc.replans_triggered);
+            b.add(Counter::FeedbackRecords, pc.feedback_records);
+            b.add(Counter::EstimatorEvals, pc.estimator_evals);
+        }
         b
+    }
+
+    /// The self-tuning planner, when the service runs in
+    /// [`PlanSelection::Auto`] mode (`None` for fixed-pipeline services).
+    /// Exposes the feedback store for durability snapshots and the
+    /// planner counters for exposition.
+    pub fn planner(&self) -> Option<&Arc<sm_planner::Planner>> {
+        self.core.planner.as_ref()
     }
 
     /// A coherent telemetry snapshot: per-phase and per-outcome latency
@@ -745,6 +788,7 @@ impl ServiceCore {
             None
         };
         let mut plan = cached.plan.clone();
+        let mut combo = cached.combo;
         // Adaptive tail capture: a prior occurrence of this canonical
         // form crossed the slow threshold, so this one runs under a full
         // sm-trace profile. The traced plan is compiled fresh against the
@@ -754,6 +798,9 @@ impl ServiceCore {
                 Some((traced_plan, trace)) => {
                     plan = Some(traced_plan);
                     remap = None;
+                    // The traced plan is the fixed pipeline, not the
+                    // planner's combo — don't misattribute its counters.
+                    combo = None;
                     Some(trace)
                 }
                 None => None,
@@ -814,6 +861,7 @@ impl ServiceCore {
             plan_build_ns,
             started,
             canon_hash,
+            combo,
             activated_ns: AtomicU64::new(0),
             capture,
         });
@@ -898,13 +946,42 @@ impl ServiceCore {
         compile_cfg.time_limit = None;
         compile_cfg.cancel = None;
         compile_cfg.trace = Trace::disabled();
-        let plan = self
-            .cfg
-            .pipeline
-            .plan(query, &ctx, &compile_cfg)
-            .ok()
-            .map(Arc::new);
-        let entry = Arc::new(CachedPlan { plan, form });
+        compile_cfg.plan = PlanSelection::Fixed;
+        compile_cfg.bailout = None;
+        let (plan, combo) = match &self.planner {
+            // Auto mode: rank the combo space against the current graph's
+            // statistics (plus any feedback already recorded for this
+            // canonical form) and compile the winner. The choice is
+            // cached with the plan; feedback from its runs re-ranks the
+            // next compilation of this form.
+            Some(planner) => match planner.choose(query, &ctx, &compile_cfg, canon_hash) {
+                Some(score) => {
+                    let mut auto_cfg = compile_cfg.clone();
+                    auto_cfg.intersect = score.combo.kernel;
+                    (
+                        score
+                            .combo
+                            .pipeline()
+                            .plan(query, &ctx, &auto_cfg)
+                            .ok()
+                            .map(Arc::new),
+                        Some(score.combo),
+                    )
+                }
+                // LDF proved the query unsatisfiable: cache the negative
+                // verdict like a fixed-pipeline compile failure would.
+                None => (None, None),
+            },
+            None => (
+                self.cfg
+                    .pipeline
+                    .plan(query, &ctx, &compile_cfg)
+                    .ok()
+                    .map(Arc::new),
+                None,
+            ),
+        };
+        let entry = Arc::new(CachedPlan { plan, form, combo });
         self.cache.insert(key, entry.clone());
         (entry, false, canon_hash)
     }
@@ -929,6 +1006,8 @@ impl ServiceCore {
         compile_cfg.time_limit = None;
         compile_cfg.cancel = None;
         compile_cfg.trace = trace.clone();
+        compile_cfg.plan = PlanSelection::Fixed;
+        compile_cfg.bailout = None;
         let plan = self.cfg.pipeline.plan(query, &ctx, &compile_cfg).ok()?;
         Some((Arc::new(plan), trace))
     }
@@ -965,7 +1044,7 @@ impl ServiceCore {
     /// Terminal transition: build the report, finish the stream, release
     /// the admission slot and promote a pending query if any.
     fn finalize(&self, run: &Arc<QueryRun>) {
-        let (matches, recursions, outcome, slow_counters) = {
+        let (matches, recursions, outcome, slow_counters, backtracks) = {
             let agg = run.agg.lock().expect("agg poisoned");
             let outcome = if run.stream.client_cancelled.load(Ordering::Relaxed) {
                 ServiceOutcome::Cancelled
@@ -992,7 +1071,8 @@ impl ServiceCore {
             } else {
                 None
             };
-            (matches, agg.recursions, outcome, slow_counters)
+            let backtracks = agg.counters.get(Counter::Backtracks);
+            (matches, agg.recursions, outcome, slow_counters, backtracks)
         };
         if run.topk && outcome == ServiceOutcome::CapHit {
             self.counters.topk_exits.fetch_add(1, Ordering::Relaxed);
@@ -1005,6 +1085,23 @@ impl ServiceCore {
                 .fetch_add(1, Ordering::Relaxed);
         }
         let total_ns = run.started.elapsed().as_nanos() as u64;
+        // Cross-run feedback: fold this run's observed cost and pruning
+        // behavior into the planner's per-canonical-form store, so the
+        // next compilation of this form ranks with measured costs.
+        if let (Some(planner), Some(combo)) = (&self.planner, run.combo) {
+            planner.observe(
+                run.canon_hash,
+                &sm_planner::ObservedRun {
+                    combo,
+                    total_ns,
+                    enum_ns: total_ns.saturating_sub(run.activated_ns.load(Ordering::Relaxed)),
+                    recursions,
+                    backtracks,
+                    completed: outcome == ServiceOutcome::Complete,
+                    bailed: false,
+                },
+            );
+        }
         let slow = slow_counters.map(|counters| {
             let profile = run.capture.as_ref().map(|trace| {
                 if run.shared.cancel.poll().is_some() {
@@ -1207,5 +1304,8 @@ fn config_fingerprint(pipeline: &Pipeline, base: &MatchConfig) -> u64 {
     base.failing_sets.hash(&mut h);
     base.intersect.hash(&mut h);
     base.vf2pp_rule.hash(&mut h);
+    // Auto and Fixed plan selection compile different pipelines for the
+    // same query, so they must occupy disjoint cache-key universes.
+    base.plan.hash(&mut h);
     h.finish()
 }

@@ -266,6 +266,10 @@ pub struct ShardedService {
     rejected: AtomicU64,
     /// Top-k queries whose gather terminated by filling all k slots.
     topk_exits: Arc<AtomicU64>,
+    /// The one feedback store every Auto-mode shard's planner shares: an
+    /// observation on any shard re-ranks plans on all of them. `None`
+    /// under fixed plan selection.
+    planner_feedback: Option<Arc<sm_planner::FeedbackStore>>,
 }
 
 impl ShardedService {
@@ -286,6 +290,14 @@ impl ShardedService {
         // to the owned embeddings it keeps (see module docs).
         let mut svc_cfg = cfg.service.clone();
         svc_cfg.default_cap = None;
+        // Auto-mode shards share one feedback store so every shard's
+        // planner learns from every shard's observations.
+        if svc_cfg.base_config.plan == sm_match::PlanSelection::Auto
+            && svc_cfg.planner_feedback.is_none()
+        {
+            svc_cfg.planner_feedback = Some(Arc::new(sm_planner::FeedbackStore::new()));
+        }
+        let planner_feedback = svc_cfg.planner_feedback.clone();
         let shard_states = pieces
             .into_iter()
             .map(|p| ShardState {
@@ -317,6 +329,7 @@ impl ShardedService {
             stitched: Arc::new(AtomicU64::new(0)),
             rejected: AtomicU64::new(0),
             topk_exits: Arc::new(AtomicU64::new(0)),
+            planner_feedback,
         }
     }
 
@@ -351,6 +364,14 @@ impl ShardedService {
     pub fn open(dir: &Path, cfg: ShardConfig, opts: DurabilityOptions) -> io::Result<Self> {
         let (store, snap, tail, report) = DurableStore::open(dir, opts)?;
         let svc = ShardedService::new(snap.graph, cfg);
+        // Restore learned plan costs into the shared store every shard's
+        // planner already points at. Advisory: a missing or corrupt
+        // image means re-learning, never a failed recovery.
+        if let Some(fb) = &svc.planner_feedback {
+            if let Some(bytes) = DurableStore::read_feedback(dir)? {
+                let _ = fb.merge_bytes(&bytes);
+            }
+        }
         svc.state.write().expect("state poisoned").epoch = snap.epoch;
         let unsupported = || {
             io::Error::new(
@@ -414,11 +435,12 @@ impl ShardedService {
             return Ok(false);
         }
         let data = snapshot_data(state);
-        state
-            .durable
-            .as_mut()
-            .expect("durable present")
-            .write_snapshot(&data)?;
+        let store = state.durable.as_mut().expect("durable present");
+        store.write_snapshot(&data)?;
+        // Persist the cross-shard learned plan costs alongside.
+        if let Some(fb) = &self.planner_feedback {
+            store.write_feedback(&fb.to_bytes())?;
+        }
         Ok(true)
     }
 
@@ -827,14 +849,11 @@ impl ShardedService {
         // it: the store is not installed until recovery finishes.
         if log && state.durable.as_ref().is_some_and(|s| s.should_snapshot()) {
             let data = snapshot_data(state);
-            sm_durable::durable_io(
-                "threshold snapshot",
-                state
-                    .durable
-                    .as_mut()
-                    .expect("durable present")
-                    .write_snapshot(&data),
-            );
+            let store = state.durable.as_mut().expect("durable present");
+            sm_durable::durable_io("threshold snapshot", store.write_snapshot(&data));
+            if let Some(fb) = &self.planner_feedback {
+                sm_durable::durable_io("feedback sidecar", store.write_feedback(&fb.to_bytes()));
+            }
         }
         ShardedUpdateReport {
             epoch: state.epoch,

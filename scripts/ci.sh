@@ -13,8 +13,11 @@
 # the homo >= edge-injective >= iso containment chain) and the
 # durability smoke (WAL + snapshot kill-and-recover; asserts the
 # recovered service answers identically to the pre-crash one and the
-# post-compaction reopen replays zero batches). Run from anywhere;
-# everything executes at the repo root.
+# post-compaction reopen replays zero batches) and the planner smoke
+# (self-tuning cost-model planner; asserts warm auto stays within 1.5x
+# of the per-query best fixed combo and a forced misprediction triggers
+# at least one jump-redo replan). Run from anywhere; everything executes
+# at the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,3 +37,4 @@ cargo build --release -p sm-bench
 ./target/release/experiments semantics --queries 2 --threads 2 --seed 42
 ./target/release/experiments metrics-overhead --threads 4
 ./target/release/experiments durability --threads 2 --seed 42
+./target/release/experiments planner --queries 2 --threads 1 --seed 42

@@ -16,6 +16,7 @@
 //! | Graph substrate, loaders, generators | `sm-graph` | [`graph`] |
 //! | Set-intersection kernels | `sm-intersect` | [`intersect`] |
 //! | The matching framework | `sm-match` | [`matching`] |
+//! | Self-tuning cost-model planner | `sm-planner` | [`planner`] |
 //! | Glasgow CP solver | `sm-glasgow` | [`glasgow`] |
 //! | Dataset stand-ins | `sm-datasets` | [`datasets`] |
 //! | Concurrent query service | `sm-service` | [`service`] |
@@ -48,6 +49,7 @@ pub use sm_glasgow as glasgow;
 pub use sm_graph as graph;
 pub use sm_intersect as intersect;
 pub use sm_match as matching;
+pub use sm_planner as planner;
 pub use sm_service as service;
 
 /// The most commonly used items in one import.
